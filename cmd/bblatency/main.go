@@ -1,0 +1,63 @@
+// Command bblatency compares the pessimistic holistic end-to-end
+// latency bound of a path against the bound refined by a dependency
+// model learned from the trace (Section 3.4's critical-path
+// discussion).
+//
+// Usage:
+//
+//	bblatency                          # the paper's path through Q
+//	bblatency -path S,C,N,H,Q -bound 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bblatency: ")
+	var (
+		pathF   = flag.String("path", "S,A,D,L,P,Q", "comma-separated task path (consecutive tasks must share a design edge)")
+		bound   = flag.Int("bound", 32, "heuristic bound for learning")
+		periods = flag.Int("periods", modelgen.CaseStudyPeriods, "simulated periods")
+		seed    = flag.Int64("seed", modelgen.CaseStudySeed, "simulation seed")
+		bitRate = flag.Int64("bitrate", 500_000, "CAN bit rate")
+	)
+	flag.Parse()
+
+	m := modelgen.GMStyleModel()
+	out, err := modelgen.Simulate(m, modelgen.SimOptions{Periods: *periods, Seed: *seed, BitRate: *bitRate})
+	if err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	res, err := modelgen.LearnBounded(out.Trace, *bound, modelgen.CaseStudyPolicy(false))
+	if err != nil {
+		log.Fatalf("learning: %v", err)
+	}
+
+	path := modelgen.LatencyPath{Tasks: strings.Split(*pathF, ",")}
+	cmp, err := modelgen.CompareLatency(m, path, res.LUB, *bitRate)
+	if err != nil {
+		log.Fatalf("latency: %v", err)
+	}
+
+	fmt.Printf("path: %v\n\n", path.Tasks)
+	fmt.Printf("%-9s %-8s %14s %14s   %s\n", "kind", "element", "pessimistic", "informed", "excluded preemptors")
+	for i := range cmp.Pessimistic.Items {
+		p := cmp.Pessimistic.Items[i]
+		inf := cmp.Informed.Items[i]
+		excl := ""
+		if len(inf.Excluded) > 0 {
+			excl = fmt.Sprint(inf.Excluded)
+		}
+		fmt.Printf("%-9s %-8s %11d us %11d us   %s\n", p.Kind, p.Name, p.Bound, inf.Bound, excl)
+	}
+	fmt.Printf("%-9s %-8s %11d us %11d us\n", "TOTAL", "", cmp.Pessimistic.Total, cmp.Informed.Total)
+	abs, rel := cmp.Improvement()
+	fmt.Printf("\nimprovement: %d us (%.1f%%)\n", abs, rel*100)
+}

@@ -1,0 +1,115 @@
+// Command bblearn runs the generalization algorithm of Feng et al.
+// (DATE 2007) over a trace file and prints the learned dependency
+// model.
+//
+// Usage:
+//
+//	bblearn -trace trace.txt -bound 32
+//	bblearn -trace trace.txt -exact -max 1000000
+//	bblearn -trace trace.txt -bound 16 -report -dot deps.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bblearn: ")
+	var (
+		traceFile    = flag.String("trace", "", "trace file in the text format (default stdin)")
+		bound        = flag.Int("bound", 32, "heuristic bound b (ignored with -exact)")
+		exact        = flag.Bool("exact", false, "run the exact (exponential) algorithm")
+		maxHyp       = flag.Int("max", 5_000_000, "abort the exact algorithm beyond this working-set size (0 = unlimited)")
+		senderWin    = flag.Int64("sender-window", 0, "candidate policy: sender must end within this window before the rise (0 = unlimited)")
+		receiverWin  = flag.Int64("receiver-window", 0, "candidate policy: receiver must start within this window after the fall (0 = unlimited)")
+		maxSenders   = flag.Int("max-senders", 0, "candidate policy: keep only the K most recent enders as senders (0 = all)")
+		maxReceivers = flag.Int("max-receivers", 0, "candidate policy: keep only the K soonest starters as receivers (0 = all)")
+		all          = flag.Bool("all", false, "print every returned hypothesis, not only the least upper bound")
+		dotFile      = flag.String("dot", "", "write the learned dependency graph as DOT to this file")
+		report       = flag.Bool("report", false, "print the verification report (node classes, state-space impact)")
+		progress     = flag.Bool("progress", false, "report per-period progress on stderr")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := modelgen.ReadTrace(in)
+	if err != nil {
+		log.Fatalf("reading trace: %v", err)
+	}
+
+	opt := modelgen.LearnOptions{
+		Policy: modelgen.CandidatePolicy{
+			SenderWindow:   *senderWin,
+			ReceiverWindow: *receiverWin,
+			MaxSenders:     *maxSenders,
+			MaxReceivers:   *maxReceivers,
+		},
+	}
+	if *exact {
+		opt.MaxHypotheses = *maxHyp
+	} else {
+		opt.Bound = *bound
+	}
+	if *progress {
+		opt.Progress = func(phase string, period, _, size int) {
+			if phase == "period" {
+				fmt.Fprintf(os.Stderr, "period %d: %d hypotheses\n", period, size)
+			}
+		}
+	}
+
+	t0 := time.Now()
+	res, err := modelgen.Learn(tr, opt)
+	if err != nil {
+		log.Fatalf("learning: %v", err)
+	}
+	elapsed := time.Since(t0)
+
+	mode := fmt.Sprintf("heuristic (bound %d)", *bound)
+	if *exact {
+		mode = "exact"
+	}
+	fmt.Printf("algorithm:  %s\n", mode)
+	fmt.Printf("run time:   %v\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("hypotheses: %d (peak %d, %d generalizations, %d merges, %d relaxations)\n",
+		len(res.Hypotheses), res.Stats.Peak, res.Stats.Children, res.Stats.Merges, res.Stats.Relaxations)
+	fmt.Printf("converged:  %v\n\n", res.Converged)
+
+	if *all {
+		for i, d := range res.Hypotheses {
+			fmt.Printf("hypothesis %d (weight %d):\n%s\n", i+1, d.Weight(), d.Table())
+		}
+	}
+	fmt.Println("least upper bound:")
+	fmt.Println(res.LUB.Table())
+
+	if *report {
+		rep := modelgen.Analyze(res.LUB)
+		fmt.Printf("disjunction nodes:   %v\n", rep.Disjunctions)
+		fmt.Printf("conjunction nodes:   %v\n", rep.Conjunctions)
+		fmt.Printf("dependency entries:  %d firm, %d conditional, %d unknown, %d independent (of %d)\n",
+			rep.Firm, rep.Conditional, rep.Unknown, rep.Independent, rep.TotalPairs)
+		fmt.Printf("ordering known:      %.1f%%\n", rep.OrderingKnown*100)
+		fmt.Printf("interleavings cut:   %.1f%%\n", rep.InterleavingReduction*100)
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(res.LUB.DOT("learned")), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *dotFile, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command bbtrace simulates a built-in (or random) design model on the
+// OSEK/CAN substrates and writes the observable bus trace in the text
+// format consumed by bblearn.
+//
+// Usage:
+//
+//	bbtrace -model gmstyle -periods 27 -seed 7 -out trace.txt
+//	bbtrace -model figure1 -dot model.dot
+//	bbtrace -model random -layers 3 -width 3 -seed 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+	"github.com/blackbox-rt/modelgen/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbtrace: ")
+	var (
+		modelName = flag.String("model", "gmstyle", "design model: figure1, gmstyle, gmstyle-lite or random")
+		periods   = flag.Int("periods", 27, "number of periods to simulate")
+		seed      = flag.Int64("seed", 7, "random seed (disjunction choices and execution jitter)")
+		bitRate   = flag.Int64("bitrate", 500_000, "CAN bus bit rate in bit/s")
+		out       = flag.String("out", "", "trace output file (default stdout)")
+		dotFile   = flag.String("dot", "", "also write the design model as DOT to this file")
+		stats     = flag.Bool("stats", false, "print trace statistics to stderr")
+		layers    = flag.Int("layers", 3, "random model: DAG layers")
+		width     = flag.Int("width", 3, "random model: tasks per layer")
+	)
+	flag.Parse()
+
+	m, err := lookupModel(*modelName, *layers, *width, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(m.DOT()), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *dotFile, err)
+		}
+	}
+	simOut, err := modelgen.Simulate(m, modelgen.SimOptions{
+		Periods: *periods,
+		Seed:    *seed,
+		BitRate: *bitRate,
+	})
+	if err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := modelgen.WriteTrace(w, simOut.Trace); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	if *stats {
+		s := simOut.Trace.Stats()
+		fmt.Fprintf(os.Stderr, "tasks=%d periods=%d executions=%d messages=%d event-pairs=%d\n",
+			len(simOut.Trace.Tasks), s.Periods, s.TaskExecutions, s.Messages, s.EventPairs)
+	}
+}
+
+func lookupModel(name string, layers, width int, seed int64) (*modelgen.Model, error) {
+	switch name {
+	case "figure1":
+		return modelgen.Figure1Model(), nil
+	case "gmstyle":
+		return modelgen.GMStyleModel(), nil
+	case "gmstyle-lite":
+		return modelgen.GMStyleLiteModel(), nil
+	case "random":
+		opt := model.DefaultRandomOptions()
+		opt.Layers = layers
+		opt.TasksPerLayer = width
+		return model.RandomModel(rand.New(rand.NewSource(seed)), opt), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want figure1, gmstyle, gmstyle-lite or random)", name)
+	}
+}

@@ -1,0 +1,125 @@
+// Command bbverify learns a dependency model from a trace and proves
+// or refutes properties against it: must-execute queries, reachability
+// safety queries, node classification and mode analysis — the
+// verification workflow of Section 3.4.
+//
+// Usage:
+//
+//	bbverify -trace t.txt -determines A,L -depends Q,O
+//	bbverify -trace t.txt -never-before Q,O        # reachability proof
+//	bbverify -trace t.txt -report -modes
+//
+// Each query prints PROVED or REFUTED; the exit status is non-zero if
+// any query is refuted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+type pairList [][2]string
+
+func (p *pairList) String() string { return fmt.Sprint([][2]string(*p)) }
+func (p *pairList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want TASK,TASK, got %q", v)
+	}
+	*p = append(*p, [2]string{parts[0], parts[1]})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbverify: ")
+	var (
+		traceFile  = flag.String("trace", "", "trace file (default stdin)")
+		bound      = flag.Int("bound", 32, "heuristic bound for learning")
+		report     = flag.Bool("report", false, "print the structure report")
+		modes      = flag.Bool("modes", false, "print observed operation modes")
+		determines pairList
+		depends    pairList
+		neverb     pairList
+	)
+	flag.Var(&determines, "determines", "prove d(A,B) = -> (repeatable; A,B)")
+	flag.Var(&depends, "depends", "prove d(A,B) = <- (repeatable; A,B)")
+	flag.Var(&neverb, "never-before", "prove by reachability that A never completes before B (repeatable; A,B)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := modelgen.ReadTrace(in)
+	if err != nil {
+		log.Fatalf("reading trace: %v", err)
+	}
+	res, err := modelgen.LearnBounded(tr, *bound, modelgen.CandidatePolicy{})
+	if err != nil {
+		log.Fatalf("learning: %v", err)
+	}
+	d := res.LUB
+
+	failures := 0
+	verdict := func(label string, ok bool) {
+		state := "REFUTED"
+		if ok {
+			state = "PROVED"
+		} else {
+			failures++
+		}
+		fmt.Printf("%-8s %s\n", state, label)
+	}
+	for _, q := range determines {
+		verdict(fmt.Sprintf("d(%s,%s) = ->", q[0], q[1]), modelgen.Determines(d, q[0], q[1]))
+	}
+	for _, q := range depends {
+		verdict(fmt.Sprintf("d(%s,%s) = <-", q[0], q[1]), modelgen.DependsOn(d, q[0], q[1]))
+	}
+	for _, q := range neverb {
+		proved, witness, err := modelgen.ProveNeverCompletesBefore(d, q[0], q[1])
+		if err != nil {
+			log.Fatalf("never-before %v: %v", q, err)
+		}
+		label := fmt.Sprintf("%s never completes before %s", q[0], q[1])
+		if !proved && len(witness) > 0 {
+			label += fmt.Sprintf("   (witness state: %v)", witness)
+		}
+		verdict(label, proved)
+	}
+
+	if *report {
+		fmt.Println()
+		fmt.Print(modelgen.Analyze(d))
+		if exp, err := modelgen.ExploreStateSpace(d); err == nil {
+			fmt.Printf("reachable states:      %d of %d (%.1f%% reduction)\n",
+				exp.States, exp.Baseline, exp.Reduction*100)
+		}
+	}
+	if *modes {
+		fmt.Println()
+		rep := modelgen.AnalyzeModes(tr, d)
+		fmt.Printf("operation modes (%d observed; always on: %v):\n", len(rep.Modes), rep.AlwaysOn)
+		for _, m := range rep.Modes {
+			fmt.Printf("  %3dx %s\n", m.Count(), m.Key())
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION: %s\n", v)
+			failures++
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

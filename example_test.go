@@ -1,0 +1,142 @@
+package modelgen_test
+
+import (
+	"fmt"
+	"log"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+// The smallest complete use of the library: learn the paper's worked
+// example and read off the discovered unconditional dependency.
+func Example() {
+	tr := modelgen.PaperTrace()
+	res, err := modelgen.LearnExact(tr, modelgen.CandidatePolicy{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hypotheses:", len(res.Hypotheses))
+	fmt.Println("t1 determines t4:", modelgen.Determines(res.LUB, "t1", "t4"))
+	// Output:
+	// hypotheses: 5
+	// t1 determines t4: true
+}
+
+// Building a trace by hand and learning from it.
+func ExampleLearn() {
+	tr, err := modelgen.NewTraceBuilder([]string{"sensor", "fusion", "actuator"}).
+		StartPeriod().
+		Exec("sensor", 0, 10).
+		Msg("m1", 12, 14).
+		Exec("fusion", 16, 30).
+		Msg("m2", 32, 34).
+		Exec("actuator", 36, 50).
+		StartPeriod().
+		Exec("sensor", 100, 110).
+		Msg("m3", 112, 114).
+		Exec("fusion", 116, 130).
+		Msg("m4", 132, 134).
+		Exec("actuator", 136, 150).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := modelgen.Learn(tr, modelgen.LearnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.LUB.Table())
+	// Output:
+	//           sensor    fusion    actuator
+	// sensor    ||        ->        ->
+	// fusion    <-        ||        ->
+	// actuator  <-        <-        ||
+}
+
+// Parsing the text trace format.
+func ExampleReadTraceString() {
+	tr, err := modelgen.ReadTraceString(`
+tasks a b
+period
+exec a 0 5
+msg m1 6 7
+exec b 9 12
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tr.Stats()
+	fmt.Printf("%d period, %d executions, %d message\n", s.Periods, s.TaskExecutions, s.Messages)
+	// Output:
+	// 1 period, 2 executions, 1 message
+}
+
+// Simulating a built-in design model and inspecting the trace the bus
+// logger would capture.
+func ExampleSimulate() {
+	out, err := modelgen.Simulate(modelgen.Figure1Model(), modelgen.SimOptions{Periods: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("periods:", len(out.Trace.Periods))
+	fmt.Println("t1 ran every period:", ranEveryPeriod(out.Trace, "t1"))
+	// Output:
+	// periods: 5
+	// t1 ran every period: true
+}
+
+func ranEveryPeriod(tr *modelgen.Trace, task string) bool {
+	for _, p := range tr.Periods {
+		if !p.Executed(task) {
+			return false
+		}
+	}
+	return true
+}
+
+// The incremental learner consumes periods as they are captured.
+func ExampleNewOnlineLearner() {
+	tr := modelgen.PaperTrace()
+	o, err := modelgen.NewOnlineLearner(tr.Tasks, modelgen.LearnOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("working set:", o.WorkingSetSize())
+	}
+	// Output:
+	// working set: 3
+	// working set: 5
+	// working set: 5
+}
+
+// Operation-mode enumeration from a trace.
+func ExampleModes() {
+	for _, m := range modelgen.Modes(modelgen.PaperTrace()) {
+		fmt.Printf("%s (%d period)\n", m.Key(), m.Count())
+	}
+	// Output:
+	// t1+t2+t3+t4 (1 period)
+	// t1+t2+t4 (1 period)
+	// t1+t3+t4 (1 period)
+}
+
+// Dependency tables parse back into dependency functions.
+func ExampleParseDepTable() {
+	d, err := modelgen.ParseDepTable(`
+      a     b
+a     ||    ->?
+b     <-    ||
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("weight:", d.Weight())
+	fmt.Println("a may determine b:", d.MustGet("a", "b") == modelgen.FwdMaybe)
+	// Output:
+	// weight: 5
+	// a may determine b: true
+}

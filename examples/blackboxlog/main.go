@@ -1,0 +1,124 @@
+// Command blackboxlog demonstrates the full black-box workflow on a
+// raw, unmarked event log, the way a real logging device delivers it:
+//
+//  1. capture a flat stream of timestamped events with no period
+//     markers (simulated here from the distributed 18-task
+//     controller, then flattened and stripped);
+//  2. segment it into fixed-length periods from the known system
+//     period;
+//  3. feed periods one at a time into the incremental online learner,
+//     watching the hypothesis set evolve;
+//  4. add an analyst-supplied negative example ("the sink task Q never
+//     runs without the pipeline task P") and observe the consistent
+//     subset;
+//  5. enumerate the system's operation modes and cross-check them
+//     against the learned model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	// --- 1. Raw capture -------------------------------------------------
+	m := modelgen.GMStyleDistributedModel()
+	sim, err := modelgen.Simulate(m, modelgen.SimOptions{
+		Periods: modelgen.CaseStudyPeriods,
+		Seed:    modelgen.CaseStudySeed,
+	})
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+	// Flatten to a raw event stream and drop the period markers — this
+	// is all a bus sniffer gives you.
+	var raw []modelgen.Event
+	for _, ev := range sim.Trace.Events() {
+		if ev.Kind != modelgen.PeriodMark {
+			raw = append(raw, ev)
+		}
+	}
+	fmt.Printf("raw capture: %d events, no period markers\n", len(raw))
+
+	// --- 2. Period segmentation -----------------------------------------
+	tr, err := modelgen.TraceFromEventsPeriodic(m.TaskNames(), raw, 0, m.Period)
+	if err != nil {
+		log.Fatalf("segmentation failed: %v", err)
+	}
+	st := tr.Stats()
+	fmt.Printf("segmented: %d periods, %d messages, %d event pairs\n\n",
+		st.Periods, st.Messages, st.EventPairs)
+
+	// --- 3. Incremental learning ----------------------------------------
+	o, err := modelgen.NewOnlineLearner(tr.Tasks, modelgen.LearnOptions{Bound: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			log.Fatalf("period %d: %v", i, err)
+		}
+		if i == 0 || i == 4 || i == len(tr.Periods)-1 {
+			snap, err := o.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("after period %2d: %d hypotheses, LUB weight %d\n",
+				i+1, len(snap.Hypotheses), snap.LUB.Weight())
+		}
+	}
+	res, err := o.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// --- 4. Negative example ---------------------------------------------
+	// The analyst knows the sink never fires without the pipeline:
+	// declare a period executing Q alone as impossible and re-learn.
+	neg := negativePeriod("Q")
+	resNeg, err := modelgen.Learn(tr, modelgen.LearnOptions{
+		Bound:     16,
+		Negatives: []*modelgen.Period{neg},
+	})
+	if err != nil {
+		log.Fatalf("learning with negative failed: %v", err)
+	}
+	fmt.Printf("with the negative example: %d hypotheses (%d rejected as inconsistent)\n\n",
+		len(resNeg.Hypotheses), resNeg.Stats.NegativeRejections)
+
+	// --- 5. Mode analysis -------------------------------------------------
+	rep := modelgen.AnalyzeModes(tr, res.LUB)
+	fmt.Printf("observed operation modes: %d (tasks always on: %v)\n",
+		len(rep.Modes), rep.AlwaysOn)
+	for i, mode := range rep.Modes {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(rep.Modes)-3)
+			break
+		}
+		fmt.Printf("  %2d periods: %s\n", mode.Count(), mode.Key())
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Println("learned model is consistent with every observed mode")
+	} else {
+		log.Fatalf("mode violations: %v", rep.Violations)
+	}
+
+	fmt.Println()
+	fmt.Printf("key discovered properties: d(A,L)=%s  d(B,M)=%s  d(Q,O)=%s\n",
+		res.LUB.MustGet("A", "L"), res.LUB.MustGet("B", "M"), res.LUB.MustGet("Q", "O"))
+}
+
+// negativePeriod builds a message-free period executing only the given
+// tasks — the analyst's encoding of a forbidden behaviour.
+func negativePeriod(only ...string) *modelgen.Period {
+	execs := map[string]modelgen.Interval{}
+	t := int64(1 << 40) // far from any real period
+	for _, name := range only {
+		execs[name] = modelgen.Interval{Start: t, End: t + 10}
+		t += 20
+	}
+	return &modelgen.Period{Index: -1, Execs: execs}
+}

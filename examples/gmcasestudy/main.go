@@ -1,0 +1,109 @@
+// Command gmcasestudy reproduces the industrial case study of Section
+// 3.4 on the synthetic 18-task GM-style controller: it simulates 27
+// periods on the OSEK/CAN substrates, learns a dependency model from
+// the bus trace with the bounded heuristic, renders the Figure-5 style
+// dependency graph, and checks every qualitative property the paper
+// reports — including the implicit Q–O dependency introduced by the
+// infrastructure tasks rather than the design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	m := modelgen.GMStyleModel()
+	out, err := modelgen.Simulate(m, modelgen.SimOptions{
+		Periods: modelgen.CaseStudyPeriods,
+		Seed:    modelgen.CaseStudySeed,
+	})
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+	st := out.Trace.Stats()
+	fmt.Printf("Case-study trace: %d tasks, %d periods, %d messages, %d event pairs\n",
+		len(out.Trace.Tasks), st.Periods, st.Messages, st.EventPairs)
+	fmt.Println("(the paper reports 18 tasks, 27 periods, 330 messages, 700 event pairs)")
+	fmt.Println()
+
+	res, err := modelgen.LearnBounded(out.Trace, 32, modelgen.CaseStudyPolicy(false))
+	if err != nil {
+		log.Fatalf("learning failed: %v", err)
+	}
+	d := res.LUB
+	fmt.Printf("Heuristic learner (bound 32): %d hypotheses, peak working set %d, %d merges\n\n",
+		len(res.Hypotheses), res.Stats.Peak, res.Stats.Merges)
+
+	fmt.Println("Properties the paper confirms or discovers:")
+	check := func(label string, ok bool) {
+		mark := "FAIL"
+		if ok {
+			mark = "ok"
+		}
+		fmt.Printf("  [%-4s] %s\n", mark, label)
+	}
+	disj := modelgen.DisjunctionNodes(d)
+	conj := modelgen.ConjunctionNodes(d)
+	check("tasks A and B are disjunction nodes (known in advance)",
+		contains(disj, "A") && contains(disj, "B"))
+	check("tasks H, P and Q are conjunction nodes (learned)",
+		contains(conj, "H") && contains(conj, "P") && contains(conj, "Q"))
+	check("no matter which mode A chooses, L must execute: d(A,L) = ->",
+		modelgen.Determines(d, "A", "L"))
+	check("no matter which mode B chooses, M must execute: d(B,M) = ->",
+		modelgen.Determines(d, "B", "M"))
+	qo := d.MustGet("Q", "O")
+	check(fmt.Sprintf("implicit data dependency between Q and O: d(Q,O) = %s", qo),
+		qo == modelgen.Bwd || qo == modelgen.BwdMaybe)
+	fmt.Println()
+	fmt.Println("The Q-O dependency is NOT a design edge: it comes from the")
+	fmt.Println("interaction between the functional tasks and the infrastructure")
+	fmt.Println("tasks (the CAN bus scheduler and the OSEK scheduler).")
+	fmt.Println()
+
+	rep := modelgen.Analyze(d)
+	fmt.Printf("State-space impact: %.0f%% of ordered task pairs have a known\n", rep.OrderingKnown*100)
+	fmt.Printf("ordering relation (%d firm, %d conditional of %d pairs); the\n",
+		rep.Firm, rep.Conditional, rep.TotalPairs)
+	fmt.Println("pessimistic baseline assumes all pairs are independent.")
+	fmt.Println()
+
+	// Make the model-checking claim concrete: count the reachable
+	// completion states a reachability analysis would explore.
+	exp, err := modelgen.ExploreStateSpace(d)
+	if err != nil {
+		log.Fatalf("reachability: %v", err)
+	}
+	fmt.Printf("Reachability state space: %d states instead of the pessimistic\n", exp.States)
+	fmt.Printf("2^%d = %d — a %.1f%% reduction for model checking.\n",
+		exp.Tasks, exp.Baseline, exp.Reduction*100)
+	proved, witness, err := modelgen.ProveNeverCompletesBefore(d, "Q", "O")
+	if err != nil {
+		log.Fatalf("reachability query: %v", err)
+	}
+	if proved {
+		fmt.Println("Proved by reachability: Q can never complete before O.")
+	} else {
+		fmt.Printf("Q-before-O reachable via %v\n", witness)
+	}
+	fmt.Println()
+
+	dotFile := "figure5.dot"
+	if err := os.WriteFile(dotFile, []byte(d.DOT("figure5")), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", dotFile, err)
+	}
+	fmt.Printf("Dependency graph (Figure 5 style) written to %s\n", dotFile)
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

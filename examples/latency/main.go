@@ -1,0 +1,84 @@
+// Command latency reproduces the end-to-end latency discussion of
+// Section 3.4: the pessimistic holistic analysis of the critical path
+// including task Q assumes every higher-priority task — including the
+// infrastructure task O — may preempt Q; the dependency model learned
+// from the trace proves Q always executes after O, so O's preemption
+// is excluded and the path bound tightens.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	m := modelgen.GMStyleModel()
+	out, err := modelgen.Simulate(m, modelgen.SimOptions{
+		Periods: modelgen.CaseStudyPeriods,
+		Seed:    modelgen.CaseStudySeed,
+	})
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+	res, err := modelgen.LearnBounded(out.Trace, 32, modelgen.CaseStudyPolicy(false))
+	if err != nil {
+		log.Fatalf("learning failed: %v", err)
+	}
+	d := res.LUB
+
+	path := modelgen.LatencyPath{Tasks: []string{"S", "A", "D", "L", "P", "Q"}}
+	cmp, err := modelgen.CompareLatency(m, path, d, 0)
+	if err != nil {
+		log.Fatalf("latency analysis failed: %v", err)
+	}
+
+	fmt.Println("Critical path including task Q:", path.Tasks)
+	fmt.Println()
+	fmt.Println("Pessimistic bound (all tasks potentially independent):")
+	printBreakdown(cmp.Pessimistic)
+	fmt.Println()
+	fmt.Println("Dependency-informed bound (learned model):")
+	printBreakdown(cmp.Informed)
+	fmt.Println()
+
+	abs, rel := cmp.Improvement()
+	fmt.Printf("Improvement: %d us (%.1f%%) — the learned dependencies exclude\n", abs, rel*100)
+	fmt.Println("preemptions that cannot happen, most notably O's preemption of Q")
+	fmt.Printf("(d(Q,O) = %s proves O always completes before Q starts).\n", d.MustGet("Q", "O"))
+
+	// Cross-check against observation: the informed bound still
+	// dominates every simulated response time on the path.
+	worst := map[string]int64{}
+	for _, e := range out.Execs {
+		if r := e.Response(); r > worst[e.Task] {
+			worst[e.Task] = r
+		}
+	}
+	fmt.Println()
+	fmt.Println("Observed worst-case response times (27 simulated periods):")
+	for _, item := range cmp.Informed.Items {
+		if item.Kind != "task" {
+			continue
+		}
+		fmt.Printf("  %-2s observed %5d us   informed bound %5d us\n",
+			item.Name, worst[item.Name], item.Bound)
+		if worst[item.Name] > item.Bound {
+			log.Fatalf("UNSAFE: %s observed above bound", item.Name)
+		}
+	}
+	fmt.Println()
+	fmt.Println("All observations fall under the refined bounds. Done.")
+}
+
+func printBreakdown(bd *modelgen.LatencyBreakdown) {
+	for _, item := range bd.Items {
+		suffix := ""
+		if len(item.Excluded) > 0 {
+			suffix = fmt.Sprintf("   (excluded preemptors: %v)", item.Excluded)
+		}
+		fmt.Printf("  %-8s %-6s %6d us%s\n", item.Kind, item.Name, item.Bound, suffix)
+	}
+	fmt.Printf("  %-8s %-6s %6d us\n", "TOTAL", "", bd.Total)
+}

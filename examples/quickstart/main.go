@@ -1,0 +1,55 @@
+// Command quickstart reproduces the paper's worked example (Section
+// 3.3): the four-task system of Figure 1, the three-period trace of
+// Figure 2, the exact generalization algorithm, the five surviving
+// most-specific hypotheses d81..d85, their least upper bound dLUB, and
+// the "interesting result" that t1 always determines t4 even though no
+// single design message says so.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+func main() {
+	tr := modelgen.PaperTrace()
+	fmt.Println("The execution trace of Figure 2:")
+	fmt.Println()
+	fmt.Println(tr)
+
+	res, err := modelgen.LearnExact(tr, modelgen.CandidatePolicy{})
+	if err != nil {
+		log.Fatalf("learning failed: %v", err)
+	}
+
+	fmt.Printf("The exact algorithm returns %d most specific hypotheses:\n\n", len(res.Hypotheses))
+	for i, d := range res.Hypotheses {
+		fmt.Printf("d8%d (weight %d):\n%s\n", i+1, d.Weight(), d.Table())
+	}
+
+	fmt.Println("Their least upper bound dLUB (the recommended single answer):")
+	fmt.Println()
+	fmt.Println(res.LUB.Table())
+
+	fmt.Println("Interesting consequences visible in dLUB:")
+	if modelgen.Determines(res.LUB, "t1", "t4") {
+		fmt.Println("  - t1 always determines t4 (d(t1,t4) = ->), although the")
+		fmt.Println("    design has no direct t1 -> t4 message: the learner found")
+		fmt.Println("    the unconditional dependency the paper highlights.")
+	}
+	fmt.Printf("  - disjunction nodes: %v\n", modelgen.DisjunctionNodes(res.LUB))
+	fmt.Printf("  - conjunction nodes: %v\n", modelgen.ConjunctionNodes(res.LUB))
+
+	fmt.Println()
+	fmt.Println("Dependency graph (Figure 4) in DOT format:")
+	fmt.Println()
+	fmt.Println(res.LUB.DOT("figure4"))
+
+	// Sanity: the learned model matches every observed period.
+	if ok, p := modelgen.MatchTrace(res.LUB, tr, modelgen.CandidatePolicy{}); !ok {
+		log.Fatalf("internal error: dLUB fails period %d", p)
+	}
+	fmt.Println("dLUB matches all three observed periods. Done.")
+}

@@ -1,0 +1,3 @@
+module github.com/blackbox-rt/modelgen
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package can models a Controller Area Network bus (Bosch CAN 2.0, as
+// cited by the paper): frames are queued by sender nodes, arbitration
+// at each idle point grants the bus to the pending frame with the
+// lowest identifier, and transmission is non-preemptive. Frame
+// durations are derived from the payload length, the bit rate and a
+// worst-case bit-stuffing estimate.
+//
+// Like the osek package, the bus is a discrete-event component: the
+// owner enqueues frames, advances virtual time and collects completed
+// transmissions (each yielding the rising and falling edge the
+// logging device would record).
+package can
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Frame is one queued CAN frame.
+type Frame struct {
+	// ID is the 11-bit arbitration identifier; lower wins.
+	ID int
+	// DLC is the payload length in bytes (0..8).
+	DLC int
+	// Label names the frame occurrence in the trace.
+	Label string
+	// Receiver is the destination task ("" for broadcast frames such
+	// as infrastructure syncs).
+	Receiver string
+
+	queued int64
+	seq    int
+}
+
+// Transmission is one completed frame transfer: the bus was occupied
+// during [Rise, Fall].
+type Transmission struct {
+	Frame      Frame
+	Rise, Fall int64
+}
+
+// FrameBits returns the worst-case length in bits of a standard-format
+// data frame with the given payload length, including the interframe
+// space and the classical worst-case stuff-bit estimate
+// ⌊(34 + 8·DLC − 1)/4⌋ used in CAN response-time analysis.
+func FrameBits(dlc int) int64 {
+	if dlc < 0 {
+		dlc = 0
+	}
+	if dlc > 8 {
+		dlc = 8
+	}
+	data := 8 * int64(dlc)
+	// 47 = SOF + ID + RTR + control + CRC + ACK + EOF + IFS for the
+	// standard frame format.
+	return 47 + data + (34+data-1)/4
+}
+
+// Bus is the bus state.
+type Bus struct {
+	bitTime int64 // microseconds (or ticks) per bit, scaled by 1e?; see New
+	now     int64
+	current *Frame
+	curRise int64
+	queue   frameHeap
+	done    []Transmission
+	seq     int
+}
+
+// New returns an idle bus. bitRate is in bits per second; time is
+// measured in microseconds. bitRate must divide 1e6 reasonably: the
+// per-bit time is rounded to the nearest microsecond and must be at
+// least 1.
+func New(bitRate int64) (*Bus, error) {
+	if bitRate <= 0 {
+		return nil, fmt.Errorf("can: bit rate must be positive")
+	}
+	bt := (1_000_000 + bitRate/2) / bitRate
+	if bt < 1 {
+		bt = 1
+	}
+	return &Bus{bitTime: bt}, nil
+}
+
+// FrameDuration returns the transmission time of a frame with the
+// given DLC at this bus's bit rate.
+func (b *Bus) FrameDuration(dlc int) int64 { return FrameBits(dlc) * b.bitTime }
+
+// Now returns the bus's current virtual time.
+func (b *Bus) Now() int64 { return b.now }
+
+// Idle reports whether nothing is transmitting or queued.
+func (b *Bus) Idle() bool { return b.current == nil && b.queue.Len() == 0 }
+
+// Enqueue queues a frame for transmission at the given time. If the
+// bus is idle it starts transmitting immediately (rising edge at
+// the enqueue time).
+func (b *Bus) Enqueue(f Frame, at int64) error {
+	if at < b.now {
+		return fmt.Errorf("can: enqueue of %q at %d before current time %d", f.Label, at, b.now)
+	}
+	if f.DLC < 0 || f.DLC > 8 {
+		return fmt.Errorf("can: frame %q has DLC %d", f.Label, f.DLC)
+	}
+	b.AdvanceTo(at)
+	f.queued = at
+	f.seq = b.seq
+	b.seq++
+	if b.current == nil {
+		b.begin(&f)
+		return nil
+	}
+	heap.Push(&b.queue, &f)
+	return nil
+}
+
+func (b *Bus) begin(f *Frame) {
+	b.current = f
+	b.curRise = b.now
+}
+
+// NextCompletion returns the falling-edge time of the frame on the
+// wire, and false if the bus is idle.
+func (b *Bus) NextCompletion() (int64, bool) {
+	if b.current == nil {
+		return 0, false
+	}
+	return b.curRise + b.FrameDuration(b.current.DLC), true
+}
+
+// AdvanceTo moves virtual time forward to t, completing transmissions
+// and starting queued frames (arbitration: lowest ID first) along the
+// way.
+func (b *Bus) AdvanceTo(t int64) {
+	for b.now < t {
+		if b.current == nil {
+			b.now = t
+			return
+		}
+		fall := b.curRise + b.FrameDuration(b.current.DLC)
+		if fall > t {
+			b.now = t
+			return
+		}
+		b.now = fall
+		b.done = append(b.done, Transmission{Frame: *b.current, Rise: b.curRise, Fall: fall})
+		b.current = nil
+		if b.queue.Len() > 0 {
+			b.begin(heap.Pop(&b.queue).(*Frame))
+		}
+	}
+}
+
+// TakeCompleted drains and returns the transmissions completed since
+// the last call, in completion order.
+func (b *Bus) TakeCompleted() []Transmission {
+	out := b.done
+	b.done = nil
+	return out
+}
+
+// QueueLen returns the number of frames awaiting arbitration.
+func (b *Bus) QueueLen() int { return b.queue.Len() }
+
+// frameHeap is a min-heap on arbitration ID; ties (which cannot occur
+// between distinct senders on a real bus) break by enqueue order for
+// determinism.
+type frameHeap []*Frame
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(i, j int) bool {
+	if h[i].ID != h[j].ID {
+		return h[i].ID < h[j].ID
+	}
+	if h[i].queued != h[j].queued {
+		return h[i].queued < h[j].queued
+	}
+	return h[i].seq < h[j].seq
+}
+func (h frameHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x interface{}) { *h = append(*h, x.(*Frame)) }
+func (h *frameHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,152 @@
+package can
+
+import "testing"
+
+func TestFrameBits(t *testing.T) {
+	// DLC 0: 47 + 0 + floor(33/4) = 47 + 8 = 55.
+	if got := FrameBits(0); got != 55 {
+		t.Errorf("FrameBits(0) = %d, want 55", got)
+	}
+	// DLC 8: 47 + 64 + floor(97/4) = 47 + 64 + 24 = 135.
+	if got := FrameBits(8); got != 135 {
+		t.Errorf("FrameBits(8) = %d, want 135", got)
+	}
+	// Clamping.
+	if FrameBits(-3) != FrameBits(0) || FrameBits(12) != FrameBits(8) {
+		t.Error("FrameBits does not clamp DLC")
+	}
+	// Monotonic in DLC.
+	for d := 1; d <= 8; d++ {
+		if FrameBits(d) <= FrameBits(d-1) {
+			t.Errorf("FrameBits not monotonic at %d", d)
+		}
+	}
+}
+
+func TestNewBitRate(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero bit rate accepted")
+	}
+	b, err := New(500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 us per bit.
+	if got := b.FrameDuration(8); got != 135*2 {
+		t.Errorf("FrameDuration(8) = %d, want 270", got)
+	}
+}
+
+func TestSingleTransmission(t *testing.T) {
+	b, _ := New(1_000_000)
+	if err := b.Enqueue(Frame{ID: 5, DLC: 0, Label: "m1", Receiver: "x"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	fall, ok := b.NextCompletion()
+	if !ok || fall != 10+55 {
+		t.Fatalf("NextCompletion = %d, %v", fall, ok)
+	}
+	b.AdvanceTo(100)
+	done := b.TakeCompleted()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	tx := done[0]
+	if tx.Rise != 10 || tx.Fall != 65 || tx.Frame.Label != "m1" || tx.Frame.Receiver != "x" {
+		t.Errorf("tx = %+v", tx)
+	}
+	if !b.Idle() {
+		t.Error("bus should be idle")
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	b, _ := New(1_000_000)
+	// First frame grabs the bus; two more queue while it transmits.
+	b.Enqueue(Frame{ID: 50, DLC: 0, Label: "first"}, 0)
+	b.Enqueue(Frame{ID: 30, DLC: 0, Label: "mid"}, 1)
+	b.Enqueue(Frame{ID: 10, DLC: 0, Label: "urgent"}, 2)
+	b.AdvanceTo(1000)
+	done := b.TakeCompleted()
+	if len(done) != 3 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	order := []string{"first", "urgent", "mid"}
+	for i, tx := range done {
+		if tx.Frame.Label != order[i] {
+			t.Errorf("tx %d = %s, want %s", i, tx.Frame.Label, order[i])
+		}
+	}
+	// Non-preemptive: first's fall is 55; urgent rises exactly then.
+	if done[0].Fall != 55 || done[1].Rise != 55 {
+		t.Errorf("transitions: %+v", done[:2])
+	}
+}
+
+func TestNonPreemptive(t *testing.T) {
+	b, _ := New(1_000_000)
+	b.Enqueue(Frame{ID: 100, DLC: 8, Label: "slow"}, 0)
+	b.Enqueue(Frame{ID: 1, DLC: 0, Label: "urgent"}, 5)
+	b.AdvanceTo(1000)
+	done := b.TakeCompleted()
+	if done[0].Frame.Label != "slow" {
+		t.Error("transmission was preempted")
+	}
+	if done[1].Rise != done[0].Fall {
+		t.Error("urgent should start at slow's fall")
+	}
+}
+
+func TestEnqueueErrors(t *testing.T) {
+	b, _ := New(1_000_000)
+	b.AdvanceTo(100)
+	if err := b.Enqueue(Frame{ID: 1, DLC: 0}, 50); err == nil {
+		t.Error("past enqueue accepted")
+	}
+	if err := b.Enqueue(Frame{ID: 1, DLC: 9}, 200); err == nil {
+		t.Error("DLC 9 accepted")
+	}
+}
+
+func TestQueueLenAndIdle(t *testing.T) {
+	b, _ := New(1_000_000)
+	if !b.Idle() {
+		t.Error("new bus not idle")
+	}
+	b.Enqueue(Frame{ID: 1, DLC: 0}, 0)
+	b.Enqueue(Frame{ID: 2, DLC: 0}, 0)
+	if b.QueueLen() != 1 {
+		t.Errorf("QueueLen = %d, want 1", b.QueueLen())
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	// Frames queued together transmit back to back with no idle gap.
+	b, _ := New(500_000)
+	for i := 0; i < 5; i++ {
+		b.Enqueue(Frame{ID: 10 + i, DLC: 4, Label: "f"}, 0)
+	}
+	b.AdvanceTo(100000)
+	done := b.TakeCompleted()
+	var prevFall int64
+	for i, tx := range done {
+		if tx.Rise != prevFall {
+			t.Errorf("frame %d rises at %d, want %d", i, tx.Rise, prevFall)
+		}
+		prevFall = tx.Fall
+	}
+}
+
+func TestFIFOWithinSameID(t *testing.T) {
+	// Equal IDs cannot collide on a real bus, but determinism demands
+	// FIFO behaviour.
+	b, _ := New(1_000_000)
+	b.Enqueue(Frame{ID: 99, DLC: 0, Label: "hold"}, 0)
+	b.Enqueue(Frame{ID: 7, DLC: 0, Label: "a"}, 1)
+	b.Enqueue(Frame{ID: 7, DLC: 0, Label: "b"}, 2)
+	b.AdvanceTo(1000)
+	done := b.TakeCompleted()
+	if done[1].Frame.Label != "a" || done[2].Frame.Label != "b" {
+		t.Errorf("same-ID order: %s, %s", done[1].Frame.Label, done[2].Frame.Label)
+	}
+}

@@ -1,0 +1,220 @@
+package casestudy
+
+import (
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/verify"
+)
+
+// TestFullTraceMatchesPaperStatistics pins the published shape of the
+// case study: 18 tasks and 330 messages on one CAN bus, 27 periods and
+// 700 event-pair executions.
+func TestFullTraceMatchesPaperStatistics(t *testing.T) {
+	tr := MustFullTrace()
+	s := tr.Stats()
+	if s.Periods != 27 {
+		t.Errorf("periods = %d", s.Periods)
+	}
+	if len(tr.Tasks) != 18 {
+		t.Errorf("tasks = %d", len(tr.Tasks))
+	}
+	if s.Messages < 280 || s.Messages > 420 {
+		t.Errorf("messages = %d, want ≈330", s.Messages)
+	}
+	if s.EventPairs < 600 || s.EventPairs > 800 {
+		t.Errorf("event pairs = %d, want ≈700", s.EventPairs)
+	}
+}
+
+// TestE2QualitativeProperties reproduces every qualitative finding the
+// paper reports for the GM controller, from the heuristic learner's
+// least upper bound at bound 32:
+//
+//   - tasks A and B are disjunction nodes (known in advance);
+//   - tasks H, P and Q are conjunction nodes (learned);
+//   - no matter which mode A chooses, L must execute (d(A,L) = →);
+//   - no matter which mode B chooses, M must execute (d(B,M) = →);
+//   - an implicit data dependency between Q and O, coming from the
+//     interaction between functional tasks and the infrastructure
+//     (CAN/OSEK) tasks, is discovered from the trace.
+func TestE2QualitativeProperties(t *testing.T) {
+	tr := MustFullTrace()
+	res, err := learner.LearnBounded(tr, 32, FullPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.LUB
+
+	disj := verify.DisjunctionNodes(d)
+	for _, want := range []string{"A", "B"} {
+		if !contains(disj, want) {
+			t.Errorf("%s not classified as disjunction; got %v", want, disj)
+		}
+	}
+	conj := verify.ConjunctionNodes(d)
+	for _, want := range []string{"H", "P", "Q"} {
+		if !contains(conj, want) {
+			t.Errorf("%s not classified as conjunction; got %v", want, conj)
+		}
+	}
+	if !verify.Determines(d, "A", "L") {
+		t.Errorf("d(A,L) = %v, want ->", d.MustGet("A", "L"))
+	}
+	if !verify.Determines(d, "B", "M") {
+		t.Errorf("d(B,M) = %v, want ->", d.MustGet("B", "M"))
+	}
+	// The implicit Q–O dependency: Q depends on O.
+	if got := d.MustGet("Q", "O"); got != lattice.Bwd && got != lattice.BwdMaybe {
+		t.Errorf("d(Q,O) = %v, want <- or <-?", got)
+	}
+	if got := d.MustGet("O", "Q"); got != lattice.Fwd && got != lattice.FwdMaybe {
+		t.Errorf("d(O,Q) = %v, want -> or ->?", got)
+	}
+	// There is no O->Q design edge: the dependency is discovered from
+	// the execution environment, exactly the paper's point.
+	for _, e := range FullModel().Edges {
+		if e.From == "O" {
+			t.Errorf("test premise violated: design edge from O exists")
+		}
+	}
+}
+
+// TestE2LearnedModelSound: Theorem 2 on the case study — the heuristic
+// result matches every period of the trace.
+func TestE2LearnedModelSound(t *testing.T) {
+	tr := MustFullTrace()
+	for _, bound := range []int{1, 32} {
+		res, err := learner.LearnBounded(tr, bound, FullPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range res.Hypotheses {
+			if ok, p := depfunc.MatchTrace(d, tr, FullPolicy()); !ok {
+				t.Errorf("bound %d: hypothesis %d fails period %d", bound, i, p)
+			}
+		}
+	}
+}
+
+// TestE2DesignFidelity: the learned unconditional dependencies agree
+// with the design's ground-truth must-execute pairs — high recall, and
+// every false positive is explained by the execution environment
+// (scheduler-induced orderings), which the paper frames as a feature,
+// not a bug.
+func TestE2DesignFidelity(t *testing.T) {
+	tr := MustFullTrace()
+	res, err := learner.LearnBounded(tr, 32, FullPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	must, ok := FullModel().MustExecutePairs(16)
+	if !ok {
+		t.Fatal("ground-truth enumeration abandoned")
+	}
+	c := verify.CompareWithDesign(res.LUB, must)
+	if c.Recall < 0.9 {
+		t.Errorf("recall = %.2f (%d TP, %d FN), want >= 0.9", c.Recall, c.TruePositives, c.FalseNegatives)
+	}
+}
+
+// TestLitePolicyCoversGroundTruth: the lite configuration's logging
+// policy never excludes the true sender/receiver pair of any design
+// message — the precondition for exact learning to converge on truth.
+func TestLitePolicyCoversGroundTruth(t *testing.T) {
+	out, err := LiteTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := depfunc.NewTaskSet(out.Trace.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := LitePolicy()
+	for _, p := range out.Trace.Periods {
+		cands := depfunc.Candidates(p, ts, pol)
+		for mi, msg := range p.Msgs {
+			if len(cands[mi]) == 0 {
+				t.Fatalf("period %d message %q has no candidates", p.Index, msg.ID)
+			}
+			truth := out.Sent[msg.ID]
+			if truth.To == "" {
+				continue
+			}
+			want := depfunc.Pair{S: ts.Index(truth.From), R: ts.Index(truth.To)}
+			found := false
+			for _, pr := range cands[mi] {
+				if pr == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("period %d message %q: true pair %s->%s excluded by the lite policy",
+					p.Index, msg.ID, truth.From, truth.To)
+			}
+		}
+	}
+}
+
+// TestE3ExactOnLite reproduces the paper's exact-algorithm datum on
+// the tractable configuration: the exact algorithm terminates and
+// discovers the same qualitative structure (d(S,L) = → and the
+// implicit P–O dependency).
+func TestE3ExactOnLite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact run takes ≈2 s")
+	}
+	tr := MustLiteTrace()
+	res, err := learner.Learn(tr, learner.Options{Policy: LitePolicy(), MaxHypotheses: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LUB.MustGet("S", "L"); got != lattice.Fwd {
+		t.Errorf("d(S,L) = %v, want ->", got)
+	}
+	if got := res.LUB.MustGet("P", "O"); got != lattice.Bwd && got != lattice.BwdMaybe {
+		t.Errorf("d(P,O) = %v, want <- or <-?", got)
+	}
+	for i, d := range res.Hypotheses {
+		if ok, p := depfunc.MatchTrace(d, tr, LitePolicy()); !ok {
+			t.Errorf("exact hypothesis %d fails period %d", i, p)
+		}
+	}
+}
+
+// TestE3ConvergenceLemmaOnLite: the paper's Lemma on the lite
+// configuration — the single hypothesis returned at bound 1 equals the
+// least upper bound of the exact result set.
+func TestE3ConvergenceLemmaOnLite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact run takes ≈2 s")
+	}
+	tr := MustLiteTrace()
+	exact, err := learner.Learn(tr, learner.Options{Policy: LitePolicy(), MaxHypotheses: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := learner.Learn(tr, learner.Options{Bound: 1, Policy: LitePolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Converged {
+		t.Fatal("bound 1 did not converge")
+	}
+	if !one.Hypotheses[0].Equal(exact.LUB) {
+		t.Errorf("bound-1 result != LUB(exact):\n%s\nvs\n%s",
+			one.Hypotheses[0].Table(), exact.LUB.Table())
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

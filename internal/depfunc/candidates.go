@@ -1,0 +1,95 @@
+package depfunc
+
+import (
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Pair is an ordered (sender, receiver) task-index pair.
+type Pair struct {
+	S, R int
+}
+
+// CandidatePolicy controls how timing-feasible (sender, receiver)
+// candidate pairs are computed for a message occurrence. The paper's
+// baseline rule is purely causal: any task that finished before the
+// message's rising edge can be its sender, and any task that started
+// after its falling edge can be its receiver. Optional windows tighten
+// the rule when the logging clock resolution permits, shrinking the
+// hypothesis space.
+type CandidatePolicy struct {
+	// SenderWindow, when positive, requires the sender to have ended
+	// within [rise-SenderWindow, rise].
+	SenderWindow int64
+	// ReceiverWindow, when positive, requires the receiver to have
+	// started within [fall, fall+ReceiverWindow].
+	ReceiverWindow int64
+	// MaxSenders, when positive, keeps only the MaxSenders candidate
+	// senders whose executions ended most recently before the rising
+	// edge. This encodes the analyst's assumption that a frame is
+	// queued shortly after its sender completes (bounded bus
+	// backlog).
+	MaxSenders int
+	// MaxReceivers, when positive, keeps only the MaxReceivers
+	// candidate receivers that start soonest after the falling edge.
+	// This encodes the assumption that a message's receiver is
+	// dispatched within a bounded number of task activations of its
+	// arrival.
+	MaxReceivers int
+}
+
+// Candidates computes, for each message of the period in rising-edge
+// order, the set of timing-feasible (sender, receiver) pairs:
+//
+//	A_m = {(s, r) | s can be m's sender ∧ r can be m's receiver}
+//
+// A task s can be m's sender iff s executed in the period and ended at
+// or before m's rising edge (messages are sent when the sender task
+// finishes). A task r can be m's receiver iff r executed and started
+// at or after m's falling edge (the firing rule is the arrival of all
+// required inputs). Sender and receiver must differ.
+func Candidates(p *trace.Period, ts *TaskSet, pol CandidatePolicy) [][]Pair {
+	type exec struct {
+		idx        int
+		start, end int64
+	}
+	execs := make([]exec, 0, len(p.Execs))
+	for name, iv := range p.Execs {
+		if i := ts.Index(name); i >= 0 {
+			execs = append(execs, exec{idx: i, start: iv.Start, end: iv.End})
+		}
+	}
+	// Deterministic base order (p.Execs is a map).
+	sort.Slice(execs, func(a, b int) bool { return execs[a].idx < execs[b].idx })
+	out := make([][]Pair, len(p.Msgs))
+	for mi, m := range p.Msgs {
+		var senders, receivers []exec
+		for _, e := range execs {
+			if e.end <= m.Rise && (pol.SenderWindow <= 0 || e.end >= m.Rise-pol.SenderWindow) {
+				senders = append(senders, e)
+			}
+			if e.start >= m.Fall && (pol.ReceiverWindow <= 0 || e.start <= m.Fall+pol.ReceiverWindow) {
+				receivers = append(receivers, e)
+			}
+		}
+		if pol.MaxSenders > 0 && len(senders) > pol.MaxSenders {
+			sort.SliceStable(senders, func(a, b int) bool { return senders[a].end > senders[b].end })
+			senders = senders[:pol.MaxSenders]
+		}
+		if pol.MaxReceivers > 0 && len(receivers) > pol.MaxReceivers {
+			sort.SliceStable(receivers, func(a, b int) bool { return receivers[a].start < receivers[b].start })
+			receivers = receivers[:pol.MaxReceivers]
+		}
+		pairs := make([]Pair, 0, len(senders)*len(receivers))
+		for _, s := range senders {
+			for _, r := range receivers {
+				if s.idx != r.idx {
+					pairs = append(pairs, Pair{S: s.idx, R: r.idx})
+				}
+			}
+		}
+		out[mi] = pairs
+	}
+	return out
+}

@@ -1,0 +1,380 @@
+package depfunc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+// DepFunc is a dependency function d : T×T → V stored as a flat
+// row-major matrix over the task set's dense indices. The diagonal is
+// always ‖ (a task has no dependency on itself). Off-diagonal entries
+// (i, j) and (j, i) are independent: the generalization algorithm
+// installs mirrored values (→ at the sender row, ← at the receiver
+// row) but end-of-period relaxation may later generalize the two sides
+// asymmetrically, exactly as in the paper's tables d81–d85.
+type DepFunc struct {
+	ts *TaskSet
+	v  []lattice.Value
+}
+
+// Bottom returns the most specific hypothesis d⊥: all entries ‖.
+func Bottom(ts *TaskSet) *DepFunc {
+	n := ts.Len()
+	return &DepFunc{ts: ts, v: make([]lattice.Value, n*n)}
+}
+
+// Top returns the least specific hypothesis d⊤: all off-diagonal
+// entries ↔?.
+func Top(ts *TaskSet) *DepFunc {
+	d := Bottom(ts)
+	n := ts.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d.v[i*n+j] = lattice.Top
+			}
+		}
+	}
+	return d
+}
+
+// TaskSet returns the task set the function is defined over.
+func (d *DepFunc) TaskSet() *TaskSet { return d.ts }
+
+// N returns the number of tasks.
+func (d *DepFunc) N() int { return d.ts.Len() }
+
+// At returns the dependency value at (i, j) by task index.
+func (d *DepFunc) At(i, j int) lattice.Value { return d.v[i*d.ts.Len()+j] }
+
+// Set assigns the dependency value at (i, j). Setting a diagonal entry
+// to anything but ‖ panics: it would violate the representation
+// invariant.
+func (d *DepFunc) Set(i, j int, v lattice.Value) {
+	if i == j && v != lattice.Par {
+		panic(fmt.Sprintf("depfunc: diagonal entry (%d,%d) must be ||", i, j))
+	}
+	d.v[i*d.ts.Len()+j] = v
+}
+
+// JoinAt joins v into the entry at (i, j), returning true if the entry
+// changed. This is the "generalize only as much as necessary" step.
+func (d *DepFunc) JoinAt(i, j int, v lattice.Value) bool {
+	idx := i*d.ts.Len() + j
+	nv := lattice.Join(d.v[idx], v)
+	if nv == d.v[idx] {
+		return false
+	}
+	if i == j && nv != lattice.Par {
+		panic(fmt.Sprintf("depfunc: diagonal entry (%d,%d) must be ||", i, j))
+	}
+	d.v[idx] = nv
+	return true
+}
+
+// Get returns the dependency value between two named tasks.
+func (d *DepFunc) Get(t1, t2 string) (lattice.Value, error) {
+	i, j := d.ts.Index(t1), d.ts.Index(t2)
+	if i < 0 {
+		return lattice.Par, fmt.Errorf("depfunc: unknown task %q", t1)
+	}
+	if j < 0 {
+		return lattice.Par, fmt.Errorf("depfunc: unknown task %q", t2)
+	}
+	return d.At(i, j), nil
+}
+
+// MustGet is Get for known-good task names; it panics on error.
+func (d *DepFunc) MustGet(t1, t2 string) lattice.Value {
+	v, err := d.Get(t1, t2)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Clone returns a deep copy sharing the (immutable) task set.
+func (d *DepFunc) Clone() *DepFunc {
+	cp := &DepFunc{ts: d.ts, v: make([]lattice.Value, len(d.v))}
+	copy(cp.v, d.v)
+	return cp
+}
+
+// Equal reports whether two dependency functions over the same task
+// set have identical entries.
+func (d *DepFunc) Equal(other *DepFunc) bool {
+	if d.ts != other.ts && !d.ts.Equal(other.ts) {
+		return false
+	}
+	for i := range d.v {
+		if d.v[i] != other.v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq reports the pointwise partial order ⊑D of Definition 5:
+// d ⊑ other iff every entry of d is ⊑ the corresponding entry of
+// other.
+func (d *DepFunc) Leq(other *DepFunc) bool {
+	for i := range d.v {
+		if !lattice.Leq(d.v[i], other.v[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lt reports strict pointwise order.
+func (d *DepFunc) Lt(other *DepFunc) bool {
+	return d.Leq(other) && !d.Equal(other)
+}
+
+// Join returns the pointwise least upper bound of d and other as a new
+// function. Both operands are unchanged.
+func (d *DepFunc) Join(other *DepFunc) *DepFunc {
+	out := d.Clone()
+	out.JoinWith(other)
+	return out
+}
+
+// JoinWith joins other into d in place.
+func (d *DepFunc) JoinWith(other *DepFunc) {
+	for i := range d.v {
+		d.v[i] = lattice.Join(d.v[i], other.v[i])
+	}
+}
+
+// Meet returns the pointwise greatest lower bound as a new function.
+func (d *DepFunc) Meet(other *DepFunc) *DepFunc {
+	out := d.Clone()
+	for i := range out.v {
+		out.v[i] = lattice.Meet(out.v[i], other.v[i])
+	}
+	return out
+}
+
+// Weight is the weight function of Definition 8: the sum over all
+// ordered task pairs of the lattice distance of the entry. More
+// general hypotheses weigh more.
+func (d *DepFunc) Weight() int {
+	w := 0
+	for _, v := range d.v {
+		w += lattice.Distance(v)
+	}
+	return w
+}
+
+// Key returns a compact canonical encoding of the matrix, usable as a
+// map key for deduplication.
+func (d *DepFunc) Key() string {
+	b := make([]byte, len(d.v))
+	for i, v := range d.v {
+		b[i] = '0' + byte(v)
+	}
+	return string(b)
+}
+
+// JoinAll returns the pointwise least upper bound of all the given
+// functions (the paper's ⊔D* used as the final result when the
+// algorithm does not converge). It returns nil for an empty slice.
+func JoinAll(ds []*DepFunc) *DepFunc {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := ds[0].Clone()
+	for _, d := range ds[1:] {
+		out.JoinWith(d)
+	}
+	return out
+}
+
+// MostSpecific returns the subset of ds that is not redundant: d is
+// redundant iff some other element is strictly more specific than d
+// (∃d' ⊑ d, d' ≠ d). Exact duplicates are unified first. The relative
+// order of survivors is preserved from ds.
+func MostSpecific(ds []*DepFunc) []*DepFunc {
+	// Unify duplicates.
+	seen := make(map[string]bool, len(ds))
+	uniq := make([]*DepFunc, 0, len(ds))
+	for _, d := range ds {
+		k := d.Key()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, d)
+		}
+	}
+	// Sort indices by weight: a hypothesis can only be dominated by
+	// one of smaller or equal weight (Distance is strictly monotonic
+	// on the lattice order, so d' ⊏ d implies Weight(d') < Weight(d)).
+	idx := make([]int, len(uniq))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return uniq[idx[a]].Weight() < uniq[idx[b]].Weight() })
+	redundant := make([]bool, len(uniq))
+	for a := 0; a < len(idx); a++ {
+		i := idx[a]
+		if redundant[i] {
+			continue
+		}
+		for b := a + 1; b < len(idx); b++ {
+			j := idx[b]
+			if redundant[j] {
+				continue
+			}
+			if uniq[i].Lt(uniq[j]) {
+				redundant[j] = true
+			}
+		}
+	}
+	out := make([]*DepFunc, 0, len(uniq))
+	for i, d := range uniq {
+		if !redundant[i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table renders the dependency function as the square table layout
+// used throughout the paper, e.g.
+//
+//	      t1   t2   t3   t4
+//	t1    ||   ->?  ->?  ->
+//	t2    <-   ||   ||   ->
+//	t3    <-   ||   ||   ->
+//	t4    <-   <-?  <-?  ||
+func (d *DepFunc) Table() string {
+	n := d.ts.Len()
+	colw := 6 // widest value "<->?" plus separating spaces
+	for _, name := range d.ts.names {
+		if len(name)+2 > colw {
+			colw = len(name) + 2
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		row := ""
+		for _, c := range cells {
+			row += c
+			for k := len(c); k < colw; k++ {
+				row += " "
+			}
+		}
+		sb.WriteString(strings.TrimRight(row, " "))
+		sb.WriteByte('\n')
+	}
+	header := append([]string{""}, d.ts.names...)
+	line(header)
+	cells := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		cells[0] = d.ts.names[i]
+		for j := 0; j < n; j++ {
+			cells[j+1] = d.At(i, j).String()
+		}
+		line(cells)
+	}
+	return sb.String()
+}
+
+// String returns the table rendering.
+func (d *DepFunc) String() string { return d.Table() }
+
+// ParseTable parses the Table rendering back into a DepFunc. The first
+// line must hold the task names; each following line a task name and N
+// dependency values.
+func ParseTable(s string) (*DepFunc, error) {
+	lines := make([]string, 0, 8)
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("depfunc: table too short")
+	}
+	names := strings.Fields(lines[0])
+	ts, err := NewTaskSet(names)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines)-1 != len(names) {
+		return nil, fmt.Errorf("depfunc: table has %d rows, want %d", len(lines)-1, len(names))
+	}
+	d := Bottom(ts)
+	for r, ln := range lines[1:] {
+		fields := strings.Fields(ln)
+		if len(fields) != len(names)+1 {
+			return nil, fmt.Errorf("depfunc: row %d has %d fields, want %d", r, len(fields), len(names)+1)
+		}
+		i := ts.Index(fields[0])
+		if i < 0 {
+			return nil, fmt.Errorf("depfunc: row task %q not in header", fields[0])
+		}
+		for j, f := range fields[1:] {
+			v, err := lattice.ParseValue(f)
+			if err != nil {
+				return nil, fmt.Errorf("depfunc: row %q column %q: %w", fields[0], names[j], err)
+			}
+			if i == j && v != lattice.Par {
+				return nil, fmt.Errorf("depfunc: diagonal entry (%s,%s) must be ||", fields[0], names[j])
+			}
+			d.Set(i, j, v)
+		}
+	}
+	return d, nil
+}
+
+// MustParseTable is ParseTable for literal known-good tables; it
+// panics on error.
+func MustParseTable(s string) *DepFunc {
+	d, err := ParseTable(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RelaxViolations generalizes, in place and minimally, every entry
+// whose unconditional execution constraint is violated by the given
+// set of executed tasks: if d(a,b) ∈ {→, ←, ↔} and a executed while b
+// did not, the entry is relaxed to its conditional counterpart. This
+// is the end-of-period "test conditional dependencies" step of the
+// algorithm. It returns the number of relaxed entries.
+func (d *DepFunc) RelaxViolations(executed func(task int) bool) int {
+	n := d.ts.Len()
+	relaxed := 0
+	for i := 0; i < n; i++ {
+		if !executed(i) {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := d.At(i, j)
+			if lattice.HasExecConstraint(v) && !executed(j) {
+				d.Set(i, j, lattice.Relax(v))
+				relaxed++
+			}
+		}
+	}
+	return relaxed
+}
+
+// Entries calls fn for every off-diagonal entry.
+func (d *DepFunc) Entries(fn func(i, j int, v lattice.Value)) {
+	n := d.ts.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				fn(i, j, d.At(i, j))
+			}
+		}
+	}
+}

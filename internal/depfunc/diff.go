@@ -1,0 +1,57 @@
+package depfunc
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+// EntryDiff describes one differing entry between two dependency
+// functions over the same task set.
+type EntryDiff struct {
+	From, To string
+	A, B     lattice.Value
+}
+
+// String renders the diff in the form "d(a,b): -> vs ->?".
+func (e EntryDiff) String() string {
+	return fmt.Sprintf("d(%s,%s): %s vs %s", e.From, e.To, e.A, e.B)
+}
+
+// Diff lists the entries where a and b differ, in row-major task
+// order. It panics if the task sets differ — diffing functions over
+// different systems is a programming error.
+func Diff(a, b *DepFunc) []EntryDiff {
+	if !a.TaskSet().Equal(b.TaskSet()) {
+		panic("depfunc: Diff over different task sets")
+	}
+	ts := a.TaskSet()
+	var out []EntryDiff
+	a.Entries(func(i, j int, v lattice.Value) {
+		if w := b.At(i, j); w != v {
+			out = append(out, EntryDiff{From: ts.Name(i), To: ts.Name(j), A: v, B: w})
+		}
+	})
+	return out
+}
+
+// Histogram counts the off-diagonal entries of each lattice value.
+func (d *DepFunc) Histogram() map[lattice.Value]int {
+	h := map[lattice.Value]int{}
+	d.Entries(func(_, _ int, v lattice.Value) { h[v]++ })
+	return h
+}
+
+// Summary renders a one-line value histogram, e.g.
+// "||:4 ->:3 <-:3 ->?:2 <-?:2".
+func (d *DepFunc) Summary() string {
+	h := d.Histogram()
+	var parts []string
+	for _, v := range lattice.Values() {
+		if n := h[v]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", v, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}

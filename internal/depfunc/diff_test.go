@@ -1,0 +1,65 @@
+package depfunc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+func TestDiffEmpty(t *testing.T) {
+	a := Bottom(ts4())
+	if got := Diff(a, a.Clone()); len(got) != 0 {
+		t.Errorf("Diff of equals = %v", got)
+	}
+}
+
+func TestDiffReportsEntries(t *testing.T) {
+	a := Bottom(ts4())
+	b := a.Clone()
+	b.Set(0, 1, lattice.Fwd)
+	b.Set(3, 2, lattice.BwdMaybe)
+	got := Diff(a, b)
+	if len(got) != 2 {
+		t.Fatalf("Diff = %v", got)
+	}
+	// Row-major order: (t1,t2) before (t4,t3).
+	if got[0].From != "t1" || got[0].To != "t2" || got[0].B != lattice.Fwd {
+		t.Errorf("first diff = %+v", got[0])
+	}
+	if got[1].From != "t4" || got[1].To != "t3" {
+		t.Errorf("second diff = %+v", got[1])
+	}
+	if s := got[0].String(); !strings.Contains(s, "d(t1,t2)") || !strings.Contains(s, "->") {
+		t.Errorf("diff string = %q", s)
+	}
+}
+
+func TestDiffPanicsOnDifferentTaskSets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Diff(Bottom(ts4()), Bottom(MustTaskSet("x", "y")))
+}
+
+func TestHistogramAndSummary(t *testing.T) {
+	d := MustParseTable(`
+      a     b     c
+a     ||    ->    ->?
+b     <-    ||    ||
+c     <-?   ||    ||
+`)
+	h := d.Histogram()
+	if h[lattice.Par] != 2 || h[lattice.Fwd] != 1 || h[lattice.Bwd] != 1 ||
+		h[lattice.FwdMaybe] != 1 || h[lattice.BwdMaybe] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	s := d.Summary()
+	for _, want := range []string{"||:2", "->:1", "<-:1", "->?:1", "<-?:1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package depfunc
+
+import "testing"
+
+// FuzzParseTable checks that the table parser never panics and that
+// accepted tables round-trip.
+func FuzzParseTable(f *testing.F) {
+	f.Add("t1 t2\nt1 || ->\nt2 <- ||\n")
+	f.Add("a b c\na || ->? <->?\nb <-? || <->\nc <->? <-> ||\n")
+	f.Add("x\nx ||\n")
+	f.Add("")
+	f.Add("t1 t1\nt1 || ||\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseTable(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseTable(d.Table())
+		if err != nil {
+			t.Fatalf("rendered table failed to parse: %v\n%s", err, d.Table())
+		}
+		if !back.Equal(d) {
+			t.Fatalf("round trip changed table:\n%s\nvs\n%s", d.Table(), back.Table())
+		}
+	})
+}

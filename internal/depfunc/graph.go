@@ -1,0 +1,45 @@
+package depfunc
+
+import (
+	"github.com/blackbox-rt/modelgen/internal/dot"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+// DOT renders the dependency function as a dependency graph in the
+// style of the paper's Figures 4 and 5: one directed edge per ordered
+// pair whose forward component is → or →? (solid for unconditional,
+// dashed for conditional). The reverse entry is shown on the edge
+// label when it is not the plain mirror, so asymmetric relaxations
+// such as (→, ‖) remain visible.
+func (d *DepFunc) DOT(name string) string {
+	g := dot.NewGraph(name)
+	g.Attr("rankdir", "TB")
+	for _, t := range d.ts.names {
+		g.Node(t, "shape", "circle")
+	}
+	n := d.ts.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := d.At(i, j)
+			back := d.At(j, i)
+			var style string
+			switch v {
+			case lattice.Fwd, lattice.Bi:
+				style = "solid"
+			case lattice.FwdMaybe, lattice.BiMaybe:
+				style = "dashed"
+			default:
+				continue
+			}
+			label := v.String()
+			if back != lattice.Reverse(v) {
+				label += " / " + back.String()
+			}
+			g.Edge(d.ts.Name(i), d.ts.Name(j), "style", style, "label", label)
+		}
+	}
+	return g.String()
+}

@@ -1,0 +1,106 @@
+package depfunc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Match implements the matching function M : H × I → boolean
+// (Definition 3). A dependency function d matches a period i iff
+//
+//  1. every unconditional entry is respected: d(a,b) ∈ {→, ←, ↔}
+//     implies that whenever a executed in the period, b executed too;
+//     and
+//  2. the period's messages can be explained: there exists an
+//     assignment of each message occurrence to a timing-feasible
+//     (sender, receiver) pair such that distinct messages use distinct
+//     ordered pairs (at most one message per pair per period) and the
+//     hypothesis admits a message on that pair, i.e. → ⊑ d(s,r) and
+//     ← ⊑ d(r,s).
+//
+// Condition 2 is a constrained bipartite matching; Match solves it by
+// backtracking over messages in ascending candidate-count order.
+func Match(d *DepFunc, p *trace.Period, pol CandidatePolicy) bool {
+	return MatchExplain(d, p, pol) == nil
+}
+
+// MatchExplain is Match with a diagnosis: it returns nil if d matches
+// the period, and otherwise an error describing the first violated
+// condition.
+func MatchExplain(d *DepFunc, p *trace.Period, pol CandidatePolicy) error {
+	ts := d.ts
+	executed := make([]bool, ts.Len())
+	for name := range p.Execs {
+		if i := ts.Index(name); i >= 0 {
+			executed[i] = true
+		}
+	}
+	// Condition 1: unconditional dependencies.
+	var violation error
+	d.Entries(func(i, j int, v lattice.Value) {
+		if violation == nil && lattice.HasExecConstraint(v) && executed[i] && !executed[j] {
+			violation = fmt.Errorf("depfunc: period %d: d(%s,%s)=%s but %s executed without %s",
+				p.Index, ts.Name(i), ts.Name(j), v, ts.Name(i), ts.Name(j))
+		}
+	})
+	if violation != nil {
+		return violation
+	}
+	// Condition 2: message assignment.
+	cands := Candidates(p, ts, pol)
+	allowed := make([][]Pair, len(cands))
+	order := make([]int, len(cands))
+	for mi, pairs := range cands {
+		order[mi] = mi
+		for _, pr := range pairs {
+			if lattice.AllowsOutgoingMessage(d.At(pr.S, pr.R)) &&
+				lattice.AllowsIncomingMessage(d.At(pr.R, pr.S)) {
+				allowed[mi] = append(allowed[mi], pr)
+			}
+		}
+		if len(allowed[mi]) == 0 {
+			return fmt.Errorf("depfunc: period %d: message %q has no admissible sender/receiver pair",
+				p.Index, p.Msgs[mi].ID)
+		}
+	}
+	// Most-constrained message first.
+	sort.SliceStable(order, func(a, b int) bool { return len(allowed[order[a]]) < len(allowed[order[b]]) })
+	used := make(map[Pair]bool, len(cands))
+	if !assign(order, allowed, used, 0) {
+		return fmt.Errorf("depfunc: period %d: no consistent assignment of %d messages to sender/receiver pairs",
+			p.Index, len(p.Msgs))
+	}
+	return nil
+}
+
+func assign(order []int, allowed [][]Pair, used map[Pair]bool, k int) bool {
+	if k == len(order) {
+		return true
+	}
+	for _, pr := range allowed[order[k]] {
+		if used[pr] {
+			continue
+		}
+		used[pr] = true
+		if assign(order, allowed, used, k+1) {
+			return true
+		}
+		delete(used, pr)
+	}
+	return false
+}
+
+// MatchTrace reports whether d matches every period of the trace
+// (M(h, I) in the notation of Definition 3). It returns the index of
+// the first period that fails, or -1 if all match.
+func MatchTrace(d *DepFunc, tr *trace.Trace, pol CandidatePolicy) (bool, int) {
+	for i, p := range tr.Periods {
+		if !Match(d, p, pol) {
+			return false, i
+		}
+	}
+	return true, -1
+}

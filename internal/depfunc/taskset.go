@@ -1,0 +1,97 @@
+// Package depfunc implements dependency functions d : T×T → V
+// (Definition 5 of Feng et al., DATE 2007): square matrices over the
+// dependency-value lattice, the pointwise partial order ⊑D, weights,
+// joins, most-specific filtering, the matching function M between a
+// dependency function and a trace period, and the timing-based
+// computation of feasible (sender, receiver) candidate pairs for bus
+// messages.
+package depfunc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskSet is the immutable, ordered set of predefined tasks T. It maps
+// task names to dense indices so dependency functions can be stored as
+// flat matrices. The order of names is preserved from construction.
+type TaskSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewTaskSet builds a task set from the given names. Names must be
+// non-empty and unique.
+func NewTaskSet(names []string) (*TaskSet, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("depfunc: empty task set")
+	}
+	ts := &TaskSet{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range ts.names {
+		if n == "" {
+			return nil, fmt.Errorf("depfunc: empty task name at position %d", i)
+		}
+		if _, dup := ts.index[n]; dup {
+			return nil, fmt.Errorf("depfunc: duplicate task name %q", n)
+		}
+		ts.index[n] = i
+	}
+	return ts, nil
+}
+
+// MustTaskSet is NewTaskSet for known-good literal inputs; it panics on
+// error.
+func MustTaskSet(names ...string) *TaskSet {
+	ts, err := NewTaskSet(names)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// Len returns the number of tasks.
+func (ts *TaskSet) Len() int { return len(ts.names) }
+
+// Names returns a copy of the task names in index order.
+func (ts *TaskSet) Names() []string { return append([]string(nil), ts.names...) }
+
+// Name returns the name of the task with the given index.
+func (ts *TaskSet) Name(i int) string { return ts.names[i] }
+
+// Index returns the dense index of the named task, or -1 if unknown.
+func (ts *TaskSet) Index(name string) int {
+	if i, ok := ts.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether name belongs to the task set.
+func (ts *TaskSet) Has(name string) bool {
+	_, ok := ts.index[name]
+	return ok
+}
+
+// SortedNames returns the task names sorted lexicographically.
+func (ts *TaskSet) SortedNames() []string {
+	out := ts.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two task sets contain the same names in the
+// same order.
+func (ts *TaskSet) Equal(other *TaskSet) bool {
+	if ts.Len() != other.Len() {
+		return false
+	}
+	for i, n := range ts.names {
+		if other.names[i] != n {
+			return false
+		}
+	}
+	return true
+}

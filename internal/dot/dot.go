@@ -1,0 +1,97 @@
+// Package dot is a minimal emitter for the Graphviz DOT language, used
+// to render design models and learned dependency graphs (the paper's
+// Figures 1, 4 and 5).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph accumulates nodes and edges of a directed graph.
+type Graph struct {
+	name  string
+	attrs []string
+	nodes map[string][]string // node -> attribute list
+	order []string            // node insertion order
+	edges []edge
+}
+
+type edge struct {
+	from, to string
+	attrs    []string
+}
+
+// NewGraph returns an empty digraph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{name: name, nodes: map[string][]string{}}
+}
+
+// Attr adds a graph-level attribute.
+func (g *Graph) Attr(key, value string) *Graph {
+	g.attrs = append(g.attrs, fmt.Sprintf("%s=%s", key, quote(value)))
+	return g
+}
+
+// Node declares a node with optional key=value attribute pairs given
+// as alternating strings. Re-declaring a node replaces its attributes.
+func (g *Graph) Node(name string, kv ...string) *Graph {
+	if _, ok := g.nodes[name]; !ok {
+		g.order = append(g.order, name)
+	}
+	g.nodes[name] = pairs(kv)
+	return g
+}
+
+// Edge adds a directed edge with optional attribute pairs.
+func (g *Graph) Edge(from, to string, kv ...string) *Graph {
+	for _, n := range []string{from, to} {
+		if _, ok := g.nodes[n]; !ok {
+			g.order = append(g.order, n)
+			g.nodes[n] = nil
+		}
+	}
+	g.edges = append(g.edges, edge{from: from, to: to, attrs: pairs(kv)})
+	return g
+}
+
+func pairs(kv []string) []string {
+	var out []string
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, fmt.Sprintf("%s=%s", kv[i], quote(kv[i+1])))
+	}
+	return out
+}
+
+func quote(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(s) + `"`
+}
+
+// String renders the graph in DOT syntax. Node and edge order is
+// deterministic: nodes in insertion order, edges in insertion order.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %s {\n", quote(g.name))
+	attrs := append([]string(nil), g.attrs...)
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&sb, "  %s;\n", a)
+	}
+	for _, n := range g.order {
+		if as := g.nodes[n]; len(as) > 0 {
+			fmt.Fprintf(&sb, "  %s [%s];\n", quote(n), strings.Join(as, ", "))
+		} else {
+			fmt.Fprintf(&sb, "  %s;\n", quote(n))
+		}
+	}
+	for _, e := range g.edges {
+		if len(e.attrs) > 0 {
+			fmt.Fprintf(&sb, "  %s -> %s [%s];\n", quote(e.from), quote(e.to), strings.Join(e.attrs, ", "))
+		} else {
+			fmt.Fprintf(&sb, "  %s -> %s;\n", quote(e.from), quote(e.to))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

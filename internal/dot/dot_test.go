@@ -1,0 +1,73 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphBasic(t *testing.T) {
+	g := NewGraph("g").
+		Attr("rankdir", "LR").
+		Node("a", "shape", "circle").
+		Node("b").
+		Edge("a", "b", "label", "x")
+	out := g.String()
+	for _, want := range []string{
+		`digraph "g" {`,
+		`rankdir="LR";`,
+		`"a" [shape="circle"];`,
+		`"b";`,
+		`"a" -> "b" [label="x"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEdgeDeclaresNodes(t *testing.T) {
+	out := NewGraph("g").Edge("x", "y").String()
+	if !strings.Contains(out, `"x";`) || !strings.Contains(out, `"y";`) {
+		t.Errorf("edge endpoints not declared:\n%s", out)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	out := NewGraph(`a"b`).Node(`n\1`).String()
+	if !strings.Contains(out, `digraph "a\"b"`) {
+		t.Errorf("name not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"n\\1";`) {
+		t.Errorf("backslash not escaped:\n%s", out)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	build := func() string {
+		return NewGraph("g").Node("b").Node("a").Edge("b", "a").Edge("a", "b").String()
+	}
+	if build() != build() {
+		t.Error("output not deterministic")
+	}
+	out := build()
+	if strings.Index(out, `"b"`) > strings.Index(out, `"a"`) {
+		t.Errorf("insertion order not preserved:\n%s", out)
+	}
+}
+
+func TestNodeRedeclarationReplacesAttrs(t *testing.T) {
+	out := NewGraph("g").Node("a", "shape", "box").Node("a", "shape", "circle").String()
+	if strings.Contains(out, "box") {
+		t.Errorf("old attrs survived:\n%s", out)
+	}
+	if strings.Count(out, `"a"`) != 1 {
+		t.Errorf("node duplicated:\n%s", out)
+	}
+}
+
+func TestOddAttrPairsIgnored(t *testing.T) {
+	out := NewGraph("g").Node("a", "dangling").String()
+	if strings.Contains(out, "dangling") {
+		t.Errorf("odd attribute emitted:\n%s", out)
+	}
+}

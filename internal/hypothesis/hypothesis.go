@@ -1,0 +1,168 @@
+// Package hypothesis implements the learner's working hypotheses: a
+// dependency function together with the sender/receiver assumptions
+// made for the messages of the period currently being analyzed
+// (Section 3.1 of Feng et al., DATE 2007).
+package hypothesis
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+// Hypothesis is one element of the learner's current set D_cur: a
+// dependency function plus the (sender, receiver) pairs assumed for
+// the messages analyzed so far in the current period. The model of
+// computation allows at most one message per ordered pair per period,
+// so an assumed pair must not be assumed again until the period ends.
+type Hypothesis struct {
+	D       *depfunc.DepFunc
+	assumed map[depfunc.Pair]bool
+	weight  int
+}
+
+// Bottom returns the globally most specific hypothesis d⊥ with no
+// assumptions.
+func Bottom(ts *depfunc.TaskSet) *Hypothesis {
+	return &Hypothesis{D: depfunc.Bottom(ts), assumed: map[depfunc.Pair]bool{}}
+}
+
+// FromDepFunc wraps an existing dependency function (cloned) in a
+// hypothesis with no assumptions.
+func FromDepFunc(d *depfunc.DepFunc) *Hypothesis {
+	return &Hypothesis{D: d.Clone(), assumed: map[depfunc.Pair]bool{}, weight: d.Weight()}
+}
+
+// Weight returns the cached Definition-8 weight of the hypothesis.
+func (h *Hypothesis) Weight() int { return h.weight }
+
+// Assumed reports whether the ordered pair has already been assumed
+// for a message in the current period.
+func (h *Hypothesis) Assumed(p depfunc.Pair) bool { return h.assumed[p] }
+
+// AssumptionCount returns the number of pairs assumed this period.
+func (h *Hypothesis) AssumptionCount() int { return len(h.assumed) }
+
+// Assume returns a new hypothesis extending h with the assumption that
+// the current message was sent on pair p, generalizing the dependency
+// function minimally: the forward entry (s,r) is joined with fwd and
+// the backward entry (r,s) with bwd. The stamp values are chosen by
+// the caller (→/→? and ←/←? depending on execution history). It
+// returns nil if p was already assumed this period (condition 3 of the
+// generalization step). h is unchanged.
+func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value) *Hypothesis {
+	if h.assumed[p] {
+		return nil
+	}
+	child := &Hypothesis{
+		D:       h.D.Clone(),
+		assumed: make(map[depfunc.Pair]bool, len(h.assumed)+1),
+		weight:  h.weight,
+	}
+	for k := range h.assumed {
+		child.assumed[k] = true
+	}
+	child.assumed[p] = true
+	child.joinEntry(p.S, p.R, fwd)
+	child.joinEntry(p.R, p.S, bwd)
+	return child
+}
+
+func (h *Hypothesis) joinEntry(i, j int, v lattice.Value) {
+	old := h.D.At(i, j)
+	if h.D.JoinAt(i, j, v) {
+		h.weight += lattice.Distance(h.D.At(i, j)) - lattice.Distance(old)
+	}
+}
+
+// ClearAssumptions drops the per-period assumption set (the first step
+// of the paper's end-of-period post-processing).
+func (h *Hypothesis) ClearAssumptions() {
+	if len(h.assumed) > 0 {
+		h.assumed = map[depfunc.Pair]bool{}
+	}
+}
+
+// RetainAssumptions drops every assumed pair for which keep returns
+// false. The learner uses this to forget assumptions about pairs that
+// cannot occur in any remaining message's candidate set this period:
+// the at-most-one-message-per-pair rule can never consult them again,
+// so forgetting them preserves exactness while letting hypotheses that
+// differ only in dead assumptions deduplicate.
+func (h *Hypothesis) RetainAssumptions(keep func(depfunc.Pair) bool) {
+	for p := range h.assumed {
+		if !keep(p) {
+			delete(h.assumed, p)
+		}
+	}
+}
+
+// Relax applies the end-of-period conditional-dependency test: every
+// unconditional entry (→, ←, ↔) whose implication is violated by the
+// period's executed-task set is generalized minimally to its
+// conditional counterpart. It returns the number of relaxed entries.
+func (h *Hypothesis) Relax(executed func(task int) bool) int {
+	n := h.D.RelaxViolations(executed)
+	if n > 0 {
+		h.weight = h.D.Weight()
+	}
+	return n
+}
+
+// Merge returns the least-upper-bound merge of h and other used by the
+// bounded heuristic: the dependency functions are joined pointwise and
+// the assumption sets intersected. Intersection (rather than union)
+// keeps the merge sound: a pair assumed by only one lineage must stay
+// assumable, since the other lineage's branches may still need it for
+// a later message; re-assuming a pair can only repeat a join, never
+// under-generalize. Both operands are unchanged.
+func (h *Hypothesis) Merge(other *Hypothesis) *Hypothesis {
+	d := h.D.Join(other.D)
+	assumed := map[depfunc.Pair]bool{}
+	for k := range h.assumed {
+		if other.assumed[k] {
+			assumed[k] = true
+		}
+	}
+	return &Hypothesis{D: d, assumed: assumed, weight: d.Weight()}
+}
+
+// Clone returns a deep copy.
+func (h *Hypothesis) Clone() *Hypothesis {
+	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight}
+	for k := range h.assumed {
+		cp.assumed[k] = true
+	}
+	return cp
+}
+
+// Key returns a canonical encoding of the dependency function together
+// with the assumption set, used to deduplicate hypotheses that would
+// behave identically for the remainder of the period.
+func (h *Hypothesis) Key() string {
+	if len(h.assumed) == 0 {
+		return h.D.Key()
+	}
+	pairs := make([]depfunc.Pair, 0, len(h.assumed))
+	for p := range h.assumed {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].S != pairs[b].S {
+			return pairs[a].S < pairs[b].S
+		}
+		return pairs[a].R < pairs[b].R
+	})
+	var sb strings.Builder
+	sb.WriteString(h.D.Key())
+	for _, p := range pairs {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(p.S))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(p.R))
+	}
+	return sb.String()
+}

@@ -1,0 +1,187 @@
+package hypothesis
+
+import (
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+func ts3() *depfunc.TaskSet { return depfunc.MustTaskSet("a", "b", "c") }
+
+func TestBottom(t *testing.T) {
+	h := Bottom(ts3())
+	if h.Weight() != 0 {
+		t.Errorf("Weight = %d, want 0", h.Weight())
+	}
+	if h.AssumptionCount() != 0 {
+		t.Errorf("assumptions = %d", h.AssumptionCount())
+	}
+	if !h.D.Equal(depfunc.Bottom(ts3())) {
+		t.Error("D is not bottom")
+	}
+}
+
+func TestAssumeStampsBothSides(t *testing.T) {
+	h := Bottom(ts3())
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	if c == nil {
+		t.Fatal("Assume returned nil")
+	}
+	if c.D.At(0, 1) != lattice.Fwd || c.D.At(1, 0) != lattice.Bwd {
+		t.Errorf("entries = %v, %v", c.D.At(0, 1), c.D.At(1, 0))
+	}
+	// Parent unchanged.
+	if h.D.At(0, 1) != lattice.Par {
+		t.Error("Assume mutated parent")
+	}
+	if !c.Assumed(depfunc.Pair{S: 0, R: 1}) {
+		t.Error("assumption not recorded")
+	}
+	if c.Weight() != 2 {
+		t.Errorf("Weight = %d, want 2", c.Weight())
+	}
+}
+
+func TestAssumeConditionalStamps(t *testing.T) {
+	h := Bottom(ts3())
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.FwdMaybe, lattice.Bwd)
+	if c.D.At(0, 1) != lattice.FwdMaybe || c.D.At(1, 0) != lattice.Bwd {
+		t.Errorf("entries = %v, %v", c.D.At(0, 1), c.D.At(1, 0))
+	}
+	if c.Weight() != 5 {
+		t.Errorf("Weight = %d, want 5", c.Weight())
+	}
+}
+
+func TestAssumeDuplicatePairRejected(t *testing.T) {
+	h := Bottom(ts3())
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	if c.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd) != nil {
+		t.Error("duplicate pair accepted")
+	}
+	// The reverse pair is a different ordered pair and is allowed.
+	if c.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd) == nil {
+		t.Error("reverse pair rejected")
+	}
+}
+
+func TestAssumeJoinSemantics(t *testing.T) {
+	h := Bottom(ts3())
+	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	c1.ClearAssumptions()
+	// Re-assuming in a "new period" with the reverse direction joins
+	// to <-> on both sides.
+	c2 := c1.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd)
+	if c2.D.At(1, 0) != lattice.Bi || c2.D.At(0, 1) != lattice.Bi {
+		t.Errorf("entries = %v, %v, want <-> both", c2.D.At(1, 0), c2.D.At(0, 1))
+	}
+	if c2.Weight() != c2.D.Weight() {
+		t.Errorf("cached weight %d != recomputed %d", c2.Weight(), c2.D.Weight())
+	}
+}
+
+func TestClearAssumptions(t *testing.T) {
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h.ClearAssumptions()
+	if h.AssumptionCount() != 0 {
+		t.Error("assumptions survived ClearAssumptions")
+	}
+	if h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd) == nil {
+		t.Error("pair still blocked after ClearAssumptions")
+	}
+}
+
+func TestRelaxUpdatesWeight(t *testing.T) {
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	// A period where a executed but b did not.
+	n := h.Relax(func(i int) bool { return i == 0 || i == 2 })
+	if n != 1 {
+		t.Fatalf("relaxed %d, want 1", n)
+	}
+	if h.D.At(0, 1) != lattice.FwdMaybe {
+		t.Errorf("entry = %v, want ->?", h.D.At(0, 1))
+	}
+	if h.Weight() != h.D.Weight() {
+		t.Errorf("cached weight %d != recomputed %d", h.Weight(), h.D.Weight())
+	}
+}
+
+func TestMergeJoinsAndIntersects(t *testing.T) {
+	base := Bottom(ts3())
+	h1 := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	shared := depfunc.Pair{S: 0, R: 2}
+	h1 = h1.Assume(shared, lattice.Fwd, lattice.Bwd)
+	h2 := base.Assume(depfunc.Pair{S: 1, R: 2}, lattice.Fwd, lattice.Bwd)
+	h2 = h2.Assume(shared, lattice.Fwd, lattice.Bwd)
+
+	m := h1.Merge(h2)
+	if m.D.At(0, 1) != lattice.Fwd || m.D.At(1, 2) != lattice.Fwd || m.D.At(0, 2) != lattice.Fwd {
+		t.Errorf("merged D wrong:\n%s", m.D.Table())
+	}
+	if !m.Assumed(shared) {
+		t.Error("shared assumption lost in merge")
+	}
+	if m.Assumed(depfunc.Pair{S: 0, R: 1}) || m.Assumed(depfunc.Pair{S: 1, R: 2}) {
+		t.Error("non-shared assumption survived intersection")
+	}
+	if m.Weight() != m.D.Weight() {
+		t.Error("merged weight not recomputed")
+	}
+	// Operands unchanged.
+	if h1.D.At(1, 2) != lattice.Par {
+		t.Error("Merge mutated operand")
+	}
+}
+
+func TestKeyIncludesAssumptions(t *testing.T) {
+	base := Bottom(ts3())
+	// Same D, different assumptions: (a,b) assumed with no-op stamp.
+	h := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h.ClearAssumptions()
+	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	c2 := h.Clone()
+	if c1.Key() == c2.Key() {
+		t.Error("keys equal despite different assumptions")
+	}
+	if h.Key() != c2.Key() {
+		t.Error("clone key differs")
+	}
+}
+
+func TestKeyCanonicalOrder(t *testing.T) {
+	base := Bottom(ts3())
+	p1, p2 := depfunc.Pair{S: 0, R: 1}, depfunc.Pair{S: 1, R: 2}
+	a := base.Assume(p1, lattice.Fwd, lattice.Bwd).Assume(p2, lattice.Fwd, lattice.Bwd)
+	b := base.Assume(p2, lattice.Fwd, lattice.Bwd).Assume(p1, lattice.Fwd, lattice.Bwd)
+	if a.Key() != b.Key() {
+		t.Error("assumption order leaked into key")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	cp := h.Clone()
+	cp.ClearAssumptions()
+	if h.AssumptionCount() != 1 {
+		t.Error("Clone shares assumption set")
+	}
+	cp2 := h.Clone()
+	cp2.D.Set(1, 2, lattice.BiMaybe)
+	if h.D.At(1, 2) != lattice.Par {
+		t.Error("Clone shares matrix")
+	}
+}
+
+func TestFromDepFunc(t *testing.T) {
+	d := depfunc.Bottom(ts3())
+	d.Set(0, 1, lattice.FwdMaybe)
+	h := FromDepFunc(d)
+	if h.Weight() != d.Weight() {
+		t.Errorf("weight = %d, want %d", h.Weight(), d.Weight())
+	}
+	d.Set(0, 2, lattice.BiMaybe)
+	if h.D.At(0, 2) != lattice.Par {
+		t.Error("FromDepFunc did not clone")
+	}
+}

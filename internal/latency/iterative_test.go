@@ -1,0 +1,144 @@
+package latency
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/model"
+)
+
+func TestIterativeMatchesClosedFormWithinPeriod(t *testing.T) {
+	m := gm()
+	for _, task := range m.TaskNames() {
+		closed, err := TaskResponse(m, task, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed > m.Period {
+			continue // only the within-period regime must coincide
+		}
+		iter, err := ResponseTimeIterative(m, task, nil, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		if iter != closed {
+			t.Errorf("%s: iterative %d != closed form %d", task, iter, closed)
+		}
+	}
+}
+
+func TestIterativeRespectsDependencies(t *testing.T) {
+	m := gm()
+	ts, _ := depfunc.NewTaskSet(m.TaskNames())
+	d := depfunc.Bottom(ts)
+	d.Set(ts.Index("Q"), ts.Index("O"), mustParse("<-"))
+	pess, err := ResponseTimeIterative(m, "Q", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed, err := ResponseTimeIterative(m, "Q", d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if informed != pess-m.Task("O").WCET {
+		t.Errorf("informed %d, want %d (O excluded)", informed, pess-m.Task("O").WCET)
+	}
+}
+
+func TestIterativeMultiPeriodReactivation(t *testing.T) {
+	// A low-priority task whose interference exceeds one period: the
+	// interferers re-activate and the response time grows beyond the
+	// single-activation sum.
+	m := &model.Model{
+		Name:   "tight",
+		Period: 100,
+		Tasks: []model.Task{
+			{Name: "hi", Priority: 2, BCET: 60, WCET: 60, Source: true},
+			{Name: "lo", Priority: 1, BCET: 50, WCET: 50, Source: true},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed form (single activation): 50 + 60 = 110 > period, so the
+	// second activation of hi interferes too: R = 50 + 2*60 = 170.
+	r, err := ResponseTimeIterative(m, "lo", nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 170 {
+		t.Errorf("R(lo) = %d, want 170", r)
+	}
+}
+
+func TestIterativeOverloadDetected(t *testing.T) {
+	// hi consumes the whole period: lo's busy period never ends and
+	// the iteration must diverge. (A utilization merely above 1.0 is
+	// not enough: the FIRST activation can still have a finite fixed
+	// point, e.g. hi=80/lo=50 converges at R=290.)
+	m := &model.Model{
+		Name:   "overload",
+		Period: 100,
+		Tasks: []model.Task{
+			{Name: "hi", Priority: 2, BCET: 100, WCET: 100, Source: true},
+			{Name: "lo", Priority: 1, BCET: 50, WCET: 50, Source: true},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResponseTimeIterative(m, "lo", nil, 8); err == nil {
+		t.Fatal("overloaded CPU not detected")
+	} else if !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIterativeUnknownTask(t *testing.T) {
+	if _, err := ResponseTimeIterative(gm(), "zz", nil, 4); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := gm()
+	u := Utilization(m)
+	if len(u) != 1 {
+		t.Fatalf("ECUs = %d, want 1", len(u))
+	}
+	var sum int64
+	for _, task := range m.Tasks {
+		sum += task.WCET
+	}
+	want := float64(sum) / float64(m.Period)
+	if got := u[""]; got != want {
+		t.Errorf("utilization = %f, want %f", got, want)
+	}
+	if want >= 1 {
+		t.Fatalf("case-study model overloaded: %f", want)
+	}
+	// Distributed: four ECUs, each under the single-ECU figure.
+	du := Utilization(model.GMStyleDistributed())
+	if len(du) != 4 {
+		t.Fatalf("distributed ECUs = %d", len(du))
+	}
+	for ecu, x := range du {
+		if x >= want {
+			t.Errorf("ECU %s utilization %f not below single-ECU %f", ecu, x, want)
+		}
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	u, err := BusUtilization(gm(), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u <= 0 || u >= 1 {
+		t.Errorf("bus utilization = %f, want in (0, 1)", u)
+	}
+	if _, err := BusUtilization(gm(), -1); err == nil {
+		t.Error("negative bit rate accepted")
+	}
+}

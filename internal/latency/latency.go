@@ -1,0 +1,254 @@
+// Package latency implements end-to-end latency analysis for the
+// periodic CAN-based systems of this repository, in two modes:
+//
+//   - Pessimistic: the holistic style of Tindell & Clark cited by the
+//     paper — with no dependency information, every higher-priority
+//     task may preempt any task and every higher-priority frame may
+//     delay any frame, so worst-case response times include all of
+//     them.
+//
+//   - Dependency-informed: a learned dependency function rules
+//     preemptions out. If d(i, j) = ← then j always executes before i
+//     within the period (i depends on j), so j cannot preempt i; if
+//     d(i, j) = → then j is determined by i and starts only after i
+//     completes, so it cannot preempt i either. This is exactly the
+//     paper's refinement of the critical path including task Q: the
+//     learned implicit dependency between Q and O excludes O's
+//     preemption from Q's response time.
+//
+// All analyses are per-period (critical-instant) bounds: each task and
+// frame occurs at most once per period.
+package latency
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/can"
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/model"
+)
+
+// newBus wraps can.New for the analysis helpers.
+func newBus(bitRate int64) (*can.Bus, error) { return can.New(bitRate) }
+
+// CannotPreempt reports whether the learned dependency function proves
+// that task j can never preempt task i: a firm ordering in either
+// direction (d(i,j) ∈ {→, ←}) serializes the two tasks within a
+// period. With d == nil (no model learned) nothing is excluded.
+func CannotPreempt(d *depfunc.DepFunc, i, j string) bool {
+	if d == nil {
+		return false
+	}
+	v, err := d.Get(i, j)
+	if err != nil {
+		return false
+	}
+	return v == lattice.Fwd || v == lattice.Bwd
+}
+
+// Interference returns the tasks that may preempt the given task under
+// the (optionally nil) learned dependency function: higher-priority
+// tasks on the same ECU, not excluded by a firm ordering. Tasks on
+// other ECUs execute in parallel and never preempt.
+func Interference(m *model.Model, task string, d *depfunc.DepFunc) ([]string, error) {
+	t := m.Task(task)
+	if t == nil {
+		return nil, fmt.Errorf("latency: unknown task %q", task)
+	}
+	var out []string
+	for _, other := range m.Tasks {
+		if other.Name == task || other.ECU != t.ECU || other.Priority <= t.Priority {
+			continue
+		}
+		if CannotPreempt(d, task, other.Name) {
+			continue
+		}
+		out = append(out, other.Name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TaskResponse bounds the worst-case response time of one activation
+// of the task: its own WCET plus the WCET of every task that may
+// preempt it (each at most once per period).
+func TaskResponse(m *model.Model, task string, d *depfunc.DepFunc) (int64, error) {
+	t := m.Task(task)
+	if t == nil {
+		return 0, fmt.Errorf("latency: unknown task %q", task)
+	}
+	interferers, err := Interference(m, task, d)
+	if err != nil {
+		return 0, err
+	}
+	r := t.WCET
+	for _, name := range interferers {
+		r += m.Task(name).WCET
+	}
+	return r, nil
+}
+
+// FrameLatency bounds the worst-case queuing-plus-transmission latency
+// of the design message with the given CAN identifier: the longest
+// lower-priority frame already on the wire (non-preemptive blocking),
+// plus one transmission of every higher-priority frame of the model
+// (including the sync frame, if any), plus its own transmission time.
+func FrameLatency(m *model.Model, canID int, bitRate int64) (int64, error) {
+	ids, err := busDurations(m, bitRate)
+	if err != nil {
+		return 0, err
+	}
+	own, ok := ids[canID]
+	if !ok {
+		return 0, fmt.Errorf("latency: no frame with CAN id %d", canID)
+	}
+	var blocking, interference int64
+	for id, dur := range ids {
+		switch {
+		case id > canID && dur > blocking:
+			blocking = dur // lower priority: at most one blocks
+		case id < canID:
+			interference += dur
+		}
+	}
+	return blocking + interference + own, nil
+}
+
+// Path is an end-to-end chain of tasks connected by design messages.
+type Path struct {
+	Tasks []string
+}
+
+// Validate checks that consecutive tasks are connected by design
+// edges.
+func (p Path) Validate(m *model.Model) error {
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("latency: empty path")
+	}
+	for _, name := range p.Tasks {
+		if m.Task(name) == nil {
+			return fmt.Errorf("latency: unknown task %q in path", name)
+		}
+	}
+	for i := 0; i+1 < len(p.Tasks); i++ {
+		if _, err := edgeBetween(m, p.Tasks[i], p.Tasks[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func edgeBetween(m *model.Model, from, to string) (model.Edge, error) {
+	for _, e := range m.OutEdges(from) {
+		if e.To == to {
+			return e, nil
+		}
+	}
+	return model.Edge{}, fmt.Errorf("latency: no design edge %s -> %s", from, to)
+}
+
+// Breakdown itemizes a path latency bound.
+type Breakdown struct {
+	Items []BreakdownItem
+	Total int64
+}
+
+// BreakdownItem is one leg of the path: a task response or a frame
+// latency.
+type BreakdownItem struct {
+	Kind  string // "task" or "message"
+	Name  string
+	Bound int64
+	// Excluded lists interference the dependency model ruled out
+	// (task legs only).
+	Excluded []string
+}
+
+// PathLatency bounds the end-to-end latency of the path: the sum of
+// each task's response time and each connecting message's frame
+// latency. With d == nil the bound is the pessimistic holistic one;
+// with a learned dependency function, preemptions contradicted by firm
+// orderings are excluded.
+func PathLatency(m *model.Model, p Path, d *depfunc.DepFunc, bitRate int64) (*Breakdown, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, err
+	}
+	if bitRate == 0 {
+		bitRate = 500_000
+	}
+	bd := &Breakdown{}
+	for i, name := range p.Tasks {
+		r, err := TaskResponse(m, name, d)
+		if err != nil {
+			return nil, err
+		}
+		var excluded []string
+		if d != nil {
+			pess, err := Interference(m, name, nil)
+			if err != nil {
+				return nil, err
+			}
+			inf, err := Interference(m, name, d)
+			if err != nil {
+				return nil, err
+			}
+			infSet := map[string]bool{}
+			for _, x := range inf {
+				infSet[x] = true
+			}
+			for _, x := range pess {
+				if !infSet[x] {
+					excluded = append(excluded, x)
+				}
+			}
+		}
+		bd.Items = append(bd.Items, BreakdownItem{Kind: "task", Name: name, Bound: r, Excluded: excluded})
+		bd.Total += r
+		if i+1 < len(p.Tasks) {
+			e, err := edgeBetween(m, name, p.Tasks[i+1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := FrameLatency(m, e.CANID, bitRate)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s->%s", e.From, e.To)
+			bd.Items = append(bd.Items, BreakdownItem{Kind: "message", Name: label, Bound: w})
+			bd.Total += w
+		}
+	}
+	return bd, nil
+}
+
+// Comparison holds the pessimistic and dependency-informed bounds for
+// one path.
+type Comparison struct {
+	Pessimistic *Breakdown
+	Informed    *Breakdown
+}
+
+// Improvement returns the absolute and relative latency-bound
+// reduction achieved by the learned dependencies.
+func (c Comparison) Improvement() (abs int64, rel float64) {
+	abs = c.Pessimistic.Total - c.Informed.Total
+	if c.Pessimistic.Total > 0 {
+		rel = float64(abs) / float64(c.Pessimistic.Total)
+	}
+	return abs, rel
+}
+
+// Compare computes both bounds for the path.
+func Compare(m *model.Model, p Path, d *depfunc.DepFunc, bitRate int64) (*Comparison, error) {
+	pess, err := PathLatency(m, p, nil, bitRate)
+	if err != nil {
+		return nil, err
+	}
+	inf, err := PathLatency(m, p, d, bitRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Pessimistic: pess, Informed: inf}, nil
+}

@@ -1,0 +1,289 @@
+package latency
+
+import (
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/sim"
+)
+
+func gm() *model.Model { return model.GMStyle() }
+
+func TestCannotPreempt(t *testing.T) {
+	d := depfunc.MustParseTable(`
+      a     b     c
+a     ||    <-    ->?
+b     ->    ||    ||
+c     <-?   ||    ||
+`)
+	if !CannotPreempt(d, "a", "b") {
+		t.Error("a<-b is a firm ordering: b cannot preempt a")
+	}
+	if !CannotPreempt(d, "b", "a") {
+		t.Error("b->a is firm: a cannot preempt b")
+	}
+	if CannotPreempt(d, "a", "c") {
+		t.Error("conditional ->? must not exclude preemption")
+	}
+	if CannotPreempt(nil, "a", "b") {
+		t.Error("nil dependency function excludes nothing")
+	}
+	if CannotPreempt(d, "a", "zz") {
+		t.Error("unknown task excludes nothing")
+	}
+}
+
+func TestInterferencePessimistic(t *testing.T) {
+	m := gm()
+	inf, err := Interference(m, "Q", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q has the lowest priority: all 17 other tasks interfere.
+	if len(inf) != 17 {
+		t.Errorf("interference on Q = %d tasks, want 17", len(inf))
+	}
+	infO, err := Interference(m, "O", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infO) != 0 {
+		t.Errorf("interference on O = %v, want none (highest priority)", infO)
+	}
+	if _, err := Interference(m, "nope", nil); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestInterferenceInformedExcludesO(t *testing.T) {
+	m := gm()
+	ts, err := depfunc.NewTaskSet(m.TaskNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := depfunc.Bottom(ts)
+	// The learned implicit dependency: Q depends on O.
+	d.Set(ts.Index("Q"), ts.Index("O"), mustParse("<-"))
+	pess, _ := Interference(m, "Q", nil)
+	inf, err := Interference(m, "Q", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf) != len(pess)-1 {
+		t.Fatalf("informed interference = %d, want %d", len(inf), len(pess)-1)
+	}
+	for _, x := range inf {
+		if x == "O" {
+			t.Error("O still interferes")
+		}
+	}
+}
+
+func TestTaskResponse(t *testing.T) {
+	m := gm()
+	r, err := TaskResponse(m, "O", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != m.Task("O").WCET {
+		t.Errorf("R(O) = %d, want its own WCET", r)
+	}
+	rq, err := TaskResponse(m, "Q", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, task := range m.Tasks {
+		sum += task.WCET
+	}
+	if rq != sum {
+		t.Errorf("R(Q) = %d, want sum of all WCETs %d", rq, sum)
+	}
+	if _, err := TaskResponse(m, "zz", nil); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestFrameLatency(t *testing.T) {
+	m := gm()
+	// The sync frame has the lowest CAN id: only blocking, no
+	// interference.
+	w, err := FrameLatency(m, m.SyncCANID, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Own duration: DLC 1 -> 65 bits -> 130us; blocking = longest
+	// frame (DLC 8 -> 135 bits -> 270us); no higher-priority frames.
+	if w != 130+270 {
+		t.Errorf("sync frame latency = %d, want 400", w)
+	}
+	// An id with no frame.
+	if _, err := FrameLatency(m, 9999, 500_000); err == nil {
+		t.Error("unknown CAN id accepted")
+	}
+	if _, err := FrameLatency(m, m.SyncCANID, -1); err == nil {
+		t.Error("negative bit rate accepted")
+	}
+}
+
+func TestFrameLatencyMonotonicInPriority(t *testing.T) {
+	m := gm()
+	// Higher numeric id (lower priority) must never have smaller
+	// worst-case latency than a lower id of the same length... we
+	// check the weaker global property: the lowest-priority frame's
+	// latency is the largest among equal-DLC frames.
+	var worst int64
+	for _, e := range m.Edges {
+		w, err := FrameLatency(m, e.CANID, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > worst {
+			worst = w
+		}
+	}
+	maxID := 0
+	for _, e := range m.Edges {
+		if e.CANID > maxID {
+			maxID = e.CANID
+		}
+	}
+	wMax, err := FrameLatency(m, maxID, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lowest-priority frame ties for the worst latency (it has no
+	// blocking term but accumulates all interference).
+	if wMax != worst {
+		t.Errorf("lowest-priority frame latency %d, want worst %d", wMax, worst)
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	m := gm()
+	good := Path{Tasks: []string{"S", "A", "D", "L", "P", "Q"}}
+	if err := good.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Path{
+		{},
+		{Tasks: []string{"S", "Q"}},
+		{Tasks: []string{"S", "zz"}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(m); err == nil {
+			t.Errorf("path %d accepted", i)
+		}
+	}
+}
+
+func TestPathLatencyImprovement(t *testing.T) {
+	m := gm()
+	ts, _ := depfunc.NewTaskSet(m.TaskNames())
+	d := depfunc.Bottom(ts)
+	d.Set(ts.Index("Q"), ts.Index("O"), mustParse("<-"))
+	path := Path{Tasks: []string{"S", "A", "D", "L", "P", "Q"}}
+	cmp, err := Compare(m, path, d, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, rel := cmp.Improvement()
+	if abs != m.Task("O").WCET {
+		t.Errorf("improvement = %d, want exactly O's WCET %d", abs, m.Task("O").WCET)
+	}
+	if rel <= 0 {
+		t.Errorf("relative improvement = %f", rel)
+	}
+	// The informed breakdown must name O as excluded on the Q leg.
+	foundExcluded := false
+	for _, item := range cmp.Informed.Items {
+		if item.Kind == "task" && item.Name == "Q" {
+			for _, x := range item.Excluded {
+				if x == "O" {
+					foundExcluded = true
+				}
+			}
+		}
+	}
+	if !foundExcluded {
+		t.Error("breakdown does not record O's exclusion on Q")
+	}
+}
+
+func TestPathLatencyStructure(t *testing.T) {
+	m := gm()
+	path := Path{Tasks: []string{"S", "C", "N", "H", "Q"}}
+	bd, err := PathLatency(m, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 task legs + 4 message legs.
+	if len(bd.Items) != 9 {
+		t.Fatalf("items = %d, want 9", len(bd.Items))
+	}
+	var sum int64
+	for _, it := range bd.Items {
+		if it.Bound <= 0 {
+			t.Errorf("item %s has bound %d", it.Name, it.Bound)
+		}
+		sum += it.Bound
+	}
+	if sum != bd.Total {
+		t.Errorf("total %d != sum %d", bd.Total, sum)
+	}
+}
+
+// TestBoundsAreSafeEmpirically: analytic response-time bounds dominate
+// every observed response time in simulation.
+func TestBoundsAreSafeEmpirically(t *testing.T) {
+	m := gm()
+	out, err := sim.Run(m, sim.Options{Periods: 27, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := map[string]int64{}
+	for _, task := range m.Tasks {
+		r, err := TaskResponse(m, task.Name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds[task.Name] = r
+	}
+	for _, e := range out.Execs {
+		if got := e.Response(); got > bounds[e.Task] {
+			t.Errorf("task %s observed response %d exceeds bound %d", e.Task, got, bounds[e.Task])
+		}
+	}
+}
+
+// TestInformedBoundsAreSafeEmpirically: with the ACTUALLY learned
+// dependency function, the refined bounds still dominate observation.
+func TestInformedBoundsStillSafe(t *testing.T) {
+	m := gm()
+	out, err := sim.Run(m, sim.Options{Periods: 27, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := depfunc.NewTaskSet(m.TaskNames())
+	d := depfunc.Bottom(ts)
+	d.Set(ts.Index("Q"), ts.Index("O"), mustParse("<-"))
+	rq, err := TaskResponse(m, "Q", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Execs {
+		if e.Task == "Q" && e.Response() > rq {
+			t.Errorf("Q observed response %d exceeds informed bound %d", e.Response(), rq)
+		}
+	}
+}
+
+func mustParse(s string) lattice.Value {
+	v, err := lattice.ParseValue(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

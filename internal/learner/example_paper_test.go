@@ -1,0 +1,231 @@
+package learner
+
+import (
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// The hypothesis tables of Section 3.3 of the paper.
+
+var paperD21 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->    ||    ->
+t2    <-    ||    ||    ||
+t3    ||    ||    ||    ||
+t4    <-    ||    ||    ||
+`)
+
+var paperD22 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->    ||    ||
+t2    <-    ||    ||    ->
+t3    ||    ||    ||    ||
+t4    ||    <-    ||    ||
+`)
+
+var paperD23 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ||    ||    ->
+t2    ||    ||    ||    ->
+t3    ||    ||    ||    ||
+t4    <-    <-    ||    ||
+`)
+
+var paperD81 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ||
+t3    <-    ||    ||    ->
+t4    <-    ||    <-?   ||
+`)
+
+var paperD82 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ||    ->?   ->
+t2    ||    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+
+var paperD83 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ||    ->
+t2    <-    ||    ||    ->
+t3    ||    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+
+var paperD84 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ||
+t4    <-    <-?   ||    ||
+`)
+
+var paperD85 = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ||
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    ||    <-?   <-?   ||
+`)
+
+var paperDLUB = depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+
+func containsDep(set []*depfunc.DepFunc, want *depfunc.DepFunc) bool {
+	for _, d := range set {
+		if d.Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExactFirstMessage checks the state after analyzing only m1: the
+// two most specific hypotheses d11 (m1: t1→t2) and d12 (m1: t1→t4).
+func TestExactFirstMessage(t *testing.T) {
+	tr := trace.NewBuilder([]string{"t1", "t2", "t3", "t4"}).
+		StartPeriod().
+		Exec("t1", 0, 10).
+		Msg("m1", 12, 14).
+		Exec("t2", 16, 26).
+		Exec("t4", 32, 42).
+		MustBuild()
+	res, err := LearnExact(tr, depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d11 := depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->    ||    ||
+t2    <-    ||    ||    ||
+t3    ||    ||    ||    ||
+t4    ||    ||    ||    ||
+`)
+	d12 := depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ||    ||    ->
+t2    ||    ||    ||    ||
+t3    ||    ||    ||    ||
+t4    <-    ||    ||    ||
+`)
+	if len(res.Hypotheses) != 2 {
+		t.Fatalf("got %d hypotheses, want 2:\n%s", len(res.Hypotheses), dumpSet(res.Hypotheses))
+	}
+	if !containsDep(res.Hypotheses, d11) || !containsDep(res.Hypotheses, d12) {
+		t.Errorf("missing d11 or d12:\n%s", dumpSet(res.Hypotheses))
+	}
+}
+
+// TestExactPeriod1 checks D_cur after period 1 of Figure 2: exactly
+// {d21, d22, d23}.
+func TestExactPeriod1(t *testing.T) {
+	tr := trace.PaperFigure2().Slice(0, 1)
+	res, err := LearnExact(tr, depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*depfunc.DepFunc{paperD21, paperD22, paperD23}
+	if len(res.Hypotheses) != len(want) {
+		t.Fatalf("got %d hypotheses, want %d:\n%s", len(res.Hypotheses), len(want), dumpSet(res.Hypotheses))
+	}
+	for i, w := range want {
+		if !containsDep(res.Hypotheses, w) {
+			t.Errorf("missing d2%d:\n%s", i+1, w.Table())
+		}
+	}
+}
+
+// TestExactFullExample is the headline golden test: after all three
+// periods of Figure 2 the exact algorithm returns exactly the five
+// hypotheses d81–d85 of the paper, whose least upper bound is dLUB.
+func TestExactFullExample(t *testing.T) {
+	res, err := LearnExact(trace.PaperFigure2(), depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]*depfunc.DepFunc{
+		"d81": paperD81, "d82": paperD82, "d83": paperD83, "d84": paperD84, "d85": paperD85,
+	}
+	if len(res.Hypotheses) != len(want) {
+		t.Fatalf("got %d hypotheses, want %d:\n%s", len(res.Hypotheses), len(want), dumpSet(res.Hypotheses))
+	}
+	for name, w := range want {
+		if !containsDep(res.Hypotheses, w) {
+			t.Errorf("missing %s:\n%s\ngot:\n%s", name, w.Table(), dumpSet(res.Hypotheses))
+		}
+	}
+	if !res.LUB.Equal(paperDLUB) {
+		t.Errorf("LUB mismatch:\ngot:\n%s\nwant:\n%s", res.LUB.Table(), paperDLUB.Table())
+	}
+	if res.Converged {
+		t.Error("the example does not converge (5 hypotheses remain)")
+	}
+}
+
+// TestExactExampleInterestingConsequence checks the paper's observation
+// that t1 always determines t4 (d(t1,t4) = →) in the LUB even though no
+// single design edge says so.
+func TestExactExampleInterestingConsequence(t *testing.T) {
+	res, err := LearnExact(trace.PaperFigure2(), depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LUB.MustGet("t1", "t4").String(); got != "->" {
+		t.Errorf("d(t1,t4) = %s, want ->", got)
+	}
+	if got := res.LUB.MustGet("t4", "t1").String(); got != "<-" {
+		t.Errorf("d(t4,t1) = %s, want <-", got)
+	}
+}
+
+// TestExactResultsAreSound verifies Theorem 2 on the worked example:
+// every returned hypothesis matches every period.
+func TestExactResultsAreSound(t *testing.T) {
+	tr := trace.PaperFigure2()
+	res, err := LearnExact(tr, depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Hypotheses {
+		if ok, p := depfunc.MatchTrace(d, tr, depfunc.CandidatePolicy{}); !ok {
+			t.Errorf("hypothesis %d fails to match period %d:\n%s", i, p, d.Table())
+		}
+	}
+}
+
+// TestExactResultsPairwiseIncomparable: the returned most-specific set
+// contains no redundant element.
+func TestExactResultsPairwiseIncomparable(t *testing.T) {
+	res, err := LearnExact(trace.PaperFigure2(), depfunc.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Hypotheses {
+		for j := range res.Hypotheses {
+			if i != j && res.Hypotheses[i].Leq(res.Hypotheses[j]) {
+				t.Errorf("hypotheses %d and %d comparable", i, j)
+			}
+		}
+	}
+}
+
+func dumpSet(ds []*depfunc.DepFunc) string {
+	out := ""
+	for i, d := range ds {
+		out += d.Table()
+		if i < len(ds)-1 {
+			out += "----\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,432 @@
+// Package learner implements the generalization algorithm of Feng et
+// al., "Automatic Model Generation for Black Box Real-Time Systems"
+// (DATE 2007, Section 3): message-guided generalization of dependency
+// hypotheses over an execution trace, in both the exact (exponential)
+// variant and the bounded heuristic variant with least-upper-bound
+// merging.
+//
+// # Algorithm
+//
+// Learning starts from the set {d⊥} containing only the globally most
+// specific hypothesis and handles one period at a time. For every
+// message occurrence, the timing-feasible (sender, receiver) candidate
+// pairs A_m are computed; every live hypothesis is extended by every
+// candidate assumption that does not repeat an already-assumed pair
+// (at most one message per ordered pair per period), generalizing the
+// dependency function only as much as necessary. At the end of each
+// period, a post-processing pass relaxes unconditional entries whose
+// implication the period violated, removes the assumptions, unifies
+// equal hypotheses and deletes redundant (non-most-specific) ones.
+//
+// A subtlety visible in the paper's worked example (tables d81–d85):
+// when a new dependency is stamped in period k, the stamp must already
+// account for periods 1..k-1 — if some earlier period executed the
+// sender without the receiver, the minimal generalization consistent
+// with all instances seen so far is the conditional →?/←?, not the
+// unconditional →/←. The learner therefore carries a cumulative
+// execution-violation history and chooses stamp values from it.
+//
+// # Heuristic
+//
+// With Options.Bound = b > 0 the learner keeps the working hypotheses
+// in a list ordered by the Definition-8 weight; whenever an addition
+// makes the list one longer than b, the two lightest hypotheses are
+// replaced by their least upper bound. The result remains correct but
+// is no longer guaranteed to be most specific. Runtime is
+// O(m·b² + m·b·t²) for m messages and t tasks.
+package learner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// ErrNoHypothesis is returned when the hypothesis set becomes empty:
+// either the trace violates the assumed model of computation, or the
+// generalization language cannot express the observed behaviour
+// (Section 3.1).
+var ErrNoHypothesis = errors.New("learner: hypothesis set became empty")
+
+// ErrTooManyHypotheses is returned by the exact algorithm when the
+// working set exceeds Options.MaxHypotheses.
+var ErrTooManyHypotheses = errors.New("learner: hypothesis set exceeded the configured maximum")
+
+// Options configures a learning run.
+type Options struct {
+	// Bound is the heuristic's maximum working-set size b. Zero (or
+	// negative) selects the exact algorithm.
+	Bound int
+
+	// Policy controls timing-based candidate-pair computation.
+	Policy depfunc.CandidatePolicy
+
+	// EagerPrune enables the strict reading of condition 4 of the
+	// generalization step: among the children one parent spawns for
+	// one message, only the minimal ones are kept. The default
+	// (false) keeps all children and prunes at the end of the period,
+	// which is never less complete.
+	EagerPrune bool
+
+	// MaxHypotheses aborts the exact algorithm with
+	// ErrTooManyHypotheses when the working set grows beyond this
+	// size. Zero means unlimited.
+	MaxHypotheses int
+
+	// VerifyResults re-checks every final hypothesis against the full
+	// trace with the matching function M and drops any that fail
+	// (counted in Stats.DroppedUnsound). The exact algorithm never
+	// produces unsound hypotheses; bounded merging can in rare
+	// adversarial traces.
+	VerifyResults bool
+
+	// Progress, when non-nil, is called after every message (phase
+	// "message") and every period (phase "period") with the current
+	// working-set size. Used by the command-line tools to report
+	// long exact runs.
+	Progress func(phase string, period, message, setSize int)
+
+	// Negatives lists periods the system is known to be unable to
+	// produce (forbidden behaviours supplied by the analyst — the
+	// version-space extension the paper sketches as future work).
+	// Every returned hypothesis is guaranteed NOT to match any of
+	// them; hypotheses matching a negative are discarded from the
+	// final most-specific set (Stats.NegativeRejections counts them).
+	//
+	// The filter runs only on the final set, not incrementally: the
+	// matching function M is not monotone in the lattice order (a
+	// generalization step can introduce an unconditional entry that
+	// rejects a negative its ancestor matched), so discarding a
+	// matching ancestor mid-run could lose consistent descendants.
+	Negatives []*trace.Period
+}
+
+// Stats instruments a learning run.
+type Stats struct {
+	Periods        int // periods processed
+	Messages       int // message occurrences processed
+	Children       int // hypotheses created by generalization
+	Merges         int // heuristic least-upper-bound merges
+	Relaxations    int // entries relaxed by end-of-period tests
+	Peak           int // peak working-set size
+	DroppedUnsound int // results dropped by VerifyResults
+	// NegativeRejections counts final hypotheses discarded because
+	// they matched a forbidden behaviour from Options.Negatives.
+	NegativeRejections int
+}
+
+// Result is the outcome of a learning run.
+type Result struct {
+	// TaskSet is the predefined task set T of the trace.
+	TaskSet *depfunc.TaskSet
+	// Hypotheses is the returned set D*, sorted by ascending weight
+	// (ties broken by matrix encoding for determinism). For the exact
+	// algorithm this is the set of most specific hypotheses matching
+	// the trace.
+	Hypotheses []*depfunc.DepFunc
+	// LUB is the pointwise least upper bound ⊔D*, the paper's
+	// recommended single answer when the algorithm does not converge.
+	LUB *depfunc.DepFunc
+	// Converged reports whether exactly one hypothesis remained.
+	Converged bool
+	// Stats holds run instrumentation.
+	Stats Stats
+}
+
+// Learn runs the generalization algorithm over the trace. It is the
+// batch form of the incremental Online learner and produces identical
+// results.
+func Learn(tr *trace.Trace, opt Options) (*Result, error) {
+	o, err := NewOnline(tr.Tasks, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			return nil, err
+		}
+	}
+	// Extract the working set directly: the session ends here, so the
+	// defensive clone of Online.Result is unnecessary.
+	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	for _, h := range o.cur {
+		ds = append(ds, h.D)
+	}
+	return finish(o.ts, tr, ds, opt, o.stats)
+}
+
+// LearnExact runs the exact (exponential) algorithm.
+func LearnExact(tr *trace.Trace, pol depfunc.CandidatePolicy) (*Result, error) {
+	return Learn(tr, Options{Policy: pol})
+}
+
+// LearnBounded runs the heuristic with the given bound.
+func LearnBounded(tr *trace.Trace, bound int, pol depfunc.CandidatePolicy) (*Result, error) {
+	return Learn(tr, Options{Bound: bound, Policy: pol})
+}
+
+// analyzeMessage extends every hypothesis in cur by every admissible
+// candidate assumption for one message, applying heuristic merging
+// when a bound is set.
+func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
+	hist []bool, n int, opt Options, stats *Stats) ([]*hypothesis.Hypothesis, error) {
+
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
+	}
+	wl := newWorkList(opt.Bound, stats)
+	seen := make(map[string]bool, len(cur)*len(pairs))
+	scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
+	for _, h := range cur {
+		children := scratch[:0]
+		for _, pr := range pairs {
+			fwd := lattice.Fwd
+			if hist[pr.S*n+pr.R] {
+				fwd = lattice.FwdMaybe
+			}
+			bwd := lattice.Bwd
+			if hist[pr.R*n+pr.S] {
+				bwd = lattice.BwdMaybe
+			}
+			if c := h.Assume(pr, fwd, bwd); c != nil {
+				children = append(children, c)
+			}
+		}
+		if opt.EagerPrune {
+			children = minimalChildren(children)
+		}
+		for _, c := range children {
+			k := c.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			stats.Children++
+			wl.add(c)
+		}
+	}
+	out := wl.items
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no hypothesis can explain the message", ErrNoHypothesis)
+	}
+	if opt.Bound <= 0 && opt.MaxHypotheses > 0 && len(out) > opt.MaxHypotheses {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyHypotheses, len(out), opt.MaxHypotheses)
+	}
+	return out, nil
+}
+
+// workList is the learner's working collection of hypotheses. With a
+// positive bound it is kept sorted by ascending weight and every
+// addition that overflows the bound merges the two lightest elements
+// into their least upper bound (Section 3.2).
+type workList struct {
+	bound int
+	items []*hypothesis.Hypothesis
+	stats *Stats
+}
+
+func newWorkList(bound int, stats *Stats) *workList {
+	return &workList{bound: bound, stats: stats}
+}
+
+func (wl *workList) add(h *hypothesis.Hypothesis) {
+	if wl.bound <= 0 {
+		wl.items = append(wl.items, h)
+		return
+	}
+	wl.insert(h)
+	for len(wl.items) > wl.bound {
+		merged := wl.items[0].Merge(wl.items[1])
+		wl.items = wl.items[2:]
+		wl.stats.Merges++
+		wl.insert(merged)
+	}
+}
+
+func (wl *workList) insert(h *hypothesis.Hypothesis) {
+	w := h.Weight()
+	i := sort.Search(len(wl.items), func(k int) bool { return wl.items[k].Weight() > w })
+	wl.items = append(wl.items, nil)
+	copy(wl.items[i+1:], wl.items[i:])
+	wl.items[i] = h
+}
+
+// liveSuffixes returns, for each message index i, the set of pairs
+// appearing in the candidate sets of messages i..end (live[len] is
+// empty). After message i is analyzed, assumptions about pairs outside
+// live[i+1] can never be consulted again this period.
+func liveSuffixes(cands [][]depfunc.Pair) []map[depfunc.Pair]bool {
+	live := make([]map[depfunc.Pair]bool, len(cands)+1)
+	live[len(cands)] = map[depfunc.Pair]bool{}
+	for i := len(cands) - 1; i >= 0; i-- {
+		m := make(map[depfunc.Pair]bool, len(live[i+1])+len(cands[i]))
+		for p := range live[i+1] {
+			m[p] = true
+		}
+		for _, p := range cands[i] {
+			m[p] = true
+		}
+		live[i] = m
+	}
+	return live
+}
+
+// forgetDeadAssumptions drops assumptions about pairs that no
+// remaining message of the period can use, then unifies hypotheses
+// that became identical — a pure optimization that preserves the
+// algorithm's results (dead assumptions cannot influence any future
+// dup-pair check, and assumption sets are discarded at the period
+// boundary anyway).
+func forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bool) []*hypothesis.Hypothesis {
+	seen := make(map[string]bool, len(hs))
+	out := hs[:0]
+	for _, h := range hs {
+		h.RetainAssumptions(func(p depfunc.Pair) bool { return live[p] })
+		k := h.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// minimalChildren keeps only the minimal elements (by the pointwise
+// order on dependency functions) among the children one parent
+// spawned for one message. Children with equal dependency functions
+// but different assumptions are all kept.
+func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
+	dominated := make([]bool, len(children))
+	for i, c := range children {
+		for j, o := range children {
+			if i != j && o.D.Lt(c.D) {
+				dominated[i] = true
+				break
+			}
+		}
+	}
+	out := children[:0]
+	for i, c := range children {
+		if !dominated[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pruneMostSpecific unifies equal hypotheses and removes redundant
+// ones: h is redundant iff some other hypothesis is strictly more
+// specific (Section 3.1 post-processing).
+func pruneMostSpecific(hs []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
+	seen := make(map[string]bool, len(hs))
+	uniq := make([]*hypothesis.Hypothesis, 0, len(hs))
+	for _, h := range hs {
+		k := h.D.Key()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, h)
+		}
+	}
+	// Sort by weight: a hypothesis can only be dominated by a
+	// strictly lighter one.
+	sort.SliceStable(uniq, func(a, b int) bool { return uniq[a].Weight() < uniq[b].Weight() })
+	out := make([]*hypothesis.Hypothesis, 0, len(uniq))
+	for i, h := range uniq {
+		redundant := false
+		for j := 0; j < i; j++ {
+			if uniq[j].Weight() >= h.Weight() {
+				break
+			}
+			if uniq[j].D.Lt(h.D) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func execVector(p *trace.Period, ts *depfunc.TaskSet) []bool {
+	v := make([]bool, ts.Len())
+	for name := range p.Execs {
+		if i := ts.Index(name); i >= 0 {
+			v[i] = true
+		}
+	}
+	return v
+}
+
+func updateHistory(hist []bool, executed []bool, n int) {
+	for a := 0; a < n; a++ {
+		if !executed[a] {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a != b && !executed[b] {
+				hist[a*n+b] = true
+			}
+		}
+	}
+}
+
+// finish assembles the Result from the surviving dependency
+// functions. tr may be nil (incremental sessions), in which case
+// VerifyResults is skipped.
+func finish(ts *depfunc.TaskSet, tr *trace.Trace, ds []*depfunc.DepFunc,
+	opt Options, stats Stats) (*Result, error) {
+
+	if len(opt.Negatives) > 0 {
+		kept := ds[:0]
+		for _, d := range ds {
+			consistent := true
+			for _, neg := range opt.Negatives {
+				if depfunc.Match(d, neg, opt.Policy) {
+					consistent = false
+					break
+				}
+			}
+			if consistent {
+				kept = append(kept, d)
+			} else {
+				stats.NegativeRejections++
+			}
+		}
+		ds = kept
+	}
+	if opt.VerifyResults && tr != nil {
+		kept := ds[:0]
+		for _, d := range ds {
+			if ok, _ := depfunc.MatchTrace(d, tr, opt.Policy); ok {
+				kept = append(kept, d)
+			} else {
+				stats.DroppedUnsound++
+			}
+		}
+		ds = kept
+	}
+	if len(ds) == 0 {
+		return nil, ErrNoHypothesis
+	}
+	sort.SliceStable(ds, func(a, b int) bool {
+		wa, wb := ds[a].Weight(), ds[b].Weight()
+		if wa != wb {
+			return wa < wb
+		}
+		return ds[a].Key() < ds[b].Key()
+	})
+	return &Result{
+		TaskSet:    ts,
+		Hypotheses: ds,
+		LUB:        depfunc.JoinAll(ds),
+		Converged:  len(ds) == 1,
+		Stats:      stats,
+	}, nil
+}

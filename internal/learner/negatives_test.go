@@ -1,0 +1,127 @@
+package learner
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// negPeriod builds a message-free period executing exactly the given
+// tasks (a behaviour an analyst declares impossible).
+func negPeriod(tasks ...string) *trace.Period {
+	execs := map[string]trace.Interval{}
+	t := int64(1000000)
+	for _, name := range tasks {
+		execs[name] = trace.Interval{Start: t, End: t + 10}
+		t += 20
+	}
+	return &trace.Period{Index: -1, Execs: execs}
+}
+
+// TestNegativeExamplePrunes: declaring "t1 can never run alone"
+// eliminates exactly d85 from the paper example's result set — the
+// only most-specific hypothesis in which t1 determines nothing
+// unconditionally.
+func TestNegativeExamplePrunes(t *testing.T) {
+	tr := trace.PaperFigure2()
+	neg := negPeriod("t1")
+	res, err := Learn(tr, Options{Negatives: []*trace.Period{neg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypotheses) != 4 {
+		t.Fatalf("hypotheses = %d, want 4 (d85 rejected)", len(res.Hypotheses))
+	}
+	if res.Stats.NegativeRejections != 1 {
+		t.Errorf("rejections = %d, want 1", res.Stats.NegativeRejections)
+	}
+	if containsDep(res.Hypotheses, paperD85) {
+		t.Error("d85 should have been rejected (it matches the negative)")
+	}
+	if !containsDep(res.Hypotheses, paperD81) || !containsDep(res.Hypotheses, paperD82) ||
+		!containsDep(res.Hypotheses, paperD83) || !containsDep(res.Hypotheses, paperD84) {
+		t.Error("d81..d84 must survive")
+	}
+}
+
+// TestNegativeExampleIrrelevant: a negative no hypothesis matches
+// changes nothing.
+func TestNegativeExampleIrrelevant(t *testing.T) {
+	tr := trace.PaperFigure2()
+	// "t2 runs alone" violates d(t2,t1)=<- or d(t2,t4)=-> in every
+	// returned hypothesis, so none match it.
+	neg := negPeriod("t2")
+	res, err := Learn(tr, Options{Negatives: []*trace.Period{neg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypotheses) != 5 || res.Stats.NegativeRejections != 0 {
+		t.Errorf("hypotheses = %d, rejections = %d; want 5, 0",
+			len(res.Hypotheses), res.Stats.NegativeRejections)
+	}
+}
+
+// TestNegativeExampleKillsAll: a negative every hypothesis matches
+// empties the space — the documented inconsistency error.
+func TestNegativeExampleKillsAll(t *testing.T) {
+	tr := trace.PaperFigure2()
+	// All four tasks executing violates nothing: every most-specific
+	// hypothesis matches it, so declaring it impossible contradicts
+	// the positives.
+	neg := negPeriod("t1", "t2", "t3", "t4")
+	_, err := Learn(tr, Options{Negatives: []*trace.Period{neg}})
+	if !errors.Is(err, ErrNoHypothesis) {
+		t.Fatalf("err = %v, want ErrNoHypothesis", err)
+	}
+}
+
+// TestNegativeExampleOnline: the online session applies the same
+// filter at Result time.
+func TestNegativeExampleOnline(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := NewOnline(tr.Tasks, Options{Negatives: []*trace.Period{negPeriod("t1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypotheses) != 4 {
+		t.Fatalf("hypotheses = %d, want 4", len(res.Hypotheses))
+	}
+}
+
+// TestNegativeNonMonotonicity documents why the filter must run on the
+// final set only: a generalization can make a hypothesis reject a
+// negative its ancestor matched.
+func TestNegativeNonMonotonicity(t *testing.T) {
+	neg := negPeriod("t1") // "t1 never runs alone"
+	// The ancestor hypothesis d⊥ matches this (message-free) negative,
+	// yet every descendant learned from period 1 rejects it: each of
+	// d21, d22, d23 installs an unconditional -> out of t1 that the
+	// negative violates. Matching is therefore not monotone along the
+	// generalization path, which is why the filter must run on the
+	// final set: killing d⊥ up front would have lost all three
+	// consistent results.
+	tr := trace.PaperFigure2().Slice(0, 1)
+	res, err := Learn(tr, Options{Negatives: []*trace.Period{neg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypotheses) != 3 {
+		t.Fatalf("hypotheses = %d, want 3 (all reject the negative)", len(res.Hypotheses))
+	}
+	// On the empty trace the only candidate IS d⊥, so the same
+	// negative is a genuine contradiction there.
+	_, err = Learn(trace.New(tr.Tasks), Options{Negatives: []*trace.Period{neg}})
+	if !errors.Is(err, ErrNoHypothesis) {
+		t.Fatalf("empty trace with contradicting negative: err = %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package learner
+
+import (
+	"fmt"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Online is the incremental form of the learner: the paper's algorithm
+// processes one period at a time and never revisits earlier instances,
+// so a logging device can feed periods as they are captured and read
+// out the current hypothesis set at any time.
+//
+//	o, _ := learner.NewOnline(tasks, learner.Options{Bound: 32})
+//	for p := range periods {
+//	    if err := o.AddPeriod(p); err != nil { ... }
+//	}
+//	res, _ := o.Result()
+//
+// Online and the batch Learn function produce identical results for
+// the same sequence of periods (guaranteed by tests). Options.
+// VerifyResults is ignored by Result, which has no access to the
+// already-consumed instances; use MatchTrace on a retained trace if
+// post-hoc verification is wanted.
+type Online struct {
+	ts    *depfunc.TaskSet
+	opt   Options
+	hist  []bool
+	cur   []*hypothesis.Hypothesis
+	stats Stats
+	err   error
+}
+
+// NewOnline starts an incremental learning session over the predefined
+// task set.
+func NewOnline(tasks []string, opt Options) (*Online, error) {
+	ts, err := depfunc.NewTaskSet(tasks)
+	if err != nil {
+		return nil, err
+	}
+	n := ts.Len()
+	o := &Online{
+		ts:   ts,
+		opt:  opt,
+		hist: make([]bool, n*n),
+		cur:  []*hypothesis.Hypothesis{hypothesis.Bottom(ts)},
+	}
+	o.stats.Peak = 1
+	return o, nil
+}
+
+// TaskSet returns the session's task set.
+func (o *Online) TaskSet() *depfunc.TaskSet { return o.ts }
+
+// Err returns the sticky error of the session, if any. Once a period
+// fails, the session is dead: the hypothesis set no longer reflects a
+// consistent prefix of the instance stream.
+func (o *Online) Err() error { return o.err }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (o *Online) Stats() Stats { return o.stats }
+
+// WorkingSetSize returns the current number of live hypotheses.
+func (o *Online) WorkingSetSize() int { return len(o.cur) }
+
+// AddPeriod consumes one instance: message-guided generalization over
+// the period's messages followed by the end-of-period post-processing.
+func (o *Online) AddPeriod(p *trace.Period) error {
+	if o.err != nil {
+		return o.err
+	}
+	n := o.ts.Len()
+	executed := execVector(p, o.ts)
+	cands := depfunc.Candidates(p, o.ts, o.opt.Policy)
+	live := liveSuffixes(cands)
+	cur := o.cur
+	for mi := range p.Msgs {
+		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats)
+		if err != nil {
+			o.err = fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
+			return o.err
+		}
+		cur = forgetDeadAssumptions(next, live[mi+1])
+		o.stats.Messages++
+		if len(cur) > o.stats.Peak {
+			o.stats.Peak = len(cur)
+		}
+		if o.opt.Progress != nil {
+			o.opt.Progress("message", p.Index, mi, len(cur))
+		}
+	}
+	for _, h := range cur {
+		o.stats.Relaxations += h.Relax(func(i int) bool { return executed[i] })
+		h.ClearAssumptions()
+	}
+	cur = pruneMostSpecific(cur)
+	updateHistory(o.hist, executed, n)
+	o.cur = cur
+	o.stats.Periods++
+	if o.opt.Progress != nil {
+		o.opt.Progress("period", p.Index, -1, len(cur))
+	}
+	return nil
+}
+
+// Result snapshots the current hypothesis set. The session remains
+// usable: further periods may be added and Result called again. The
+// returned dependency functions are deep copies and never mutated by
+// subsequent AddPeriod calls.
+func (o *Online) Result() (*Result, error) {
+	if o.err != nil {
+		return nil, o.err
+	}
+	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	for _, h := range o.cur {
+		ds = append(ds, h.D.Clone())
+	}
+	snap := o.opt
+	snap.VerifyResults = false
+	return finish(o.ts, nil, ds, snap, o.stats)
+}

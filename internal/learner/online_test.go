@@ -1,0 +1,190 @@
+package learner
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// TestOnlineEqualsBatch: feeding periods incrementally produces the
+// same hypothesis set as the batch Learn, for exact and bounded
+// variants, on the paper example and random traces.
+func TestOnlineEqualsBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	traces := []*trace.Trace{trace.PaperFigure2()}
+	for i := 0; i < 10; i++ {
+		traces = append(traces, randomTrace(r, 3+r.Intn(3), 2+r.Intn(4), 3))
+	}
+	for ti, tr := range traces {
+		for _, bound := range []int{0, 1, 4} {
+			opt := Options{Bound: bound}
+			batch, err := Learn(tr, opt)
+			if err != nil {
+				t.Fatalf("trace %d bound %d: batch: %v", ti, bound, err)
+			}
+			o, err := NewOnline(tr.Tasks, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range tr.Periods {
+				if err := o.AddPeriod(p); err != nil {
+					t.Fatalf("trace %d bound %d: online: %v", ti, bound, err)
+				}
+			}
+			res, err := o.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Hypotheses) != len(batch.Hypotheses) {
+				t.Fatalf("trace %d bound %d: online %d vs batch %d hypotheses",
+					ti, bound, len(res.Hypotheses), len(batch.Hypotheses))
+			}
+			for i := range res.Hypotheses {
+				if !res.Hypotheses[i].Equal(batch.Hypotheses[i]) {
+					t.Errorf("trace %d bound %d: hypothesis %d differs", ti, bound, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineIntermediateResults: results can be read out after every
+// period; the set after the first period of the paper example is the
+// paper's {d21, d22, d23}.
+func TestOnlineIntermediateResults(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := NewOnline(tr.Tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(tr.Periods[0]); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Hypotheses) != 3 {
+		t.Fatalf("after period 1: %d hypotheses, want 3", len(mid.Hypotheses))
+	}
+	if !containsDep(mid.Hypotheses, paperD21) || !containsDep(mid.Hypotheses, paperD22) ||
+		!containsDep(mid.Hypotheses, paperD23) {
+		t.Error("intermediate set is not {d21, d22, d23}")
+	}
+	// Continue the session; the final result matches the paper.
+	if err := o.AddPeriod(tr.Periods[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(tr.Periods[2]); err != nil {
+		t.Fatal(err)
+	}
+	final, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Hypotheses) != 5 {
+		t.Fatalf("final: %d hypotheses, want 5", len(final.Hypotheses))
+	}
+	if !final.LUB.Equal(paperDLUB) {
+		t.Errorf("final LUB:\n%s", final.LUB.Table())
+	}
+}
+
+// TestOnlineSnapshotIsolation: a snapshot taken mid-stream is not
+// mutated by later periods.
+func TestOnlineSnapshotIsolation(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := NewOnline(tr.Tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(tr.Periods[0]); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := o.Result()
+	before := make([]string, len(mid.Hypotheses))
+	for i, d := range mid.Hypotheses {
+		before[i] = d.Key()
+	}
+	if err := o.AddPeriod(tr.Periods[1]); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range mid.Hypotheses {
+		if d.Key() != before[i] {
+			t.Fatal("snapshot mutated by later AddPeriod")
+		}
+	}
+}
+
+// TestOnlineStickyError: once a period cannot be explained the session
+// is dead and stays dead.
+func TestOnlineStickyError(t *testing.T) {
+	bad := trace.NewBuilder([]string{"a", "b"}).
+		StartPeriod().Msg("m", 0, 1).Exec("a", 2, 3).Exec("b", 4, 5).
+		MustBuild()
+	good := trace.PaperFigure2()
+
+	o, err := NewOnline([]string{"a", "b"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(bad.Periods[0]); !errors.Is(err, ErrNoHypothesis) {
+		t.Fatalf("err = %v, want ErrNoHypothesis", err)
+	}
+	if o.Err() == nil {
+		t.Fatal("Err() not sticky")
+	}
+	if err := o.AddPeriod(good.Periods[0]); err == nil {
+		t.Fatal("dead session accepted a period")
+	}
+	if _, err := o.Result(); err == nil {
+		t.Fatal("dead session returned a result")
+	}
+}
+
+func TestOnlineBadTaskSet(t *testing.T) {
+	if _, err := NewOnline([]string{"a", "a"}, Options{}); err == nil {
+		t.Fatal("duplicate task names accepted")
+	}
+}
+
+func TestOnlineAccessors(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := NewOnline(tr.Tasks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TaskSet().Len() != 4 {
+		t.Error("TaskSet wrong")
+	}
+	if o.WorkingSetSize() != 1 {
+		t.Errorf("initial working set = %d, want 1 (d-bottom)", o.WorkingSetSize())
+	}
+	if err := o.AddPeriod(tr.Periods[0]); err != nil {
+		t.Fatal(err)
+	}
+	if o.Stats().Periods != 1 || o.Stats().Messages != 2 {
+		t.Errorf("stats = %+v", o.Stats())
+	}
+	if o.WorkingSetSize() != 3 {
+		t.Errorf("working set = %d, want 3", o.WorkingSetSize())
+	}
+}
+
+// TestOnlineEmptySession: a session with no periods returns d-bottom.
+func TestOnlineEmptySession(t *testing.T) {
+	o, err := NewOnline([]string{"x", "y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Hypotheses[0].Equal(depfunc.Bottom(res.TaskSet)) {
+		t.Error("empty session should yield d-bottom")
+	}
+}

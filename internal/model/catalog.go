@@ -1,0 +1,268 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Figure1 returns the four-task example design of Figure 1 of the
+// paper: t1 is a disjunction node sending to t2 and/or t3 each period;
+// t2 and t3 independently send to the conjunction node t4.
+func Figure1() *Model {
+	m := &Model{
+		Name:   "figure1",
+		Period: 1000,
+		Tasks: []Task{
+			{Name: "t1", Kind: Disjunction, Priority: 4, BCET: 8, WCET: 12, Source: true},
+			{Name: "t2", Kind: Regular, Priority: 3, BCET: 8, WCET: 12},
+			{Name: "t3", Kind: Regular, Priority: 2, BCET: 8, WCET: 12},
+			{Name: "t4", Kind: Conjunction, Priority: 1, BCET: 8, WCET: 12},
+		},
+		Edges: []Edge{
+			{From: "t1", To: "t2", CANID: 10, DLC: 4},
+			{From: "t1", To: "t3", CANID: 11, DLC: 4},
+			{From: "t2", To: "t4", CANID: 12, DLC: 4},
+			{From: "t3", To: "t4", CANID: 13, DLC: 4},
+		},
+	}
+	mustValidate(m)
+	return m
+}
+
+// GMStyle returns a synthetic 18-task distributed controller in the
+// style of the paper's GM case study (Figure 5): tasks S and A..Q on
+// one CAN bus, with
+//
+//   - S a disjunction root choosing which functional subtrees run,
+//   - A and B disjunction nodes selecting operating modes,
+//   - H, P and Q conjunction nodes,
+//   - every mode of A leading to L (so d(A,L) = →) and every mode of
+//     B leading to M (so d(B,M) = →), and
+//   - O an infrastructure task (highest priority) that broadcasts a
+//     sync frame each period which gates Q's release — the OSEK/CAN
+//     interaction behind the implicit Q–O dependency the paper
+//     discovers from the trace.
+//
+// The real GM controller is proprietary; this model reproduces the
+// published statistics (18 tasks, ≈330 messages and ≈700 event pairs
+// over 27 periods) and the published qualitative properties, which is
+// what the learning algorithm is sensitive to.
+func GMStyle() *Model {
+	period := int64(20000) // 20 ms in microseconds
+	tasks := []Task{
+		// Infrastructure: highest priority, offset into the period so
+		// its sync frame lands after the functional burst.
+		{Name: "O", Priority: 100, BCET: 80, WCET: 120, Source: true, Offset: 9000, EmitsSync: true},
+		// Root and sources.
+		{Name: "S", Kind: Disjunction, Priority: 90, BCET: 150, WCET: 250, Source: true},
+		// Mode selectors.
+		{Name: "A", Kind: Disjunction, Priority: 80, BCET: 150, WCET: 250},
+		{Name: "B", Kind: Disjunction, Priority: 79, BCET: 150, WCET: 250},
+		{Name: "C", Priority: 78, BCET: 150, WCET: 250},
+		// Mode implementations.
+		{Name: "D", Priority: 70, BCET: 200, WCET: 300},
+		{Name: "E", Priority: 69, BCET: 200, WCET: 300},
+		{Name: "F", Priority: 68, BCET: 200, WCET: 300},
+		{Name: "G", Priority: 67, BCET: 200, WCET: 300},
+		// Mid pipeline.
+		{Name: "N", Priority: 60, BCET: 180, WCET: 260},
+		{Name: "I", Priority: 59, BCET: 180, WCET: 260},
+		{Name: "J", Priority: 58, BCET: 180, WCET: 260},
+		{Name: "L", Kind: Conjunction, Priority: 57, BCET: 180, WCET: 260},
+		{Name: "M", Kind: Conjunction, Priority: 56, BCET: 180, WCET: 260},
+		{Name: "K", Kind: Conjunction, Priority: 55, BCET: 180, WCET: 260},
+		{Name: "H", Kind: Conjunction, Priority: 54, BCET: 180, WCET: 260},
+		// Sinks.
+		{Name: "P", Kind: Conjunction, Priority: 40, BCET: 220, WCET: 320},
+		{Name: "Q", Kind: Conjunction, Priority: 30, BCET: 220, WCET: 320, WaitsSync: true},
+	}
+	edges := []Edge{
+		{From: "S", To: "A", CANID: 20, DLC: 4},
+		{From: "S", To: "B", CANID: 21, DLC: 4},
+		{From: "S", To: "C", CANID: 22, DLC: 4},
+		{From: "A", To: "D", CANID: 30, DLC: 6},
+		{From: "A", To: "E", CANID: 31, DLC: 6},
+		{From: "B", To: "F", CANID: 32, DLC: 6},
+		{From: "B", To: "G", CANID: 33, DLC: 6},
+		{From: "C", To: "N", CANID: 34, DLC: 6},
+		{From: "C", To: "I", CANID: 35, DLC: 6},
+		{From: "D", To: "H", CANID: 40, DLC: 8},
+		{From: "D", To: "L", CANID: 41, DLC: 8},
+		{From: "E", To: "J", CANID: 42, DLC: 8},
+		{From: "E", To: "L", CANID: 43, DLC: 8},
+		{From: "F", To: "K", CANID: 44, DLC: 8},
+		{From: "F", To: "M", CANID: 45, DLC: 8},
+		{From: "G", To: "K", CANID: 46, DLC: 8},
+		{From: "G", To: "M", CANID: 47, DLC: 8},
+		{From: "N", To: "H", CANID: 50, DLC: 4},
+		{From: "J", To: "P", CANID: 51, DLC: 4},
+		{From: "L", To: "P", CANID: 52, DLC: 4},
+		{From: "M", To: "P", CANID: 53, DLC: 4},
+		{From: "I", To: "P", CANID: 54, DLC: 4},
+		{From: "H", To: "Q", CANID: 60, DLC: 2},
+		{From: "K", To: "Q", CANID: 61, DLC: 2},
+		{From: "P", To: "Q", CANID: 62, DLC: 2},
+	}
+	m := &Model{
+		Name:      "gmstyle",
+		Period:    period,
+		Tasks:     tasks,
+		Edges:     edges,
+		SyncCANID: 5, // high arbitration priority for the sync frame
+		SyncDLC:   1,
+	}
+	mustValidate(m)
+	return m
+}
+
+// GMStyleDistributed returns the 18-task controller partitioned over
+// four ECUs sharing the CAN bus, matching the paper's description of
+// the case study as "a distributed system comprised of 18 tasks ...
+// transmitted on one CAN bus": the mode selectors and their
+// implementations run on two application ECUs, the fusion pipeline on
+// a third, and the infrastructure plus sinks on a fourth. Tasks on
+// different ECUs execute in parallel; the bus serializes all
+// communication. Distributed execution dispatches receivers sooner
+// after their inputs arrive, producing a more legible trace than the
+// single-ECU variant.
+func GMStyleDistributed() *Model {
+	m := GMStyle()
+	m.Name = "gmstyle-distributed"
+	assign := map[string]string{
+		"S": "ecu-gw", "O": "ecu-gw", "Q": "ecu-gw", "P": "ecu-gw",
+		"A": "ecu-app1", "D": "ecu-app1", "E": "ecu-app1", "J": "ecu-app1", "L": "ecu-app1",
+		"B": "ecu-app2", "F": "ecu-app2", "G": "ecu-app2", "K": "ecu-app2", "M": "ecu-app2",
+		"C": "ecu-fus", "N": "ecu-fus", "I": "ecu-fus", "H": "ecu-fus",
+	}
+	for i := range m.Tasks {
+		m.Tasks[i].ECU = assign[m.Tasks[i].Name]
+	}
+	mustValidate(m)
+	return m
+}
+
+// GMStyleLite returns a seven-task subsystem of the GM-style
+// controller used for experiments that need the exact (exponential)
+// algorithm to terminate: the exact algorithm's cost is the product of
+// the per-message sender/receiver ambiguity, which on the full
+// 18-task trace exceeds any practical budget (see EXPERIMENTS.md).
+// The subsystem preserves the case study's phenomena: a disjunction
+// root (S) whose every mode leads to L (d(S,L) = →), a conjunction
+// node (L), and an infrastructure task (O) whose sync frame gates P,
+// creating the implicit P–O dependency analogous to the paper's Q–O
+// discovery.
+func GMStyleLite() *Model {
+	m := &Model{
+		Name:   "gmstyle-lite",
+		Period: 20000,
+		Tasks: []Task{
+			{Name: "O", Priority: 100, BCET: 80, WCET: 120, Source: true, Offset: 4000, EmitsSync: true},
+			{Name: "S", Kind: Disjunction, Priority: 90, BCET: 150, WCET: 250, Source: true},
+			{Name: "A", Priority: 80, BCET: 200, WCET: 300},
+			{Name: "B", Priority: 79, BCET: 200, WCET: 300},
+			{Name: "L", Kind: Conjunction, Priority: 60, BCET: 180, WCET: 260},
+			{Name: "P", Kind: Conjunction, Priority: 40, BCET: 220, WCET: 320, WaitsSync: true},
+			{Name: "R", Priority: 30, BCET: 150, WCET: 250},
+		},
+		Edges: []Edge{
+			{From: "S", To: "A", CANID: 20, DLC: 4},
+			{From: "S", To: "B", CANID: 21, DLC: 4},
+			{From: "A", To: "L", CANID: 30, DLC: 6},
+			{From: "B", To: "L", CANID: 31, DLC: 6},
+			{From: "L", To: "P", CANID: 40, DLC: 8},
+			{From: "P", To: "R", CANID: 50, DLC: 2},
+		},
+		SyncCANID: 5,
+		SyncDLC:   1,
+	}
+	mustValidate(m)
+	return m
+}
+
+// RandomOptions parameterize RandomModel.
+type RandomOptions struct {
+	Layers        int     // DAG layers (>= 2)
+	TasksPerLayer int     // tasks per layer (>= 1)
+	EdgeProb      float64 // probability of an edge between adjacent-layer pairs
+	DisjProb      float64 // probability a node with >= 2 outputs is a disjunction
+	Period        int64
+}
+
+// DefaultRandomOptions returns a small but non-trivial configuration.
+func DefaultRandomOptions() RandomOptions {
+	return RandomOptions{Layers: 3, TasksPerLayer: 3, EdgeProb: 0.5, DisjProb: 0.5, Period: 20000}
+}
+
+// RandomModel generates a random layered design model for property
+// testing: layer 0 tasks are sources; every non-source task gets at
+// least one input from the previous layer.
+func RandomModel(r *rand.Rand, opt RandomOptions) *Model {
+	if opt.Layers < 2 {
+		opt.Layers = 2
+	}
+	if opt.TasksPerLayer < 1 {
+		opt.TasksPerLayer = 1
+	}
+	if opt.Period <= 0 {
+		opt.Period = 20000
+	}
+	m := &Model{Name: "random", Period: opt.Period, SyncCANID: 1, SyncDLC: 1}
+	prio := 100
+	name := func(l, i int) string { return fmt.Sprintf("t%d_%d", l, i) }
+	for l := 0; l < opt.Layers; l++ {
+		for i := 0; i < opt.TasksPerLayer; i++ {
+			m.Tasks = append(m.Tasks, Task{
+				Name:     name(l, i),
+				Priority: prio,
+				BCET:     100,
+				WCET:     200,
+				Source:   l == 0,
+			})
+			prio--
+		}
+	}
+	canID := 10
+	for l := 0; l+1 < opt.Layers; l++ {
+		for i := 0; i < opt.TasksPerLayer; i++ {
+			from := name(l, i)
+			connected := false
+			for j := 0; j < opt.TasksPerLayer; j++ {
+				if r.Float64() < opt.EdgeProb {
+					m.Edges = append(m.Edges, Edge{From: from, To: name(l+1, j), CANID: canID, DLC: 4})
+					canID++
+					connected = true
+				}
+			}
+			_ = connected
+		}
+		// Guarantee every next-layer task has at least one input.
+		for j := 0; j < opt.TasksPerLayer; j++ {
+			to := name(l+1, j)
+			if len(m.InEdges(to)) == 0 {
+				from := name(l, r.Intn(opt.TasksPerLayer))
+				m.Edges = append(m.Edges, Edge{From: from, To: to, CANID: canID, DLC: 4})
+				canID++
+			}
+		}
+	}
+	// Promote some branchy nodes to disjunctions.
+	for i := range m.Tasks {
+		if len(m.OutEdges(m.Tasks[i].Name)) >= 2 && r.Float64() < opt.DisjProb {
+			m.Tasks[i].Kind = Disjunction
+		}
+	}
+	// Mark multi-input nodes as conjunctions (declarative only).
+	for i := range m.Tasks {
+		if m.Tasks[i].Kind == Regular && len(m.InEdges(m.Tasks[i].Name)) >= 2 {
+			m.Tasks[i].Kind = Conjunction
+		}
+	}
+	mustValidate(m)
+	return m
+}
+
+func mustValidate(m *Model) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,456 @@
+// Package model describes ground-truth system design models in the
+// control-flow model of computation of Section 2.1 of Feng et al.
+// (DATE 2007): a set of predefined tasks executed repeatedly in
+// periods, where a task fires when all its required inputs arrive,
+// sends messages to other tasks when it completes, and no message
+// crosses a period boundary.
+//
+// Nodes are classified as in the paper: a disjunction node
+// conditionally sends messages to a chosen subset of its successors
+// (selecting execution paths); a conjunction node passively receives
+// messages from several possible predecessors. Regular nodes send on
+// all outgoing edges.
+//
+// These models are what the learner is trying to reconstruct — the
+// repository uses them as the hidden "black box" inside the simulator
+// and to evaluate how faithfully learned dependency graphs reflect the
+// original design.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/dot"
+)
+
+// Kind classifies a task node (Section 2.1).
+type Kind int
+
+const (
+	// Regular tasks send on every outgoing edge when they execute.
+	Regular Kind = iota
+	// Disjunction tasks choose a non-empty subset of their outgoing
+	// edges each period.
+	Disjunction
+	// Conjunction tasks fire on the arrival of whichever inputs were
+	// actually sent this period; the kind is declarative (used for
+	// evaluation), execution semantics are identical to Regular on
+	// the output side.
+	Conjunction
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Regular:
+		return "regular"
+	case Disjunction:
+		return "disjunction"
+	case Conjunction:
+		return "conjunction"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Task is one node of the design model.
+type Task struct {
+	Name string
+	Kind Kind
+	// Priority is the fixed OSEK scheduling priority; larger numbers
+	// preempt smaller ones. Priorities must be unique within a model.
+	Priority int
+	// BCET and WCET bound the execution time; the simulator draws
+	// per-job execution times from [BCET, WCET].
+	BCET, WCET int64
+	// Source marks tasks released by the period timer rather than by
+	// message arrival. Offset delays the release past the period
+	// boundary.
+	Source bool
+	Offset int64
+	// ECU names the electronic control unit the task runs on. Tasks
+	// on different ECUs execute in parallel; tasks sharing an ECU are
+	// scheduled by that ECU's fixed-priority preemptive kernel. The
+	// empty string means the model's default (single) ECU.
+	ECU string
+	// EmitsSync marks an infrastructure task that broadcasts a sync
+	// frame on the bus when it completes, with no design receiver —
+	// the mechanism behind the paper's "implicit dependency between
+	// task Q and O" discovered from the trace.
+	EmitsSync bool
+	// WaitsSync gates the task's release on the arrival of the sync
+	// frame in addition to its design inputs. This is infrastructure
+	// behaviour invisible in the component's specification.
+	WaitsSync bool
+}
+
+// Edge is a directed design message: when From completes (and, for
+// disjunction nodes, chooses this edge), one message is sent to To.
+type Edge struct {
+	From, To string
+	// CANID is the bus arbitration identifier; lower wins. Unique per
+	// edge.
+	CANID int
+	// DLC is the CAN payload length in bytes (0..8).
+	DLC int
+}
+
+// Model is a complete design: the predefined task set, the message
+// edges and the period.
+type Model struct {
+	Name   string
+	Period int64
+	Tasks  []Task
+	Edges  []Edge
+	// SyncCANID/SyncDLC configure the infrastructure sync frame
+	// emitted by EmitsSync tasks.
+	SyncCANID int
+	SyncDLC   int
+
+	index map[string]int
+}
+
+// TaskNames returns the task names in declaration order.
+func (m *Model) TaskNames() []string {
+	out := make([]string, len(m.Tasks))
+	for i, t := range m.Tasks {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Task returns the named task, or nil.
+func (m *Model) Task(name string) *Task {
+	m.ensureIndex()
+	if i, ok := m.index[name]; ok {
+		return &m.Tasks[i]
+	}
+	return nil
+}
+
+func (m *Model) ensureIndex() {
+	if m.index == nil {
+		m.index = make(map[string]int, len(m.Tasks))
+		for i, t := range m.Tasks {
+			m.index[t.Name] = i
+		}
+	}
+}
+
+// OutEdges returns the edges leaving the named task, in declaration
+// order.
+func (m *Model) OutEdges(name string) []Edge {
+	var out []Edge
+	for _, e := range m.Edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges entering the named task.
+func (m *Model) InEdges(name string) []Edge {
+	var out []Edge
+	for _, e := range m.Edges {
+		if e.To == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the model.
+func (m *Model) Validate() error {
+	if len(m.Tasks) == 0 {
+		return fmt.Errorf("model %s: no tasks", m.Name)
+	}
+	if m.Period <= 0 {
+		return fmt.Errorf("model %s: period must be positive", m.Name)
+	}
+	names := map[string]bool{}
+	type ecuPrio struct {
+		ecu  string
+		prio int
+	}
+	prios := map[ecuPrio]string{}
+	hasSync := false
+	for _, t := range m.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("model %s: empty task name", m.Name)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("model %s: duplicate task %q", m.Name, t.Name)
+		}
+		names[t.Name] = true
+		key := ecuPrio{t.ECU, t.Priority}
+		if prev, dup := prios[key]; dup {
+			return fmt.Errorf("model %s: tasks %q and %q share priority %d on ECU %q",
+				m.Name, prev, t.Name, t.Priority, t.ECU)
+		}
+		prios[key] = t.Name
+		if t.BCET <= 0 || t.WCET < t.BCET {
+			return fmt.Errorf("model %s: task %q has invalid execution times [%d, %d]", m.Name, t.Name, t.BCET, t.WCET)
+		}
+		if t.Offset < 0 || t.Offset >= m.Period {
+			return fmt.Errorf("model %s: task %q offset %d outside period", m.Name, t.Name, t.Offset)
+		}
+		if t.EmitsSync {
+			hasSync = true
+		}
+	}
+	canIDs := map[int]bool{}
+	for _, e := range m.Edges {
+		if !names[e.From] || !names[e.To] {
+			return fmt.Errorf("model %s: edge %s->%s references unknown task", m.Name, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("model %s: self edge on %q", m.Name, e.From)
+		}
+		if e.DLC < 0 || e.DLC > 8 {
+			return fmt.Errorf("model %s: edge %s->%s has DLC %d", m.Name, e.From, e.To, e.DLC)
+		}
+		if canIDs[e.CANID] {
+			return fmt.Errorf("model %s: duplicate CAN id %d", m.Name, e.CANID)
+		}
+		canIDs[e.CANID] = true
+	}
+	if hasSync && canIDs[m.SyncCANID] {
+		return fmt.Errorf("model %s: sync CAN id %d collides with an edge", m.Name, m.SyncCANID)
+	}
+	for _, t := range m.Tasks {
+		ins := m.InEdges(t.Name)
+		outs := m.OutEdges(t.Name)
+		if t.Source && len(ins) > 0 {
+			return fmt.Errorf("model %s: source task %q has inputs", m.Name, t.Name)
+		}
+		if !t.Source && len(ins) == 0 {
+			return fmt.Errorf("model %s: task %q has no inputs and is not a source", m.Name, t.Name)
+		}
+		if t.Kind == Disjunction && len(outs) < 2 {
+			return fmt.Errorf("model %s: disjunction task %q has %d outgoing edges", m.Name, t.Name, len(outs))
+		}
+		if t.WaitsSync && !hasSync {
+			return fmt.Errorf("model %s: task %q waits for a sync no task emits", m.Name, t.Name)
+		}
+	}
+	if _, err := m.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns the task names in a topological order of the edge
+// relation, or an error if the design graph is cyclic.
+func (m *Model) topoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	for _, t := range m.Tasks {
+		indeg[t.Name] = 0
+	}
+	for _, e := range m.Edges {
+		indeg[e.To]++
+	}
+	var queue []string
+	for _, t := range m.Tasks {
+		if indeg[t.Name] == 0 {
+			queue = append(queue, t.Name)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range m.OutEdges(n) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(m.Tasks) {
+		return nil, fmt.Errorf("model %s: design graph is cyclic", m.Name)
+	}
+	return order, nil
+}
+
+// FiringPlan is the resolved nondeterminism of one period: which tasks
+// fire and which design edges carry a message.
+type FiringPlan struct {
+	Fired map[string]bool
+	// ChosenEdges lists the edges carrying a message this period, in
+	// model declaration order.
+	ChosenEdges []Edge
+}
+
+// Fire resolves one period's logical decisions: source tasks always
+// fire; a disjunction node picks a uniformly random non-empty subset
+// of its outgoing edges; other nodes send on all outgoing edges; a
+// non-source task fires iff at least one chosen edge reaches it from a
+// fired task.
+func (m *Model) Fire(r *rand.Rand) *FiringPlan {
+	order, err := m.topoOrder()
+	if err != nil {
+		panic(err) // Validate rejects cyclic models
+	}
+	plan := &FiringPlan{Fired: map[string]bool{}}
+	chosen := map[int]bool{} // by CANID
+	incoming := map[string]bool{}
+	for _, name := range order {
+		t := m.Task(name)
+		fires := t.Source || incoming[name]
+		if !fires {
+			continue
+		}
+		plan.Fired[name] = true
+		outs := m.OutEdges(name)
+		if len(outs) == 0 {
+			continue
+		}
+		var selected []Edge
+		if t.Kind == Disjunction {
+			for {
+				selected = selected[:0]
+				for _, e := range outs {
+					if r.Intn(2) == 1 {
+						selected = append(selected, e)
+					}
+				}
+				if len(selected) > 0 {
+					break
+				}
+			}
+		} else {
+			selected = outs
+		}
+		for _, e := range selected {
+			chosen[e.CANID] = true
+			incoming[e.To] = true
+		}
+	}
+	for _, e := range m.Edges {
+		if chosen[e.CANID] {
+			plan.ChosenEdges = append(plan.ChosenEdges, e)
+		}
+	}
+	return plan
+}
+
+// DOT renders the design model (the paper's Figure 1 style):
+// disjunction nodes as diamonds, conjunction nodes as double circles.
+func (m *Model) DOT() string {
+	g := dot.NewGraph(m.Name)
+	g.Attr("rankdir", "TB")
+	for _, t := range m.Tasks {
+		switch t.Kind {
+		case Disjunction:
+			g.Node(t.Name, "shape", "diamond")
+		case Conjunction:
+			g.Node(t.Name, "shape", "doublecircle")
+		default:
+			g.Node(t.Name, "shape", "circle")
+		}
+	}
+	for _, e := range m.Edges {
+		g.Edge(e.From, e.To)
+	}
+	return g.String()
+}
+
+// MustExecutePairs computes the ground-truth unconditional
+// dependencies of the design by exhaustively enumerating disjunction
+// choices (suitable for small models): the returned set contains
+// (a, b) iff in every resolvable period where a fires, b fires too.
+// The bool result is false if enumeration was abandoned because the
+// model has more than maxChoiceBits bits of nondeterminism.
+func (m *Model) MustExecutePairs(maxChoiceBits int) (map[[2]string]bool, bool) {
+	var disj []Task
+	bits := 0
+	for _, t := range m.Tasks {
+		if t.Kind == Disjunction {
+			disj = append(disj, t)
+			bits += len(m.OutEdges(t.Name))
+		}
+	}
+	if bits > maxChoiceBits {
+		return nil, false
+	}
+	order, err := m.topoOrder()
+	if err != nil {
+		return nil, false
+	}
+	// coFire[a][b] = a fired without b in some resolution.
+	names := m.TaskNames()
+	violated := map[[2]string]bool{}
+	var enumerate func(i int, choice map[int]bool)
+	evaluate := func(choice map[int]bool) {
+		fired := map[string]bool{}
+		incoming := map[string]bool{}
+		for _, name := range order {
+			t := m.Task(name)
+			if !t.Source && !incoming[name] {
+				continue
+			}
+			fired[name] = true
+			for _, e := range m.OutEdges(name) {
+				if t.Kind != Disjunction || choice[e.CANID] {
+					incoming[e.To] = true
+				}
+			}
+		}
+		for _, a := range names {
+			if !fired[a] {
+				continue
+			}
+			for _, b := range names {
+				if a != b && !fired[b] {
+					violated[[2]string{a, b}] = true
+				}
+			}
+		}
+	}
+	enumerate = func(i int, choice map[int]bool) {
+		if i == len(disj) {
+			evaluate(choice)
+			return
+		}
+		outs := m.OutEdges(disj[i].Name)
+		for mask := 1; mask < 1<<len(outs); mask++ {
+			for k, e := range outs {
+				choice[e.CANID] = mask&(1<<k) != 0
+			}
+			enumerate(i+1, choice)
+		}
+		for _, e := range outs {
+			delete(choice, e.CANID)
+		}
+	}
+	enumerate(0, map[int]bool{})
+	must := map[[2]string]bool{}
+	for _, a := range names {
+		for _, b := range names {
+			if a != b && !violated[[2]string{a, b}] {
+				must[[2]string{a, b}] = true
+			}
+		}
+	}
+	return must, true
+}
+
+// SortedMustExecute renders MustExecutePairs deterministically for
+// reports.
+func SortedMustExecute(must map[[2]string]bool) [][2]string {
+	out := make([][2]string, 0, len(must))
+	for p := range must {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

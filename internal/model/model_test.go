@@ -1,0 +1,313 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Valid(t *testing.T) {
+	m := Figure1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Task("t1").Kind != Disjunction {
+		t.Error("t1 should be a disjunction")
+	}
+	if m.Task("t4").Kind != Conjunction {
+		t.Error("t4 should be a conjunction")
+	}
+	if len(m.OutEdges("t1")) != 2 || len(m.InEdges("t4")) != 2 {
+		t.Error("edge structure wrong")
+	}
+	if m.Task("zz") != nil {
+		t.Error("unknown task lookup should be nil")
+	}
+}
+
+func TestGMStyleValid(t *testing.T) {
+	m := GMStyle()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tasks) != 18 {
+		t.Errorf("tasks = %d, want 18 (the paper's case study size)", len(m.Tasks))
+	}
+	for _, name := range []string{"A", "B", "S"} {
+		if m.Task(name).Kind != Disjunction {
+			t.Errorf("%s should be a disjunction", name)
+		}
+	}
+	for _, name := range []string{"H", "P", "Q"} {
+		if m.Task(name).Kind != Conjunction {
+			t.Errorf("%s should be a conjunction", name)
+		}
+	}
+	if !m.Task("O").EmitsSync || !m.Task("Q").WaitsSync {
+		t.Error("O/Q infrastructure flags wrong")
+	}
+}
+
+func TestGMStyleLiteValid(t *testing.T) {
+	m := GMStyleLite()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tasks) != 7 {
+		t.Errorf("tasks = %d, want 7", len(m.Tasks))
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	base := func() *Model {
+		return &Model{
+			Name:   "m",
+			Period: 100,
+			Tasks: []Task{
+				{Name: "a", Priority: 2, BCET: 1, WCET: 2, Source: true},
+				{Name: "b", Priority: 1, BCET: 1, WCET: 2},
+			},
+			Edges: []Edge{{From: "a", To: "b", CANID: 1, DLC: 4}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+		want   string
+	}{
+		{"no tasks", func(m *Model) { m.Tasks = nil }, "no tasks"},
+		{"bad period", func(m *Model) { m.Period = 0 }, "period"},
+		{"dup name", func(m *Model) { m.Tasks[1].Name = "a" }, "duplicate task"},
+		{"empty name", func(m *Model) { m.Tasks[0].Name = "" }, "empty task name"},
+		{"dup priority", func(m *Model) { m.Tasks[1].Priority = 2 }, "share priority"},
+		{"bad exec time", func(m *Model) { m.Tasks[0].WCET = 0 }, "invalid execution times"},
+		{"bad offset", func(m *Model) { m.Tasks[0].Offset = 1000 }, "offset"},
+		{"edge unknown task", func(m *Model) { m.Edges[0].To = "zz" }, "unknown task"},
+		{"self edge", func(m *Model) { m.Edges[0].To = "a" }, "self edge"},
+		{"bad dlc", func(m *Model) { m.Edges[0].DLC = 12 }, "DLC"},
+		{"source with input", func(m *Model) {
+			m.Tasks[1].Source = true
+		}, "source task"},
+		{"orphan task", func(m *Model) {
+			m.Edges = nil
+		}, "no inputs"},
+		{"disjunction out-degree", func(m *Model) {
+			m.Tasks[0].Kind = Disjunction
+		}, "disjunction task"},
+		{"waits sync without emitter", func(m *Model) {
+			m.Tasks[1].WaitsSync = true
+		}, "sync"},
+	}
+	for _, c := range cases {
+		m := base()
+		c.mutate(m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateDuplicateCANID(t *testing.T) {
+	m := &Model{
+		Name:   "m",
+		Period: 100,
+		Tasks: []Task{
+			{Name: "a", Priority: 3, BCET: 1, WCET: 1, Source: true},
+			{Name: "b", Priority: 2, BCET: 1, WCET: 1},
+			{Name: "c", Priority: 1, BCET: 1, WCET: 1},
+		},
+		Edges: []Edge{
+			{From: "a", To: "b", CANID: 1, DLC: 1},
+			{From: "a", To: "c", CANID: 1, DLC: 1},
+		},
+	}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "CAN id") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateCyclic(t *testing.T) {
+	m := &Model{
+		Name:   "m",
+		Period: 100,
+		Tasks: []Task{
+			{Name: "a", Priority: 2, BCET: 1, WCET: 1},
+			{Name: "b", Priority: 1, BCET: 1, WCET: 1},
+		},
+		Edges: []Edge{
+			{From: "a", To: "b", CANID: 1, DLC: 1},
+			{From: "b", To: "a", CANID: 2, DLC: 1},
+		},
+	}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFireSourcesAlwaysFire(t *testing.T) {
+	m := Figure1()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		plan := m.Fire(r)
+		if !plan.Fired["t1"] {
+			t.Fatal("source t1 did not fire")
+		}
+		// t4 fires iff t2 or t3 fired; t1 always chooses >= 1 branch.
+		if !plan.Fired["t2"] && !plan.Fired["t3"] {
+			t.Fatal("disjunction chose an empty subset")
+		}
+		if !plan.Fired["t4"] {
+			t.Fatal("t4 should fire whenever t2 or t3 fires")
+		}
+	}
+}
+
+func TestFireChosenEdgesConsistent(t *testing.T) {
+	m := GMStyle()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		plan := m.Fire(r)
+		for _, e := range plan.ChosenEdges {
+			if !plan.Fired[e.From] {
+				t.Fatalf("edge %s->%s chosen but %s did not fire", e.From, e.To, e.From)
+			}
+			if !plan.Fired[e.To] {
+				t.Fatalf("edge %s->%s chosen but %s did not fire", e.From, e.To, e.To)
+			}
+		}
+		// Every fired non-source has an incoming chosen edge.
+		for name := range plan.Fired {
+			if m.Task(name).Source {
+				continue
+			}
+			found := false
+			for _, e := range plan.ChosenEdges {
+				if e.To == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("task %s fired without input", name)
+			}
+		}
+	}
+}
+
+func TestFireExploresDisjunctionChoices(t *testing.T) {
+	m := Figure1()
+	r := rand.New(rand.NewSource(3))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		plan := m.Fire(r)
+		key := ""
+		if plan.Fired["t2"] {
+			key += "2"
+		}
+		if plan.Fired["t3"] {
+			key += "3"
+		}
+		seen[key] = true
+	}
+	for _, want := range []string{"2", "3", "23"} {
+		if !seen[want] {
+			t.Errorf("choice %q never explored", want)
+		}
+	}
+}
+
+func TestMustExecutePairsFigure1(t *testing.T) {
+	must, ok := Figure1().MustExecutePairs(16)
+	if !ok {
+		t.Fatal("enumeration abandoned")
+	}
+	// t1 always leads to t4, in every resolution.
+	if !must[[2]string{"t1", "t4"}] {
+		t.Error("missing t1 -> t4")
+	}
+	if !must[[2]string{"t4", "t1"}] {
+		t.Error("missing t4 -> t1 (co-execution)")
+	}
+	// t1 does not always lead to t2.
+	if must[[2]string{"t1", "t2"}] {
+		t.Error("t1 -> t2 should not be unconditional")
+	}
+}
+
+func TestMustExecutePairsGMStyle(t *testing.T) {
+	must, ok := GMStyle().MustExecutePairs(16)
+	if !ok {
+		t.Fatal("enumeration abandoned")
+	}
+	// The paper's published properties: whatever mode A chooses, L
+	// executes; whatever mode B chooses, M executes.
+	if !must[[2]string{"A", "L"}] {
+		t.Error("missing A -> L")
+	}
+	if !must[[2]string{"B", "M"}] {
+		t.Error("missing B -> M")
+	}
+	// A's individual modes are not unconditional.
+	if must[[2]string{"A", "D"}] || must[[2]string{"A", "E"}] {
+		t.Error("A's modes should be conditional")
+	}
+}
+
+func TestMustExecutePairsBudget(t *testing.T) {
+	if _, ok := GMStyle().MustExecutePairs(2); ok {
+		t.Error("enumeration should be abandoned under a tiny budget")
+	}
+}
+
+func TestSortedMustExecute(t *testing.T) {
+	must := map[[2]string]bool{{"b", "a"}: true, {"a", "b"}: true, {"a", "a"}: true}
+	got := SortedMustExecute(must)
+	if len(got) != 3 || got[0] != [2]string{"a", "a"} || got[2] != [2]string{"b", "a"} {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRandomModelValid(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		opt := DefaultRandomOptions()
+		opt.Layers = 2 + r.Intn(3)
+		opt.TasksPerLayer = 1 + r.Intn(4)
+		m := RandomModel(r, opt)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomModelDegenerateOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := RandomModel(r, RandomOptions{})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := Figure1().DOT()
+	for _, want := range []string{"digraph", "diamond", "doublecircle", `"t1" -> "t2"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Regular.String() != "regular" || Disjunction.String() != "disjunction" ||
+		Conjunction.String() != "conjunction" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("invalid kind string")
+	}
+}

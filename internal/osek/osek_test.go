@@ -1,0 +1,169 @@
+package osek
+
+import "testing"
+
+func TestSingleJob(t *testing.T) {
+	c := New()
+	if err := c.Release("a", 1, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.NextCompletion(); !ok || got != 15 {
+		t.Fatalf("NextCompletion = %d, %v", got, ok)
+	}
+	c.AdvanceTo(20)
+	done := c.TakeCompleted()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	e := done[0]
+	if e.Task != "a" || e.Start != 5 || e.End != 15 || e.Release != 5 {
+		t.Errorf("exec = %+v", e)
+	}
+	if e.Response() != 10 {
+		t.Errorf("response = %d", e.Response())
+	}
+	if !c.Idle() {
+		t.Error("CPU should be idle")
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	c := New()
+	// Low priority job starts at 0, runs 100.
+	if err := c.Release("low", 1, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	// High priority job preempts at 30 for 20.
+	if err := c.Release("high", 2, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTo(1000)
+	done := c.TakeCompleted()
+	if len(done) != 2 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	if done[0].Task != "high" || done[0].Start != 30 || done[0].End != 50 {
+		t.Errorf("high = %+v", done[0])
+	}
+	// low: started at 0, ran 30, preempted 20, finishes at 120. Its
+	// interval contains the preemptor's.
+	if done[1].Task != "low" || done[1].Start != 0 || done[1].End != 120 {
+		t.Errorf("low = %+v", done[1])
+	}
+}
+
+func TestNoPreemptionByLowerPriority(t *testing.T) {
+	c := New()
+	c.Release("high", 5, 50, 0)
+	c.Release("low", 1, 10, 10)
+	c.AdvanceTo(200)
+	done := c.TakeCompleted()
+	if done[0].Task != "high" || done[0].End != 50 {
+		t.Errorf("high = %+v", done[0])
+	}
+	if done[1].Task != "low" || done[1].Start != 50 || done[1].End != 60 {
+		t.Errorf("low = %+v (should wait for high)", done[1])
+	}
+}
+
+func TestNestedPreemption(t *testing.T) {
+	c := New()
+	c.Release("p1", 1, 100, 0)
+	c.Release("p2", 2, 50, 10)
+	c.Release("p3", 3, 20, 20)
+	c.AdvanceTo(1000)
+	done := c.TakeCompleted()
+	if len(done) != 3 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	// p3: 20..40; p2: 10..(50 run, preempted 20) = 80; p1: 0..170.
+	want := map[string][2]int64{"p3": {20, 40}, "p2": {10, 80}, "p1": {0, 170}}
+	for _, e := range done {
+		w := want[e.Task]
+		if e.Start != w[0] || e.End != w[1] {
+			t.Errorf("%s = [%d, %d], want %v", e.Task, e.Start, e.End, w)
+		}
+	}
+}
+
+func TestResumedJobNotRestarted(t *testing.T) {
+	c := New()
+	c.Release("low", 1, 10, 0)
+	c.Release("high", 2, 10, 5)
+	c.AdvanceTo(100)
+	for _, e := range c.TakeCompleted() {
+		if e.Task == "low" && e.Start != 0 {
+			t.Errorf("low start = %d, want 0 (first dispatch)", e.Start)
+		}
+	}
+}
+
+func TestReleaseInPast(t *testing.T) {
+	c := New()
+	c.Release("a", 1, 10, 50)
+	c.AdvanceTo(60)
+	if err := c.Release("b", 1, 10, 40); err == nil {
+		t.Error("past release accepted")
+	}
+}
+
+func TestReleaseNonPositiveDemand(t *testing.T) {
+	c := New()
+	if err := c.Release("a", 1, 0, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+}
+
+func TestIdleTimeAdvance(t *testing.T) {
+	c := New()
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Errorf("Now = %d", c.Now())
+	}
+	c.Release("a", 1, 10, 100)
+	if c.Running() != "a" {
+		t.Errorf("Running = %q", c.Running())
+	}
+	if c.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d", c.QueueLen())
+	}
+}
+
+func TestEqualPriorityFIFO(t *testing.T) {
+	c := New()
+	c.Release("first", 1, 10, 0)
+	c.Release("second", 1, 10, 1)
+	c.Release("third", 1, 10, 2)
+	c.AdvanceTo(100)
+	done := c.TakeCompleted()
+	order := []string{"first", "second", "third"}
+	for i, e := range done {
+		if e.Task != order[i] {
+			t.Errorf("completion %d = %s, want %s", i, e.Task, order[i])
+		}
+	}
+}
+
+func TestBackToBackUtilization(t *testing.T) {
+	// Many jobs released together: completions are contiguous and in
+	// priority order.
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.Release("t"+string(rune('a'+i)), 10-i, 7, 0)
+	}
+	c.AdvanceTo(1000)
+	done := c.TakeCompleted()
+	if len(done) != 10 {
+		t.Fatalf("completed = %d", len(done))
+	}
+	var prevEnd int64
+	for i, e := range done {
+		if e.Start != prevEnd {
+			t.Errorf("job %d starts at %d, want %d (no idle gaps)", i, e.Start, prevEnd)
+		}
+		prevEnd = e.End
+	}
+	if prevEnd != 70 {
+		t.Errorf("makespan = %d, want 70", prevEnd)
+	}
+}

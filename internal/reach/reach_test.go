@@ -1,0 +1,238 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/casestudy"
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+)
+
+func TestExploreUnconstrained(t *testing.T) {
+	ts := depfunc.MustTaskSet("a", "b", "c")
+	res, err := Explore(depfunc.Bottom(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 8 || res.Baseline != 8 || res.Reduction != 0 {
+		t.Errorf("unconstrained: %+v", res)
+	}
+}
+
+func TestExploreChain(t *testing.T) {
+	// a -> b -> c: completions are totally ordered, so the downsets
+	// are exactly the 4 prefixes.
+	d := depfunc.MustParseTable(`
+      a     b     c
+a     ||    ->    ||
+b     <-    ||    ->
+c     ||    <-    ||
+`)
+	res, err := Explore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 4 {
+		t.Errorf("chain states = %d, want 4", res.States)
+	}
+	if res.Reduction != 0.5 {
+		t.Errorf("reduction = %f, want 0.5", res.Reduction)
+	}
+}
+
+func TestExploreBwdEntriesCount(t *testing.T) {
+	// The same chain expressed only with <- entries.
+	d := depfunc.MustParseTable(`
+      a     b     c
+a     ||    ||    ||
+b     <-    ||    ||
+c     ||    <-    ||
+`)
+	res, err := Explore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 4 {
+		t.Errorf("states = %d, want 4", res.States)
+	}
+}
+
+func TestExploreDiamond(t *testing.T) {
+	// a before b and c; b, c before d: downsets of the diamond: {},
+	// {a}, {ab}, {ac}, {abc}, {abcd} = 6.
+	d := depfunc.MustParseTable(`
+      a     b     c     d
+a     ||    ->    ->    ||
+b     <-    ||    ||    ->
+c     <-    ||    ||    ->
+d     ||    <-    <-    ||
+`)
+	res, err := Explore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 6 {
+		t.Errorf("diamond states = %d, want 6", res.States)
+	}
+}
+
+func TestConditionalEntriesDoNotConstrain(t *testing.T) {
+	d := depfunc.MustParseTable(`
+      a     b
+a     ||    ->?
+b     <-?   ||
+`)
+	res, err := Explore(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 4 {
+		t.Errorf("states = %d, want 4 (conditional values impose no order)", res.States)
+	}
+}
+
+func TestExploreTooManyTasks(t *testing.T) {
+	ts, err := depfunc.NewTaskSet(uniqueNames(MaxTasks + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Explore(depfunc.Bottom(ts)); err == nil {
+		t.Error("oversized task set accepted")
+	}
+	if _, _, err := Reachable(depfunc.Bottom(ts), func(uint32) bool { return true }); err == nil {
+		t.Error("oversized task set accepted by Reachable")
+	}
+}
+
+func uniqueNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "t" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+	}
+	return out
+}
+
+func TestReachableQuery(t *testing.T) {
+	// b depends on a: "b completed without a" must be unreachable.
+	d := depfunc.MustParseTable(`
+      a     b
+a     ||    ->
+b     <-    ||
+`)
+	q, err := CompletedWithout(d, "b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := Reachable(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("b-without-a should be unreachable under a -> b")
+	}
+	// The reverse is reachable with witness {a}.
+	q, err = CompletedWithout(d, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, witness, err := Reachable(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(witness) != 1 || witness[0] != "a" {
+		t.Errorf("a-without-b: ok=%v witness=%v", ok, witness)
+	}
+}
+
+func TestCompletedWithoutErrors(t *testing.T) {
+	ts := depfunc.MustTaskSet("a")
+	d := depfunc.Bottom(ts)
+	if _, err := CompletedWithout(d, "zz", "a"); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := CompletedWithout(d, "a", "zz"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+// TestExploreCountsAreDownsets cross-checks the DFS count against
+// brute-force downset enumeration on random precedence orders.
+func TestExploreCountsAreDownsets(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + r.Intn(5)
+		names := uniqueNames(n)
+		ts, err := depfunc.NewTaskSet(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := depfunc.Bottom(ts)
+		// Random DAG edges i < j only (acyclic by construction).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(3) == 0 {
+					d.Set(i, j, lattice.Fwd)
+					d.Set(j, i, lattice.Bwd)
+				}
+			}
+		}
+		res, err := Explore(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := Precedence(d)
+		brute := 0
+		for s := uint32(0); s < 1<<uint(n); s++ {
+			ok := true
+			for task := 0; task < n; task++ {
+				if s&(1<<uint(task)) != 0 && s&pred[task] != pred[task] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				brute++
+			}
+		}
+		if res.States != brute {
+			t.Fatalf("iter %d: DFS %d vs brute %d downsets", iter, res.States, brute)
+		}
+	}
+}
+
+// TestCaseStudyStateSpace quantifies the paper's state-space-reduction
+// claim on the real learned model: the 18-task pessimistic space has
+// 2^18 = 262144 states; the learned dependencies eliminate the vast
+// majority, and the implicit Q-O ordering is provable by reachability.
+func TestCaseStudyStateSpace(t *testing.T) {
+	tr := casestudy.MustFullTrace()
+	res, err := learner.LearnBounded(tr, 32, casestudy.FullPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Explore(res.LUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Baseline != 1<<18 {
+		t.Fatalf("baseline = %d", exp.Baseline)
+	}
+	if exp.Reduction < 0.9 {
+		t.Errorf("state-space reduction = %.3f, want > 0.9 (%d of %d states)",
+			exp.Reduction, exp.States, exp.Baseline)
+	}
+	// The safety proof: Q can never complete before O.
+	q, err := CompletedWithout(res.LUB, "Q", "O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, witness, err := Reachable(res.LUB, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("Q-without-O reachable via %v despite learned d(Q,O)=<-", witness)
+	}
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	tbl := NewTable("Bound", "Run time").
+		AddRow(1, "0.2s").
+		AddRow(150, "19.0s")
+	out := tbl.Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Bound  Run time") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----  --------") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "150    19.0s") {
+		t.Errorf("row = %q", lines[3])
+	}
+	// No trailing spaces.
+	for i, ln := range lines {
+		if strings.TrimRight(ln, " ") != ln {
+			t.Errorf("line %d has trailing spaces: %q", i, ln)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := NewTable("a", "b").AddRow("x|y", 2).Markdown()
+	want := "| a | b |\n| --- | --- |\n| x\\|y | 2 |\n"
+	if out != want {
+		t.Errorf("got:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tbl := NewTable("a", "b", "c").
+		AddRow(1).
+		AddRow(1, 2, 3, 4)
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	out := tbl.Text()
+	if strings.Contains(out, "4") {
+		t.Errorf("extra cell not truncated:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[2], "1") {
+		t.Errorf("short row wrong: %q", lines[2])
+	}
+}
+
+func TestWideCellGrowsColumn(t *testing.T) {
+	out := NewTable("x").AddRow("a-very-wide-cell").Text()
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != len("a-very-wide-cell") {
+		t.Errorf("separator not grown: %q", lines[1])
+	}
+}

@@ -1,0 +1,34 @@
+package sat
+
+import "testing"
+
+// FuzzParseDIMACS checks that the DIMACS parser never panics, that
+// accepted formulas round-trip, and that the solver's verdict is
+// self-consistent (a returned model satisfies the formula).
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0\n")
+	f.Add("p cnf 3 0\n")
+	f.Add("")
+	f.Add("p cnf 2 1\n9 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cnf, err := ParseDIMACS(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseDIMACS(cnf.DIMACS())
+		if err != nil {
+			t.Fatalf("rendered DIMACS failed to parse: %v\n%s", err, cnf.DIMACS())
+		}
+		if back.NumVars != cnf.NumVars || len(back.Clauses) != len(cnf.Clauses) {
+			t.Fatalf("round trip changed shape")
+		}
+		// Keep the solver's work bounded on adversarial inputs.
+		if cnf.NumVars > 16 || len(cnf.Clauses) > 64 {
+			return
+		}
+		if a, ok, _ := Solve(cnf); ok && !Satisfies(cnf, a) {
+			t.Fatal("solver returned a non-satisfying model")
+		}
+	})
+}

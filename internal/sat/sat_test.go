@@ -1,0 +1,263 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+func TestLiteralBasics(t *testing.T) {
+	if Literal(3).Var() != 3 || Literal(-3).Var() != 3 {
+		t.Error("Var wrong")
+	}
+	if !Literal(3).Positive() || Literal(-3).Positive() {
+		t.Error("Positive wrong")
+	}
+}
+
+func TestAddClauseRange(t *testing.T) {
+	c := NewCNF(2)
+	if err := c.AddClause(1, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddClause(3); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	if err := c.AddClause(0); err == nil {
+		t.Error("zero literal accepted")
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	c := NewCNF(1)
+	if _, ok, _ := Solve(c); !ok {
+		t.Error("empty formula should be SAT")
+	}
+	c.MustAddClause(1)
+	a, ok, _ := Solve(c)
+	if !ok || !a[1] {
+		t.Error("unit clause not solved")
+	}
+	c.MustAddClause(-1)
+	if _, ok, _ := Solve(c); ok {
+		t.Error("x AND NOT x should be UNSAT")
+	}
+}
+
+func TestSolveSmallFormulas(t *testing.T) {
+	// (x1 | x2) & (!x1 | x2) & (x1 | !x2) -- satisfied by x1=x2=1.
+	c := NewCNF(2)
+	c.MustAddClause(1, 2)
+	c.MustAddClause(-1, 2)
+	c.MustAddClause(1, -2)
+	a, ok, _ := Solve(c)
+	if !ok || !Satisfies(c, a) {
+		t.Fatalf("ok=%v a=%v", ok, a)
+	}
+	// Add (!x1 | !x2) to make it UNSAT.
+	c.MustAddClause(-1, -2)
+	if _, ok, _ := Solve(c); ok {
+		t.Error("should be UNSAT")
+	}
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	// 3 pigeons, 2 holes: UNSAT. Variables p_{i,h} = 2i+h+1.
+	c := NewCNF(6)
+	v := func(i, h int) Literal { return Literal(2*i + h + 1) }
+	for i := 0; i < 3; i++ {
+		c.MustAddClause(v(i, 0), v(i, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				c.MustAddClause(-v(i, h), -v(j, h))
+			}
+		}
+	}
+	if _, ok, _ := Solve(c); ok {
+		t.Error("pigeonhole 3/2 should be UNSAT")
+	}
+}
+
+// TestSolveRandomAgainstBruteForce cross-checks DPLL against
+// exhaustive enumeration on random small formulas.
+func TestSolveRandomAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + r.Intn(5)
+		c := NewCNF(n)
+		nc := 1 + r.Intn(12)
+		for k := 0; k < nc; k++ {
+			width := 1 + r.Intn(3)
+			cl := make([]Literal, 0, width)
+			for w := 0; w < width; w++ {
+				l := Literal(1 + r.Intn(n))
+				if r.Intn(2) == 0 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			c.MustAddClause(cl...)
+		}
+		want := false
+		for mask := 0; mask < 1<<n; mask++ {
+			a := make(Assignment, n+1)
+			for v := 1; v <= n; v++ {
+				a[v] = mask&(1<<(v-1)) != 0
+			}
+			if Satisfies(c, a) {
+				want = true
+				break
+			}
+		}
+		a, got, _ := Solve(c)
+		if got != want {
+			t.Fatalf("iter %d: Solve=%v brute=%v\n%s", iter, got, want, c.DIMACS())
+		}
+		if got && !Satisfies(c, a) {
+			t.Fatalf("iter %d: returned assignment does not satisfy", iter)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	c := NewCNF(3)
+	c.MustAddClause(1, -2)
+	c.MustAddClause(2, 3)
+	out := c.DIMACS()
+	back, err := ParseDIMACS(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != 3 || len(back.Clauses) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.DIMACS() != out {
+		t.Errorf("unstable round trip:\n%s\nvs\n%s", out, back.DIMACS())
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	c, err := ParseDIMACS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVars != 3 || len(c.Clauses) != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+	for _, bad := range []string{
+		"",
+		"1 2 0\n",
+		"p cnf x y\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1 1\nfoo 0\n",
+	} {
+		if _, err := ParseDIMACS(bad); err == nil {
+			t.Errorf("ParseDIMACS(%q) succeeded", bad)
+		}
+	}
+	// Trailing clause without 0 terminator is accepted.
+	c, err = ParseDIMACS("p cnf 2 1\n1 2")
+	if err != nil || len(c.Clauses) != 1 {
+		t.Errorf("trailing clause: %v %+v", err, c)
+	}
+}
+
+func TestEncodeAssignmentShapes(t *testing.T) {
+	p12 := depfunc.Pair{S: 1, R: 2}
+	p13 := depfunc.Pair{S: 1, R: 3}
+	// Two messages, both only (1,2): UNSAT (one message per pair).
+	cnf := EncodeAssignment([][]depfunc.Pair{{p12}, {p12}})
+	if _, ok, _ := Solve(cnf); ok {
+		t.Error("two messages on one pair should be UNSAT")
+	}
+	// Second can take (1,3): SAT.
+	cnf = EncodeAssignment([][]depfunc.Pair{{p12}, {p12, p13}})
+	if _, ok, _ := Solve(cnf); !ok {
+		t.Error("should be SAT")
+	}
+	// No messages: SAT.
+	if _, ok, _ := Solve(EncodeAssignment(nil)); !ok {
+		t.Error("empty assignment should be SAT")
+	}
+}
+
+// TestMatchPeriodAgreesWithBacktracking is the cross-validation
+// property: the SAT-based matcher and the backtracking matcher in
+// depfunc must agree on random dependency functions and periods.
+func TestMatchPeriodAgreesWithBacktracking(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := trace.PaperFigure2()
+	ts := depfunc.MustTaskSet(tr.Tasks...)
+	for iter := 0; iter < 400; iter++ {
+		d := depfunc.Bottom(ts)
+		for i := 0; i < ts.Len(); i++ {
+			for j := 0; j < ts.Len(); j++ {
+				if i != j {
+					d.Set(i, j, lattice.Value(r.Intn(7)))
+				}
+			}
+		}
+		p := tr.Periods[r.Intn(len(tr.Periods))]
+		want := depfunc.Match(d, p, depfunc.CandidatePolicy{})
+		got := MatchPeriod(d, p, depfunc.CandidatePolicy{})
+		if got != want {
+			t.Fatalf("iter %d: sat=%v backtracking=%v\n%s", iter, got, want, d.Table())
+		}
+	}
+}
+
+func TestMatchPeriodImplicationViolation(t *testing.T) {
+	tr := trace.PaperFigure2()
+	ts := depfunc.MustTaskSet(tr.Tasks...)
+	d := depfunc.Bottom(ts)
+	d.Set(0, 1, lattice.Fwd) // t1 -> t2 violated in period 2
+	if MatchPeriod(d, tr.Periods[1], depfunc.CandidatePolicy{}) {
+		t.Error("implication violation not detected")
+	}
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	c := NewCNF(3)
+	c.MustAddClause(1, 2, 3)
+	c.MustAddClause(-1, -2)
+	c.MustAddClause(-2, -3)
+	c.MustAddClause(-1, -3)
+	_, ok, st := Solve(c)
+	if !ok {
+		t.Fatal("should be SAT (exactly one true)")
+	}
+	if st.Decisions == 0 && st.Propagations == 0 {
+		t.Error("stats empty")
+	}
+}
+
+func TestDIMACSSortedDeterministic(t *testing.T) {
+	c := NewCNF(3)
+	c.MustAddClause(3, 1, -2)
+	out := c.DIMACS()
+	if !strings.Contains(out, "1 -2 3 0") {
+		t.Errorf("clause not sorted by variable:\n%s", out)
+	}
+}
+
+func TestParseDIMACSNegativeCounts(t *testing.T) {
+	// Regression: a negative variable count must be rejected, not
+	// panic the solver's allocation.
+	if _, err := ParseDIMACS("p cnf -5 2\n0\n"); err == nil {
+		t.Fatal("negative variable count accepted")
+	}
+	if _, err := ParseDIMACS("p cnf 2 -1\n1 0\n"); err == nil {
+		t.Fatal("negative clause count accepted")
+	}
+}

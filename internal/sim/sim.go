@@ -1,0 +1,316 @@
+// Package sim executes a design model on the osek scheduler and can
+// bus substrates, producing the timestamped bus trace a logging device
+// would record (Section 2.1 of the paper): task start/end events and
+// message rising/falling edges, grouped into periods.
+//
+// Each period the model's nondeterminism is resolved (disjunction
+// nodes choose execution paths), source tasks are released by the
+// period timer, every other fired task is released when all the
+// messages actually sent to it this period have arrived, and tasks
+// send their messages on the bus when they complete. The simulation is
+// a discrete-event loop driven by the next CPU completion, bus falling
+// edge, or timer release.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/blackbox-rt/modelgen/internal/can"
+	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/osek"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Periods is the number of periods to simulate.
+	Periods int
+	// Seed feeds the deterministic random source used for disjunction
+	// choices and execution-time jitter.
+	Seed int64
+	// BitRate is the CAN bus speed in bits per second (default
+	// 500 kbit/s).
+	BitRate int64
+}
+
+// Output is the result of a simulation.
+type Output struct {
+	// Trace is the observable bus log, ready for the learner.
+	Trace *trace.Trace
+	// Execs lists every completed job with release, start and end
+	// times — ground-truth scheduling data used by the latency
+	// analysis experiments (not visible to the learner).
+	Execs []osek.Exec
+	// MessagesSent counts design messages plus infrastructure sync
+	// frames.
+	MessagesSent int
+	// Sent records the ground-truth sender and receiver of every
+	// message label (receiver "" for broadcast sync frames). This is
+	// oracle data for evaluating learned models; the learner never
+	// sees it.
+	Sent map[string]SentMessage
+}
+
+// SentMessage is the ground truth for one message occurrence.
+type SentMessage struct {
+	From, To string
+}
+
+// Run simulates the model and returns the trace.
+func Run(m *model.Model, opt Options) (*Output, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Periods <= 0 {
+		return nil, fmt.Errorf("sim: Periods must be positive")
+	}
+	bitRate := opt.BitRate
+	if bitRate == 0 {
+		bitRate = 500_000
+	}
+	bus, err := can.New(bitRate)
+	if err != nil {
+		return nil, err
+	}
+	// One fixed-priority preemptive kernel per ECU.
+	cpus := map[string]*osek.CPU{}
+	var ecuOrder []string
+	for _, t := range m.Tasks {
+		if _, ok := cpus[t.ECU]; !ok {
+			cpus[t.ECU] = osek.New()
+			ecuOrder = append(ecuOrder, t.ECU)
+		}
+	}
+	cpuOf := func(task string) *osek.CPU { return cpus[m.Task(task).ECU] }
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var events []trace.Event
+	out := &Output{Sent: map[string]SentMessage{}}
+	msgSeq := 0
+
+	syncEmitters := map[string]bool{}
+	for _, t := range m.Tasks {
+		if t.EmitsSync {
+			syncEmitters[t.Name] = true
+		}
+	}
+
+	for p := 0; p < opt.Periods; p++ {
+		base := int64(p) * m.Period
+		for _, ecu := range ecuOrder {
+			if cpus[ecu].Now() > base {
+				return nil, fmt.Errorf("sim: period %d overruns into period %d (ECU %q at %d, boundary %d); reduce load or enlarge the period",
+					p-1, p, ecu, cpus[ecu].Now(), base)
+			}
+		}
+		if bus.Now() > base {
+			return nil, fmt.Errorf("sim: period %d overruns into period %d (bus at %d, boundary %d); reduce load or enlarge the period",
+				p-1, p, bus.Now(), base)
+		}
+		events = append(events, trace.Event{Time: base, Kind: trace.PeriodMark})
+
+		plan := m.Fire(rng)
+		// Per-receiver expected design inputs this period.
+		expect := map[string]int{}
+		for _, e := range plan.ChosenEdges {
+			expect[e.To]++
+		}
+		syncFires := false
+		for name := range syncEmitters {
+			if plan.Fired[name] {
+				syncFires = true
+			}
+		}
+		// Release bookkeeping.
+		type state struct {
+			needInputs int
+			needSync   bool
+			released   bool
+			demand     int64
+		}
+		st := map[string]*state{}
+		var sources []struct {
+			name string
+			at   int64
+		}
+		remaining := 0
+		// Iterate in declaration order: drawing execution times from
+		// the shared random source must be deterministic.
+		for i := range m.Tasks {
+			name := m.Tasks[i].Name
+			if !plan.Fired[name] {
+				continue
+			}
+			t := m.Task(name)
+			s := &state{needInputs: expect[name], demand: execTime(rng, t)}
+			if t.WaitsSync && syncFires && !t.EmitsSync {
+				s.needSync = true
+			}
+			st[name] = s
+			remaining++
+			if t.Source {
+				sources = append(sources, struct {
+					name string
+					at   int64
+				}{name, base + t.Offset})
+			}
+		}
+		// Deterministic source order: by release time, then priority.
+		sortSources(sources, m)
+
+		release := func(name string, at int64) error {
+			s := st[name]
+			if s.released {
+				return fmt.Errorf("sim: task %q released twice in period %d", name, p)
+			}
+			s.released = true
+			return cpuOf(name).Release(name, m.Task(name).Priority, s.demand, at)
+		}
+
+		pendingSrc := 0
+		busPending := 0 // frames enqueued but not delivered
+
+		// Event loop for this period.
+		for {
+			// Candidate next events.
+			var next int64
+			have := false
+			consider := func(t int64, ok bool) {
+				if ok && (!have || t < next) {
+					next, have = t, true
+				}
+			}
+			if pendingSrc < len(sources) {
+				consider(sources[pendingSrc].at, true)
+			}
+			for _, ecu := range ecuOrder {
+				consider(cpus[ecu].NextCompletion())
+			}
+			consider(bus.NextCompletion())
+			if !have {
+				break
+			}
+			// Fire timer releases first at this instant.
+			for pendingSrc < len(sources) && sources[pendingSrc].at == next {
+				src := sources[pendingSrc]
+				pendingSrc++
+				if err := release(src.name, src.at); err != nil {
+					return nil, err
+				}
+			}
+			var completed []osek.Exec
+			for _, ecu := range ecuOrder {
+				cpus[ecu].AdvanceTo(next)
+				completed = append(completed, cpus[ecu].TakeCompleted()...)
+			}
+			bus.AdvanceTo(next)
+			// Completed jobs send their messages.
+			for _, ex := range completed {
+				out.Execs = append(out.Execs, ex)
+				events = append(events,
+					trace.Event{Time: ex.Start, Kind: trace.TaskStart, Name: ex.Task},
+					trace.Event{Time: ex.End, Kind: trace.TaskEnd, Name: ex.Task})
+				remaining--
+				for _, e := range plan.ChosenEdges {
+					if e.From != ex.Task {
+						continue
+					}
+					msgSeq++
+					label := fmt.Sprintf("m%d", msgSeq)
+					out.Sent[label] = SentMessage{From: e.From, To: e.To}
+					if err := bus.Enqueue(can.Frame{ID: e.CANID, DLC: e.DLC, Label: label, Receiver: e.To}, ex.End); err != nil {
+						return nil, err
+					}
+					busPending++
+					out.MessagesSent++
+				}
+				if syncEmitters[ex.Task] {
+					msgSeq++
+					label := fmt.Sprintf("m%d", msgSeq)
+					out.Sent[label] = SentMessage{From: ex.Task}
+					if err := bus.Enqueue(can.Frame{ID: m.SyncCANID, DLC: m.SyncDLC, Label: label}, ex.End); err != nil {
+						return nil, err
+					}
+					busPending++
+					out.MessagesSent++
+				}
+			}
+			// Delivered frames release receivers.
+			for _, tx := range bus.TakeCompleted() {
+				events = append(events,
+					trace.Event{Time: tx.Rise, Kind: trace.MsgRise, Name: tx.Frame.Label},
+					trace.Event{Time: tx.Fall, Kind: trace.MsgFall, Name: tx.Frame.Label})
+				busPending--
+				if tx.Frame.Receiver == "" {
+					// Infrastructure sync: satisfies every waiting
+					// task. Release in priority order (deterministic,
+					// and what an OSEK kernel tick would do).
+					for i := range m.Tasks {
+						name := m.Tasks[i].Name
+						s, fired := st[name]
+						if !fired || !s.needSync {
+							continue
+						}
+						s.needSync = false
+						if s.needInputs == 0 && !s.released {
+							if err := release(name, tx.Fall); err != nil {
+								return nil, err
+							}
+						}
+					}
+					continue
+				}
+				s := st[tx.Frame.Receiver]
+				s.needInputs--
+				if s.needInputs == 0 && !s.needSync && !s.released {
+					if err := release(tx.Frame.Receiver, tx.Fall); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if remaining == 0 && busPending == 0 && pendingSrc == len(sources) {
+				break
+			}
+		}
+		if remaining != 0 || busPending != 0 {
+			return nil, fmt.Errorf("sim: period %d deadlocked with %d unfinished tasks and %d undelivered frames",
+				p, remaining, busPending)
+		}
+	}
+
+	tr, err := trace.FromEvents(m.TaskNames(), events)
+	if err != nil {
+		return nil, fmt.Errorf("sim: assembling trace: %w", err)
+	}
+	out.Trace = tr
+	return out, nil
+}
+
+func execTime(rng *rand.Rand, t *model.Task) int64 {
+	if t.WCET == t.BCET {
+		return t.BCET
+	}
+	return t.BCET + rng.Int63n(t.WCET-t.BCET+1)
+}
+
+func sortSources(srcs []struct {
+	name string
+	at   int64
+}, m *model.Model) {
+	for i := 1; i < len(srcs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := srcs[j-1], srcs[j]
+			swap := false
+			if b.at < a.at {
+				swap = true
+			} else if b.at == a.at && m.Task(b.name).Priority > m.Task(a.name).Priority {
+				swap = true
+			}
+			if !swap {
+				break
+			}
+			srcs[j-1], srcs[j] = srcs[j], srcs[j-1]
+		}
+	}
+}

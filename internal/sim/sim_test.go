@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/model"
+)
+
+func TestRunFigure1(t *testing.T) {
+	out, err := Run(model.Figure1(), Options{Periods: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trace.Periods) != 10 {
+		t.Fatalf("periods = %d", len(out.Trace.Periods))
+	}
+	for _, p := range out.Trace.Periods {
+		if !p.Executed("t1") || !p.Executed("t4") {
+			t.Errorf("period %d: t1/t4 missing", p.Index)
+		}
+	}
+}
+
+func TestRunOptionsErrors(t *testing.T) {
+	if _, err := Run(model.Figure1(), Options{Periods: 0}); err == nil {
+		t.Error("zero periods accepted")
+	}
+	if _, err := Run(model.Figure1(), Options{Periods: 1, BitRate: -5}); err == nil {
+		t.Error("negative bit rate accepted")
+	}
+	bad := model.Figure1()
+	bad.Period = 0
+	if _, err := Run(bad, Options{Periods: 1}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(model.GMStyle(), Options{Periods: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(model.GMStyle(), Options{Periods: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.String() != b.Trace.String() {
+		t.Error("same seed produced different traces")
+	}
+	c, err := Run(model.GMStyle(), Options{Periods: 5, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.String() == c.Trace.String() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRunGMStyleMatchesPaperStatistics(t *testing.T) {
+	// The paper's case study: 18 tasks, 330 messages, 27 periods, 700
+	// event-pair executions. Our synthetic controller must land close.
+	out, err := Run(model.GMStyle(), Options{Periods: 27, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Trace.Stats()
+	if s.Periods != 27 {
+		t.Errorf("periods = %d", s.Periods)
+	}
+	if s.Messages < 280 || s.Messages > 420 {
+		t.Errorf("messages = %d, want ≈330", s.Messages)
+	}
+	if s.EventPairs < 600 || s.EventPairs > 800 {
+		t.Errorf("event pairs = %d, want ≈700", s.EventPairs)
+	}
+	if len(out.Trace.Tasks) != 18 {
+		t.Errorf("tasks = %d, want 18", len(out.Trace.Tasks))
+	}
+}
+
+func TestGroundTruthPairsAreTimingFeasible(t *testing.T) {
+	// Every ground-truth (sender, receiver) pair must be in the
+	// unwindowed candidate set of its message: the sender ends before
+	// the rise, the receiver starts after the fall.
+	out, err := Run(model.GMStyle(), Options{Periods: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := depfunc.NewTaskSet(out.Trace.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out.Trace.Periods {
+		cands := depfunc.Candidates(p, ts, depfunc.CandidatePolicy{})
+		for mi, msg := range p.Msgs {
+			truth, ok := out.Sent[msg.ID]
+			if !ok {
+				t.Fatalf("message %q has no ground truth", msg.ID)
+			}
+			if truth.To == "" {
+				continue // broadcast sync
+			}
+			want := depfunc.Pair{S: ts.Index(truth.From), R: ts.Index(truth.To)}
+			found := false
+			for _, pr := range cands[mi] {
+				if pr == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("period %d message %q: true pair %s->%s not timing-feasible",
+					p.Index, msg.ID, truth.From, truth.To)
+			}
+		}
+	}
+}
+
+func TestSyncFrameGatesQ(t *testing.T) {
+	// Q must always start after the sync frame falls — that is the
+	// infrastructure interaction behind the implicit Q–O dependency.
+	out, err := Run(model.GMStyle(), Options{Periods: 27, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out.Trace.Periods {
+		if !p.Executed("Q") || !p.Executed("O") {
+			t.Fatalf("period %d: Q or O missing", p.Index)
+		}
+		var syncFall int64 = -1
+		for _, msg := range p.Msgs {
+			truth := out.Sent[msg.ID]
+			if truth.From == "O" && truth.To == "" {
+				syncFall = msg.Fall
+			}
+		}
+		if syncFall < 0 {
+			t.Fatalf("period %d: no sync frame", p.Index)
+		}
+		if q := p.Execs["Q"]; q.Start < syncFall {
+			t.Errorf("period %d: Q starts at %d before sync falls at %d", p.Index, q.Start, syncFall)
+		}
+	}
+}
+
+func TestExecsMatchTraceIntervals(t *testing.T) {
+	out, err := Run(model.Figure1(), Options{Periods: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each Exec appears as the corresponding trace interval.
+	perPeriod := map[int]map[string][2]int64{}
+	for _, e := range out.Execs {
+		p := int(e.Start / model.Figure1().Period)
+		if perPeriod[p] == nil {
+			perPeriod[p] = map[string][2]int64{}
+		}
+		perPeriod[p][e.Task] = [2]int64{e.Start, e.End}
+	}
+	for _, p := range out.Trace.Periods {
+		for name, iv := range p.Execs {
+			want, ok := perPeriod[p.Index][name]
+			if !ok {
+				t.Fatalf("period %d: no Exec for %s", p.Index, name)
+			}
+			if iv.Start != want[0] || iv.End != want[1] {
+				t.Errorf("period %d %s: trace [%d,%d] vs exec %v", p.Index, name, iv.Start, iv.End, want)
+			}
+		}
+	}
+}
+
+func TestReleaseNeverBeforeInputs(t *testing.T) {
+	out, err := Run(model.GMStyleLite(), Options{Periods: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Execs {
+		if e.Start < e.Release {
+			t.Errorf("task %s starts at %d before release %d", e.Task, e.Start, e.Release)
+		}
+	}
+}
+
+func TestRandomModelsSimulate(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 10; i++ {
+		opt := model.DefaultRandomOptions()
+		opt.Layers = 2 + r.Intn(2)
+		opt.TasksPerLayer = 1 + r.Intn(3)
+		m := model.RandomModel(r, opt)
+		out, err := Run(m, Options{Periods: 5, Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if err := out.Trace.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+func TestMessagesSentAccounting(t *testing.T) {
+	out, err := Run(model.GMStyleLite(), Options{Periods: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MessagesSent != out.Trace.Stats().Messages {
+		t.Errorf("MessagesSent = %d, trace says %d", out.MessagesSent, out.Trace.Stats().Messages)
+	}
+	if len(out.Sent) != out.MessagesSent {
+		t.Errorf("Sent has %d entries, want %d", len(out.Sent), out.MessagesSent)
+	}
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text trace format is line oriented:
+//
+//	# comment
+//	tasks t1 t2 t3 t4
+//	period
+//	exec t1 0 10
+//	msg m1 12 15
+//	period
+//	...
+//
+// "tasks" declares the predefined task set and must appear before the
+// first period. "period" opens a new period. "exec NAME START END"
+// records a task execution, "msg ID RISE FALL" a message occurrence.
+// For raw logs the event-level forms "start NAME T", "end NAME T",
+// "rise ID T" and "fall ID T" are also accepted and matched up exactly
+// like FromEvents. Blank lines and '#' comments are ignored.
+
+// Write serializes the trace in the compact text format.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "tasks %s\n", strings.Join(tr.Tasks, " "))
+	for _, p := range tr.Periods {
+		fmt.Fprintln(bw, "period")
+		// Emit executions in start order for readability.
+		for _, t := range p.execsByStart() {
+			iv := p.Execs[t]
+			fmt.Fprintf(bw, "exec %s %d %d\n", t, iv.Start, iv.End)
+		}
+		for _, m := range p.Msgs {
+			fmt.Fprintf(bw, "msg %s %d %d\n", m.ID, m.Rise, m.Fall)
+		}
+	}
+	return bw.Flush()
+}
+
+func (p *Period) execsByStart() []string {
+	names := p.ExecutedTasks()
+	// Stable sort by start time; ExecutedTasks already sorted by name.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && p.Execs[names[j]].Start < p.Execs[names[j-1]].Start; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// String renders the trace in the text format.
+func (tr *Trace) String() string {
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		return fmt.Sprintf("trace: %v", err)
+	}
+	return sb.String()
+}
+
+// Read parses a trace in the text format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var tasks []string
+	var events []Event
+	sawTasks := false
+	lineNo := 0
+
+	parseInt := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "tasks":
+			if sawTasks {
+				return nil, fmt.Errorf("trace: line %d: duplicate tasks declaration", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("trace: line %d: empty task set", lineNo)
+			}
+			tasks = fields[1:]
+			sawTasks = true
+		case "period":
+			if !sawTasks {
+				return nil, fmt.Errorf("trace: line %d: period before tasks declaration", lineNo)
+			}
+			t := int64(0)
+			if len(events) > 0 {
+				t = events[len(events)-1].Time
+			}
+			events = append(events, Event{Time: t, Kind: PeriodMark})
+		case "exec":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: exec wants NAME START END", lineNo)
+			}
+			start, err := parseInt(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			end, err := parseInt(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			events = append(events,
+				Event{Time: start, Kind: TaskStart, Name: fields[1]},
+				Event{Time: end, Kind: TaskEnd, Name: fields[1]})
+		case "msg":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: msg wants ID RISE FALL", lineNo)
+			}
+			rise, err := parseInt(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			fall, err := parseInt(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			events = append(events,
+				Event{Time: rise, Kind: MsgRise, Name: fields[1]},
+				Event{Time: fall, Kind: MsgFall, Name: fields[1]})
+		case "start", "end", "rise", "fall":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: %s wants NAME TIME", lineNo, fields[0])
+			}
+			t, err := parseInt(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			var k Kind
+			switch fields[0] {
+			case "start":
+				k = TaskStart
+			case "end":
+				k = TaskEnd
+			case "rise":
+				k = MsgRise
+			case "fall":
+				k = MsgFall
+			}
+			events = append(events, Event{Time: t, Kind: k, Name: fields[1]})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawTasks {
+		return nil, fmt.Errorf("trace: missing tasks declaration")
+	}
+	return fromOrderedEvents(tasks, events)
+}
+
+// fromOrderedEvents is FromEvents without the time sort: the text
+// format's line order is authoritative, so that periods whose
+// timestamps restart (e.g. per-period clocks) still parse.
+func fromOrderedEvents(tasks []string, events []Event) (*Trace, error) {
+	tr := New(tasks)
+	cur := &Period{Index: 0, Execs: map[string]Interval{}}
+	started := false
+	openStart := map[string]int64{}
+	openRise := map[string]int64{}
+
+	flush := func() error {
+		if len(openStart) > 0 || len(openRise) > 0 {
+			return fmt.Errorf("%w: period %d has %d open task(s) and %d open message(s)",
+				ErrCrossingPeriod, cur.Index, len(openStart), len(openRise))
+		}
+		if started {
+			tr.Periods = append(tr.Periods, cur)
+		}
+		cur = &Period{Index: cur.Index + 1, Execs: map[string]Interval{}}
+		started = false
+		return nil
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case PeriodMark:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		case TaskStart:
+			if !tr.HasTask(ev.Name) {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownTask, ev.Name)
+			}
+			if _, dup := cur.Execs[ev.Name]; dup {
+				return nil, fmt.Errorf("%w: %q in period %d", ErrDuplicateExec, ev.Name, cur.Index)
+			}
+			if _, open := openStart[ev.Name]; open {
+				return nil, fmt.Errorf("%w: double start of %q", ErrUnmatchedEvent, ev.Name)
+			}
+			openStart[ev.Name] = ev.Time
+		case TaskEnd:
+			st, ok := openStart[ev.Name]
+			if !ok {
+				return nil, fmt.Errorf("%w: end of %q without start", ErrUnmatchedEvent, ev.Name)
+			}
+			delete(openStart, ev.Name)
+			cur.Execs[ev.Name] = Interval{Start: st, End: ev.Time}
+		case MsgRise:
+			if _, open := openRise[ev.Name]; open {
+				return nil, fmt.Errorf("%w: double rise of %q", ErrUnmatchedEvent, ev.Name)
+			}
+			openRise[ev.Name] = ev.Time
+		case MsgFall:
+			rise, ok := openRise[ev.Name]
+			if !ok {
+				return nil, fmt.Errorf("%w: fall of %q without rise", ErrUnmatchedEvent, ev.Name)
+			}
+			delete(openRise, ev.Name)
+			cur.Msgs = append(cur.Msgs, Message{ID: ev.Name, Rise: rise, Fall: ev.Time})
+		}
+		started = true
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for i, p := range tr.Periods {
+		p.Index = i
+	}
+	sortMessages(tr)
+	// Per-period clock restarts are allowed in the text format, so
+	// validate everything except global period ordering.
+	full := tr.Validate()
+	if full != nil && !errors.Is(full, ErrUnsortedPeriods) {
+		return nil, full
+	}
+	return tr, nil
+}
+
+// ReadString parses a trace from a string in the text format.
+func ReadString(s string) (*Trace, error) {
+	return Read(strings.NewReader(s))
+}

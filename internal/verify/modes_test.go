@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+func figure2Trace() *trace.Trace { return trace.PaperFigure2() }
+
+func TestModesFigure2(t *testing.T) {
+	ms := Modes(figure2Trace())
+	// Three distinct modes, one period each.
+	if len(ms) != 3 {
+		t.Fatalf("modes = %d, want 3", len(ms))
+	}
+	keys := map[string]bool{}
+	for _, m := range ms {
+		if m.Count() != 1 {
+			t.Errorf("mode %s count = %d", m.Key(), m.Count())
+		}
+		keys[m.Key()] = true
+	}
+	for _, want := range []string{"t1+t2+t4", "t1+t3+t4", "t1+t2+t3+t4"} {
+		if !keys[want] {
+			t.Errorf("missing mode %s; got %v", want, keys)
+		}
+	}
+}
+
+func TestModesAggregateRepeats(t *testing.T) {
+	tr := trace.NewBuilder([]string{"a", "b"}).
+		StartPeriod().Exec("a", 0, 1).
+		StartPeriod().Exec("a", 100, 101).Exec("b", 102, 103).
+		StartPeriod().Exec("a", 200, 201).
+		MustBuild()
+	ms := Modes(tr)
+	if len(ms) != 2 {
+		t.Fatalf("modes = %d, want 2", len(ms))
+	}
+	// Most frequent first.
+	if ms[0].Key() != "a" || ms[0].Count() != 2 {
+		t.Errorf("first mode = %s x%d", ms[0].Key(), ms[0].Count())
+	}
+	if ms[0].Periods[0] != 0 || ms[0].Periods[1] != 2 {
+		t.Errorf("mode periods = %v", ms[0].Periods)
+	}
+}
+
+func TestAnalyzeModesAlwaysOn(t *testing.T) {
+	rep := AnalyzeModes(figure2Trace(), nil)
+	want := []string{"t1", "t4"}
+	if len(rep.AlwaysOn) != len(want) {
+		t.Fatalf("AlwaysOn = %v", rep.AlwaysOn)
+	}
+	for i := range want {
+		if rep.AlwaysOn[i] != want[i] {
+			t.Fatalf("AlwaysOn = %v, want %v", rep.AlwaysOn, want)
+		}
+	}
+}
+
+func TestAnalyzeModesConsistentModel(t *testing.T) {
+	// The paper's dLUB must be consistent with the paper's own trace.
+	d := depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+	rep := AnalyzeModes(figure2Trace(), d)
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeModesDetectsViolation(t *testing.T) {
+	// Claim t1 always determines t2 — refuted by period 2's mode.
+	d := depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->    ||    ||
+t2    <-    ||    ||    ||
+t3    ||    ||    ||    ||
+t4    ||    ||    ||    ||
+`)
+	rep := AnalyzeModes(figure2Trace(), d)
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violation reported")
+	}
+	if !strings.Contains(rep.Violations[0], "d(t1,t2)") {
+		t.Errorf("violation text: %q", rep.Violations[0])
+	}
+}
+
+func TestAnalyzeModesEmptyTrace(t *testing.T) {
+	rep := AnalyzeModes(trace.New([]string{"a"}), nil)
+	if len(rep.Modes) != 0 || len(rep.AlwaysOn) != 0 {
+		t.Errorf("empty trace report: %+v", rep)
+	}
+}
+
+func TestModeOfDisjunction(t *testing.T) {
+	d := depfunc.MustParseTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+	got := ModeOfDisjunction(figure2Trace(), d, "t1")
+	// Period 1: t2 only; period 2: t3 only; period 3: both.
+	expect := map[string]bool{"{t2}": true, "{t3}": true, "{t2,t3}": true}
+	if len(got) != 3 {
+		t.Fatalf("modes = %v", got)
+	}
+	for _, g := range got {
+		if !expect[g] {
+			t.Errorf("unexpected mode %s", g)
+		}
+	}
+	if ModeOfDisjunction(figure2Trace(), d, "zz") != nil {
+		t.Error("unknown task should return nil")
+	}
+}

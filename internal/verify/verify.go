@@ -1,0 +1,272 @@
+// Package verify extracts and checks system properties from learned
+// dependency functions, as in Section 3.4 of the paper: classifying
+// tasks as disjunction or conjunction nodes, proving must-execute
+// properties such as d(A,L) = →, computing reachability over the
+// dependency graph, and quantifying how much the learned dependencies
+// shrink the state space a model checker would have to explore
+// compared with the pessimistic all-tasks-independent assumption.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+// DisjunctionNodes returns the tasks that behave as disjunction nodes
+// in the learned model: tasks with at least two conditional outgoing
+// dependencies (d(t, x) = →?), i.e. tasks observed to choose among
+// execution paths.
+func DisjunctionNodes(d *depfunc.DepFunc) []string {
+	ts := d.TaskSet()
+	var out []string
+	for i := 0; i < ts.Len(); i++ {
+		n := 0
+		for j := 0; j < ts.Len(); j++ {
+			if i != j && d.At(i, j) == lattice.FwdMaybe {
+				n++
+			}
+		}
+		if n >= 2 {
+			out = append(out, ts.Name(i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConjunctionNodes returns the tasks that behave as conjunction nodes:
+// tasks with at least two incoming dependencies (d(t, x) ∈ {←, ←?})
+// of which at least one is conditional — they passively receive from
+// several possible predecessors, depending on decisions others made.
+func ConjunctionNodes(d *depfunc.DepFunc) []string {
+	ts := d.TaskSet()
+	var out []string
+	for i := 0; i < ts.Len(); i++ {
+		deps, conditional := 0, 0
+		for j := 0; j < ts.Len(); j++ {
+			if i == j {
+				continue
+			}
+			switch d.At(i, j) {
+			case lattice.Bwd:
+				deps++
+			case lattice.BwdMaybe:
+				deps++
+				conditional++
+			}
+		}
+		if deps >= 2 && conditional >= 1 {
+			out = append(out, ts.Name(i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustExecute reports whether the learned model proves that whenever a
+// executes, b executes too (d(a,b) ∈ {→, ←, ↔}).
+func MustExecute(d *depfunc.DepFunc, a, b string) bool {
+	v, err := d.Get(a, b)
+	if err != nil {
+		return false
+	}
+	return lattice.HasExecConstraint(v)
+}
+
+// Determines reports whether a always determines the execution of b
+// (d(a,b) = →), the property the paper proves for (A, L) and (B, M).
+func Determines(d *depfunc.DepFunc, a, b string) bool {
+	v, err := d.Get(a, b)
+	return err == nil && v == lattice.Fwd
+}
+
+// DependsOn reports whether a always depends on b (d(a,b) = ←) — the
+// paper's implicit Q–O dependency used to refine latency analysis.
+func DependsOn(d *depfunc.DepFunc, a, b string) bool {
+	v, err := d.Get(a, b)
+	return err == nil && v == lattice.Bwd
+}
+
+// Reachable returns the set of tasks reachable from start via forward
+// dependency edges (→ or →?), including start itself. This is the
+// cone of influence of a task in the learned model.
+func Reachable(d *depfunc.DepFunc, start string) []string {
+	ts := d.TaskSet()
+	s := ts.Index(start)
+	if s < 0 {
+		return nil
+	}
+	seen := make([]bool, ts.Len())
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < ts.Len(); j++ {
+			if seen[j] || i == j {
+				continue
+			}
+			if v := d.At(i, j); v == lattice.Fwd || v == lattice.FwdMaybe {
+				seen[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+	var out []string
+	for j, ok := range seen {
+		if ok {
+			out = append(out, ts.Name(j))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustClosure returns the transitive closure of the unconditional
+// determination relation: pairs (a, b) such that a chain of → edges
+// leads from a to b. The paper's "interesting result" — t1 always
+// determines t4 even with no direct design message — is an element of
+// this closure discovered directly by the learner.
+func MustClosure(d *depfunc.DepFunc) map[[2]string]bool {
+	ts := d.TaskSet()
+	n := ts.Len()
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			reach[i][j] = i != j && d.At(i, j) == lattice.Fwd
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	out := map[[2]string]bool{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if reach[i][j] {
+				out[[2]string{ts.Name(i), ts.Name(j)}] = true
+			}
+		}
+	}
+	return out
+}
+
+// Report summarizes the learned dependency structure and its
+// state-space impact.
+type Report struct {
+	Tasks        int
+	TotalPairs   int // ordered off-diagonal pairs
+	Independent  int // ‖ — no dependency observed
+	Firm         int // →, ←, ↔ — unconditional dependencies
+	Conditional  int // →?, ←? — conditional dependencies
+	Unknown      int // ↔? — nothing learned beyond "related somehow"
+	Disjunctions []string
+	Conjunctions []string
+	// OrderingKnown is the fraction of ordered pairs whose relative
+	// execution is constrained (firm or conditional); the pessimistic
+	// baseline of Tindell-style analysis assumes 0.
+	OrderingKnown float64
+	// InterleavingReduction estimates the state-space shrinkage for
+	// reachability analysis: each firm dependency removes the
+	// interleaving freedom of one ordered pair, halving the explored
+	// orderings contributed by that pair. It is reported as the
+	// fraction of pairs whose interleavings are eliminated.
+	InterleavingReduction float64
+}
+
+// Analyze builds a Report from a learned dependency function.
+func Analyze(d *depfunc.DepFunc) Report {
+	r := Report{
+		Tasks:        d.TaskSet().Len(),
+		Disjunctions: DisjunctionNodes(d),
+		Conjunctions: ConjunctionNodes(d),
+	}
+	d.Entries(func(i, j int, v lattice.Value) {
+		r.TotalPairs++
+		switch v {
+		case lattice.Par:
+			r.Independent++
+		case lattice.Fwd, lattice.Bwd, lattice.Bi:
+			r.Firm++
+		case lattice.FwdMaybe, lattice.BwdMaybe:
+			r.Conditional++
+		case lattice.BiMaybe:
+			r.Unknown++
+		}
+	})
+	if r.TotalPairs > 0 {
+		r.OrderingKnown = float64(r.Firm+r.Conditional) / float64(r.TotalPairs)
+		r.InterleavingReduction = float64(r.Firm) / float64(r.TotalPairs)
+	}
+	return r
+}
+
+// String renders the report as an aligned text block.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tasks:                 %d\n", r.Tasks)
+	fmt.Fprintf(&sb, "disjunction nodes:     %s\n", strings.Join(r.Disjunctions, " "))
+	fmt.Fprintf(&sb, "conjunction nodes:     %s\n", strings.Join(r.Conjunctions, " "))
+	fmt.Fprintf(&sb, "firm dependencies:     %d\n", r.Firm)
+	fmt.Fprintf(&sb, "conditional:           %d\n", r.Conditional)
+	fmt.Fprintf(&sb, "independent:           %d\n", r.Independent)
+	fmt.Fprintf(&sb, "unknown:               %d\n", r.Unknown)
+	fmt.Fprintf(&sb, "ordering known:        %.1f%%\n", r.OrderingKnown*100)
+	fmt.Fprintf(&sb, "interleavings removed: %.1f%%\n", r.InterleavingReduction*100)
+	return sb.String()
+}
+
+// DesignComparison quantifies how faithfully the learned unconditional
+// determinations reflect the design's ground-truth must-execute pairs.
+type DesignComparison struct {
+	TruePositives  int // learned → that the design mandates
+	FalsePositives int // learned → the design does not mandate
+	FalseNegatives int // design must-pairs the learner missed
+	Precision      float64
+	Recall         float64
+}
+
+// CompareWithDesign compares the learned → relation (as an
+// "a determines b" claim) against the design's must-execute pairs
+// (from model.MustExecutePairs). A learned → at (a,b) corresponds to
+// the ground truth "whenever a fires, b fires".
+func CompareWithDesign(d *depfunc.DepFunc, must map[[2]string]bool) DesignComparison {
+	ts := d.TaskSet()
+	var c DesignComparison
+	for i := 0; i < ts.Len(); i++ {
+		for j := 0; j < ts.Len(); j++ {
+			if i == j {
+				continue
+			}
+			pair := [2]string{ts.Name(i), ts.Name(j)}
+			learned := lattice.HasExecConstraint(d.At(i, j))
+			if learned && must[pair] {
+				c.TruePositives++
+			} else if learned && !must[pair] {
+				c.FalsePositives++
+			} else if !learned && must[pair] {
+				c.FalseNegatives++
+			}
+		}
+	}
+	if c.TruePositives+c.FalsePositives > 0 {
+		c.Precision = float64(c.TruePositives) / float64(c.TruePositives+c.FalsePositives)
+	}
+	if c.TruePositives+c.FalseNegatives > 0 {
+		c.Recall = float64(c.TruePositives) / float64(c.TruePositives+c.FalseNegatives)
+	}
+	return c
+}

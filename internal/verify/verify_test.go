@@ -1,0 +1,196 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+)
+
+// learnedExample is a small learned-style dependency function:
+// a is a disjunction over b and c; d is a conjunction fed by b or c;
+// a always determines d.
+var learnedExample = depfunc.MustParseTable(`
+      a     b     c     d
+a     ||    ->?   ->?   ->
+b     <-    ||    ||    ->
+c     <-    ||    ||    ->
+d     <-    <-?   <-?   ||
+`)
+
+func TestDisjunctionNodes(t *testing.T) {
+	got := DisjunctionNodes(learnedExample)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("DisjunctionNodes = %v, want [a]", got)
+	}
+}
+
+func TestConjunctionNodes(t *testing.T) {
+	got := ConjunctionNodes(learnedExample)
+	if len(got) != 1 || got[0] != "d" {
+		t.Errorf("ConjunctionNodes = %v, want [d]", got)
+	}
+}
+
+func TestConjunctionRequiresConditional(t *testing.T) {
+	// Two firm <- dependencies without any <-? is a chain join, not a
+	// conjunction choice.
+	d := depfunc.MustParseTable(`
+      a     b     c
+a     ||    ||    ->
+b     ||    ||    ->
+c     <-    <-    ||
+`)
+	if got := ConjunctionNodes(d); len(got) != 0 {
+		t.Errorf("ConjunctionNodes = %v, want none", got)
+	}
+}
+
+func TestMustExecuteAndDetermines(t *testing.T) {
+	if !MustExecute(learnedExample, "a", "d") {
+		t.Error("a must lead to d")
+	}
+	if !Determines(learnedExample, "a", "d") {
+		t.Error("a determines d")
+	}
+	if Determines(learnedExample, "a", "b") {
+		t.Error("a only conditionally determines b")
+	}
+	if !DependsOn(learnedExample, "d", "a") {
+		t.Error("d depends on a")
+	}
+	if MustExecute(learnedExample, "zz", "a") || Determines(learnedExample, "a", "zz") ||
+		DependsOn(learnedExample, "zz", "zz") {
+		t.Error("unknown tasks should be false")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	got := Reachable(learnedExample, "a")
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Reachable(a) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reachable(a) = %v, want %v", got, want)
+		}
+	}
+	if got := Reachable(learnedExample, "d"); len(got) != 1 || got[0] != "d" {
+		t.Errorf("Reachable(d) = %v, want [d]", got)
+	}
+	if Reachable(learnedExample, "zz") != nil {
+		t.Error("unknown start should return nil")
+	}
+}
+
+func TestMustClosure(t *testing.T) {
+	// a -> d directly; also test chaining: x -> y -> z.
+	d := depfunc.MustParseTable(`
+      x     y     z
+x     ||    ->    ||
+y     <-    ||    ->
+z     ||    <-    ||
+`)
+	cl := MustClosure(d)
+	if !cl[[2]string{"x", "y"}] || !cl[[2]string{"y", "z"}] {
+		t.Error("direct edges missing from closure")
+	}
+	if !cl[[2]string{"x", "z"}] {
+		t.Error("transitive x -> z missing")
+	}
+	if cl[[2]string{"z", "x"}] {
+		t.Error("spurious backward pair")
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	r := Analyze(learnedExample)
+	if r.Tasks != 4 || r.TotalPairs != 12 {
+		t.Fatalf("Tasks=%d TotalPairs=%d", r.Tasks, r.TotalPairs)
+	}
+	// Entries: ->? x2, -> x1 ... row a: ->? ->? ->; row b: <- || ->;
+	// row c: <- || ->; row d: <- <-? <-?.
+	if r.Firm != 6 {
+		t.Errorf("Firm = %d, want 6", r.Firm)
+	}
+	if r.Conditional != 4 {
+		t.Errorf("Conditional = %d, want 4", r.Conditional)
+	}
+	if r.Independent != 2 {
+		t.Errorf("Independent = %d, want 2", r.Independent)
+	}
+	if r.Unknown != 0 {
+		t.Errorf("Unknown = %d, want 0", r.Unknown)
+	}
+	if r.OrderingKnown <= 0.8 || r.OrderingKnown > 0.84 {
+		t.Errorf("OrderingKnown = %f", r.OrderingKnown)
+	}
+	if r.InterleavingReduction != 0.5 {
+		t.Errorf("InterleavingReduction = %f", r.InterleavingReduction)
+	}
+	if len(r.Disjunctions) != 1 || len(r.Conjunctions) != 1 {
+		t.Errorf("classification: %v %v", r.Disjunctions, r.Conjunctions)
+	}
+}
+
+func TestAnalyzeEmptyish(t *testing.T) {
+	ts := depfunc.MustTaskSet("a")
+	r := Analyze(depfunc.Bottom(ts))
+	if r.TotalPairs != 0 || r.OrderingKnown != 0 {
+		t.Errorf("single-task report: %+v", r)
+	}
+}
+
+func TestCompareWithDesign(t *testing.T) {
+	must := map[[2]string]bool{
+		{"a", "d"}: true, // learned (TP)
+		{"d", "a"}: true, // learned as <- (TP)
+		{"b", "d"}: true, // learned (TP)
+		{"a", "x"}: true, // not in task set; ignored by iteration
+		{"b", "a"}: true, // learned <- at (b,a) (TP)
+		{"c", "a"}: true, // TP
+		{"c", "d"}: true, // TP
+		{"d", "b"}: true, // NOT learned firmly (<-?): FN
+	}
+	c := CompareWithDesign(learnedExample, must)
+	if c.TruePositives != 6 {
+		t.Errorf("TP = %d, want 6", c.TruePositives)
+	}
+	if c.FalseNegatives != 1 {
+		t.Errorf("FN = %d, want 1", c.FalseNegatives)
+	}
+	if c.FalsePositives != 0 {
+		t.Errorf("FP = %d, want 0", c.FalsePositives)
+	}
+	if c.Precision != 1.0 {
+		t.Errorf("Precision = %f", c.Precision)
+	}
+	if c.Recall <= 0.85 || c.Recall >= 0.86 {
+		t.Errorf("Recall = %f", c.Recall)
+	}
+}
+
+func TestCompareWithDesignEmpty(t *testing.T) {
+	ts := depfunc.MustTaskSet("a", "b")
+	c := CompareWithDesign(depfunc.Bottom(ts), nil)
+	if c.Precision != 0 || c.Recall != 0 || c.TruePositives != 0 {
+		t.Errorf("empty comparison: %+v", c)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	out := Analyze(learnedExample).String()
+	for _, want := range []string{
+		"tasks:                 4",
+		"disjunction nodes:     a",
+		"conjunction nodes:     d",
+		"firm dependencies:     6",
+		"ordering known:        83.3%",
+		"interleavings removed: 50.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package modelgen
+
+import (
+	"io"
+
+	"github.com/blackbox-rt/modelgen/internal/casestudy"
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/latency"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/reach"
+	"github.com/blackbox-rt/modelgen/internal/sim"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+	"github.com/blackbox-rt/modelgen/internal/verify"
+)
+
+// Dependency values of the lattice V (Figure 3 of the paper).
+type Value = lattice.Value
+
+// The seven dependency values. Par (‖) is the lattice bottom, BiMaybe
+// (↔?) the top.
+const (
+	Par      = lattice.Par
+	Fwd      = lattice.Fwd
+	Bwd      = lattice.Bwd
+	Bi       = lattice.Bi
+	FwdMaybe = lattice.FwdMaybe
+	BwdMaybe = lattice.BwdMaybe
+	BiMaybe  = lattice.BiMaybe
+)
+
+// Trace types: an execution trace is a sequence of periods, each
+// holding task execution intervals and message occurrences.
+type (
+	Trace        = trace.Trace
+	Period       = trace.Period
+	Message      = trace.Message
+	Event        = trace.Event
+	Interval     = trace.Interval
+	TraceBuilder = trace.Builder
+)
+
+// Event kinds for raw event streams.
+const (
+	TaskStart  = trace.TaskStart
+	TaskEnd    = trace.TaskEnd
+	MsgRise    = trace.MsgRise
+	MsgFall    = trace.MsgFall
+	PeriodMark = trace.PeriodMark
+)
+
+// NewTraceBuilder starts an empty trace over the predefined task set.
+func NewTraceBuilder(tasks []string) *TraceBuilder { return trace.NewBuilder(tasks) }
+
+// TraceFromEvents assembles a trace from a raw timestamped event
+// stream with PeriodMark delimiters.
+func TraceFromEvents(tasks []string, events []Event) (*Trace, error) {
+	return trace.FromEvents(tasks, events)
+}
+
+// TraceFromEventsPeriodic assembles a trace from an unmarked event
+// stream by segmenting it into fixed-length periods (the typical shape
+// of a raw logging-device capture).
+func TraceFromEventsPeriodic(tasks []string, events []Event, origin, periodLen int64) (*Trace, error) {
+	return trace.FromEventsPeriodic(tasks, events, origin, periodLen)
+}
+
+// ReadTrace parses the text trace format; WriteTrace emits it.
+func ReadTrace(r io.Reader) (*Trace, error)    { return trace.Read(r) }
+func WriteTrace(w io.Writer, tr *Trace) error  { return trace.Write(w, tr) }
+func ReadTraceString(s string) (*Trace, error) { return trace.ReadString(s) }
+
+// ReadTraceJSON and WriteTraceJSON use the JSON wire format (traces
+// also implement json.Marshaler/Unmarshaler directly).
+func ReadTraceJSON(r io.Reader) (*Trace, error)   { return trace.ReadJSON(r) }
+func WriteTraceJSON(w io.Writer, tr *Trace) error { return trace.WriteJSON(w, tr) }
+
+// PaperTrace returns the worked-example trace of Figure 2 of the
+// paper.
+func PaperTrace() *Trace { return trace.PaperFigure2() }
+
+// Dependency-function types.
+type (
+	DepFunc         = depfunc.DepFunc
+	TaskSet         = depfunc.TaskSet
+	Pair            = depfunc.Pair
+	CandidatePolicy = depfunc.CandidatePolicy
+)
+
+// NewTaskSet builds the ordered predefined task set T.
+func NewTaskSet(names []string) (*TaskSet, error) { return depfunc.NewTaskSet(names) }
+
+// ParseDepTable parses the square table rendering of a dependency
+// function (the format used in the paper's figures and by
+// DepFunc.Table).
+func ParseDepTable(s string) (*DepFunc, error) { return depfunc.ParseTable(s) }
+
+// Match reports whether the dependency function matches the period
+// (the paper's matching function M).
+func Match(d *DepFunc, p *Period, pol CandidatePolicy) bool { return depfunc.Match(d, p, pol) }
+
+// MatchTrace reports whether d matches every period; on failure it
+// also returns the index of the first failing period.
+func MatchTrace(d *DepFunc, tr *Trace, pol CandidatePolicy) (bool, int) {
+	return depfunc.MatchTrace(d, tr, pol)
+}
+
+// Learner types.
+type (
+	LearnOptions = learner.Options
+	LearnResult  = learner.Result
+	LearnStats   = learner.Stats
+)
+
+// Learner errors.
+var (
+	ErrNoHypothesis      = learner.ErrNoHypothesis
+	ErrTooManyHypotheses = learner.ErrTooManyHypotheses
+)
+
+// Learn runs the generalization algorithm (Section 3 of the paper)
+// over the trace: exact when opt.Bound <= 0, bounded heuristic
+// otherwise.
+func Learn(tr *Trace, opt LearnOptions) (*LearnResult, error) { return learner.Learn(tr, opt) }
+
+// LearnExact runs the exact (exponential) algorithm.
+func LearnExact(tr *Trace, pol CandidatePolicy) (*LearnResult, error) {
+	return learner.LearnExact(tr, pol)
+}
+
+// LearnBounded runs the heuristic with the given bound.
+func LearnBounded(tr *Trace, bound int, pol CandidatePolicy) (*LearnResult, error) {
+	return learner.LearnBounded(tr, bound, pol)
+}
+
+// OnlineLearner is the incremental learner: feed periods as a logging
+// device captures them and snapshot the hypothesis set at any time.
+type OnlineLearner = learner.Online
+
+// NewOnlineLearner starts an incremental learning session.
+func NewOnlineLearner(tasks []string, opt LearnOptions) (*OnlineLearner, error) {
+	return learner.NewOnline(tasks, opt)
+}
+
+// Design-model and simulation types.
+type (
+	Model      = model.Model
+	ModelTask  = model.Task
+	ModelEdge  = model.Edge
+	SimOptions = sim.Options
+	SimOutput  = sim.Output
+)
+
+// Node kinds for design models.
+const (
+	Regular     = model.Regular
+	Disjunction = model.Disjunction
+	Conjunction = model.Conjunction
+)
+
+// Built-in models: the paper's Figure 1 example, the 18-task GM-style
+// case study (single-ECU and distributed over four ECUs) and its
+// 7-task exact-tractable subsystem.
+func Figure1Model() *Model            { return model.Figure1() }
+func GMStyleModel() *Model            { return model.GMStyle() }
+func GMStyleDistributedModel() *Model { return model.GMStyleDistributed() }
+func GMStyleLiteModel() *Model        { return model.GMStyleLite() }
+
+// Simulate executes a design model on the OSEK/CAN substrates and
+// returns the observable bus trace plus ground-truth oracle data.
+func Simulate(m *Model, opt SimOptions) (*SimOutput, error) { return sim.Run(m, opt) }
+
+// Verification types.
+type (
+	VerifyReport     = verify.Report
+	DesignComparison = verify.DesignComparison
+)
+
+// Analyze summarizes a learned dependency function (node
+// classification, dependency counts, state-space reduction).
+func Analyze(d *DepFunc) VerifyReport { return verify.Analyze(d) }
+
+// DisjunctionNodes and ConjunctionNodes classify tasks from a learned
+// model; Determines and DependsOn query unconditional dependencies.
+func DisjunctionNodes(d *DepFunc) []string    { return verify.DisjunctionNodes(d) }
+func ConjunctionNodes(d *DepFunc) []string    { return verify.ConjunctionNodes(d) }
+func Determines(d *DepFunc, a, b string) bool { return verify.Determines(d, a, b) }
+func DependsOn(d *DepFunc, a, b string) bool  { return verify.DependsOn(d, a, b) }
+
+// Mode types: observed operation modes of the system.
+type (
+	Mode       = verify.Mode
+	ModeReport = verify.ModeReport
+)
+
+// Modes enumerates the distinct operation modes (co-executing task
+// sets) observed in the trace, most frequent first.
+func Modes(tr *Trace) []Mode { return verify.Modes(tr) }
+
+// AnalyzeModes relates the observed modes to a learned dependency
+// function (pass nil to only enumerate).
+func AnalyzeModes(tr *Trace, d *DepFunc) ModeReport { return verify.AnalyzeModes(tr, d) }
+
+// Reachability analysis over the per-period completion state space.
+type ReachResult = reach.Result
+
+// ExploreStateSpace counts the completion states a reachability-based
+// model checker must explore under the learned dependencies, against
+// the pessimistic 2^n baseline (the paper's state-space-reduction
+// claim made concrete).
+func ExploreStateSpace(d *DepFunc) (ReachResult, error) { return reach.Explore(d) }
+
+// ProveNeverCompletesBefore checks by explicit-state reachability that
+// task `done` can never complete while `notDone` has not. It returns
+// proved = true when no such state is reachable; otherwise a witness
+// state is returned.
+func ProveNeverCompletesBefore(d *DepFunc, done, notDone string) (proved bool, witness []string, err error) {
+	q, err := reach.CompletedWithout(d, done, notDone)
+	if err != nil {
+		return false, nil, err
+	}
+	reachable, w, err := reach.Reachable(d, q)
+	return !reachable && err == nil, w, err
+}
+
+// Latency-analysis types.
+type (
+	LatencyPath       = latency.Path
+	LatencyBreakdown  = latency.Breakdown
+	LatencyComparison = latency.Comparison
+)
+
+// PathLatency bounds the end-to-end latency of a task/message chain;
+// pass d == nil for the pessimistic holistic bound.
+func PathLatency(m *Model, p LatencyPath, d *DepFunc, bitRate int64) (*LatencyBreakdown, error) {
+	return latency.PathLatency(m, p, d, bitRate)
+}
+
+// CompareLatency computes the pessimistic and dependency-informed
+// bounds for the path.
+func CompareLatency(m *Model, p LatencyPath, d *DepFunc, bitRate int64) (*LatencyComparison, error) {
+	return latency.Compare(m, p, d, bitRate)
+}
+
+// Case-study configuration re-exports (see EXPERIMENTS.md).
+const (
+	CaseStudyPeriods = casestudy.Periods
+	CaseStudySeed    = casestudy.Seed
+)
+
+// CaseStudyBounds is the bound column of the paper's runtime table.
+func CaseStudyBounds() []int { return append([]int(nil), casestudy.Bounds...) }
+
+// CaseStudyPolicy returns the candidate policy of the named
+// configuration ("full" or "lite").
+func CaseStudyPolicy(lite bool) CandidatePolicy {
+	if lite {
+		return casestudy.LitePolicy()
+	}
+	return casestudy.FullPolicy()
+}

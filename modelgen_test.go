@@ -1,0 +1,136 @@
+package modelgen_test
+
+import (
+	"strings"
+	"testing"
+
+	modelgen "github.com/blackbox-rt/modelgen"
+)
+
+// TestPublicAPIPaperExample drives the full public surface on the
+// paper's worked example.
+func TestPublicAPIPaperExample(t *testing.T) {
+	tr := modelgen.PaperTrace()
+	res, err := modelgen.LearnExact(tr, modelgen.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hypotheses) != 5 {
+		t.Fatalf("hypotheses = %d, want 5", len(res.Hypotheses))
+	}
+	want, err := modelgen.ParseDepTable(`
+      t1    t2    t3    t4
+t1    ||    ->?   ->?   ->
+t2    <-    ||    ||    ->
+t3    <-    ||    ||    ->
+t4    <-    <-?   <-?   ||
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LUB.Equal(want) {
+		t.Errorf("LUB:\n%s\nwant:\n%s", res.LUB.Table(), want.Table())
+	}
+	if ok, p := modelgen.MatchTrace(res.LUB, tr, modelgen.CandidatePolicy{}); !ok {
+		t.Errorf("LUB fails period %d", p)
+	}
+	if !modelgen.Determines(res.LUB, "t1", "t4") {
+		t.Error("t1 should determine t4")
+	}
+}
+
+// TestPublicAPISimulateAndLearn: simulate a built-in model, learn and
+// verify through the facade only.
+func TestPublicAPISimulateAndLearn(t *testing.T) {
+	out, err := modelgen.Simulate(modelgen.Figure1Model(), modelgen.SimOptions{Periods: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := modelgen.LearnBounded(out.Trace, 8, modelgen.CandidatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelgen.Determines(res.LUB, "t1", "t4") {
+		t.Errorf("d(t1,t4) = %v, want ->", res.LUB.MustGet("t1", "t4"))
+	}
+	rep := modelgen.Analyze(res.LUB)
+	if rep.Tasks != 4 {
+		t.Errorf("report tasks = %d", rep.Tasks)
+	}
+}
+
+func TestPublicAPITraceBuilderAndIO(t *testing.T) {
+	tr, err := modelgen.NewTraceBuilder([]string{"a", "b"}).
+		StartPeriod().Exec("a", 0, 5).Msg("m", 6, 7).Exec("b", 9, 12).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := modelgen.WriteTrace(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := modelgen.ReadTraceString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != tr.Stats() {
+		t.Error("round trip changed stats")
+	}
+	res, err := modelgen.Learn(back, modelgen.LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("trivial trace should converge")
+	}
+	if res.LUB.MustGet("a", "b") != modelgen.Fwd {
+		t.Errorf("d(a,b) = %v", res.LUB.MustGet("a", "b"))
+	}
+}
+
+func TestPublicAPILatency(t *testing.T) {
+	m := modelgen.GMStyleModel()
+	path := modelgen.LatencyPath{Tasks: []string{"S", "A", "D", "L", "P", "Q"}}
+	cmp, err := modelgen.CompareLatency(m, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Pessimistic.Total != cmp.Informed.Total {
+		t.Error("nil dependency function should change nothing")
+	}
+	if abs, _ := cmp.Improvement(); abs != 0 {
+		t.Errorf("improvement = %d, want 0", abs)
+	}
+}
+
+func TestPublicAPICaseStudyConfig(t *testing.T) {
+	if modelgen.CaseStudyPeriods != 27 {
+		t.Error("case study periods changed")
+	}
+	bounds := modelgen.CaseStudyBounds()
+	if len(bounds) != 8 || bounds[0] != 1 || bounds[7] != 150 {
+		t.Errorf("bounds = %v", bounds)
+	}
+	lite := modelgen.CaseStudyPolicy(true)
+	if lite.MaxSenders == 0 {
+		t.Error("lite policy should bound senders")
+	}
+	full := modelgen.CaseStudyPolicy(false)
+	if full != (modelgen.CandidatePolicy{}) {
+		t.Error("full policy should be purely causal")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	// Unexplainable message surfaces the documented error.
+	tr, err := modelgen.NewTraceBuilder([]string{"a"}).
+		StartPeriod().Msg("m", 0, 1).Exec("a", 2, 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modelgen.LearnExact(tr, modelgen.CandidatePolicy{}); err == nil {
+		t.Fatal("expected ErrNoHypothesis")
+	}
+}
