@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tidy
+
+## check: the full gate — vet, build everything, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the learner benchmarks, including the zero-allocation
+## observer guard (compare nil vs nop allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/learner/
+
+tidy:
+	$(GO) mod tidy

@@ -7,9 +7,18 @@
 //	bblearn -trace trace.txt -bound 32
 //	bblearn -trace trace.txt -exact -max 1000000
 //	bblearn -trace trace.txt -bound 16 -report -dot deps.dot
+//	bblearn -trace trace.txt -v -stats -events run.jsonl -pprof :6060
+//
+// Observability: -v prints a per-period progress line, -stats a
+// run-statistics table (periods, peak/final hypotheses, merges,
+// candidate fan-out, elapsed), -events writes the structured JSONL
+// event stream for offline analysis, and -pprof serves
+// /debug/pprof/ plus /metrics during the run for profiling long
+// exact learns.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +27,15 @@ import (
 
 	modelgen "github.com/blackbox-rt/modelgen"
 )
+
+// progressObserver is the -v reporter: one line per period on stderr,
+// driven by the structured run-trace instead of ad-hoc prints.
+type progressObserver struct{ modelgen.NopObserver }
+
+func (progressObserver) OnPeriodEnd(e modelgen.PeriodEndEvent) {
+	fmt.Fprintf(os.Stderr, "period %4d: %d hypotheses (dropped %d, weight %d..%d)\n",
+		e.Period, e.Live, e.Dropped, e.WeightMin, e.WeightMax)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,9 +52,53 @@ func main() {
 		all          = flag.Bool("all", false, "print every returned hypothesis, not only the least upper bound")
 		dotFile      = flag.String("dot", "", "write the learned dependency graph as DOT to this file")
 		report       = flag.Bool("report", false, "print the verification report (node classes, state-space impact)")
-		progress     = flag.Bool("progress", false, "report per-period progress on stderr")
+		verbose      = flag.Bool("v", false, "per-period progress on stderr")
+		stats        = flag.Bool("stats", false, "print the run-statistics table")
+		eventsFile   = flag.String("events", "", "write the JSONL event stream to this file")
+		pprofAddr    = flag.String("pprof", "", "serve /debug/pprof/ and /metrics on this address during the run (e.g. :6060)")
 	)
 	flag.Parse()
+
+	var (
+		observers []modelgen.Observer
+		reg       *modelgen.MetricsRegistry
+		sink      *modelgen.JSONLObserver
+	)
+	if *stats || *pprofAddr != "" {
+		reg = modelgen.NewMetricsRegistry()
+		observers = append(observers, modelgen.NewMetricsObserver(reg))
+	}
+	var flushEvents func() error
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		sink = modelgen.NewJSONLObserver(bw)
+		observers = append(observers, sink)
+		flushEvents = func() error {
+			if err := sink.Err(); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if *verbose {
+		observers = append(observers, progressObserver{})
+	}
+	obsv := modelgen.CombineObservers(observers...)
+	if *pprofAddr != "" {
+		srv, err := modelgen.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			log.Fatalf("pprof server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bblearn: profiling on http://%s/debug/pprof/ (metrics on /metrics)\n", srv.Addr)
+	}
 
 	in := os.Stdin
 	if *traceFile != "" {
@@ -47,8 +109,13 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	tr, err := modelgen.ReadTrace(in)
+	tr, err := modelgen.ReadTraceObserved(in, obsv)
 	if err != nil {
+		// Flush the event stream first: on a parse error the
+		// malformed_lines pipeline event is the diagnostic.
+		if flushEvents != nil {
+			_ = flushEvents()
+		}
 		log.Fatalf("reading trace: %v", err)
 	}
 
@@ -59,37 +126,35 @@ func main() {
 			MaxSenders:     *maxSenders,
 			MaxReceivers:   *maxReceivers,
 		},
+		Observer: obsv,
 	}
 	if *exact {
 		opt.MaxHypotheses = *maxHyp
 	} else {
 		opt.Bound = *bound
 	}
-	if *progress {
-		opt.Progress = func(phase string, period, _, size int) {
-			if phase == "period" {
-				fmt.Fprintf(os.Stderr, "period %d: %d hypotheses\n", period, size)
-			}
-		}
-	}
 
-	t0 := time.Now()
 	res, err := modelgen.Learn(tr, opt)
 	if err != nil {
+		if flushEvents != nil {
+			_ = flushEvents()
+		}
 		log.Fatalf("learning: %v", err)
 	}
-	elapsed := time.Since(t0)
 
 	mode := fmt.Sprintf("heuristic (bound %d)", *bound)
 	if *exact {
 		mode = "exact"
 	}
 	fmt.Printf("algorithm:  %s\n", mode)
-	fmt.Printf("run time:   %v\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("run time:   %v\n", res.Stats.Elapsed.Round(time.Microsecond))
 	fmt.Printf("hypotheses: %d (peak %d, %d generalizations, %d merges, %d relaxations)\n",
 		len(res.Hypotheses), res.Stats.Peak, res.Stats.Children, res.Stats.Merges, res.Stats.Relaxations)
 	fmt.Printf("converged:  %v\n\n", res.Converged)
 
+	if *stats {
+		printStats(res, reg)
+	}
 	if *all {
 		for i, d := range res.Hypotheses {
 			fmt.Printf("hypothesis %d (weight %d):\n%s\n", i+1, d.Weight(), d.Table())
@@ -112,4 +177,51 @@ func main() {
 			log.Fatalf("writing %s: %v", *dotFile, err)
 		}
 	}
+	if flushEvents != nil {
+		if err := flushEvents(); err != nil {
+			log.Fatalf("writing %s: %v", *eventsFile, err)
+		}
+	}
+}
+
+// printStats renders the run-statistics table: headline numbers from
+// LearnResult.Stats plus the candidate fan-out distribution from the
+// metrics registry.
+func printStats(res *modelgen.LearnResult, reg *modelgen.MetricsRegistry) {
+	s := res.Stats
+	fmt.Println("stats:")
+	fmt.Printf("  periods:           %d\n", s.Periods)
+	fmt.Printf("  messages:          %d\n", s.Messages)
+	fmt.Printf("  candidate pairs:   %d", s.Candidates)
+	if s.Messages > 0 {
+		fmt.Printf(" (%.1f per message)", float64(s.Candidates)/float64(s.Messages))
+	}
+	fmt.Println()
+	fmt.Printf("  hypotheses peak:   %d\n", s.Peak)
+	fmt.Printf("  hypotheses final:  %d\n", s.Final)
+	fmt.Printf("  generalizations:   %d\n", s.Children)
+	fmt.Printf("  merges:            %d\n", s.Merges)
+	fmt.Printf("  relaxations:       %d\n", s.Relaxations)
+	fmt.Printf("  elapsed:           %v\n", s.Elapsed.Round(time.Microsecond))
+	if len(s.PeriodLive) > 0 {
+		fmt.Printf("  live per period:   %v\n", s.PeriodLive)
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		if m, ok := snap["modelgen_learner_candidates_per_message"]; ok && m.Count > 0 {
+			fmt.Printf("  candidate fan-out: ")
+			prev := int64(0)
+			for _, b := range m.Buckets {
+				if b.Count > prev {
+					fmt.Printf("<=%g:%d ", b.LE, b.Count-prev)
+				}
+				prev = b.Count
+			}
+			if rest := m.Count - prev; rest > 0 {
+				fmt.Printf(">%g:%d", m.Buckets[len(m.Buckets)-1].LE, rest)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
 }

@@ -40,10 +40,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/hypothesis"
 	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -85,11 +87,13 @@ type Options struct {
 	// adversarial traces.
 	VerifyResults bool
 
-	// Progress, when non-nil, is called after every message (phase
-	// "message") and every period (phase "period") with the current
-	// working-set size. Used by the command-line tools to report
-	// long exact runs.
-	Progress func(phase string, period, message, setSize int)
+	// Observer, when non-nil, receives the structured run-trace:
+	// period boundaries, per-message candidate fan-out, hypothesis
+	// spawn/merge/prune events. Every emit site is nil-guarded, so a
+	// nil Observer adds no allocations to the hot path (verified by
+	// TestNopObserverZeroAlloc). Use obs.NewMulti to attach several
+	// sinks at once.
+	Observer obs.Observer
 
 	// Negatives lists periods the system is known to be unable to
 	// produce (forbidden behaviours supplied by the analyst — the
@@ -106,18 +110,28 @@ type Options struct {
 	Negatives []*trace.Period
 }
 
-// Stats instruments a learning run.
+// Stats instruments a learning run. It is populated even without an
+// Observer, so callers get the headline numbers without consuming the
+// full event stream.
 type Stats struct {
 	Periods        int // periods processed
 	Messages       int // message occurrences processed
+	Candidates     int // timing-feasible candidate pairs summed over messages
 	Children       int // hypotheses created by generalization
 	Merges         int // heuristic least-upper-bound merges
 	Relaxations    int // entries relaxed by end-of-period tests
 	Peak           int // peak working-set size
+	Final          int // hypotheses in the returned set
 	DroppedUnsound int // results dropped by VerifyResults
 	// NegativeRejections counts final hypotheses discarded because
 	// they matched a forbidden behaviour from Options.Negatives.
 	NegativeRejections int
+	// PeriodLive records the live hypothesis count at the end of each
+	// processed period, in order (the per-period series behind Peak).
+	PeriodLive []int
+	// Elapsed is the wall time of the batch Learn call (zero for
+	// Online.Result snapshots, which have no defined start).
+	Elapsed time.Duration
 }
 
 // Result is the outcome of a learning run.
@@ -142,6 +156,7 @@ type Result struct {
 // batch form of the incremental Online learner and produces identical
 // results.
 func Learn(tr *trace.Trace, opt Options) (*Result, error) {
+	t0 := time.Now()
 	o, err := NewOnline(tr.Tasks, opt)
 	if err != nil {
 		return nil, err
@@ -157,7 +172,22 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 	for _, h := range o.cur {
 		ds = append(ds, h.D)
 	}
-	return finish(o.ts, tr, ds, opt, o.stats)
+	res, err := finish(o.ts, tr, ds, opt, o.stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(t0)
+	if opt.Observer != nil {
+		opt.Observer.OnRunEnd(obs.RunEnd{
+			Periods:   res.Stats.Periods,
+			Messages:  res.Stats.Messages,
+			Final:     res.Stats.Final,
+			Peak:      res.Stats.Peak,
+			Merges:    res.Stats.Merges,
+			ElapsedNS: res.Stats.Elapsed.Nanoseconds(),
+		})
+	}
+	return res, nil
 }
 
 // LearnExact runs the exact (exponential) algorithm.
@@ -174,12 +204,13 @@ func LearnBounded(tr *trace.Trace, bound int, pol depfunc.CandidatePolicy) (*Res
 // candidate assumption for one message, applying heuristic merging
 // when a bound is set.
 func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
-	hist []bool, n int, opt Options, stats *Stats) ([]*hypothesis.Hypothesis, error) {
+	hist []bool, n int, opt Options, stats *Stats, period, msg int) ([]*hypothesis.Hypothesis, error) {
 
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
 	}
 	wl := newWorkList(opt.Bound, stats)
+	wl.obsv, wl.period, wl.msg = opt.Observer, period, msg
 	seen := make(map[string]bool, len(cur)*len(pairs))
 	scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
 	for _, h := range cur {
@@ -207,6 +238,11 @@ func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
 			}
 			seen[k] = true
 			stats.Children++
+			if opt.Observer != nil {
+				opt.Observer.OnHypothesisSpawned(obs.HypothesisSpawned{
+					Period: period, Index: msg, Weight: c.Weight(),
+				})
+			}
 			wl.add(c)
 		}
 	}
@@ -225,9 +261,12 @@ func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
 // addition that overflows the bound merges the two lightest elements
 // into their least upper bound (Section 3.2).
 type workList struct {
-	bound int
-	items []*hypothesis.Hypothesis
-	stats *Stats
+	bound  int
+	items  []*hypothesis.Hypothesis
+	stats  *Stats
+	obsv   obs.Observer
+	period int
+	msg    int
 }
 
 func newWorkList(bound int, stats *Stats) *workList {
@@ -241,9 +280,16 @@ func (wl *workList) add(h *hypothesis.Hypothesis) {
 	}
 	wl.insert(h)
 	for len(wl.items) > wl.bound {
-		merged := wl.items[0].Merge(wl.items[1])
+		a, b := wl.items[0], wl.items[1]
+		merged := a.Merge(b)
 		wl.items = wl.items[2:]
 		wl.stats.Merges++
+		if wl.obsv != nil {
+			wl.obsv.OnHypothesisMerged(obs.HypothesisMerged{
+				Period: wl.period, Index: wl.msg,
+				WeightA: a.Weight(), WeightB: b.Weight(), WeightMerged: merged.Weight(),
+			})
+		}
 		wl.insert(merged)
 	}
 }
@@ -321,8 +367,9 @@ func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis
 
 // pruneMostSpecific unifies equal hypotheses and removes redundant
 // ones: h is redundant iff some other hypothesis is strictly more
-// specific (Section 3.1 post-processing).
-func pruneMostSpecific(hs []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
+// specific (Section 3.1 post-processing). Removals are reported to
+// obsv (reason "duplicate" or "redundant") when it is non-nil.
+func pruneMostSpecific(hs []*hypothesis.Hypothesis, obsv obs.Observer, period int) []*hypothesis.Hypothesis {
 	seen := make(map[string]bool, len(hs))
 	uniq := make([]*hypothesis.Hypothesis, 0, len(hs))
 	for _, h := range hs {
@@ -330,6 +377,10 @@ func pruneMostSpecific(hs []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
 		if !seen[k] {
 			seen[k] = true
 			uniq = append(uniq, h)
+		} else if obsv != nil {
+			obsv.OnHypothesisPruned(obs.HypothesisPruned{
+				Period: period, Reason: "duplicate", Weight: h.Weight(),
+			})
 		}
 	}
 	// Sort by weight: a hypothesis can only be dominated by a
@@ -349,6 +400,10 @@ func pruneMostSpecific(hs []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
 		}
 		if !redundant {
 			out = append(out, h)
+		} else if obsv != nil {
+			obsv.OnHypothesisPruned(obs.HypothesisPruned{
+				Period: period, Reason: "redundant", Weight: h.Weight(),
+			})
 		}
 	}
 	return out
@@ -422,6 +477,7 @@ func finish(ts *depfunc.TaskSet, tr *trace.Trace, ds []*depfunc.DepFunc,
 		}
 		return ds[a].Key() < ds[b].Key()
 	})
+	stats.Final = len(ds)
 	return &Result{
 		TaskSet:    ts,
 		Hypotheses: ds,

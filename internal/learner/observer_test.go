@@ -1,0 +1,338 @@
+package learner
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// collapse reduces an event stream to its kind sequence with runs of
+// equal kinds collapsed to one entry — the stable "shape" of a run
+// that does not depend on per-message fan-out counts.
+func collapse(kinds []string) []string {
+	var out []string
+	for _, k := range kinds {
+		if len(out) == 0 || out[len(out)-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestObserverEventSequenceExact pins the structured run-trace of the
+// exact algorithm on the paper's Figure 2 trace: the per-period
+// envelope, the per-event payloads, and their agreement with
+// Result.Stats.
+func TestObserverEventSequenceExact(t *testing.T) {
+	tr := trace.PaperFigure2()
+	rec := obs.NewRecorder()
+	res, err := Learn(tr, Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The collapsed shape of the run: each period opens with
+	// period_start, alternates spawn-bursts with message_processed
+	// (one burst per message: the exact algorithm never merges), may
+	// prune at the period end, and closes with period_end; the run
+	// closes with run_end. Period 1 of the paper trace prunes nothing
+	// (no duplicate or redundant hypotheses), periods 2 and 3 do.
+	want := []string{
+		// period 0: 2 messages.
+		"period_start",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_spawned", "message_processed",
+		"period_end",
+		// period 1: 2 messages, end-of-period pruning kicks in.
+		"period_start",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_pruned", "period_end",
+		// period 2: 4 messages.
+		"period_start",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_spawned", "message_processed",
+		"hypothesis_pruned", "period_end",
+		"run_end",
+	}
+	if got := collapse(rec.Kinds()); !reflect.DeepEqual(got, want) {
+		t.Errorf("collapsed event sequence:\n got %v\nwant %v", got, want)
+	}
+
+	// Event counts must agree with Stats.
+	if n := rec.Count("hypothesis_spawned"); n != res.Stats.Children {
+		t.Errorf("spawned events = %d, Stats.Children = %d", n, res.Stats.Children)
+	}
+	if n := rec.Count("message_processed"); n != res.Stats.Messages {
+		t.Errorf("message events = %d, Stats.Messages = %d", n, res.Stats.Messages)
+	}
+	if n := rec.Count("period_start"); n != res.Stats.Periods {
+		t.Errorf("period_start events = %d, Stats.Periods = %d", n, res.Stats.Periods)
+	}
+	if n := rec.Count("hypothesis_merged"); n != 0 {
+		t.Errorf("exact run emitted %d merge events", n)
+	}
+
+	// Per-message payloads: candidate fan-out sums to Stats.Candidates
+	// and IDs follow the trace.
+	var candSum, idx int
+	for _, e := range rec.OfKind("message_processed") {
+		m := e.(obs.MessageProcessed)
+		candSum += m.Candidates
+		wantID := []string{"m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8"}[idx]
+		if m.ID != wantID {
+			t.Errorf("message %d: ID = %q, want %q", idx, m.ID, wantID)
+		}
+		idx++
+	}
+	if candSum != res.Stats.Candidates {
+		t.Errorf("candidate sum over events = %d, Stats.Candidates = %d", candSum, res.Stats.Candidates)
+	}
+
+	// Per-period live counts: period_end events, Stats.PeriodLive and
+	// the final result must line up. The exact algorithm on Figure 2
+	// returns the paper's 5 most specific hypotheses.
+	ends := rec.OfKind("period_end")
+	if len(ends) != len(res.Stats.PeriodLive) {
+		t.Fatalf("period_end events = %d, PeriodLive = %v", len(ends), res.Stats.PeriodLive)
+	}
+	for i, e := range ends {
+		pe := e.(obs.PeriodEnd)
+		if pe.Live != res.Stats.PeriodLive[i] {
+			t.Errorf("period %d: event live = %d, Stats.PeriodLive = %d", i, pe.Live, res.Stats.PeriodLive[i])
+		}
+		if pe.WeightMin > pe.WeightMax {
+			t.Errorf("period %d: weight range %d..%d inverted", i, pe.WeightMin, pe.WeightMax)
+		}
+	}
+	final := ends[len(ends)-1].(obs.PeriodEnd)
+	if final.Live != 5 || res.Stats.Final != 5 || len(res.Hypotheses) != 5 {
+		t.Errorf("final live/Stats.Final/result = %d/%d/%d, want 5 (paper)",
+			final.Live, res.Stats.Final, len(res.Hypotheses))
+	}
+
+	// run_end mirrors the headline stats.
+	re := rec.OfKind("run_end")[0].(obs.RunEnd)
+	if re.Periods != 3 || re.Messages != 8 || re.Final != 5 || re.Peak != res.Stats.Peak {
+		t.Errorf("run_end = %+v, stats = %+v", re, res.Stats)
+	}
+	if re.ElapsedNS <= 0 || res.Stats.Elapsed <= 0 {
+		t.Errorf("elapsed not populated: event %d ns, stats %v", re.ElapsedNS, res.Stats.Elapsed)
+	}
+}
+
+// TestObserverEventsBounded checks the heuristic at b=2 on the paper
+// trace: bounded merging must happen and must be reported as
+// hypothesis_merged events that agree with Stats.Merges, and the
+// per-period live counts must respect the bound.
+func TestObserverEventsBounded(t *testing.T) {
+	tr := trace.PaperFigure2()
+	rec := obs.NewRecorder()
+	res, err := Learn(tr, Options{Bound: 2, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Merges == 0 {
+		t.Fatal("bound 2 on the paper trace did not merge; the test premise is broken")
+	}
+	if n := rec.Count("hypothesis_merged"); n != res.Stats.Merges {
+		t.Errorf("merge events = %d, Stats.Merges = %d", n, res.Stats.Merges)
+	}
+	for _, e := range rec.OfKind("hypothesis_merged") {
+		m := e.(obs.HypothesisMerged)
+		if m.WeightMerged < m.WeightA || m.WeightMerged < m.WeightB {
+			t.Errorf("merge %+v: LUB weight below an operand", m)
+		}
+	}
+	for _, e := range rec.OfKind("period_end") {
+		pe := e.(obs.PeriodEnd)
+		if pe.Live > 2 {
+			t.Errorf("period %d: live = %d exceeds bound 2", pe.Period, pe.Live)
+		}
+	}
+	// The observer must not change results: same run without one.
+	plain, err := Learn(trace.PaperFigure2(), Options{Bound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LUB.Equal(plain.LUB) {
+		t.Error("observed and unobserved runs disagree on the LUB")
+	}
+}
+
+// TestOnlineObserverPerPeriod checks that the incremental learner
+// emits period events as periods arrive (not only at the end).
+func TestOnlineObserverPerPeriod(t *testing.T) {
+	tr := trace.PaperFigure2()
+	rec := obs.NewRecorder()
+	o, err := NewOnline(tr.Tasks, Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(tr.Periods[0]); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count("period_end") != 1 {
+		t.Errorf("after one period: %d period_end events", rec.Count("period_end"))
+	}
+	if rec.Count("run_end") != 0 {
+		t.Error("online session emitted run_end")
+	}
+	if got := o.Stats().PeriodLive; len(got) != 1 {
+		t.Errorf("PeriodLive = %v, want one entry", got)
+	}
+}
+
+// TestNopObserverZeroAlloc proves the instrumentation adds zero
+// allocations when disabled: a run with a nil Observer allocates
+// exactly as much as one with the Nop observer attached, and the
+// per-period marginal cost of the nil path is unchanged by the
+// instrumentation (guarded via testing.AllocsPerRun over the online
+// learner's hot path).
+func TestNopObserverZeroAlloc(t *testing.T) {
+	tr := trace.PaperFigure2()
+	run := func(o obs.Observer) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := Learn(tr, Options{Bound: 8, Observer: o}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	nilAllocs := run(nil)
+	nopAllocs := run(obs.Nop)
+	if nilAllocs != nopAllocs {
+		t.Errorf("allocations differ: nil observer %.0f, Nop observer %.0f", nilAllocs, nopAllocs)
+	}
+}
+
+func BenchmarkLearnNopObserver(b *testing.B) {
+	tr := trace.PaperFigure2()
+	for _, bench := range []struct {
+		name string
+		obsv obs.Observer
+	}{
+		{"nil", nil},
+		{"nop", obs.Nop},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Learn(tr, Options{Bound: 8, Observer: bench.obsv}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLearnRecorder quantifies the cost of full event capture,
+// for the record (not asserted: capture is allowed to allocate).
+func BenchmarkLearnRecorder(b *testing.B) {
+	tr := trace.PaperFigure2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		if _, err := Learn(tr, Options{Bound: 8, Observer: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestObserverBatchOnlineEquivalent: the observer sees the same
+// period/message event stream whether periods are fed in batch or
+// incrementally.
+func TestObserverBatchOnlineEquivalent(t *testing.T) {
+	tr := trace.PaperFigure2()
+	recBatch := obs.NewRecorder()
+	if _, err := Learn(tr, Options{Bound: 4, Observer: recBatch}); err != nil {
+		t.Fatal(err)
+	}
+	recOnline := obs.NewRecorder()
+	o, err := NewOnline(tr.Tasks, Options{Bound: 4, Observer: recOnline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identical except the batch run's trailing run_end.
+	gotB := recBatch.Events()
+	gotO := recOnline.Events()
+	if len(gotB) != len(gotO)+1 || gotB[len(gotB)-1].Kind() != "run_end" {
+		t.Fatalf("batch %d events, online %d; batch must only add run_end", len(gotB), len(gotO))
+	}
+	if !reflect.DeepEqual(gotB[:len(gotB)-1], gotO) {
+		t.Error("batch and online event streams diverge")
+	}
+}
+
+// TestObserverMatchesJSONLRoundTrip drives the full offline loop the
+// CLI uses: learner -> JSONL -> ParseJSONL -> same events.
+func TestObserverMatchesJSONLRoundTrip(t *testing.T) {
+	tr := trace.PaperFigure2()
+	rec := obs.NewRecorder()
+	var buf sliceWriter
+	sink := obs.NewJSONLSink(&buf)
+	if _, err := Learn(tr, Options{Bound: 2, Observer: obs.NewMulti(rec, sink)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rec.Events()) {
+		t.Error("JSONL round trip diverges from the recorder")
+	}
+}
+
+// sliceWriter is a minimal in-memory io.ReadWriter for the round-trip
+// test, avoiding a bytes import dance.
+type sliceWriter struct {
+	b []byte
+	r int
+}
+
+func (w *sliceWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *sliceWriter) Read(p []byte) (int, error) {
+	if w.r >= len(w.b) {
+		return 0, errEOF
+	}
+	n := copy(p, w.b[w.r:])
+	w.r += n
+	return n, nil
+}
+
+var errEOF = errorString("EOF")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Guard against accidental dependence on depfunc internals in the
+// events: weights reported by spawn events are real Definition-8
+// weights (non-negative, bounded by the all-BiMaybe table).
+func TestSpawnWeightsSane(t *testing.T) {
+	tr := trace.PaperFigure2()
+	rec := obs.NewRecorder()
+	if _, err := Learn(tr, Options{Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := depfunc.NewTaskSet(tr.Tasks)
+	maxW := 6 * ts.Len() * (ts.Len() - 1) / 2 // BiMaybe everywhere
+	for _, e := range rec.OfKind("hypothesis_spawned") {
+		w := e.(obs.HypothesisSpawned).Weight
+		if w < 0 || w > maxW {
+			t.Errorf("spawn weight %d outside [0,%d]", w, maxW)
+		}
+	}
+}

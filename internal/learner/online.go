@@ -5,6 +5,7 @@ import (
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -24,6 +25,11 @@ import (
 // VerifyResults is ignored by Result, which has no access to the
 // already-consumed instances; use MatchTrace on a retained trace if
 // post-hoc verification is wanted.
+//
+// With Options.Observer set, AddPeriod emits the structured
+// run-trace (PeriodStart, MessageProcessed, hypothesis events,
+// PeriodEnd); the RunEnd event is only emitted by the batch Learn,
+// since an incremental session has no defined end.
 type Online struct {
 	ts    *depfunc.TaskSet
 	opt   Options
@@ -75,32 +81,53 @@ func (o *Online) AddPeriod(p *trace.Period) error {
 	executed := execVector(p, o.ts)
 	cands := depfunc.Candidates(p, o.ts, o.opt.Policy)
 	live := liveSuffixes(cands)
+	obsv := o.opt.Observer
+	if obsv != nil {
+		obsv.OnPeriodStart(obs.PeriodStart{Period: p.Index, Messages: len(p.Msgs)})
+	}
 	cur := o.cur
 	for mi := range p.Msgs {
-		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats)
+		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats, p.Index, mi)
 		if err != nil {
 			o.err = fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
 			return o.err
 		}
 		cur = forgetDeadAssumptions(next, live[mi+1])
 		o.stats.Messages++
+		o.stats.Candidates += len(cands[mi])
 		if len(cur) > o.stats.Peak {
 			o.stats.Peak = len(cur)
 		}
-		if o.opt.Progress != nil {
-			o.opt.Progress("message", p.Index, mi, len(cur))
+		if obsv != nil {
+			obsv.OnMessageProcessed(obs.MessageProcessed{
+				Period: p.Index, Index: mi, ID: p.Msgs[mi].ID,
+				Candidates: len(cands[mi]), Live: len(cur),
+			})
 		}
 	}
+	relaxed := 0
 	for _, h := range cur {
-		o.stats.Relaxations += h.Relax(func(i int) bool { return executed[i] })
+		relaxed += h.Relax(func(i int) bool { return executed[i] })
 		h.ClearAssumptions()
 	}
-	cur = pruneMostSpecific(cur)
+	o.stats.Relaxations += relaxed
+	before := len(cur)
+	cur = pruneMostSpecific(cur, obsv, p.Index)
 	updateHistory(o.hist, executed, n)
 	o.cur = cur
 	o.stats.Periods++
-	if o.opt.Progress != nil {
-		o.opt.Progress("period", p.Index, -1, len(cur))
+	o.stats.PeriodLive = append(o.stats.PeriodLive, len(cur))
+	if obsv != nil {
+		// pruneMostSpecific leaves the survivors sorted by ascending
+		// weight, so the weight range is at the ends.
+		obsv.OnPeriodEnd(obs.PeriodEnd{
+			Period:      p.Index,
+			Live:        len(cur),
+			Dropped:     before - len(cur),
+			WeightMin:   cur[0].Weight(),
+			WeightMax:   cur[len(cur)-1].Weight(),
+			Relaxations: relaxed,
+		})
 	}
 	return nil
 }

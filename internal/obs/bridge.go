@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Metric-name constants of the learner bridge (see the package
+// comment for the full catalogue).
+const (
+	MetricPeriods       = "modelgen_learner_periods_total"
+	MetricMessages      = "modelgen_learner_messages_total"
+	MetricSpawned       = "modelgen_learner_hypotheses_spawned_total"
+	MetricPruned        = "modelgen_learner_hypotheses_pruned_total"
+	MetricMerges        = "modelgen_learner_merges_total"
+	MetricRelaxations   = "modelgen_learner_relaxations_total"
+	MetricLive          = "modelgen_learner_live_hypotheses"
+	MetricPeak          = "modelgen_learner_peak_hypotheses"
+	MetricCandidates    = "modelgen_learner_candidates_per_message"
+	MetricLivePerPeriod = "modelgen_learner_live_per_period"
+	MetricRuns          = "modelgen_learner_runs_total"
+	MetricRunSeconds    = "modelgen_learner_run_seconds"
+)
+
+// CandidateBuckets are the fan-out histogram bounds: candidate sets
+// are small (|A_m| <= t² for t tasks) and the low end is where the
+// learner's branching factor lives.
+var CandidateBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// LiveBuckets are the working-set-size histogram bounds.
+var LiveBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// RunSecondsBuckets are the run-duration histogram bounds (doubling
+// from 5 ms to ~10 s, the paper's reported range).
+var RunSecondsBuckets = []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12, 10.24}
+
+// metricsObserver bridges events into a Registry.
+type metricsObserver struct {
+	reg *Registry
+
+	periods, messages, spawned, pruned, merges, relaxations, runs *Counter
+	live, peak                                                    *Gauge
+	candidates, livePerPeriod, runSeconds                         *Histogram
+
+	mu       sync.Mutex
+	pipeline map[string]*Counter // stage/name -> counter, created on demand
+}
+
+// NewMetricsObserver returns an Observer that maintains the
+// modelgen_* metrics in reg. Instruments are created eagerly so a
+// scrape before the first event already shows the full catalogue.
+func NewMetricsObserver(reg *Registry) Observer {
+	return &metricsObserver{
+		reg:           reg,
+		periods:       reg.Counter(MetricPeriods, "periods processed by the learner"),
+		messages:      reg.Counter(MetricMessages, "message occurrences processed"),
+		spawned:       reg.Counter(MetricSpawned, "hypotheses created by generalization"),
+		pruned:        reg.Counter(MetricPruned, "hypotheses removed by end-of-period pruning"),
+		merges:        reg.Counter(MetricMerges, "heuristic least-upper-bound merges"),
+		relaxations:   reg.Counter(MetricRelaxations, "entries relaxed by end-of-period tests"),
+		runs:          reg.Counter(MetricRuns, "completed learning runs"),
+		live:          reg.Gauge(MetricLive, "live hypotheses after the last period"),
+		peak:          reg.Gauge(MetricPeak, "peak working-set size"),
+		candidates:    reg.Histogram(MetricCandidates, "timing-feasible candidate pairs per message", CandidateBuckets),
+		livePerPeriod: reg.Histogram(MetricLivePerPeriod, "live hypotheses at each period end", LiveBuckets),
+		runSeconds:    reg.Histogram(MetricRunSeconds, "learning-run wall time in seconds", RunSecondsBuckets),
+		pipeline:      map[string]*Counter{},
+	}
+}
+
+func (m *metricsObserver) OnPeriodStart(PeriodStart) {}
+
+func (m *metricsObserver) OnMessageProcessed(e MessageProcessed) {
+	m.messages.Inc()
+	m.candidates.Observe(float64(e.Candidates))
+	m.live.Set(int64(e.Live))
+	m.peak.SetMax(int64(e.Live))
+}
+
+func (m *metricsObserver) OnHypothesisSpawned(HypothesisSpawned) { m.spawned.Inc() }
+func (m *metricsObserver) OnHypothesisMerged(HypothesisMerged)   { m.merges.Inc() }
+func (m *metricsObserver) OnHypothesisPruned(HypothesisPruned)   { m.pruned.Inc() }
+
+func (m *metricsObserver) OnPeriodEnd(e PeriodEnd) {
+	m.periods.Inc()
+	m.relaxations.Add(int64(e.Relaxations))
+	m.live.Set(int64(e.Live))
+	m.peak.SetMax(int64(e.Live))
+	m.livePerPeriod.Observe(float64(e.Live))
+}
+
+func (m *metricsObserver) OnRunEnd(e RunEnd) {
+	m.runs.Inc()
+	m.runSeconds.Observe(time.Duration(e.ElapsedNS).Seconds())
+}
+
+func (m *metricsObserver) OnPipeline(e Pipeline) {
+	key := e.Stage + "/" + e.Name
+	m.mu.Lock()
+	c, ok := m.pipeline[key]
+	if !ok {
+		c = m.reg.Counter(fmt.Sprintf("modelgen_%s_%s_total", e.Stage, e.Name),
+			fmt.Sprintf("pipeline stage %q quantity %q", e.Stage, e.Name))
+		m.pipeline[key] = c
+	}
+	m.mu.Unlock()
+	c.Add(e.Value)
+}
+
+// RuntimeMetrics registers a scrape hook publishing Go runtime
+// health into reg: go_goroutines, go_heap_alloc_bytes,
+// go_gc_runs_total. Values refresh on every scrape/snapshot.
+func RuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("go_goroutines", "current goroutine count")
+	heap := reg.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects")
+	gcRuns := reg.Gauge("go_gc_runs_total", "completed GC cycles")
+	reg.AddScrapeHook(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heap.Set(int64(ms.HeapAlloc))
+		gcRuns.Set(int64(ms.NumGC))
+	})
+}

@@ -1,0 +1,199 @@
+package obs
+
+// Event is the union of the typed events an Observer receives. Every
+// event type is a small value struct; events are passed by value so
+// that observer calls never force heap allocation on the emitting
+// path.
+type Event interface {
+	// Kind returns the stable schema name of the event ("period_start",
+	// "hypothesis_merged", ...), used by the JSONL sink and the
+	// Recorder's filtering helpers.
+	Kind() string
+}
+
+// PeriodStart opens one period of a learning run.
+type PeriodStart struct {
+	Period   int `json:"period"`
+	Messages int `json:"messages"`
+}
+
+// MessageProcessed closes the generalization step for one message
+// occurrence: Candidates is the size of the timing-feasible
+// sender/receiver candidate set A_m, Live the working-set size after
+// the step.
+type MessageProcessed struct {
+	Period     int    `json:"period"`
+	Index      int    `json:"index"`
+	ID         string `json:"id"`
+	Candidates int    `json:"candidates"`
+	Live       int    `json:"live"`
+}
+
+// HypothesisSpawned records one child hypothesis created by
+// generalization (duplicate children are not reported, matching
+// Stats.Children).
+type HypothesisSpawned struct {
+	Period int `json:"period"`
+	Index  int `json:"index"`
+	Weight int `json:"weight"`
+}
+
+// HypothesisMerged records one least-upper-bound merge of the two
+// lightest working hypotheses under the heuristic bound.
+type HypothesisMerged struct {
+	Period       int `json:"period"`
+	Index        int `json:"index"`
+	WeightA      int `json:"weight_a"`
+	WeightB      int `json:"weight_b"`
+	WeightMerged int `json:"weight_merged"`
+}
+
+// HypothesisPruned records one hypothesis removed by the
+// end-of-period post-processing: reason "duplicate" (equal dependency
+// function) or "redundant" (a strictly more specific hypothesis
+// survives).
+type HypothesisPruned struct {
+	Period int    `json:"period"`
+	Reason string `json:"reason"`
+	Weight int    `json:"weight"`
+}
+
+// PeriodEnd closes one period: Live surviving hypotheses, Dropped
+// removed by the end-of-period prune, and the weight range of the
+// survivors.
+type PeriodEnd struct {
+	Period      int `json:"period"`
+	Live        int `json:"live"`
+	Dropped     int `json:"dropped"`
+	WeightMin   int `json:"weight_min"`
+	WeightMax   int `json:"weight_max"`
+	Relaxations int `json:"relaxations"`
+}
+
+// RunEnd closes a batch learning run with its headline statistics.
+type RunEnd struct {
+	Periods   int   `json:"periods"`
+	Messages  int   `json:"messages"`
+	Final     int   `json:"final"`
+	Peak      int   `json:"peak"`
+	Merges    int   `json:"merges"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Pipeline is the generic event of the non-learner stages: trace
+// parsing, simulation, reachability, mode analysis. Stage names the
+// emitting subsystem, Name the quantity, Value its magnitude; Label
+// carries free-form context (e.g. a parse-error message).
+type Pipeline struct {
+	Stage string `json:"stage"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Label string `json:"label,omitempty"`
+}
+
+func (PeriodStart) Kind() string       { return "period_start" }
+func (MessageProcessed) Kind() string  { return "message_processed" }
+func (HypothesisSpawned) Kind() string { return "hypothesis_spawned" }
+func (HypothesisMerged) Kind() string  { return "hypothesis_merged" }
+func (HypothesisPruned) Kind() string  { return "hypothesis_pruned" }
+func (PeriodEnd) Kind() string         { return "period_end" }
+func (RunEnd) Kind() string            { return "run_end" }
+func (Pipeline) Kind() string          { return "pipeline" }
+
+// Observer receives the typed events of a run. One method per event
+// type keeps the emitting path free of interface boxing: passing a
+// value struct to an interface method does not allocate, so a no-op
+// implementation costs only the dynamic call.
+//
+// Implementations embed NopObserver to pick up no-op defaults for the
+// events they do not care about.
+type Observer interface {
+	OnPeriodStart(PeriodStart)
+	OnMessageProcessed(MessageProcessed)
+	OnHypothesisSpawned(HypothesisSpawned)
+	OnHypothesisMerged(HypothesisMerged)
+	OnHypothesisPruned(HypothesisPruned)
+	OnPeriodEnd(PeriodEnd)
+	OnRunEnd(RunEnd)
+	OnPipeline(Pipeline)
+}
+
+// NopObserver ignores every event. Embed it to implement Observer
+// partially.
+type NopObserver struct{}
+
+func (NopObserver) OnPeriodStart(PeriodStart)             {}
+func (NopObserver) OnMessageProcessed(MessageProcessed)   {}
+func (NopObserver) OnHypothesisSpawned(HypothesisSpawned) {}
+func (NopObserver) OnHypothesisMerged(HypothesisMerged)   {}
+func (NopObserver) OnHypothesisPruned(HypothesisPruned)   {}
+func (NopObserver) OnPeriodEnd(PeriodEnd)                 {}
+func (NopObserver) OnRunEnd(RunEnd)                       {}
+func (NopObserver) OnPipeline(Pipeline)                   {}
+
+// Nop is the shared no-op observer.
+var Nop Observer = NopObserver{}
+
+// multi fans every event out to a fixed list of observers.
+type multi []Observer
+
+// NewMulti combines observers into one, dropping nils. It returns nil
+// when nothing remains (so callers can keep the allocation-free
+// nil-observer fast path) and the observer itself when only one
+// remains.
+func NewMulti(os ...Observer) Observer {
+	kept := make(multi, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+func (m multi) OnPeriodStart(e PeriodStart) {
+	for _, o := range m {
+		o.OnPeriodStart(e)
+	}
+}
+func (m multi) OnMessageProcessed(e MessageProcessed) {
+	for _, o := range m {
+		o.OnMessageProcessed(e)
+	}
+}
+func (m multi) OnHypothesisSpawned(e HypothesisSpawned) {
+	for _, o := range m {
+		o.OnHypothesisSpawned(e)
+	}
+}
+func (m multi) OnHypothesisMerged(e HypothesisMerged) {
+	for _, o := range m {
+		o.OnHypothesisMerged(e)
+	}
+}
+func (m multi) OnHypothesisPruned(e HypothesisPruned) {
+	for _, o := range m {
+		o.OnHypothesisPruned(e)
+	}
+}
+func (m multi) OnPeriodEnd(e PeriodEnd) {
+	for _, o := range m {
+		o.OnPeriodEnd(e)
+	}
+}
+func (m multi) OnRunEnd(e RunEnd) {
+	for _, o := range m {
+		o.OnRunEnd(e)
+	}
+}
+func (m multi) OnPipeline(e Pipeline) {
+	for _, o := range m {
+		o.OnPipeline(e)
+	}
+}

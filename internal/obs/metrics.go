@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v is larger (a running maximum,
+// e.g. peak working-set size).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets
+// (Prometheus-style: bucket i counts observations <= Bounds[i], with
+// an implicit +Inf bucket equal to Count).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the finite upper bucket bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// metric pairs a named instrument with its help string for
+// exposition.
+type metric struct {
+	name, help string
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+func (m *metric) typ() string {
+	switch {
+	case m.counter != nil:
+		return "counter"
+	case m.gauge != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a dependency-free metrics registry: get-or-create
+// instruments by name, exposed in the Prometheus text format, as
+// JSON, or as a point-in-time Snapshot. All methods are safe for
+// concurrent use; instrument updates are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	hooks   []func()
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// Counter returns the counter with the given name, creating it on
+// first use. It panics if the name is already registered as another
+// type (a programming error, as in client_golang).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, counter: c}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.gauge == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, gauge: g}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it
+// with the given bucket upper bounds (sorted ascending; the +Inf
+// bucket is implicit) on first use. Later calls ignore the bucket
+// argument.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.hist == nil {
+			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
+		}
+		return m.hist
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.metrics[name] = &metric{name: name, help: help, hist: h}
+	return h
+}
+
+// AddScrapeHook registers a function run at the start of every
+// Snapshot/WritePrometheus/WriteJSON, for metrics that are sampled
+// rather than event-driven (see RuntimeMetrics).
+func (r *Registry) AddScrapeHook(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus emits every metric in the Prometheus text
+// exposition format (version 0.0.4), suitable for a /metrics
+// endpoint.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ()); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		default:
+			h := m.hist
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+					m.name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, h.Count()); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", m.name, formatBound(h.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// Handler returns an http.Handler serving WritePrometheus — the
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Bucket is one cumulative histogram bucket of a Snapshot.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Metric is the snapshot of one instrument.
+type Metric struct {
+	Type string `json:"type"`
+	// Value is the counter or gauge value.
+	Value int64 `json:"value,omitempty"`
+	// Histogram fields: total count, sum of observations, cumulative
+	// finite buckets (the +Inf bucket equals Count).
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Registry, keyed by metric
+// name. It is the form used by tests and by before/after diffs.
+type Snapshot map[string]Metric
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{}
+	for _, m := range r.sorted() {
+		switch {
+		case m.counter != nil:
+			out[m.name] = Metric{Type: "counter", Value: m.counter.Value()}
+		case m.gauge != nil:
+			out[m.name] = Metric{Type: "gauge", Value: m.gauge.Value()}
+		default:
+			h := m.hist
+			bs := make([]Bucket, len(h.bounds))
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				bs[i] = Bucket{LE: b, Count: cum}
+			}
+			out[m.name] = Metric{Type: "histogram", Count: h.Count(), Sum: h.Sum(), Buckets: bs}
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the Snapshot as one JSON object keyed by metric
+// name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Diff returns s minus prev: counters and histograms are subtracted
+// (metrics absent from prev count from zero), gauges keep their
+// current value. Useful for isolating one run's contribution on a
+// shared registry.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, m := range s {
+		p := prev[name]
+		switch m.Type {
+		case "counter":
+			m.Value -= p.Value
+		case "histogram":
+			m.Count -= p.Count
+			m.Sum -= p.Sum
+			bs := append([]Bucket(nil), m.Buckets...)
+			for i := range bs {
+				if i < len(p.Buckets) && p.Buckets[i].LE == bs[i].LE {
+					bs[i].Count -= p.Buckets[i].Count
+				}
+			}
+			m.Buckets = bs
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// Value returns the counter/gauge value of the named metric (zero if
+// absent) — a test convenience.
+func (s Snapshot) Value(name string) int64 { return s[name].Value }
+
+// HistCount returns the observation count of the named histogram
+// (zero if absent).
+func (s Snapshot) HistCount(name string) int64 { return s[name].Count }

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer serves runtime profiling and metrics over HTTP:
+// the standard /debug/pprof/ endpoints (CPU, heap, goroutine, block,
+// mutex profiles) and, when a Registry is attached, /metrics in the
+// Prometheus text format.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer listens on addr and serves in a background
+// goroutine. reg may be nil (pprof only); when non-nil, RuntimeMetrics
+// is installed on it so scrapes include Go runtime health. Close the
+// returned server when done.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		RuntimeMetrics(reg)
+		mux.Handle("/metrics", reg.Handler())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

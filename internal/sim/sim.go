@@ -18,6 +18,7 @@ import (
 
 	"github.com/blackbox-rt/modelgen/internal/can"
 	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/osek"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
@@ -32,6 +33,9 @@ type Options struct {
 	// BitRate is the CAN bus speed in bits per second (default
 	// 500 kbit/s).
 	BitRate int64
+	// Observer, when non-nil, receives stage-"sim" pipeline events:
+	// periods_simulated, messages_emitted, execs_recorded.
+	Observer obs.Observer
 }
 
 // Output is the result of a simulation.
@@ -284,6 +288,11 @@ func Run(m *model.Model, opt Options) (*Output, error) {
 		return nil, fmt.Errorf("sim: assembling trace: %w", err)
 	}
 	out.Trace = tr
+	if opt.Observer != nil {
+		opt.Observer.OnPipeline(obs.Pipeline{Stage: "sim", Name: "periods_simulated", Value: int64(opt.Periods)})
+		opt.Observer.OnPipeline(obs.Pipeline{Stage: "sim", Name: "messages_emitted", Value: int64(out.MessagesSent)})
+		opt.Observer.OnPipeline(obs.Pipeline{Stage: "sim", Name: "execs_recorded", Value: int64(len(out.Execs))})
+	}
 	return out, nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
 )
 
 // The text trace format is line oriented:
@@ -65,7 +67,22 @@ func (tr *Trace) String() string {
 }
 
 // Read parses a trace in the text format.
-func Read(r io.Reader) (*Trace, error) {
+func Read(r io.Reader) (*Trace, error) { return ReadObserved(r, nil) }
+
+// ReadObserved parses like Read and reports parsing observability to
+// o (stage "trace"): events_read and periods_segmented on success,
+// malformed_lines (with the error as label) on a parse failure. A nil
+// observer makes it identical to Read.
+func ReadObserved(r io.Reader, o obs.Observer) (tr *Trace, err error) {
+	if o != nil {
+		defer func() {
+			if err != nil {
+				o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "malformed_lines", Value: 1, Label: err.Error()})
+				return
+			}
+			o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "periods_segmented", Value: int64(len(tr.Periods))})
+		}()
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 
@@ -162,6 +179,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if !sawTasks {
 		return nil, fmt.Errorf("trace: missing tasks declaration")
 	}
+	if o != nil {
+		o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "events_read", Value: int64(len(events))})
+	}
 	return fromOrderedEvents(tasks, events)
 }
 
@@ -246,4 +266,21 @@ func fromOrderedEvents(tasks []string, events []Event) (*Trace, error) {
 // ReadString parses a trace from a string in the text format.
 func ReadString(s string) (*Trace, error) {
 	return Read(strings.NewReader(s))
+}
+
+// FromEventsObserved assembles a trace like FromEvents and reports
+// stage-"trace" observability to o: events_read and
+// periods_segmented on success, malformed_lines (with the error as
+// label) on failure. A nil observer makes it identical to FromEvents.
+func FromEventsObserved(tasks []string, events []Event, o obs.Observer) (*Trace, error) {
+	tr, err := FromEvents(tasks, events)
+	if o != nil {
+		if err != nil {
+			o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "malformed_lines", Value: 1, Label: err.Error()})
+		} else {
+			o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "events_read", Value: int64(len(events))})
+			o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "periods_segmented", Value: int64(len(tr.Periods))})
+		}
+	}
+	return tr, err
 }

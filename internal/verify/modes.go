@@ -7,6 +7,7 @@ import (
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -31,7 +32,11 @@ func (m Mode) Key() string { return strings.Join(m.Tasks, "+") }
 
 // Modes enumerates the distinct operation modes of the trace, most
 // frequent first (ties broken by key for determinism).
-func Modes(tr *trace.Trace) []Mode {
+func Modes(tr *trace.Trace) []Mode { return ModesObserved(tr, nil) }
+
+// ModesObserved is Modes with stage-"verify" observability:
+// periods_scanned and modes_enumerated pipeline events.
+func ModesObserved(tr *trace.Trace, o obs.Observer) []Mode {
 	byKey := map[string]*Mode{}
 	for _, p := range tr.Periods {
 		tasks := p.ExecutedTasks()
@@ -53,6 +58,10 @@ func Modes(tr *trace.Trace) []Mode {
 		}
 		return out[i].Key() < out[j].Key()
 	})
+	if o != nil {
+		o.OnPipeline(obs.Pipeline{Stage: "verify", Name: "periods_scanned", Value: int64(len(tr.Periods))})
+		o.OnPipeline(obs.Pipeline{Stage: "verify", Name: "modes_enumerated", Value: int64(len(out))})
+	}
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/blackbox-rt/modelgen/internal/lattice"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/reach"
 	"github.com/blackbox-rt/modelgen/internal/sim"
 	"github.com/blackbox-rt/modelgen/internal/trace"
@@ -70,6 +71,15 @@ func TraceFromEventsPeriodic(tasks []string, events []Event, origin, periodLen i
 func ReadTrace(r io.Reader) (*Trace, error)    { return trace.Read(r) }
 func WriteTrace(w io.Writer, tr *Trace) error  { return trace.Write(w, tr) }
 func ReadTraceString(s string) (*Trace, error) { return trace.ReadString(s) }
+
+// ReadTraceObserved parses the text format and reports parsing
+// observability (events read, periods segmented, malformed input) to
+// the observer; TraceFromEventsObserved is the equivalent for raw
+// event streams.
+func ReadTraceObserved(r io.Reader, o Observer) (*Trace, error) { return trace.ReadObserved(r, o) }
+func TraceFromEventsObserved(tasks []string, events []Event, o Observer) (*Trace, error) {
+	return trace.FromEventsObserved(tasks, events, o)
+}
 
 // ReadTraceJSON and WriteTraceJSON use the JSON wire format (traces
 // also implement json.Marshaler/Unmarshaler directly).
@@ -242,6 +252,70 @@ func PathLatency(m *Model, p LatencyPath, d *DepFunc, bitRate int64) (*LatencyBr
 func CompareLatency(m *Model, p LatencyPath, d *DepFunc, bitRate int64) (*LatencyComparison, error) {
 	return latency.Compare(m, p, d, bitRate)
 }
+
+// Observability re-exports: the metrics registry, the structured
+// run-trace (Observer + typed events), and the pprof/metrics debug
+// server. See internal/obs for the event schema and metric
+// catalogue.
+type (
+	Observer        = obs.Observer
+	NopObserver     = obs.NopObserver
+	ObsEvent        = obs.Event
+	EventRecorder   = obs.Recorder
+	JSONLObserver   = obs.JSONLSink
+	MetricsRegistry = obs.Registry
+	MetricsSnapshot = obs.Snapshot
+	DebugServer     = obs.DebugServer
+
+	PeriodStartEvent       = obs.PeriodStart
+	MessageProcessedEvent  = obs.MessageProcessed
+	HypothesisSpawnedEvent = obs.HypothesisSpawned
+	HypothesisMergedEvent  = obs.HypothesisMerged
+	HypothesisPrunedEvent  = obs.HypothesisPruned
+	PeriodEndEvent         = obs.PeriodEnd
+	RunEndEvent            = obs.RunEnd
+	PipelineEvent          = obs.Pipeline
+)
+
+// NewEventRecorder returns an observer capturing every event for
+// assertions and inspection.
+func NewEventRecorder() *EventRecorder { return obs.NewRecorder() }
+
+// NewJSONLObserver returns an observer writing one JSON object per
+// event to w (the offline-analysis format of bblearn -events).
+func NewJSONLObserver(w io.Writer) *JSONLObserver { return obs.NewJSONLSink(w) }
+
+// ParseEventJSONL decodes a JSONL event stream back into typed
+// events.
+func ParseEventJSONL(r io.Reader) ([]ObsEvent, error) { return obs.ParseJSONL(r) }
+
+// NewMetricsRegistry returns an empty dependency-free metrics
+// registry with Prometheus-text and JSON exposition.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsObserver returns an observer maintaining the modelgen_*
+// metric catalogue in the registry.
+func NewMetricsObserver(reg *MetricsRegistry) Observer { return obs.NewMetricsObserver(reg) }
+
+// CombineObservers fans events out to several observers; it returns
+// nil when none remain so the allocation-free nil-observer fast path
+// is preserved.
+func CombineObservers(os ...Observer) Observer { return obs.NewMulti(os...) }
+
+// StartDebugServer serves net/http/pprof under /debug/pprof/ and, if
+// reg is non-nil, the registry at /metrics. Pass ":0" to pick a free
+// port; the bound address is in the returned server's Addr.
+func StartDebugServer(addr string, reg *MetricsRegistry) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, reg)
+}
+
+// ExploreStateSpaceObserved is ExploreStateSpace with reachability
+// observability (states explored); ModesObserved is the equivalent
+// for mode enumeration.
+func ExploreStateSpaceObserved(d *DepFunc, o Observer) (ReachResult, error) {
+	return reach.ExploreObserved(d, o)
+}
+func ModesObserved(tr *Trace, o Observer) []Mode { return verify.ModesObserved(tr, o) }
 
 // Case-study configuration re-exports (see EXPERIMENTS.md).
 const (
