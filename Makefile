@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tidy
+.PHONY: check vet build test race bench microbench tidy
 
 ## check: the full gate — vet, build everything, race-enabled tests.
 check: vet build race
@@ -17,9 +17,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: the learner benchmarks, including the zero-allocation
-## observer guard (compare nil vs nop allocs/op).
+## bench: regenerate the Section 3.4 runtime table and record it as
+## benchmark telemetry (BENCH_local.json at the repo root). Gate a
+## change against a committed baseline with:
+##   go run ./cmd/bbbench -compare BENCH_base.json -threshold 10%
 bench:
+	$(GO) run ./cmd/bbbench -json BENCH_local.json
+
+## microbench: the go-test microbenchmarks, including the
+## zero-allocation observer guard (compare nil vs nop allocs/op).
+microbench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/learner/
 
 tidy:

@@ -8,21 +8,23 @@
 //	bblearn -trace trace.txt -exact -max 1000000
 //	bblearn -trace trace.txt -bound 16 -report -dot deps.dot
 //	bblearn -trace trace.txt -v -stats -events run.jsonl -pprof :6060
+//	bblearn -trace trace.txt -exact -explain t1,t4
 //
 // Observability: -v prints a per-period progress line, -stats a
 // run-statistics table (periods, peak/final hypotheses, merges,
 // candidate fan-out, elapsed), -events writes the structured JSONL
-// event stream for offline analysis, and -pprof serves
-// /debug/pprof/ plus /metrics during the run for profiling long
-// exact learns.
+// event stream for offline analysis, -explain records provenance and
+// prints the derivation chain of one dependency entry, and -pprof
+// serves /debug/pprof/ plus /metrics during the run for profiling
+// long exact learns.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	modelgen "github.com/blackbox-rt/modelgen"
@@ -55,6 +57,7 @@ func main() {
 		verbose      = flag.Bool("v", false, "per-period progress on stderr")
 		stats        = flag.Bool("stats", false, "print the run-statistics table")
 		eventsFile   = flag.String("events", "", "write the JSONL event stream to this file")
+		explain      = flag.String("explain", "", "record provenance and print the derivation chain of entry d(T1,T2) (format: T1,T2)")
 		pprofAddr    = flag.String("pprof", "", "serve /debug/pprof/ and /metrics on this address during the run (e.g. :6060)")
 	)
 	flag.Parse()
@@ -62,30 +65,27 @@ func main() {
 	var (
 		observers []modelgen.Observer
 		reg       *modelgen.MetricsRegistry
-		sink      *modelgen.JSONLObserver
+		sink      *modelgen.JSONLFileSink
 	)
 	if *stats || *pprofAddr != "" {
 		reg = modelgen.NewMetricsRegistry()
 		observers = append(observers, modelgen.NewMetricsObserver(reg))
 	}
-	var flushEvents func() error
 	if *eventsFile != "" {
-		f, err := os.Create(*eventsFile)
+		var err error
+		sink, err = modelgen.OpenJSONLFile(*eventsFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bw := bufio.NewWriter(f)
-		sink = modelgen.NewJSONLObserver(bw)
 		observers = append(observers, sink)
-		flushEvents = func() error {
-			if err := sink.Err(); err != nil {
-				return err
-			}
-			if err := bw.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
+	}
+	// fatalf flushes the event sink before exiting: on a failure the
+	// events leading up to it are the diagnostic.
+	fatalf := func(format string, args ...any) {
+		if sink != nil {
+			_ = sink.Close()
 		}
+		log.Fatalf(format, args...)
 	}
 	if *verbose {
 		observers = append(observers, progressObserver{})
@@ -94,7 +94,7 @@ func main() {
 	if *pprofAddr != "" {
 		srv, err := modelgen.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
-			log.Fatalf("pprof server: %v", err)
+			fatalf("pprof server: %v", err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bblearn: profiling on http://%s/debug/pprof/ (metrics on /metrics)\n", srv.Addr)
@@ -104,19 +104,14 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		defer f.Close()
 		in = f
 	}
 	tr, err := modelgen.ReadTraceObserved(in, obsv)
 	if err != nil {
-		// Flush the event stream first: on a parse error the
-		// malformed_lines pipeline event is the diagnostic.
-		if flushEvents != nil {
-			_ = flushEvents()
-		}
-		log.Fatalf("reading trace: %v", err)
+		fatalf("reading trace: %v", err)
 	}
 
 	opt := modelgen.LearnOptions{
@@ -126,7 +121,8 @@ func main() {
 			MaxSenders:     *maxSenders,
 			MaxReceivers:   *maxReceivers,
 		},
-		Observer: obsv,
+		Observer:   obsv,
+		Provenance: *explain != "",
 	}
 	if *exact {
 		opt.MaxHypotheses = *maxHyp
@@ -136,10 +132,7 @@ func main() {
 
 	res, err := modelgen.Learn(tr, opt)
 	if err != nil {
-		if flushEvents != nil {
-			_ = flushEvents()
-		}
-		log.Fatalf("learning: %v", err)
+		fatalf("learning: %v", err)
 	}
 
 	mode := fmt.Sprintf("heuristic (bound %d)", *bound)
@@ -154,6 +147,26 @@ func main() {
 
 	if *stats {
 		printStats(res, reg)
+	}
+	if *explain != "" {
+		t1, t2, ok := strings.Cut(*explain, ",")
+		if !ok {
+			fatalf("-explain wants T1,T2 (e.g. -explain t1,t4)")
+		}
+		t1, t2 = strings.TrimSpace(t1), strings.TrimSpace(t2)
+		steps, err := res.Explain(t1, t2)
+		if err != nil {
+			fatalf("explain: %v", err)
+		}
+		fmt.Printf("derivation of d(%s,%s) = %s (most specific hypothesis):\n",
+			t1, t2, res.Hypotheses[0].At(res.TaskSet.Index(t1), res.TaskSet.Index(t2)))
+		if len(steps) == 0 {
+			fmt.Println("  (no steps: the entry never left ||)")
+		}
+		for _, s := range steps {
+			fmt.Printf("  %s\n", s.Format(res.TaskSet))
+		}
+		fmt.Println()
 	}
 	if *all {
 		for i, d := range res.Hypotheses {
@@ -174,11 +187,11 @@ func main() {
 	}
 	if *dotFile != "" {
 		if err := os.WriteFile(*dotFile, []byte(res.LUB.DOT("learned")), 0o644); err != nil {
-			log.Fatalf("writing %s: %v", *dotFile, err)
+			fatalf("writing %s: %v", *dotFile, err)
 		}
 	}
-	if flushEvents != nil {
-		if err := flushEvents(); err != nil {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
 			log.Fatalf("writing %s: %v", *eventsFile, err)
 		}
 	}

@@ -7,6 +7,7 @@
 //	bbtrace -model gmstyle -periods 27 -seed 7 -out trace.txt
 //	bbtrace -model figure1 -dot model.dot
 //	bbtrace -model random -layers 3 -width 3 -seed 11
+//	bbtrace -paper                     # the paper's Figure 2 worked-example trace
 package main
 
 import (
@@ -33,8 +34,25 @@ func main() {
 		stats     = flag.Bool("stats", false, "print trace statistics to stderr")
 		layers    = flag.Int("layers", 3, "random model: DAG layers")
 		width     = flag.Int("width", 3, "random model: tasks per layer")
+		paper     = flag.Bool("paper", false, "write the paper's Figure 2 worked-example trace (no simulation)")
 	)
 	flag.Parse()
+
+	if *paper {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := modelgen.WriteTrace(w, modelgen.PaperTrace()); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		return
+	}
 
 	m, err := lookupModel(*modelName, *layers, *width, *seed)
 	if err != nil {

@@ -347,6 +347,15 @@ func MustParseTable(s string) *DepFunc {
 // is the end-of-period "test conditional dependencies" step of the
 // algorithm. It returns the number of relaxed entries.
 func (d *DepFunc) RelaxViolations(executed func(task int) bool) int {
+	return d.RelaxViolationsFunc(executed, nil)
+}
+
+// RelaxViolationsFunc is RelaxViolations with an audit callback:
+// onRelax (when non-nil) is invoked for every relaxed entry with its
+// position and the old→new lattice transition, in row-major order.
+// The provenance recorder uses it to attribute end-of-period
+// relaxations.
+func (d *DepFunc) RelaxViolationsFunc(executed func(task int) bool, onRelax func(i, j int, old, new lattice.Value)) int {
 	n := d.ts.Len()
 	relaxed := 0
 	for i := 0; i < n; i++ {
@@ -361,6 +370,9 @@ func (d *DepFunc) RelaxViolations(executed func(task int) bool) int {
 			if lattice.HasExecConstraint(v) && !executed(j) {
 				d.Set(i, j, lattice.Relax(v))
 				relaxed++
+				if onRelax != nil {
+					onRelax(i, j, v, lattice.Relax(v))
+				}
 			}
 		}
 	}

@@ -5,6 +5,7 @@
 package hypothesis
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +23,67 @@ type Hypothesis struct {
 	D       *depfunc.DepFunc
 	assumed map[depfunc.Pair]bool
 	weight  int
+
+	// Provenance chain (see EnableProvenance): a persistent singly
+	// linked list of the generalization steps that produced D, newest
+	// first. Children share their parent's suffix, so recording is
+	// O(changed entries) per step and O(1) extra work when cloning.
+	prov   *provNode
+	provOn bool
+}
+
+// Step is one recorded generalization step of a hypothesis: the
+// entry (I,J) that changed, its lattice transition Old→New, and the
+// cause. Action is "assume" (message generalization; S,R is the
+// candidate pair and Msg/MsgID locate the message), "relax"
+// (end-of-period conditional test; Msg is -1) or "merge" (bounded
+// least-upper-bound merge raised the entry by joining in the lighter
+// operand that was folded away).
+type Step struct {
+	Period int
+	Msg    int // message index within the period; -1 for end-of-period steps
+	MsgID  string
+	S, R   int // assumed (sender, receiver) pair; -1 when not applicable
+	I, J   int // the dependency entry that changed
+	Old    lattice.Value
+	New    lattice.Value
+	Action string
+}
+
+// StepCtx locates a generalization step in the run: the period, the
+// message index within it (-1 at period end) and the message ID. It
+// is threaded through Assume/Relax/Merge so recorded steps can name
+// their cause; with provenance disabled it is ignored.
+type StepCtx struct {
+	Period int
+	Msg    int
+	MsgID  string
+}
+
+// provNode is one cons cell of the persistent provenance chain.
+type provNode struct {
+	step Step
+	prev *provNode
+}
+
+// Format renders the step for humans, resolving task indices against
+// ts:
+//
+//	period 2 msg 4 (m5): assume t1->t4: d(t1,t4): || => ->
+//	period 2 end: relax: d(t1,t4): -> => ->?
+func (s Step) Format(ts *depfunc.TaskSet) string {
+	entry := fmt.Sprintf("d(%s,%s): %s => %s", ts.Name(s.I), ts.Name(s.J), s.Old, s.New)
+	switch s.Action {
+	case "assume":
+		return fmt.Sprintf("period %d msg %d (%s): assume %s->%s: %s",
+			s.Period, s.Msg, s.MsgID, ts.Name(s.S), ts.Name(s.R), entry)
+	case "relax":
+		return fmt.Sprintf("period %d end: relax: %s", s.Period, entry)
+	case "merge":
+		return fmt.Sprintf("period %d msg %d: merge: %s", s.Period, s.Msg, entry)
+	default:
+		return fmt.Sprintf("period %d: %s: %s", s.Period, s.Action, entry)
+	}
 }
 
 // Bottom returns the globally most specific hypothesis d⊥ with no
@@ -39,6 +101,32 @@ func FromDepFunc(d *depfunc.DepFunc) *Hypothesis {
 // Weight returns the cached Definition-8 weight of the hypothesis.
 func (h *Hypothesis) Weight() int { return h.weight }
 
+// EnableProvenance switches on step recording for h and every
+// hypothesis derived from it. Recording costs one small allocation
+// per changed entry; the default-off path allocates nothing.
+func (h *Hypothesis) EnableProvenance() { h.provOn = true }
+
+// ProvenanceEnabled reports whether the hypothesis records steps.
+func (h *Hypothesis) ProvenanceEnabled() bool { return h.provOn }
+
+// Provenance materializes the recorded derivation chain, oldest step
+// first. It is nil when recording is disabled or nothing changed.
+func (h *Hypothesis) Provenance() []Step {
+	n := 0
+	for p := h.prov; p != nil; p = p.prev {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Step, n)
+	for p := h.prov; p != nil; p = p.prev {
+		n--
+		out[n] = p.step
+	}
+	return out
+}
+
 // Assumed reports whether the ordered pair has already been assumed
 // for a message in the current period.
 func (h *Hypothesis) Assumed(p depfunc.Pair) bool { return h.assumed[p] }
@@ -52,8 +140,9 @@ func (h *Hypothesis) AssumptionCount() int { return len(h.assumed) }
 // the backward entry (r,s) with bwd. The stamp values are chosen by
 // the caller (→/→? and ←/←? depending on execution history). It
 // returns nil if p was already assumed this period (condition 3 of the
-// generalization step). h is unchanged.
-func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value) *Hypothesis {
+// generalization step). h is unchanged. ctx locates the message for
+// provenance recording and is ignored when recording is off.
+func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value, ctx StepCtx) *Hypothesis {
 	if h.assumed[p] {
 		return nil
 	}
@@ -61,20 +150,29 @@ func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value) *Hypothesis 
 		D:       h.D.Clone(),
 		assumed: make(map[depfunc.Pair]bool, len(h.assumed)+1),
 		weight:  h.weight,
+		prov:    h.prov,
+		provOn:  h.provOn,
 	}
 	for k := range h.assumed {
 		child.assumed[k] = true
 	}
 	child.assumed[p] = true
-	child.joinEntry(p.S, p.R, fwd)
-	child.joinEntry(p.R, p.S, bwd)
+	child.joinEntry(p, p.S, p.R, fwd, ctx)
+	child.joinEntry(p, p.R, p.S, bwd, ctx)
 	return child
 }
 
-func (h *Hypothesis) joinEntry(i, j int, v lattice.Value) {
+func (h *Hypothesis) joinEntry(p depfunc.Pair, i, j int, v lattice.Value, ctx StepCtx) {
 	old := h.D.At(i, j)
 	if h.D.JoinAt(i, j, v) {
-		h.weight += lattice.Distance(h.D.At(i, j)) - lattice.Distance(old)
+		nw := h.D.At(i, j)
+		h.weight += lattice.Distance(nw) - lattice.Distance(old)
+		if h.provOn {
+			h.prov = &provNode{step: Step{
+				Period: ctx.Period, Msg: ctx.Msg, MsgID: ctx.MsgID,
+				S: p.S, R: p.R, I: i, J: j, Old: old, New: nw, Action: "assume",
+			}, prev: h.prov}
+		}
 	}
 }
 
@@ -104,8 +202,20 @@ func (h *Hypothesis) RetainAssumptions(keep func(depfunc.Pair) bool) {
 // unconditional entry (→, ←, ↔) whose implication is violated by the
 // period's executed-task set is generalized minimally to its
 // conditional counterpart. It returns the number of relaxed entries.
-func (h *Hypothesis) Relax(executed func(task int) bool) int {
-	n := h.D.RelaxViolations(executed)
+// ctx supplies the period for provenance recording (Msg is forced to
+// -1: relaxation is an end-of-period step).
+func (h *Hypothesis) Relax(executed func(task int) bool, ctx StepCtx) int {
+	var n int
+	if h.provOn {
+		n = h.D.RelaxViolationsFunc(executed, func(i, j int, old, new lattice.Value) {
+			h.prov = &provNode{step: Step{
+				Period: ctx.Period, Msg: -1, S: -1, R: -1,
+				I: i, J: j, Old: old, New: new, Action: "relax",
+			}, prev: h.prov}
+		})
+	} else {
+		n = h.D.RelaxViolations(executed)
+	}
 	if n > 0 {
 		h.weight = h.D.Weight()
 	}
@@ -119,7 +229,14 @@ func (h *Hypothesis) Relax(executed func(task int) bool) int {
 // assumable, since the other lineage's branches may still need it for
 // a later message; re-assuming a pair can only repeat a join, never
 // under-generalize. Both operands are unchanged.
-func (h *Hypothesis) Merge(other *Hypothesis) *Hypothesis {
+//
+// Provenance: the merged hypothesis continues the receiver's chain
+// (the heuristic merges the two lightest hypotheses as a.Merge(b), so
+// the base lineage is the lighter operand) and records one "merge"
+// step per entry the join raised above the receiver's value. The
+// folded-away operand's own history is not retained — the chain
+// explains the surviving table, not every dead branch.
+func (h *Hypothesis) Merge(other *Hypothesis, ctx StepCtx) *Hypothesis {
 	d := h.D.Join(other.D)
 	assumed := map[depfunc.Pair]bool{}
 	for k := range h.assumed {
@@ -127,12 +244,31 @@ func (h *Hypothesis) Merge(other *Hypothesis) *Hypothesis {
 			assumed[k] = true
 		}
 	}
-	return &Hypothesis{D: d, assumed: assumed, weight: d.Weight()}
+	m := &Hypothesis{D: d, assumed: assumed, weight: d.Weight(), prov: h.prov, provOn: h.provOn || other.provOn}
+	if m.provOn {
+		n := d.N()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				old, nw := h.D.At(i, j), d.At(i, j)
+				if old != nw {
+					m.prov = &provNode{step: Step{
+						Period: ctx.Period, Msg: ctx.Msg, MsgID: ctx.MsgID,
+						S: -1, R: -1, I: i, J: j, Old: old, New: nw, Action: "merge",
+					}, prev: m.prov}
+				}
+			}
+		}
+	}
+	return m
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (the immutable provenance chain is
+// shared).
 func (h *Hypothesis) Clone() *Hypothesis {
-	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight}
+	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight, prov: h.prov, provOn: h.provOn}
 	for k := range h.assumed {
 		cp.assumed[k] = true
 	}

@@ -1,6 +1,7 @@
 package hypothesis
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
@@ -24,7 +25,7 @@ func TestBottom(t *testing.T) {
 
 func TestAssumeStampsBothSides(t *testing.T) {
 	h := Bottom(ts3())
-	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	if c == nil {
 		t.Fatal("Assume returned nil")
 	}
@@ -45,7 +46,7 @@ func TestAssumeStampsBothSides(t *testing.T) {
 
 func TestAssumeConditionalStamps(t *testing.T) {
 	h := Bottom(ts3())
-	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.FwdMaybe, lattice.Bwd)
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.FwdMaybe, lattice.Bwd, StepCtx{})
 	if c.D.At(0, 1) != lattice.FwdMaybe || c.D.At(1, 0) != lattice.Bwd {
 		t.Errorf("entries = %v, %v", c.D.At(0, 1), c.D.At(1, 0))
 	}
@@ -56,23 +57,23 @@ func TestAssumeConditionalStamps(t *testing.T) {
 
 func TestAssumeDuplicatePairRejected(t *testing.T) {
 	h := Bottom(ts3())
-	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
-	if c.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd) != nil {
+	c := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
+	if c.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{}) != nil {
 		t.Error("duplicate pair accepted")
 	}
 	// The reverse pair is a different ordered pair and is allowed.
-	if c.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd) == nil {
+	if c.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd, StepCtx{}) == nil {
 		t.Error("reverse pair rejected")
 	}
 }
 
 func TestAssumeJoinSemantics(t *testing.T) {
 	h := Bottom(ts3())
-	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	c1.ClearAssumptions()
 	// Re-assuming in a "new period" with the reverse direction joins
 	// to <-> on both sides.
-	c2 := c1.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd)
+	c2 := c1.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	if c2.D.At(1, 0) != lattice.Bi || c2.D.At(0, 1) != lattice.Bi {
 		t.Errorf("entries = %v, %v, want <-> both", c2.D.At(1, 0), c2.D.At(0, 1))
 	}
@@ -82,20 +83,20 @@ func TestAssumeJoinSemantics(t *testing.T) {
 }
 
 func TestClearAssumptions(t *testing.T) {
-	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	h.ClearAssumptions()
 	if h.AssumptionCount() != 0 {
 		t.Error("assumptions survived ClearAssumptions")
 	}
-	if h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd) == nil {
+	if h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{}) == nil {
 		t.Error("pair still blocked after ClearAssumptions")
 	}
 }
 
 func TestRelaxUpdatesWeight(t *testing.T) {
-	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	// A period where a executed but b did not.
-	n := h.Relax(func(i int) bool { return i == 0 || i == 2 })
+	n := h.Relax(func(i int) bool { return i == 0 || i == 2 }, StepCtx{})
 	if n != 1 {
 		t.Fatalf("relaxed %d, want 1", n)
 	}
@@ -109,13 +110,13 @@ func TestRelaxUpdatesWeight(t *testing.T) {
 
 func TestMergeJoinsAndIntersects(t *testing.T) {
 	base := Bottom(ts3())
-	h1 := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h1 := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	shared := depfunc.Pair{S: 0, R: 2}
-	h1 = h1.Assume(shared, lattice.Fwd, lattice.Bwd)
-	h2 := base.Assume(depfunc.Pair{S: 1, R: 2}, lattice.Fwd, lattice.Bwd)
-	h2 = h2.Assume(shared, lattice.Fwd, lattice.Bwd)
+	h1 = h1.Assume(shared, lattice.Fwd, lattice.Bwd, StepCtx{})
+	h2 := base.Assume(depfunc.Pair{S: 1, R: 2}, lattice.Fwd, lattice.Bwd, StepCtx{})
+	h2 = h2.Assume(shared, lattice.Fwd, lattice.Bwd, StepCtx{})
 
-	m := h1.Merge(h2)
+	m := h1.Merge(h2, StepCtx{})
 	if m.D.At(0, 1) != lattice.Fwd || m.D.At(1, 2) != lattice.Fwd || m.D.At(0, 2) != lattice.Fwd {
 		t.Errorf("merged D wrong:\n%s", m.D.Table())
 	}
@@ -137,9 +138,9 @@ func TestMergeJoinsAndIntersects(t *testing.T) {
 func TestKeyIncludesAssumptions(t *testing.T) {
 	base := Bottom(ts3())
 	// Same D, different assumptions: (a,b) assumed with no-op stamp.
-	h := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	h.ClearAssumptions()
-	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	c1 := h.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	c2 := h.Clone()
 	if c1.Key() == c2.Key() {
 		t.Error("keys equal despite different assumptions")
@@ -152,15 +153,15 @@ func TestKeyIncludesAssumptions(t *testing.T) {
 func TestKeyCanonicalOrder(t *testing.T) {
 	base := Bottom(ts3())
 	p1, p2 := depfunc.Pair{S: 0, R: 1}, depfunc.Pair{S: 1, R: 2}
-	a := base.Assume(p1, lattice.Fwd, lattice.Bwd).Assume(p2, lattice.Fwd, lattice.Bwd)
-	b := base.Assume(p2, lattice.Fwd, lattice.Bwd).Assume(p1, lattice.Fwd, lattice.Bwd)
+	a := base.Assume(p1, lattice.Fwd, lattice.Bwd, StepCtx{}).Assume(p2, lattice.Fwd, lattice.Bwd, StepCtx{})
+	b := base.Assume(p2, lattice.Fwd, lattice.Bwd, StepCtx{}).Assume(p1, lattice.Fwd, lattice.Bwd, StepCtx{})
 	if a.Key() != b.Key() {
 		t.Error("assumption order leaked into key")
 	}
 }
 
 func TestCloneIndependence(t *testing.T) {
-	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd)
+	h := Bottom(ts3()).Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{})
 	cp := h.Clone()
 	cp.ClearAssumptions()
 	if h.AssumptionCount() != 1 {
@@ -183,5 +184,100 @@ func TestFromDepFunc(t *testing.T) {
 	d.Set(0, 2, lattice.BiMaybe)
 	if h.D.At(0, 2) != lattice.Par {
 		t.Error("FromDepFunc did not clone")
+	}
+}
+
+func TestProvenanceRecording(t *testing.T) {
+	base := Bottom(ts3())
+	if base.ProvenanceEnabled() || base.Provenance() != nil {
+		t.Fatal("recording on by default")
+	}
+	base.EnableProvenance()
+	ctx := StepCtx{Period: 1, Msg: 0, MsgID: "m1"}
+	c := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, ctx)
+	steps := c.Provenance()
+	if len(steps) != 2 {
+		t.Fatalf("steps = %+v, want forward+backward", steps)
+	}
+	want := Step{Period: 1, Msg: 0, MsgID: "m1", S: 0, R: 1, I: 0, J: 1,
+		Old: lattice.Par, New: lattice.Fwd, Action: "assume"}
+	if steps[0] != want {
+		t.Errorf("first step = %+v, want %+v", steps[0], want)
+	}
+	if steps[1].I != 1 || steps[1].J != 0 || steps[1].New != lattice.Bwd {
+		t.Errorf("second step = %+v", steps[1])
+	}
+	// The parent's chain is untouched (persistent sharing).
+	if base.Provenance() != nil {
+		t.Error("child recording mutated the parent chain")
+	}
+	// A no-op join (same assumption again via another path) records
+	// nothing new.
+	c2 := c.Assume(depfunc.Pair{S: 1, R: 0}, lattice.Bwd, lattice.Fwd, StepCtx{Period: 1, Msg: 1, MsgID: "m2"})
+	if got := len(c2.Provenance()); got != 2 {
+		t.Errorf("no-op join appended steps: chain length %d, want 2", got)
+	}
+	// Clone shares the chain.
+	if got := c.Clone().Provenance(); !reflect.DeepEqual(got, steps) {
+		t.Errorf("clone chain = %+v", got)
+	}
+}
+
+func TestMergeProvenance(t *testing.T) {
+	base := Bottom(ts3())
+	base.EnableProvenance()
+	ctx := StepCtx{Period: 0, Msg: 0, MsgID: "m1"}
+	a := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, ctx)
+	b := base.Assume(depfunc.Pair{S: 1, R: 2}, lattice.Fwd, lattice.Bwd, ctx)
+	m := a.Merge(b, StepCtx{Period: 0, Msg: 1})
+	steps := m.Provenance()
+	// a's two assume steps survive; the join raised (1,2) and (2,1)
+	// from b, recorded as merge steps.
+	if len(steps) != 4 {
+		t.Fatalf("merged chain = %+v, want 4 steps", steps)
+	}
+	var merges int
+	for _, s := range steps {
+		if s.Action == "merge" {
+			merges++
+			if s.Period != 0 || s.Msg != 1 || s.S != -1 || s.R != -1 {
+				t.Errorf("merge step context = %+v", s)
+			}
+			if !(s.I == 1 && s.J == 2 && s.New == lattice.Fwd) &&
+				!(s.I == 2 && s.J == 1 && s.New == lattice.Bwd) {
+				t.Errorf("merge step entry = %+v", s)
+			}
+		}
+	}
+	if merges != 2 {
+		t.Errorf("merge steps = %d, want 2", merges)
+	}
+}
+
+func TestRelaxProvenance(t *testing.T) {
+	base := Bottom(ts3())
+	base.EnableProvenance()
+	h := base.Assume(depfunc.Pair{S: 0, R: 1}, lattice.Fwd, lattice.Bwd, StepCtx{Period: 0, Msg: 0, MsgID: "m1"})
+	// Period executes t1 (index 0) and t3 (index 2) but not t2: the
+	// unconditional -> from t1 to t2 is violated and must relax.
+	n := h.Relax(func(i int) bool { return i == 0 || i == 2 }, StepCtx{Period: 0})
+	if n == 0 {
+		t.Fatal("nothing relaxed; test premise broken")
+	}
+	steps := h.Provenance()
+	var relaxes int
+	for _, s := range steps {
+		if s.Action == "relax" {
+			relaxes++
+			if s.Msg != -1 || s.S != -1 || s.MsgID != "" {
+				t.Errorf("relax step context = %+v", s)
+			}
+			if s.I == 0 && s.J == 1 && (s.Old != lattice.Fwd || s.New != lattice.FwdMaybe) {
+				t.Errorf("relax transition = %+v", s)
+			}
+		}
+	}
+	if relaxes != n {
+		t.Errorf("recorded %d relax steps, Relax reported %d", relaxes, n)
 	}
 }

@@ -89,11 +89,21 @@ type Options struct {
 
 	// Observer, when non-nil, receives the structured run-trace:
 	// period boundaries, per-message candidate fan-out, hypothesis
-	// spawn/merge/prune events. Every emit site is nil-guarded, so a
-	// nil Observer adds no allocations to the hot path (verified by
-	// TestNopObserverZeroAlloc). Use obs.NewMulti to attach several
-	// sinks at once.
+	// spawn/merge/prune events, and phase timing spans. Every emit
+	// site is nil-guarded, so a nil Observer adds no allocations to
+	// the hot path (verified by TestNopObserverZeroAlloc). Use
+	// obs.NewMulti to attach several sinks at once.
 	Observer obs.Observer
+
+	// Provenance enables the per-hypothesis audit trail: every
+	// lattice transition of every working hypothesis is recorded with
+	// its cause (message generalization, end-of-period relaxation,
+	// heuristic merge), queryable afterwards via Result.Explain and
+	// Result.Provenance and emitted as "provenance" events for the
+	// winning hypothesis when an Observer is attached. Off by
+	// default: recording allocates one cons cell per changed entry,
+	// and the default path must stay allocation-free.
+	Provenance bool
 
 	// Negatives lists periods the system is known to be unable to
 	// produce (forbidden behaviours supplied by the analyst — the
@@ -134,6 +144,15 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
+// ProvStep is one recorded generalization step of a hypothesis's
+// derivation chain (see Options.Provenance). Format renders it for
+// humans.
+type ProvStep = hypothesis.Step
+
+// ErrNoProvenance is returned by Result.Explain when the run did not
+// record provenance.
+var ErrNoProvenance = errors.New("learner: provenance not recorded (set Options.Provenance)")
+
 // Result is the outcome of a learning run.
 type Result struct {
 	// TaskSet is the predefined task set T of the trace.
@@ -150,6 +169,46 @@ type Result struct {
 	Converged bool
 	// Stats holds run instrumentation.
 	Stats Stats
+
+	// prov maps each returned dependency function to its recorded
+	// derivation chain; nil unless Options.Provenance was set.
+	prov map[*depfunc.DepFunc][]ProvStep
+}
+
+// Provenance returns the full derivation chain (oldest step first) of
+// the i-th returned hypothesis, or nil when the run did not record
+// provenance.
+func (r *Result) Provenance(i int) []ProvStep {
+	if r.prov == nil || i < 0 || i >= len(r.Hypotheses) {
+		return nil
+	}
+	return r.prov[r.Hypotheses[i]]
+}
+
+// Explain answers "why did d(t1,t2) become what it is": it returns
+// the chronological steps that changed entry (t1,t2) of the first
+// (lightest, most specific) returned hypothesis. An empty chain with
+// a nil error means the entry never left ‖. It fails with
+// ErrNoProvenance when the run did not record provenance, or when a
+// task name is unknown.
+func (r *Result) Explain(t1, t2 string) ([]ProvStep, error) {
+	if r.prov == nil {
+		return nil, ErrNoProvenance
+	}
+	i, j := r.TaskSet.Index(t1), r.TaskSet.Index(t2)
+	if i < 0 {
+		return nil, fmt.Errorf("learner: unknown task %q", t1)
+	}
+	if j < 0 {
+		return nil, fmt.Errorf("learner: unknown task %q", t2)
+	}
+	var out []ProvStep
+	for _, s := range r.prov[r.Hypotheses[0]] {
+		if s.I == i && s.J == j {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 // Learn runs the generalization algorithm over the trace. It is the
@@ -169,15 +228,26 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 	// Extract the working set directly: the session ends here, so the
 	// defensive clone of Online.Result is unnecessary.
 	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	var prov map[*depfunc.DepFunc][]ProvStep
+	if opt.Provenance {
+		prov = make(map[*depfunc.DepFunc][]ProvStep, len(o.cur))
+	}
 	for _, h := range o.cur {
 		ds = append(ds, h.D)
+		if prov != nil {
+			prov[h.D] = h.Provenance()
+		}
 	}
 	res, err := finish(o.ts, tr, ds, opt, o.stats)
 	if err != nil {
 		return nil, err
 	}
+	res.prov = prov
 	res.Stats.Elapsed = time.Since(t0)
 	if opt.Observer != nil {
+		if opt.Provenance {
+			emitProvenance(opt.Observer, o.ts, res.Provenance(0))
+		}
 		opt.Observer.OnRunEnd(obs.RunEnd{
 			Periods:   res.Stats.Periods,
 			Messages:  res.Stats.Messages,
@@ -188,6 +258,22 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// emitProvenance publishes the winning hypothesis's derivation chain
+// as "provenance" events, task indices resolved to names.
+func emitProvenance(obsv obs.Observer, ts *depfunc.TaskSet, steps []ProvStep) {
+	for _, s := range steps {
+		e := obs.Provenance{
+			Period: s.Period, Index: s.Msg, Msg: s.MsgID,
+			Task1: ts.Name(s.I), Task2: ts.Name(s.J),
+			From: s.Old.String(), To: s.New.String(), Action: s.Action,
+		}
+		if s.S >= 0 {
+			e.Sender, e.Receiver = ts.Name(s.S), ts.Name(s.R)
+		}
+		obsv.OnProvenance(e)
+	}
 }
 
 // LearnExact runs the exact (exponential) algorithm.
@@ -204,13 +290,14 @@ func LearnBounded(tr *trace.Trace, bound int, pol depfunc.CandidatePolicy) (*Res
 // candidate assumption for one message, applying heuristic merging
 // when a bound is set.
 func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
-	hist []bool, n int, opt Options, stats *Stats, period, msg int) ([]*hypothesis.Hypothesis, error) {
+	hist []bool, n int, opt Options, stats *Stats, period, msg int, msgID string) ([]*hypothesis.Hypothesis, error) {
 
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
 	}
+	ctx := hypothesis.StepCtx{Period: period, Msg: msg, MsgID: msgID}
 	wl := newWorkList(opt.Bound, stats)
-	wl.obsv, wl.period, wl.msg = opt.Observer, period, msg
+	wl.obsv, wl.ctx = opt.Observer, ctx
 	seen := make(map[string]bool, len(cur)*len(pairs))
 	scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
 	for _, h := range cur {
@@ -224,7 +311,7 @@ func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
 			if hist[pr.R*n+pr.S] {
 				bwd = lattice.BwdMaybe
 			}
-			if c := h.Assume(pr, fwd, bwd); c != nil {
+			if c := h.Assume(pr, fwd, bwd, ctx); c != nil {
 				children = append(children, c)
 			}
 		}
@@ -261,12 +348,11 @@ func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
 // addition that overflows the bound merges the two lightest elements
 // into their least upper bound (Section 3.2).
 type workList struct {
-	bound  int
-	items  []*hypothesis.Hypothesis
-	stats  *Stats
-	obsv   obs.Observer
-	period int
-	msg    int
+	bound int
+	items []*hypothesis.Hypothesis
+	stats *Stats
+	obsv  obs.Observer
+	ctx   hypothesis.StepCtx
 }
 
 func newWorkList(bound int, stats *Stats) *workList {
@@ -281,12 +367,12 @@ func (wl *workList) add(h *hypothesis.Hypothesis) {
 	wl.insert(h)
 	for len(wl.items) > wl.bound {
 		a, b := wl.items[0], wl.items[1]
-		merged := a.Merge(b)
+		merged := a.Merge(b, wl.ctx)
 		wl.items = wl.items[2:]
 		wl.stats.Merges++
 		if wl.obsv != nil {
 			wl.obsv.OnHypothesisMerged(obs.HypothesisMerged{
-				Period: wl.period, Index: wl.msg,
+				Period: wl.ctx.Period, Index: wl.ctx.Msg,
 				WeightA: a.Weight(), WeightB: b.Weight(), WeightMerged: merged.Weight(),
 			})
 		}
@@ -457,6 +543,7 @@ func finish(ts *depfunc.TaskSet, tr *trace.Trace, ds []*depfunc.DepFunc,
 		ds = kept
 	}
 	if opt.VerifyResults && tr != nil {
+		sp := obs.StartSpan(opt.Observer, obs.PhaseVerify)
 		kept := ds[:0]
 		for _, d := range ds {
 			if ok, _ := depfunc.MatchTrace(d, tr, opt.Policy); ok {
@@ -466,6 +553,7 @@ func finish(ts *depfunc.TaskSet, tr *trace.Trace, ds []*depfunc.DepFunc,
 			}
 		}
 		ds = kept
+		sp.End()
 	}
 	if len(ds) == 0 {
 		return nil, ErrNoHypothesis

@@ -35,29 +35,33 @@ func TestObserverEventSequenceExact(t *testing.T) {
 	}
 
 	// The collapsed shape of the run: each period opens with
-	// period_start, alternates spawn-bursts with message_processed
-	// (one burst per message: the exact algorithm never merges), may
-	// prune at the period end, and closes with period_end; the run
-	// closes with run_end. Period 1 of the paper trace prunes nothing
-	// (no duplicate or redundant hypotheses), periods 2 and 3 do.
+	// period_start and the candidates span, alternates spawn-bursts
+	// with message_processed (one burst per message: the exact
+	// algorithm never merges), closes the generalize span, may prune
+	// at the period end, closes the postprocess span and then the
+	// period with period_end; the run closes with run_end. In periods
+	// without pruning the generalize and postprocess spans are
+	// adjacent and collapse into one "span" entry. Period 1 of the
+	// paper trace prunes nothing (no duplicate or redundant
+	// hypotheses), periods 2 and 3 do.
 	want := []string{
 		// period 0: 2 messages.
-		"period_start",
+		"period_start", "span",
 		"hypothesis_spawned", "message_processed",
 		"hypothesis_spawned", "message_processed",
-		"period_end",
+		"span", "period_end",
 		// period 1: 2 messages, end-of-period pruning kicks in.
-		"period_start",
+		"period_start", "span",
 		"hypothesis_spawned", "message_processed",
 		"hypothesis_spawned", "message_processed",
-		"hypothesis_pruned", "period_end",
+		"span", "hypothesis_pruned", "span", "period_end",
 		// period 2: 4 messages.
-		"period_start",
+		"period_start", "span",
 		"hypothesis_spawned", "message_processed",
 		"hypothesis_spawned", "message_processed",
 		"hypothesis_spawned", "message_processed",
 		"hypothesis_spawned", "message_processed",
-		"hypothesis_pruned", "period_end",
+		"span", "hypothesis_pruned", "span", "period_end",
 		"run_end",
 	}
 	if got := collapse(rec.Kinds()); !reflect.DeepEqual(got, want) {
@@ -262,15 +266,32 @@ func TestObserverBatchOnlineEquivalent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Identical except the batch run's trailing run_end.
-	gotB := recBatch.Events()
-	gotO := recOnline.Events()
+	// Identical except the batch run's trailing run_end. Span
+	// durations are wall-clock and differ between the two runs, so
+	// they are zeroed before comparing.
+	gotB := stripSpanTimes(recBatch.Events())
+	gotO := stripSpanTimes(recOnline.Events())
 	if len(gotB) != len(gotO)+1 || gotB[len(gotB)-1].Kind() != "run_end" {
 		t.Fatalf("batch %d events, online %d; batch must only add run_end", len(gotB), len(gotO))
 	}
 	if !reflect.DeepEqual(gotB[:len(gotB)-1], gotO) {
 		t.Error("batch and online event streams diverge")
 	}
+}
+
+// stripSpanTimes zeroes the wall-clock duration of span events so two
+// equivalent runs compare equal.
+func stripSpanTimes(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(events))
+	for i, e := range events {
+		if sp, ok := e.(obs.SpanEnd); ok {
+			sp.ElapsedNS = 0
+			out[i] = sp
+			continue
+		}
+		out[i] = e
+	}
+	return out
 }
 
 // TestObserverMatchesJSONLRoundTrip drives the full offline loop the

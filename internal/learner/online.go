@@ -47,11 +47,15 @@ func NewOnline(tasks []string, opt Options) (*Online, error) {
 		return nil, err
 	}
 	n := ts.Len()
+	bottom := hypothesis.Bottom(ts)
+	if opt.Provenance {
+		bottom.EnableProvenance()
+	}
 	o := &Online{
 		ts:   ts,
 		opt:  opt,
 		hist: make([]bool, n*n),
-		cur:  []*hypothesis.Hypothesis{hypothesis.Bottom(ts)},
+		cur:  []*hypothesis.Hypothesis{bottom},
 	}
 	o.stats.Peak = 1
 	return o, nil
@@ -77,18 +81,22 @@ func (o *Online) AddPeriod(p *trace.Period) error {
 	if o.err != nil {
 		return o.err
 	}
-	n := o.ts.Len()
-	executed := execVector(p, o.ts)
-	cands := depfunc.Candidates(p, o.ts, o.opt.Policy)
-	live := liveSuffixes(cands)
 	obsv := o.opt.Observer
 	if obsv != nil {
 		obsv.OnPeriodStart(obs.PeriodStart{Period: p.Index, Messages: len(p.Msgs)})
 	}
+	n := o.ts.Len()
+	executed := execVector(p, o.ts)
+	spCand := obs.StartSpan(obsv, obs.PhaseCandidates)
+	cands := depfunc.Candidates(p, o.ts, o.opt.Policy)
+	live := liveSuffixes(cands)
+	spCand.End()
 	cur := o.cur
+	spGen := obs.StartSpan(obsv, obs.PhaseGeneralize)
 	for mi := range p.Msgs {
-		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats, p.Index, mi)
+		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats, p.Index, mi, p.Msgs[mi].ID)
 		if err != nil {
+			spGen.End()
 			o.err = fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
 			return o.err
 		}
@@ -105,15 +113,19 @@ func (o *Online) AddPeriod(p *trace.Period) error {
 			})
 		}
 	}
+	spGen.End()
+	spPost := obs.StartSpan(obsv, obs.PhasePostprocess)
 	relaxed := 0
+	endCtx := hypothesis.StepCtx{Period: p.Index, Msg: -1}
 	for _, h := range cur {
-		relaxed += h.Relax(func(i int) bool { return executed[i] })
+		relaxed += h.Relax(func(i int) bool { return executed[i] }, endCtx)
 		h.ClearAssumptions()
 	}
 	o.stats.Relaxations += relaxed
 	before := len(cur)
 	cur = pruneMostSpecific(cur, obsv, p.Index)
 	updateHistory(o.hist, executed, n)
+	spPost.End()
 	o.cur = cur
 	o.stats.Periods++
 	o.stats.PeriodLive = append(o.stats.PeriodLive, len(cur))
@@ -141,10 +153,23 @@ func (o *Online) Result() (*Result, error) {
 		return nil, o.err
 	}
 	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	var prov map[*depfunc.DepFunc][]ProvStep
+	if o.opt.Provenance {
+		prov = make(map[*depfunc.DepFunc][]ProvStep, len(o.cur))
+	}
 	for _, h := range o.cur {
-		ds = append(ds, h.D.Clone())
+		d := h.D.Clone()
+		ds = append(ds, d)
+		if prov != nil {
+			prov[d] = h.Provenance()
+		}
 	}
 	snap := o.opt
 	snap.VerifyResults = false
-	return finish(o.ts, nil, ds, snap, o.stats)
+	res, err := finish(o.ts, nil, ds, snap, o.stats)
+	if err != nil {
+		return nil, err
+	}
+	res.prov = prov
+	return res, nil
 }

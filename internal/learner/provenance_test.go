@@ -1,0 +1,224 @@
+package learner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// TestExplainPaperEntry pins the exact derivation of the paper's
+// highlighted consequence d(t1,t4) = → on the Figure 2 trace: one
+// generalization step, made for message m1 of the first period under
+// the assumption t1→t4, taking the entry from ‖ to →, and never
+// touched again.
+func TestExplainPaperEntry(t *testing.T) {
+	res, err := Learn(trace.PaperFigure2(), Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := res.Explain("t1", "t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ProvStep{{
+		Period: 0, Msg: 0, MsgID: "m1",
+		S: 0, R: 3, I: 0, J: 3,
+		Old: lattice.Par, New: lattice.Fwd, Action: "assume",
+	}}
+	if !reflect.DeepEqual(steps, want) {
+		t.Errorf("Explain(t1,t4):\n got %+v\nwant %+v", steps, want)
+	}
+	if got := steps[0].Format(res.TaskSet); got != "period 0 msg 0 (m1): assume t1->t4: d(t1,t4): || => ->" {
+		t.Errorf("Format = %q", got)
+	}
+
+	// The full chain of the winning hypothesis is deterministic for
+	// the exact algorithm; pin its shape.
+	chain := res.Provenance(0)
+	if len(chain) != 9 {
+		t.Fatalf("winning chain has %d steps, want 9: %+v", len(chain), chain)
+	}
+	for i, s := range chain {
+		if s.Action != "assume" && s.Action != "relax" {
+			t.Errorf("step %d: unexpected action %q", i, s.Action)
+		}
+		if s.Action == "relax" && (s.Msg != -1 || s.S != -1) {
+			t.Errorf("relax step %d carries message context: %+v", i, s)
+		}
+	}
+	// The period-1 relaxation of d(t4,t2) is part of the chain.
+	relax := chain[6]
+	if relax.Action != "relax" || relax.Period != 1 || relax.I != 3 || relax.J != 1 ||
+		relax.Old != lattice.Bwd || relax.New != lattice.BwdMaybe {
+		t.Errorf("relax step = %+v", relax)
+	}
+
+	// An entry that never left ‖ explains to an empty chain, nil error.
+	if steps, err := res.Explain("t2", "t3"); err != nil || len(steps) != 0 {
+		t.Errorf("Explain(t2,t3) = %v, %v; want empty, nil", steps, err)
+	}
+
+	// Every returned hypothesis has a chain under Provenance(i).
+	for i := range res.Hypotheses {
+		if res.Provenance(i) == nil {
+			t.Errorf("hypothesis %d has no chain", i)
+		}
+	}
+	if res.Provenance(-1) != nil || res.Provenance(len(res.Hypotheses)) != nil {
+		t.Error("out-of-range Provenance not nil")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	res, err := Learn(trace.PaperFigure2(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Explain("t1", "t4"); !errors.Is(err, ErrNoProvenance) {
+		t.Errorf("without recording: err = %v, want ErrNoProvenance", err)
+	}
+	if res.Provenance(0) != nil {
+		t.Error("Provenance(0) non-nil without recording")
+	}
+
+	res, err = Learn(trace.PaperFigure2(), Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Explain("nope", "t4"); err == nil {
+		t.Error("unknown task t1 accepted")
+	}
+	if _, err := res.Explain("t1", "nope"); err == nil {
+		t.Error("unknown task t2 accepted")
+	}
+}
+
+// TestProvenanceEventsEmitted: with an observer attached, the batch
+// learner publishes the winning hypothesis's chain as provenance
+// events, task indices resolved to names, before run_end.
+func TestProvenanceEventsEmitted(t *testing.T) {
+	rec := obs.NewRecorder()
+	res, err := Learn(trace.PaperFigure2(), Options{Provenance: true, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.OfKind("provenance")
+	chain := res.Provenance(0)
+	if len(evs) != len(chain) {
+		t.Fatalf("%d provenance events, chain has %d steps", len(evs), len(chain))
+	}
+	first := evs[0].(obs.Provenance)
+	if first.Task1 != "t1" || first.Task2 != "t4" || first.Sender != "t1" || first.Receiver != "t4" ||
+		first.From != "||" || first.To != "->" || first.Action != "assume" || first.Msg != "m1" {
+		t.Errorf("first provenance event = %+v", first)
+	}
+	// Relax events omit the pair.
+	for _, e := range evs {
+		p := e.(obs.Provenance)
+		if p.Action == "relax" && (p.Sender != "" || p.Receiver != "") {
+			t.Errorf("relax event carries a pair: %+v", p)
+		}
+	}
+	// Events precede run_end.
+	kinds := rec.Kinds()
+	last := len(kinds) - 1
+	if kinds[last] != "run_end" || kinds[last-1] != "provenance" {
+		t.Errorf("tail of stream = %v", kinds[len(kinds)-3:])
+	}
+	// Without the option, none are emitted.
+	rec2 := obs.NewRecorder()
+	if _, err := Learn(trace.PaperFigure2(), Options{Observer: rec2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec2.Count("provenance"); n != 0 {
+		t.Errorf("%d provenance events without Options.Provenance", n)
+	}
+}
+
+// TestProvenanceDoesNotChangeResults: recording is pure bookkeeping.
+func TestProvenanceDoesNotChangeResults(t *testing.T) {
+	for _, bound := range []int{0, 2, 8} {
+		with, err := Learn(trace.PaperFigure2(), Options{Bound: bound, Provenance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := Learn(trace.PaperFigure2(), Options{Bound: bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(with.Hypotheses) != len(without.Hypotheses) || !with.LUB.Equal(without.LUB) {
+			t.Errorf("bound %d: provenance changed the result", bound)
+		}
+		for i := range with.Hypotheses {
+			if !with.Hypotheses[i].Equal(without.Hypotheses[i]) {
+				t.Errorf("bound %d: hypothesis %d differs", bound, i)
+			}
+		}
+	}
+}
+
+// TestOnlineProvenance: the incremental learner records the same
+// chains as the batch run, and snapshots keep working as periods
+// arrive.
+func TestOnlineProvenance(t *testing.T) {
+	tr := trace.PaperFigure2()
+	batch, err := Learn(tr, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(tr.Tasks, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSteps, err := batch.Explain("t1", "t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oSteps, err := res.Explain("t1", "t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bSteps, oSteps) {
+		t.Errorf("online chain diverges from batch:\n %+v\n %+v", oSteps, bSteps)
+	}
+	if !reflect.DeepEqual(batch.Provenance(0), res.Provenance(0)) {
+		t.Error("winning chains diverge between batch and online")
+	}
+}
+
+// TestVerifySpanEmitted: VerifyResults wraps its re-check in a
+// "verify" span.
+func TestVerifySpanEmitted(t *testing.T) {
+	rec := obs.NewRecorder()
+	if _, err := Learn(trace.PaperFigure2(), Options{Bound: 4, VerifyResults: true, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, e := range rec.OfKind("span") {
+		phases[e.(obs.SpanEnd).Phase]++
+	}
+	for _, phase := range []string{obs.PhaseCandidates, obs.PhaseGeneralize, obs.PhasePostprocess} {
+		if phases[phase] != 3 { // one per period
+			t.Errorf("phase %q: %d spans, want 3", phase, phases[phase])
+		}
+	}
+	if phases[obs.PhaseVerify] != 1 {
+		t.Errorf("verify spans = %d, want 1", phases[obs.PhaseVerify])
+	}
+}

@@ -22,7 +22,12 @@ const (
 	MetricLivePerPeriod = "modelgen_learner_live_per_period"
 	MetricRuns          = "modelgen_learner_runs_total"
 	MetricRunSeconds    = "modelgen_learner_run_seconds"
+	MetricProvSteps     = "modelgen_learner_provenance_steps_total"
 )
+
+// PhaseMetric returns the histogram name of a pipeline phase span
+// (e.g. PhaseMetric("generalize") = "modelgen_phase_generalize_seconds").
+func PhaseMetric(phase string) string { return "modelgen_phase_" + phase + "_seconds" }
 
 // CandidateBuckets are the fan-out histogram bounds: candidate sets
 // are small (|A_m| <= t² for t tasks) and the low end is where the
@@ -36,16 +41,23 @@ var LiveBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // from 5 ms to ~10 s, the paper's reported range).
 var RunSecondsBuckets = []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12, 10.24}
 
+// PhaseSecondsBuckets are the phase-span histogram bounds. Phases are
+// finer-grained than whole runs (a candidates pass over one period
+// can be tens of microseconds), so the range starts at 100 µs.
+var PhaseSecondsBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
 // metricsObserver bridges events into a Registry.
 type metricsObserver struct {
 	reg *Registry
 
 	periods, messages, spawned, pruned, merges, relaxations, runs *Counter
+	provSteps                                                     *Counter
 	live, peak                                                    *Gauge
 	candidates, livePerPeriod, runSeconds                         *Histogram
 
 	mu       sync.Mutex
-	pipeline map[string]*Counter // stage/name -> counter, created on demand
+	pipeline map[string]*Counter   // stage/name -> counter, created on demand
+	phases   map[string]*Histogram // phase -> seconds histogram, created on demand
 }
 
 // NewMetricsObserver returns an Observer that maintains the
@@ -61,12 +73,14 @@ func NewMetricsObserver(reg *Registry) Observer {
 		merges:        reg.Counter(MetricMerges, "heuristic least-upper-bound merges"),
 		relaxations:   reg.Counter(MetricRelaxations, "entries relaxed by end-of-period tests"),
 		runs:          reg.Counter(MetricRuns, "completed learning runs"),
+		provSteps:     reg.Counter(MetricProvSteps, "provenance steps emitted for winning hypotheses"),
 		live:          reg.Gauge(MetricLive, "live hypotheses after the last period"),
 		peak:          reg.Gauge(MetricPeak, "peak working-set size"),
 		candidates:    reg.Histogram(MetricCandidates, "timing-feasible candidate pairs per message", CandidateBuckets),
 		livePerPeriod: reg.Histogram(MetricLivePerPeriod, "live hypotheses at each period end", LiveBuckets),
 		runSeconds:    reg.Histogram(MetricRunSeconds, "learning-run wall time in seconds", RunSecondsBuckets),
 		pipeline:      map[string]*Counter{},
+		phases:        map[string]*Histogram{},
 	}
 }
 
@@ -107,6 +121,21 @@ func (m *metricsObserver) OnPipeline(e Pipeline) {
 	}
 	m.mu.Unlock()
 	c.Add(e.Value)
+}
+
+func (m *metricsObserver) OnProvenance(Provenance) { m.provSteps.Inc() }
+
+func (m *metricsObserver) OnSpan(e SpanEnd) {
+	m.mu.Lock()
+	h, ok := m.phases[e.Phase]
+	if !ok {
+		h = m.reg.Histogram(PhaseMetric(e.Phase),
+			fmt.Sprintf("wall time of the %q pipeline phase in seconds", e.Phase),
+			PhaseSecondsBuckets)
+		m.phases[e.Phase] = h
+	}
+	m.mu.Unlock()
+	h.Observe(time.Duration(e.ElapsedNS).Seconds())
 }
 
 // RuntimeMetrics registers a scrape hook publishing Go runtime

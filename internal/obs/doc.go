@@ -25,10 +25,19 @@
 //	period_end          {period, live, dropped, weight_min, weight_max, relaxations}
 //	run_end             {periods, messages, final, peak, merges, elapsed_ns}
 //	pipeline            {stage, name, value, label?}
+//	provenance          {period, index, msg?, sender?, receiver?, task1, task2, from, to, action}
+//	span                {phase, elapsed_ns}
 //
 // The learner emits the first seven; the surrounding pipeline stages
 // (trace parsing, simulation, reachability, mode analysis) emit
 // generic pipeline events such as stage "trace" / name "events_read".
+// provenance events carry the derivation chain of the winning
+// hypothesis when provenance recording is enabled on the learner
+// (one event per generalization step, action "assume", "relax" or
+// "merge"). span events time the pipeline phases (simulate,
+// trace_parse, candidates, generalize, postprocess, verify — see
+// StartSpan), so CPU profiles can be cross-referenced with logical
+// phases.
 //
 // # Metric names
 //
@@ -47,7 +56,13 @@
 //	modelgen_learner_live_per_period            histogram (1,2,4,8,16,32,64,128,256)
 //	modelgen_learner_runs_total                 counter
 //	modelgen_learner_run_seconds                histogram (5ms..10s, doubling)
+//	modelgen_learner_provenance_steps_total     counter, one per provenance event
 //	modelgen_<stage>_<name>_total               counter, one per pipeline event
+//	modelgen_phase_<phase>_seconds              histogram (100µs..10s), one per span phase
+//
+// modelgen_learner_candidates_per_message aggregates the per-message
+// candidate fan-out |A_m| — the driver of the O(m·b·t²) term of the
+// heuristic's runtime — which is otherwise only visible per-event.
 //
 // RuntimeMetrics additionally publishes go_goroutines,
 // go_heap_alloc_bytes and go_gc_runs_total, refreshed on every

@@ -91,6 +91,37 @@ type Pipeline struct {
 	Label string `json:"label,omitempty"`
 }
 
+// Provenance records one generalization step of the derivation chain
+// of a learned dependency entry d(Task1,Task2): the lattice
+// transition From→To, the action that caused it ("assume" for a
+// message generalization, "relax" for an end-of-period conditional
+// test, "merge" for a bounded least-upper-bound merge), and — for
+// assume steps — the message occurrence and the candidate
+// (sender, receiver) pair. Index is the message index within the
+// period, or -1 for end-of-period steps. Emitted only when
+// provenance recording is enabled on the learner.
+type Provenance struct {
+	Period   int    `json:"period"`
+	Index    int    `json:"index"`
+	Msg      string `json:"msg,omitempty"`
+	Sender   string `json:"sender,omitempty"`
+	Receiver string `json:"receiver,omitempty"`
+	Task1    string `json:"task1"`
+	Task2    string `json:"task2"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Action   string `json:"action"`
+}
+
+// SpanEnd closes one timed pipeline phase (see StartSpan): simulate,
+// trace_parse, candidates, generalize, postprocess, verify. Spans let
+// pprof flame graphs be cross-referenced with the logical phases of a
+// run.
+type SpanEnd struct {
+	Phase     string `json:"phase"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
 func (PeriodStart) Kind() string       { return "period_start" }
 func (MessageProcessed) Kind() string  { return "message_processed" }
 func (HypothesisSpawned) Kind() string { return "hypothesis_spawned" }
@@ -99,6 +130,8 @@ func (HypothesisPruned) Kind() string  { return "hypothesis_pruned" }
 func (PeriodEnd) Kind() string         { return "period_end" }
 func (RunEnd) Kind() string            { return "run_end" }
 func (Pipeline) Kind() string          { return "pipeline" }
+func (Provenance) Kind() string        { return "provenance" }
+func (SpanEnd) Kind() string           { return "span" }
 
 // Observer receives the typed events of a run. One method per event
 // type keeps the emitting path free of interface boxing: passing a
@@ -116,6 +149,8 @@ type Observer interface {
 	OnPeriodEnd(PeriodEnd)
 	OnRunEnd(RunEnd)
 	OnPipeline(Pipeline)
+	OnProvenance(Provenance)
+	OnSpan(SpanEnd)
 }
 
 // NopObserver ignores every event. Embed it to implement Observer
@@ -130,6 +165,8 @@ func (NopObserver) OnHypothesisPruned(HypothesisPruned)   {}
 func (NopObserver) OnPeriodEnd(PeriodEnd)                 {}
 func (NopObserver) OnRunEnd(RunEnd)                       {}
 func (NopObserver) OnPipeline(Pipeline)                   {}
+func (NopObserver) OnProvenance(Provenance)               {}
+func (NopObserver) OnSpan(SpanEnd)                        {}
 
 // Nop is the shared no-op observer.
 var Nop Observer = NopObserver{}
@@ -195,5 +232,15 @@ func (m multi) OnRunEnd(e RunEnd) {
 func (m multi) OnPipeline(e Pipeline) {
 	for _, o := range m {
 		o.OnPipeline(e)
+	}
+}
+func (m multi) OnProvenance(e Provenance) {
+	for _, o := range m {
+		o.OnProvenance(e)
+	}
+}
+func (m multi) OnSpan(e SpanEnd) {
+	for _, o := range m {
+		o.OnSpan(e)
 	}
 }

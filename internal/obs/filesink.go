@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+)
+
+// FileSink is a JSONLSink writing the event stream to a buffered
+// file — the shape every -events CLI flag wants. Close flushes the
+// buffer and closes the file; callers must route every exit path
+// (including fatal ones) through Close, or the tail of the stream is
+// lost exactly when it matters most (the events leading up to the
+// failure are the diagnostic).
+type FileSink struct {
+	*JSONLSink
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// OpenFileSink creates (truncating) the file at path and returns a
+// FileSink streaming JSONL events into it.
+func OpenFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 64*1024)
+	return &FileSink{JSONLSink: NewJSONLSink(bw), f: f, bw: bw}, nil
+}
+
+// Path returns the destination file path.
+func (s *FileSink) Path() string { return s.f.Name() }
+
+// Close flushes buffered events and closes the file. The first error
+// wins: a sticky sink error (failed marshal/write) surfaces before
+// flush and close errors.
+func (s *FileSink) Close() error {
+	err := s.Err()
+	if e := s.bw.Flush(); err == nil {
+		err = e
+	}
+	if e := s.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}

@@ -64,6 +64,8 @@ func (s *JSONLSink) OnHypothesisPruned(e HypothesisPruned)   { s.write(e.Kind(),
 func (s *JSONLSink) OnPeriodEnd(e PeriodEnd)                 { s.write(e.Kind(), e) }
 func (s *JSONLSink) OnRunEnd(e RunEnd)                       { s.write(e.Kind(), e) }
 func (s *JSONLSink) OnPipeline(e Pipeline)                   { s.write(e.Kind(), e) }
+func (s *JSONLSink) OnProvenance(e Provenance)               { s.write(e.Kind(), e) }
+func (s *JSONLSink) OnSpan(e SpanEnd)                        { s.write(e.Kind(), e) }
 
 // ParseJSONL decodes a JSONL event stream produced by JSONLSink back
 // into typed events. Unknown "event" kinds are skipped (forward
@@ -103,6 +105,10 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			e, err = decodeEvent[RunEnd](msg)
 		case "pipeline":
 			e, err = decodeEvent[Pipeline](msg)
+		case "provenance":
+			e, err = decodeEvent[Provenance](msg)
+		case "span":
+			e, err = decodeEvent[SpanEnd](msg)
 		default:
 			continue
 		}

@@ -33,6 +33,9 @@ func emitAll(o Observer) {
 	o.OnPeriodEnd(PeriodEnd{Period: 0, Live: 1, Dropped: 1, WeightMin: 3, WeightMax: 3})
 	o.OnRunEnd(RunEnd{Periods: 1, Messages: 2, Final: 1, Peak: 2, ElapsedNS: 1_000_000})
 	o.OnPipeline(Pipeline{Stage: "trace", Name: "events_read", Value: 12})
+	o.OnProvenance(Provenance{Period: 0, Index: 0, Msg: "m1", Sender: "t1", Receiver: "t4",
+		Task1: "t1", Task2: "t4", From: "||", To: "->", Action: "assume"})
+	o.OnSpan(SpanEnd{Phase: "generalize", ElapsedNS: 42_000})
 }
 
 func TestRecorderOrderAndFilters(t *testing.T) {
@@ -41,7 +44,7 @@ func TestRecorderOrderAndFilters(t *testing.T) {
 	wantKinds := []string{
 		"period_start", "hypothesis_spawned", "message_processed",
 		"hypothesis_merged", "message_processed", "hypothesis_pruned",
-		"period_end", "run_end", "pipeline",
+		"period_end", "run_end", "pipeline", "provenance", "span",
 	}
 	if got := r.Kinds(); !reflect.DeepEqual(got, wantKinds) {
 		t.Errorf("kinds = %v, want %v", got, wantKinds)
@@ -53,8 +56,8 @@ func TestRecorderOrderAndFilters(t *testing.T) {
 	if ms[1].(MessageProcessed).ID != "m2" {
 		t.Errorf("second message event = %+v", ms[1])
 	}
-	if r.Len() != 9 {
-		t.Errorf("Len = %d, want 9", r.Len())
+	if r.Len() != 11 {
+		t.Errorf("Len = %d, want 11", r.Len())
 	}
 	r.Reset()
 	if r.Len() != 0 {
@@ -82,8 +85,8 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 			t.Errorf("line %d has no event field: %s", lines, sc.Text())
 		}
 	}
-	if lines != 9 {
-		t.Errorf("lines = %d, want 9", lines)
+	if lines != 11 {
+		t.Errorf("lines = %d, want 11", lines)
 	}
 	// And the typed parser reconstructs the same events a Recorder saw.
 	rec := NewRecorder()
@@ -139,8 +142,8 @@ func TestNewMulti(t *testing.T) {
 	r2 := NewRecorder()
 	m := NewMulti(r, r2)
 	emitAll(m)
-	if r.Len() != 9 || r2.Len() != 9 {
-		t.Errorf("fan-out lens = %d/%d, want 9/9", r.Len(), r2.Len())
+	if r.Len() != 11 || r2.Len() != 11 {
+		t.Errorf("fan-out lens = %d/%d, want 11/11", r.Len(), r2.Len())
 	}
 }
 
@@ -150,15 +153,16 @@ func TestMetricsObserverBridge(t *testing.T) {
 	emitAll(mo)
 	snap := reg.Snapshot()
 	checks := map[string]int64{
-		MetricPeriods:  1,
-		MetricMessages: 2,
-		MetricSpawned:  1,
-		MetricPruned:   1,
-		MetricMerges:   1,
-		MetricRuns:     1,
-		MetricLive:     1,
-		MetricPeak:     2,
+		MetricPeriods:                      1,
+		MetricMessages:                     2,
+		MetricSpawned:                      1,
+		MetricPruned:                       1,
+		MetricMerges:                       1,
+		MetricRuns:                         1,
+		MetricLive:                         1,
+		MetricPeak:                         2,
 		"modelgen_trace_events_read_total": 12,
+		MetricProvSteps:                    1,
 	}
 	for name, want := range checks {
 		if got := snap.Value(name); got != want {

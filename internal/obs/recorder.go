@@ -26,6 +26,8 @@ func (r *Recorder) OnHypothesisPruned(e HypothesisPruned)   { r.record(e) }
 func (r *Recorder) OnPeriodEnd(e PeriodEnd)                 { r.record(e) }
 func (r *Recorder) OnRunEnd(e RunEnd)                       { r.record(e) }
 func (r *Recorder) OnPipeline(e Pipeline)                   { r.record(e) }
+func (r *Recorder) OnProvenance(e Provenance)               { r.record(e) }
+func (r *Recorder) OnSpan(e SpanEnd)                        { r.record(e) }
 
 // Events returns a copy of the captured events in emission order.
 func (r *Recorder) Events() []Event {

@@ -66,6 +66,8 @@ func Run(m *model.Model, opt Options) (*Output, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(opt.Observer, obs.PhaseSimulate)
+	defer sp.End()
 	if opt.Periods <= 0 {
 		return nil, fmt.Errorf("sim: Periods must be positive")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/obs"
 )
 
 func TestRunFigure1(t *testing.T) {
@@ -214,5 +215,21 @@ func TestMessagesSentAccounting(t *testing.T) {
 	}
 	if len(out.Sent) != out.MessagesSent {
 		t.Errorf("Sent has %d entries, want %d", len(out.Sent), out.MessagesSent)
+	}
+}
+
+// TestRunEmitsSimulateSpan: the simulator times itself with a
+// "simulate" span so phase histograms cover trace generation too.
+func TestRunEmitsSimulateSpan(t *testing.T) {
+	rec := obs.NewRecorder()
+	if _, err := Run(model.Figure1(), Options{Periods: 5, Seed: 1, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.OfKind("span")
+	if len(spans) != 1 {
+		t.Fatalf("span events = %d, want 1", len(spans))
+	}
+	if e := spans[0].(obs.SpanEnd); e.Phase != obs.PhaseSimulate || e.ElapsedNS < 0 {
+		t.Errorf("span = %+v", e)
 	}
 }

@@ -74,6 +74,8 @@ func Read(r io.Reader) (*Trace, error) { return ReadObserved(r, nil) }
 // malformed_lines (with the error as label) on a parse failure. A nil
 // observer makes it identical to Read.
 func ReadObserved(r io.Reader, o obs.Observer) (tr *Trace, err error) {
+	sp := obs.StartSpan(o, obs.PhaseTraceParse)
+	defer sp.End()
 	if o != nil {
 		defer func() {
 			if err != nil {
@@ -273,7 +275,9 @@ func ReadString(s string) (*Trace, error) {
 // periods_segmented on success, malformed_lines (with the error as
 // label) on failure. A nil observer makes it identical to FromEvents.
 func FromEventsObserved(tasks []string, events []Event, o obs.Observer) (*Trace, error) {
+	sp := obs.StartSpan(o, obs.PhaseTraceParse)
 	tr, err := FromEvents(tasks, events)
+	sp.End()
 	if o != nil {
 		if err != nil {
 			o.OnPipeline(obs.Pipeline{Stage: "trace", Name: "malformed_lines", Value: 1, Label: err.Error()})

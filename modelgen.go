@@ -3,6 +3,7 @@ package modelgen
 import (
 	"io"
 
+	"github.com/blackbox-rt/modelgen/internal/bench"
 	"github.com/blackbox-rt/modelgen/internal/casestudy"
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/latency"
@@ -127,7 +128,14 @@ type (
 var (
 	ErrNoHypothesis      = learner.ErrNoHypothesis
 	ErrTooManyHypotheses = learner.ErrTooManyHypotheses
+	ErrNoProvenance      = learner.ErrNoProvenance
 )
+
+// ProvenanceStep is one recorded generalization step of a learned
+// hypothesis's derivation chain. Enable recording with
+// LearnOptions.Provenance and query chains with LearnResult.Explain /
+// LearnResult.Provenance; render steps with Step.Format.
+type ProvenanceStep = learner.ProvStep
 
 // Learn runs the generalization algorithm (Section 3 of the paper)
 // over the trace: exact when opt.Bound <= 0, bounded heuristic
@@ -275,7 +283,26 @@ type (
 	PeriodEndEvent         = obs.PeriodEnd
 	RunEndEvent            = obs.RunEnd
 	PipelineEvent          = obs.Pipeline
+	ProvenanceEvent        = obs.Provenance
+	SpanEvent              = obs.SpanEnd
 )
+
+// JSONLFileSink is a JSONL event sink writing to a buffered file: the
+// -events flag of the CLI tools. Close flushes and reports the first
+// error of the write path; call it on every exit (including fatal
+// ones) so a partial stream is still analyzable.
+type JSONLFileSink = obs.FileSink
+
+// OpenJSONLFile creates (truncating) a buffered JSONL event sink at
+// path.
+func OpenJSONLFile(path string) (*JSONLFileSink, error) { return obs.OpenFileSink(path) }
+
+// ObsSpan times one pipeline phase; StartObsSpan on a nil observer
+// returns a no-op span, so callers need no nil checks.
+type ObsSpan = obs.Span
+
+// StartObsSpan starts timing a phase; sp.End() emits the span event.
+func StartObsSpan(o Observer, phase string) ObsSpan { return obs.StartSpan(o, phase) }
 
 // NewEventRecorder returns an observer capturing every event for
 // assertions and inspection.
@@ -316,6 +343,45 @@ func ExploreStateSpaceObserved(d *DepFunc, o Observer) (ReachResult, error) {
 	return reach.ExploreObserved(d, o)
 }
 func ModesObserved(tr *Trace, o Observer) []Mode { return verify.ModesObserved(tr, o) }
+
+// Benchmark-telemetry re-exports: the versioned BENCH_<label>.json
+// schema written and compared by cmd/bbbench (see internal/bench).
+type (
+	BenchFile       = bench.File
+	BenchRun        = bench.Run
+	BenchHost       = bench.Host
+	BenchSample     = bench.Sample
+	BenchRegression = bench.Regression
+)
+
+// BenchSchemaVersion is the current BENCH file schema version.
+const BenchSchemaVersion = bench.SchemaVersion
+
+// NewBenchFile returns an empty benchmark file stamped with the
+// schema version, host metadata and creation time.
+func NewBenchFile(label string) *BenchFile { return bench.New(label) }
+
+// ReadBenchFile parses and validates a BENCH_<label>.json file.
+func ReadBenchFile(path string) (*BenchFile, error) { return bench.ReadFile(path) }
+
+// BenchMeasure runs fn reps times, sampling wall time and
+// runtime.ReadMemStats allocation deltas per repetition.
+func BenchMeasure(reps int, fn func()) []BenchSample { return bench.Measure(reps, fn) }
+
+// BenchSummarize folds samples into a Run (median/p95 wall time,
+// median allocation counts).
+func BenchSummarize(name string, bound int, samples []BenchSample) BenchRun {
+	return bench.Summarize(name, bound, samples)
+}
+
+// BenchCompare reports the run metrics of current that regressed
+// beyond threshold (0.10 = 10%) relative to baseline.
+func BenchCompare(baseline, current *BenchFile, threshold float64) []BenchRegression {
+	return bench.Compare(baseline, current, threshold)
+}
+
+// ParseBenchThreshold parses "10%" or "0.1" into a fraction.
+func ParseBenchThreshold(s string) (float64, error) { return bench.ParseThreshold(s) }
 
 // Case-study configuration re-exports (see EXPERIMENTS.md).
 const (
