@@ -18,16 +18,18 @@ race:
 	$(GO) test -race ./...
 
 ## bench: regenerate the Section 3.4 runtime table and record it as
-## benchmark telemetry (BENCH_local.json at the repo root). Gate a
+## benchmark telemetry (BENCH_local.json at the repo root), including
+## the sequential-vs-parallel speedup columns at 4 workers. Gate a
 ## change against a committed baseline with:
 ##   go run ./cmd/bbbench -compare BENCH_base.json -threshold 10%
 bench:
-	$(GO) run ./cmd/bbbench -json BENCH_local.json
+	$(GO) run ./cmd/bbbench -workers 4 -json BENCH_local.json
 
 ## microbench: the go-test microbenchmarks, including the
-## zero-allocation observer guard (compare nil vs nop allocs/op).
+## zero-allocation observer guard (compare nil vs nop allocs/op) and
+## the DepFunc Key-vs-Fingerprint dedup-cost comparison.
 microbench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/learner/
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/learner/ ./internal/depfunc/
 
 tidy:
 	$(GO) mod tidy

@@ -29,7 +29,15 @@ import (
 
 // SchemaVersion is the current BENCH file schema. Readers reject
 // files with a different version rather than guessing.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial schema (per-bound wall time, working-set pressure,
+//	    allocation deltas).
+//	2 — adds per-run Workers (engine worker-pool size) and
+//	    SpeedupVsSequential (sequential median / parallel median for
+//	    the same sweep point).
+const SchemaVersion = 2
 
 // Host records where a benchmark ran.
 type Host struct {
@@ -69,6 +77,13 @@ type Run struct {
 	Name string `json:"name"`
 	// Bound is the heuristic bound b; 0 means the exact algorithm.
 	Bound int `json:"bound"`
+	// Workers is the engine worker-pool size the run used (1 =
+	// sequential; the learner's default).
+	Workers int `json:"workers"`
+	// SpeedupVsSequential is sequential-median / this-run-median for
+	// sweep points measured both ways; 0 when not measured. Values
+	// near 1.0 on a single-CPU host are expected and honest.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 	// Repetitions is the number of measured repetitions behind the
 	// summary statistics.
 	Repetitions int `json:"repetitions"`
@@ -143,6 +158,12 @@ func (f *File) Validate() error {
 		seen[r.Name] = true
 		if r.Repetitions <= 0 {
 			return fmt.Errorf("bench: run %q: repetitions %d", r.Name, r.Repetitions)
+		}
+		if r.Workers < 1 {
+			return fmt.Errorf("bench: run %q: workers %d (must be >= 1)", r.Name, r.Workers)
+		}
+		if r.SpeedupVsSequential < 0 {
+			return fmt.Errorf("bench: run %q: negative speedup %v", r.Name, r.SpeedupVsSequential)
 		}
 		if r.MedianNS <= 0 || r.P95NS < r.MedianNS {
 			return fmt.Errorf("bench: run %q: median %d ns, p95 %d ns", r.Name, r.MedianNS, r.P95NS)
@@ -227,6 +248,7 @@ func Summarize(name string, bound int, samples []Sample) Run {
 	return Run{
 		Name:        name,
 		Bound:       bound,
+		Workers:     1, // sequential unless the caller overrides
 		Repetitions: len(samples),
 		MedianNS:    ns[len(ns)/2],
 		P95NS:       ns[p95Index(len(ns))],

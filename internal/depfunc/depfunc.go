@@ -18,12 +18,17 @@ import (
 type DepFunc struct {
 	ts *TaskSet
 	v  []lattice.Value
+	// fp is the Zobrist fingerprint of v, maintained incrementally by
+	// every mutation (see fingerprint.go). Invariant:
+	// fp == freshFingerprint(v).
+	fp uint64
 }
 
 // Bottom returns the most specific hypothesis d⊥: all entries ‖.
 func Bottom(ts *TaskSet) *DepFunc {
 	n := ts.Len()
-	return &DepFunc{ts: ts, v: make([]lattice.Value, n*n)}
+	v := make([]lattice.Value, n*n)
+	return &DepFunc{ts: ts, v: v, fp: freshFingerprint(v)}
 }
 
 // Top returns the least specific hypothesis d⊤: all off-diagonal
@@ -34,7 +39,7 @@ func Top(ts *TaskSet) *DepFunc {
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
-				d.v[i*n+j] = lattice.Top
+				d.setIdx(i*n+j, lattice.Top)
 			}
 		}
 	}
@@ -57,7 +62,18 @@ func (d *DepFunc) Set(i, j int, v lattice.Value) {
 	if i == j && v != lattice.Par {
 		panic(fmt.Sprintf("depfunc: diagonal entry (%d,%d) must be ||", i, j))
 	}
-	d.v[i*d.ts.Len()+j] = v
+	d.setIdx(i*d.ts.Len()+j, v)
+}
+
+// setIdx assigns a flat index, keeping the fingerprint invariant. All
+// entry mutations funnel through it.
+func (d *DepFunc) setIdx(idx int, v lattice.Value) {
+	old := d.v[idx]
+	if old == v {
+		return
+	}
+	d.fp ^= entryHash(idx, old) ^ entryHash(idx, v)
+	d.v[idx] = v
 }
 
 // JoinAt joins v into the entry at (i, j), returning true if the entry
@@ -71,7 +87,7 @@ func (d *DepFunc) JoinAt(i, j int, v lattice.Value) bool {
 	if i == j && nv != lattice.Par {
 		panic(fmt.Sprintf("depfunc: diagonal entry (%d,%d) must be ||", i, j))
 	}
-	d.v[idx] = nv
+	d.setIdx(idx, nv)
 	return true
 }
 
@@ -98,7 +114,7 @@ func (d *DepFunc) MustGet(t1, t2 string) lattice.Value {
 
 // Clone returns a deep copy sharing the (immutable) task set.
 func (d *DepFunc) Clone() *DepFunc {
-	cp := &DepFunc{ts: d.ts, v: make([]lattice.Value, len(d.v))}
+	cp := &DepFunc{ts: d.ts, v: make([]lattice.Value, len(d.v)), fp: d.fp}
 	copy(cp.v, d.v)
 	return cp
 }
@@ -107,6 +123,10 @@ func (d *DepFunc) Clone() *DepFunc {
 // set have identical entries.
 func (d *DepFunc) Equal(other *DepFunc) bool {
 	if d.ts != other.ts && !d.ts.Equal(other.ts) {
+		return false
+	}
+	if d.fp != other.fp {
+		// Different fingerprints prove different entries.
 		return false
 	}
 	for i := range d.v {
@@ -145,7 +165,7 @@ func (d *DepFunc) Join(other *DepFunc) *DepFunc {
 // JoinWith joins other into d in place.
 func (d *DepFunc) JoinWith(other *DepFunc) {
 	for i := range d.v {
-		d.v[i] = lattice.Join(d.v[i], other.v[i])
+		d.setIdx(i, lattice.Join(d.v[i], other.v[i]))
 	}
 }
 
@@ -153,7 +173,7 @@ func (d *DepFunc) JoinWith(other *DepFunc) {
 func (d *DepFunc) Meet(other *DepFunc) *DepFunc {
 	out := d.Clone()
 	for i := range out.v {
-		out.v[i] = lattice.Meet(out.v[i], other.v[i])
+		out.setIdx(i, lattice.Meet(out.v[i], other.v[i]))
 	}
 	return out
 }

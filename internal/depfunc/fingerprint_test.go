@@ -1,0 +1,242 @@
+package depfunc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+var allValues = []lattice.Value{
+	lattice.Par, lattice.Fwd, lattice.Bwd, lattice.Bi,
+	lattice.FwdMaybe, lattice.BwdMaybe, lattice.BiMaybe,
+}
+
+// checkFP asserts the fingerprint invariant: the incrementally
+// maintained fp always equals a from-scratch recomputation.
+func checkFP(t *testing.T, d *DepFunc, at string) {
+	t.Helper()
+	if got, want := d.Fingerprint(), freshFingerprint(d.v); got != want {
+		t.Fatalf("%s: incremental fingerprint %#x, fresh %#x", at, got, want)
+	}
+}
+
+// TestFingerprintIncremental drives a dependency function through a
+// long random mutation sequence (Set, JoinAt, Clone, JoinWith, Meet,
+// RelaxViolations) and verifies after every step that the incremental
+// fingerprint matches a full recomputation.
+func TestFingerprintIncremental(t *testing.T) {
+	ts := MustTaskSet("t1", "t2", "t3", "t4", "t5")
+	rng := rand.New(rand.NewSource(42))
+	d := Bottom(ts)
+	checkFP(t, d, "bottom")
+	other := Top(ts)
+	checkFP(t, other, "top")
+	n := ts.Len()
+	randCell := func() (int, int) {
+		for {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				return i, j
+			}
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			i, j := randCell()
+			d.Set(i, j, allValues[rng.Intn(len(allValues))])
+			checkFP(t, d, "Set")
+		case 1:
+			i, j := randCell()
+			d.JoinAt(i, j, allValues[rng.Intn(len(allValues))])
+			checkFP(t, d, "JoinAt")
+		case 2:
+			d = d.Clone()
+			checkFP(t, d, "Clone")
+		case 3:
+			d.JoinWith(other)
+			checkFP(t, d, "JoinWith")
+		case 4:
+			d = d.Meet(other)
+			checkFP(t, d, "Meet")
+		case 5:
+			executed := make([]bool, n)
+			for i := range executed {
+				executed[i] = rng.Intn(2) == 0
+			}
+			d.RelaxViolations(func(i int) bool { return executed[i] })
+			checkFP(t, d, "RelaxViolations")
+		}
+		// Mutate the join/meet partner too, so the pairings vary.
+		if step%7 == 0 {
+			i, j := randCell()
+			other.Set(i, j, allValues[rng.Intn(len(allValues))])
+			checkFP(t, other, "partner Set")
+		}
+	}
+}
+
+// TestFingerprintParseTable: parsing the paper's table rendering
+// establishes the invariant too.
+func TestFingerprintParseTable(t *testing.T) {
+	d := Bottom(MustTaskSet("t1", "t2", "t3"))
+	d.Set(0, 1, lattice.Fwd)
+	d.Set(2, 0, lattice.BwdMaybe)
+	back, err := ParseTable(d.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFP(t, back, "ParseTable")
+	if back.Fingerprint() != d.Fingerprint() {
+		t.Errorf("round-tripped fingerprint %#x != original %#x", back.Fingerprint(), d.Fingerprint())
+	}
+}
+
+// TestFingerprintSeparates: the fingerprint must separate every pair
+// of distinct single-entry tables — the collision-free regime the
+// dedup fast path lives in.
+func TestFingerprintSeparates(t *testing.T) {
+	ts := MustTaskSet("t1", "t2", "t3", "t4")
+	seen := map[uint64]string{}
+	n := ts.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for _, v := range allValues {
+				d := Bottom(ts)
+				d.Set(i, j, v)
+				fp := d.Fingerprint()
+				key := d.Key()
+				if prev, ok := seen[fp]; ok && prev != key {
+					t.Fatalf("fingerprint collision: %q and %q both map to %#x", prev, key, fp)
+				}
+				seen[fp] = key
+			}
+		}
+	}
+}
+
+// TestFingerprintEqualConsistency: Equal and fingerprint agree on a
+// random sample (unequal fingerprints always mean unequal tables; the
+// Equal fast path must never produce a false negative).
+func TestFingerprintEqualConsistency(t *testing.T) {
+	ts := MustTaskSet("t1", "t2", "t3", "t4")
+	rng := rand.New(rand.NewSource(7))
+	n := ts.Len()
+	random := func() *DepFunc {
+		d := Bottom(ts)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					d.Set(i, j, allValues[rng.Intn(len(allValues))])
+				}
+			}
+		}
+		return d
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := random(), random()
+		if a.Equal(b) != (a.Key() == b.Key()) {
+			t.Fatalf("Equal diverges from canonical keys:\n%s\n%s", a.Table(), b.Table())
+		}
+		cp := a.Clone()
+		if !a.Equal(cp) || a.Fingerprint() != cp.Fingerprint() {
+			t.Fatal("clone not equal to original")
+		}
+	}
+}
+
+// TestPairFingerprintDistinct: pair fingerprints distinguish ordered
+// pairs, including the transpose.
+func TestPairFingerprintDistinct(t *testing.T) {
+	seen := map[uint64]Pair{}
+	for s := 0; s < 20; s++ {
+		for r := 0; r < 20; r++ {
+			if s == r {
+				continue
+			}
+			p := Pair{S: s, R: r}
+			fp := p.Fingerprint()
+			if prev, ok := seen[fp]; ok {
+				t.Fatalf("pair fingerprint collision: %+v and %+v", prev, p)
+			}
+			seen[fp] = p
+		}
+	}
+}
+
+// TestFingerprintZeroAlloc: maintaining and reading the fingerprint
+// allocates nothing — the whole point of replacing Key() strings on
+// the hot path (mirrors the learner's TestNopObserverZeroAlloc).
+func TestFingerprintZeroAlloc(t *testing.T) {
+	ts := MustTaskSet("t1", "t2", "t3", "t4")
+	d := Bottom(ts)
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Set(0, 1, lattice.Fwd)
+		d.JoinAt(1, 2, lattice.BwdMaybe)
+		sink = d.Fingerprint()
+		d.Set(0, 1, lattice.Par)
+		d.Set(1, 2, lattice.Par)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("fingerprint maintenance allocates %.0f per run, want 0", allocs)
+	}
+}
+
+// benchTable returns a representative mid-run dependency function
+// over t tasks.
+func benchTable(t int) *DepFunc {
+	names := make([]string, t)
+	for i := range names {
+		names[i] = "t" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+	}
+	ts := MustTaskSet(names...)
+	d := Bottom(ts)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			if i != j && rng.Intn(3) == 0 {
+				d.Set(i, j, allValues[1+rng.Intn(len(allValues)-1)])
+			}
+		}
+	}
+	return d
+}
+
+// BenchmarkKey vs BenchmarkFingerprint: the dedup-key cost the engine
+// refactor removed from the per-child hot path. Key builds an O(t²)
+// string; Fingerprint reads a cached word.
+func BenchmarkKey(b *testing.B) {
+	d := benchTable(18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(d.Key()) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	d := benchTable(18)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= d.Fingerprint()
+	}
+	_ = sink
+}
+
+// BenchmarkSetWithFingerprint measures the incremental-maintenance
+// overhead Set pays to keep the fingerprint current.
+func BenchmarkSetWithFingerprint(b *testing.B) {
+	d := benchTable(18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Set(0, 1, allValues[i%len(allValues)])
+	}
+}

@@ -1,0 +1,513 @@
+// Package engine is the period-processing core of the learner: the
+// candidate-enumeration, per-message generalization and end-of-period
+// post-processing stages of Feng et al.'s algorithm (DATE 2007,
+// Section 3), factored out of the batch/online front-ends so both
+// drive the identical machinery.
+//
+// # Stage API
+//
+// An Engine holds the mutable run state (working hypothesis set,
+// cumulative execution-violation history, statistics). Each period is
+// consumed by three explicit stages:
+//
+//  1. EnumerateCandidates — timing-feasible (sender, receiver) pairs
+//     per message, plus the live-suffix sets used to forget dead
+//     assumptions early.
+//  2. Generalize — the message-guided generalization pass: every live
+//     hypothesis is extended by every admissible candidate
+//     assumption, with heuristic least-upper-bound merging when a
+//     bound is configured.
+//  3. Postprocess — end-of-period relaxation of violated
+//     unconditional entries, assumption clearing, unification and
+//     most-specific pruning, and the history update.
+//
+// ProcessPeriod composes the three in order and emits the period
+// envelope events. Front-ends (internal/learner's Learn and Online)
+// are thin wrappers that own result assembly and verification.
+//
+// # Parallelism and determinism
+//
+// With Config.Workers > 1 the per-message hypothesis fan-out is
+// sharded across a bounded worker pool: child generation for each
+// parent hypothesis is independent (Assume never mutates the parent
+// or any shared state), so parents are distributed over workers while
+// the result is gathered strictly in (parent, candidate-pair) order —
+// the exact order the sequential loop produces. Deduplication,
+// statistics, observer events and bounded merging all happen during
+// the sequential gather, so the output is bit-identical to the
+// sequential path for any worker count, in both the exact and the
+// bounded mode. Workers <= 1 selects the allocation-lean sequential
+// loop.
+//
+// # Fingerprints
+//
+// All deduplication sites key on the 64-bit Zobrist fingerprints
+// maintained incrementally by depfunc and hypothesis instead of the
+// O(t²) canonical key strings. Unequal fingerprints prove unequal
+// states; a fingerprint hit is confirmed with a full equality check
+// before unifying, so a (cosmically unlikely) collision costs one
+// comparison, never a wrong merge.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// ErrNoHypothesis is returned when the hypothesis set becomes empty:
+// either the trace violates the assumed model of computation, or the
+// generalization language cannot express the observed behaviour
+// (Section 3.1). The message keeps the historical "learner:" prefix:
+// the error predates the engine split and is part of the public
+// surface re-exported by internal/learner and the modelgen facade.
+var ErrNoHypothesis = errors.New("learner: hypothesis set became empty")
+
+// ErrTooManyHypotheses is returned by the exact algorithm when the
+// working set exceeds Config.MaxHypotheses.
+var ErrTooManyHypotheses = errors.New("learner: hypothesis set exceeded the configured maximum")
+
+// Config configures an Engine. It is the engine-facing subset of the
+// learner's Options; the front-ends translate.
+type Config struct {
+	// Bound is the heuristic's maximum working-set size b. Zero (or
+	// negative) selects the exact algorithm.
+	Bound int
+
+	// Policy controls timing-based candidate-pair computation.
+	Policy depfunc.CandidatePolicy
+
+	// EagerPrune keeps only the minimal children one parent spawns
+	// for one message (strict reading of generalization condition 4).
+	EagerPrune bool
+
+	// MaxHypotheses aborts the exact algorithm with
+	// ErrTooManyHypotheses when the working set grows beyond this
+	// size. Zero means unlimited.
+	MaxHypotheses int
+
+	// Workers is the size of the per-message fan-out worker pool.
+	// Values <= 1 select the sequential path. Results are identical
+	// for every value (see the package comment).
+	Workers int
+
+	// Observer receives the structured run-trace; nil disables
+	// emission at zero cost.
+	Observer obs.Observer
+
+	// Provenance enables per-hypothesis derivation recording.
+	Provenance bool
+}
+
+// Stats instruments a run. The engine maintains the per-period
+// counters; the front-ends fill in the result-assembly fields
+// (Final, DroppedUnsound, NegativeRejections, Elapsed).
+type Stats struct {
+	Periods        int // periods processed
+	Messages       int // message occurrences processed
+	Candidates     int // timing-feasible candidate pairs summed over messages
+	Children       int // hypotheses created by generalization
+	Merges         int // heuristic least-upper-bound merges
+	Relaxations    int // entries relaxed by end-of-period tests
+	Peak           int // peak working-set size
+	Final          int // hypotheses in the returned set
+	DroppedUnsound int // results dropped by verification
+	// NegativeRejections counts final hypotheses discarded because
+	// they matched a forbidden behaviour.
+	NegativeRejections int
+	// PeriodLive records the live hypothesis count at the end of each
+	// processed period, in order (the per-period series behind Peak).
+	PeriodLive []int
+	// Elapsed is the wall time of the batch Learn call (zero for
+	// Online.Result snapshots, which have no defined start).
+	Elapsed time.Duration
+}
+
+// Engine is the period-processing core: the working hypothesis set
+// D_cur, the cumulative execution-violation history and the run
+// statistics. It is not safe for concurrent use by multiple
+// goroutines (its internal worker pool is an implementation detail of
+// a single ProcessPeriod call).
+type Engine struct {
+	ts    *depfunc.TaskSet
+	cfg   Config
+	hist  []bool
+	cur   []*hypothesis.Hypothesis
+	stats Stats
+}
+
+// New starts an engine session over the task set: the working set is
+// {d⊥}. It announces the session to the observer with an EngineStart
+// event carrying the effective worker count and bound.
+func New(ts *depfunc.TaskSet, cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	bottom := hypothesis.Bottom(ts)
+	if cfg.Provenance {
+		bottom.EnableProvenance()
+	}
+	e := &Engine{
+		ts:   ts,
+		cfg:  cfg,
+		hist: make([]bool, ts.Len()*ts.Len()),
+		cur:  []*hypothesis.Hypothesis{bottom},
+	}
+	e.stats.Peak = 1
+	if cfg.Observer != nil {
+		cfg.Observer.OnEngineStart(obs.EngineStart{Workers: cfg.Workers, Bound: cfg.Bound})
+	}
+	return e
+}
+
+// TaskSet returns the session's task set.
+func (e *Engine) TaskSet() *depfunc.TaskSet { return e.ts }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Working returns the live hypothesis set (not a copy; callers must
+// not mutate it).
+func (e *Engine) Working() []*hypothesis.Hypothesis { return e.cur }
+
+// WorkingSetSize returns the current number of live hypotheses.
+func (e *Engine) WorkingSetSize() int { return len(e.cur) }
+
+// ProcessPeriod consumes one instance: the candidate, generalize and
+// postprocess stages in order, wrapped in the period envelope events.
+// On error the engine's working set is no longer a consistent prefix
+// of the instance stream; the caller owns making the session sticky.
+func (e *Engine) ProcessPeriod(p *trace.Period) error {
+	obsv := e.cfg.Observer
+	if obsv != nil {
+		obsv.OnPeriodStart(obs.PeriodStart{Period: p.Index, Messages: len(p.Msgs)})
+	}
+	executed := execVector(p, e.ts)
+	cands, live := e.EnumerateCandidates(p)
+	if err := e.Generalize(p, cands, live); err != nil {
+		return err
+	}
+	relaxed, dropped := e.Postprocess(p, executed)
+	e.stats.Periods++
+	e.stats.PeriodLive = append(e.stats.PeriodLive, len(e.cur))
+	if obsv != nil {
+		// Postprocess leaves the survivors sorted by ascending
+		// weight, so the weight range is at the ends.
+		obsv.OnPeriodEnd(obs.PeriodEnd{
+			Period:      p.Index,
+			Live:        len(e.cur),
+			Dropped:     dropped,
+			WeightMin:   e.cur[0].Weight(),
+			WeightMax:   e.cur[len(e.cur)-1].Weight(),
+			Relaxations: relaxed,
+		})
+	}
+	return nil
+}
+
+// EnumerateCandidates computes the timing-feasible candidate pairs of
+// every message of the period and the live-suffix sets behind early
+// assumption forgetting, under the "candidates" span.
+func (e *Engine) EnumerateCandidates(p *trace.Period) ([][]depfunc.Pair, []map[depfunc.Pair]bool) {
+	sp := obs.StartSpan(e.cfg.Observer, obs.PhaseCandidates)
+	cands := depfunc.Candidates(p, e.ts, e.cfg.Policy)
+	live := liveSuffixes(cands)
+	sp.End()
+	return cands, live
+}
+
+// Generalize runs the message-guided generalization pass over the
+// period, under the "generalize" span. cands and live must come from
+// EnumerateCandidates on the same period.
+func (e *Engine) Generalize(p *trace.Period, cands [][]depfunc.Pair, live []map[depfunc.Pair]bool) error {
+	obsv := e.cfg.Observer
+	sp := obs.StartSpan(obsv, obs.PhaseGeneralize)
+	cur := e.cur
+	for mi := range p.Msgs {
+		next, err := e.generalizeMessage(cur, cands[mi], p.Index, mi, p.Msgs[mi].ID)
+		if err != nil {
+			sp.End()
+			return fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
+		}
+		cur = forgetDeadAssumptions(next, live[mi+1])
+		e.stats.Messages++
+		e.stats.Candidates += len(cands[mi])
+		if len(cur) > e.stats.Peak {
+			e.stats.Peak = len(cur)
+		}
+		if obsv != nil {
+			obsv.OnMessageProcessed(obs.MessageProcessed{
+				Period: p.Index, Index: mi, ID: p.Msgs[mi].ID,
+				Candidates: len(cands[mi]), Live: len(cur),
+			})
+		}
+	}
+	sp.End()
+	e.cur = cur
+	return nil
+}
+
+// Postprocess runs the end-of-period pass under the "postprocess"
+// span: relax violated unconditional entries, clear assumptions,
+// unify and prune to the most specific set, update the cumulative
+// history. It returns the relaxed-entry count and the number of
+// hypotheses dropped by pruning.
+func (e *Engine) Postprocess(p *trace.Period, executed []bool) (relaxed, dropped int) {
+	sp := obs.StartSpan(e.cfg.Observer, obs.PhasePostprocess)
+	endCtx := hypothesis.StepCtx{Period: p.Index, Msg: -1}
+	for _, h := range e.cur {
+		relaxed += h.Relax(func(i int) bool { return executed[i] }, endCtx)
+		h.ClearAssumptions()
+	}
+	e.stats.Relaxations += relaxed
+	before := len(e.cur)
+	e.cur = PruneMostSpecific(e.cur, e.cfg.Observer, p.Index)
+	updateHistory(e.hist, executed, e.ts.Len())
+	sp.End()
+	return relaxed, before - len(e.cur)
+}
+
+// generalizeMessage extends every hypothesis in cur by every
+// admissible candidate assumption for one message, applying heuristic
+// merging when a bound is set. Child generation fans out across the
+// worker pool when configured; gathering is always sequential in
+// (parent, pair) order, so the result does not depend on Workers.
+func (e *Engine) generalizeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
+	period, msg int, msgID string) ([]*hypothesis.Hypothesis, error) {
+
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
+	}
+	ctx := hypothesis.StepCtx{Period: period, Msg: msg, MsgID: msgID}
+	wl := newWorkList(e.cfg.Bound, &e.stats)
+	wl.obsv, wl.ctx = e.cfg.Observer, ctx
+	seen := newDedup(len(cur) * len(pairs))
+	gather := func(children []*hypothesis.Hypothesis) {
+		for _, c := range children {
+			if seen.insertHyp(c) {
+				continue
+			}
+			e.stats.Children++
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.OnHypothesisSpawned(obs.HypothesisSpawned{
+					Period: period, Index: msg, Weight: c.Weight(),
+				})
+			}
+			wl.add(c)
+		}
+	}
+
+	if e.cfg.Workers > 1 && len(cur) >= minParallelParents {
+		for _, children := range e.fanOut(cur, pairs, ctx) {
+			gather(children)
+		}
+	} else {
+		// Sequential fast path: one reusable scratch slice, no
+		// per-parent allocation.
+		scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
+		for _, h := range cur {
+			scratch = e.childrenOf(h, pairs, ctx, scratch[:0])
+			gather(scratch)
+		}
+	}
+
+	out := wl.items
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no hypothesis can explain the message", ErrNoHypothesis)
+	}
+	if e.cfg.Bound <= 0 && e.cfg.MaxHypotheses > 0 && len(out) > e.cfg.MaxHypotheses {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyHypotheses, len(out), e.cfg.MaxHypotheses)
+	}
+	return out, nil
+}
+
+// childrenOf computes the admissible children of one parent for one
+// message into dst (reused across parents on the sequential path).
+// It reads only immutable shared state (hist is frozen during the
+// generalize stage), so concurrent calls on distinct parents are
+// safe.
+func (e *Engine) childrenOf(h *hypothesis.Hypothesis, pairs []depfunc.Pair,
+	ctx hypothesis.StepCtx, dst []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
+
+	n := e.ts.Len()
+	for _, pr := range pairs {
+		fwd := lattice.Fwd
+		if e.hist[pr.S*n+pr.R] {
+			fwd = lattice.FwdMaybe
+		}
+		bwd := lattice.Bwd
+		if e.hist[pr.R*n+pr.S] {
+			bwd = lattice.BwdMaybe
+		}
+		if c := h.Assume(pr, fwd, bwd, ctx); c != nil {
+			dst = append(dst, c)
+		}
+	}
+	if e.cfg.EagerPrune {
+		dst = minimalChildren(dst)
+	}
+	return dst
+}
+
+// dedup is a fingerprint-keyed hypothesis set: O(1) membership with
+// full-equality confirmation on a fingerprint hit, replacing the
+// canonical-string keys of the pre-engine learner.
+type dedup map[uint64][]*hypothesis.Hypothesis
+
+func newDedup(capacity int) dedup { return make(dedup, capacity) }
+
+// insertHyp reports whether an equal hypothesis (dependency function
+// plus assumption set) was already present, inserting h otherwise.
+func (s dedup) insertHyp(h *hypothesis.Hypothesis) bool {
+	fp := h.Fingerprint()
+	for _, o := range s[fp] {
+		if h.SameState(o) {
+			return true
+		}
+	}
+	s[fp] = append(s[fp], h)
+	return false
+}
+
+// liveSuffixes returns, for each message index i, the set of pairs
+// appearing in the candidate sets of messages i..end (live[len] is
+// empty). After message i is analyzed, assumptions about pairs outside
+// live[i+1] can never be consulted again this period.
+func liveSuffixes(cands [][]depfunc.Pair) []map[depfunc.Pair]bool {
+	live := make([]map[depfunc.Pair]bool, len(cands)+1)
+	live[len(cands)] = map[depfunc.Pair]bool{}
+	for i := len(cands) - 1; i >= 0; i-- {
+		m := make(map[depfunc.Pair]bool, len(live[i+1])+len(cands[i]))
+		for p := range live[i+1] {
+			m[p] = true
+		}
+		for _, p := range cands[i] {
+			m[p] = true
+		}
+		live[i] = m
+	}
+	return live
+}
+
+// forgetDeadAssumptions drops assumptions about pairs that no
+// remaining message of the period can use, then unifies hypotheses
+// that became identical — a pure optimization that preserves the
+// algorithm's results (dead assumptions cannot influence any future
+// dup-pair check, and assumption sets are discarded at the period
+// boundary anyway).
+func forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bool) []*hypothesis.Hypothesis {
+	seen := newDedup(len(hs))
+	out := hs[:0]
+	for _, h := range hs {
+		h.RetainAssumptions(func(p depfunc.Pair) bool { return live[p] })
+		if !seen.insertHyp(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// minimalChildren keeps only the minimal elements (by the pointwise
+// order on dependency functions) among the children one parent
+// spawned for one message. Children with equal dependency functions
+// but different assumptions are all kept.
+func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
+	dominated := make([]bool, len(children))
+	for i, c := range children {
+		for j, o := range children {
+			if i != j && o.D.Lt(c.D) {
+				dominated[i] = true
+				break
+			}
+		}
+	}
+	out := children[:0]
+	for i, c := range children {
+		if !dominated[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PruneMostSpecific unifies equal hypotheses and removes redundant
+// ones: h is redundant iff some other hypothesis is strictly more
+// specific (Section 3.1 post-processing). Removals are reported to
+// obsv (reason "duplicate" or "redundant") when it is non-nil.
+// Deduplication keys on the dependency-function fingerprint alone:
+// assumption sets are already cleared at this point.
+func PruneMostSpecific(hs []*hypothesis.Hypothesis, obsv obs.Observer, period int) []*hypothesis.Hypothesis {
+	seen := make(map[uint64][]*depfunc.DepFunc, len(hs))
+	uniq := make([]*hypothesis.Hypothesis, 0, len(hs))
+	for _, h := range hs {
+		fp := h.D.Fingerprint()
+		dup := false
+		for _, o := range seen[fp] {
+			if h.D.Equal(o) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[fp] = append(seen[fp], h.D)
+			uniq = append(uniq, h)
+		} else if obsv != nil {
+			obsv.OnHypothesisPruned(obs.HypothesisPruned{
+				Period: period, Reason: "duplicate", Weight: h.Weight(),
+			})
+		}
+	}
+	// Sort by weight: a hypothesis can only be dominated by a
+	// strictly lighter one.
+	sortByWeight(uniq)
+	out := make([]*hypothesis.Hypothesis, 0, len(uniq))
+	for i, h := range uniq {
+		redundant := false
+		for j := 0; j < i; j++ {
+			if uniq[j].Weight() >= h.Weight() {
+				break
+			}
+			if uniq[j].D.Lt(h.D) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, h)
+		} else if obsv != nil {
+			obsv.OnHypothesisPruned(obs.HypothesisPruned{
+				Period: period, Reason: "redundant", Weight: h.Weight(),
+			})
+		}
+	}
+	return out
+}
+
+func execVector(p *trace.Period, ts *depfunc.TaskSet) []bool {
+	v := make([]bool, ts.Len())
+	for name := range p.Execs {
+		if i := ts.Index(name); i >= 0 {
+			v[i] = true
+		}
+	}
+	return v
+}
+
+func updateHistory(hist []bool, executed []bool, n int) {
+	for a := 0; a < n; a++ {
+		if !executed[a] {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a != b && !executed[b] {
+				hist[a*n+b] = true
+			}
+		}
+	}
+}

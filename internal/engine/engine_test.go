@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// runEngine drives every period of the trace through a fresh engine
+// and returns it.
+func runEngine(t *testing.T, tr *trace.Trace, cfg Config) *Engine {
+	t.Helper()
+	ts, err := depfunc.NewTaskSet(tr.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ts, cfg)
+	for _, p := range tr.Periods {
+		if err := e.ProcessPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// workingKeys returns the canonical keys of the engine's live set, in
+// order.
+func workingKeys(e *Engine) []string {
+	out := make([]string, 0, e.WorkingSetSize())
+	for _, h := range e.Working() {
+		out = append(out, h.D.Key())
+	}
+	return out
+}
+
+// TestStageComposition: driving the three stages by hand produces the
+// same working set as ProcessPeriod — the composed method adds only
+// the period envelope, no hidden computation.
+func TestStageComposition(t *testing.T) {
+	tr := trace.PaperFigure2()
+	whole := runEngine(t, tr, Config{})
+
+	ts, _ := depfunc.NewTaskSet(tr.Tasks)
+	manual := New(ts, Config{})
+	for _, p := range tr.Periods {
+		executed := execVector(p, manual.ts)
+		cands, live := manual.EnumerateCandidates(p)
+		if err := manual.Generalize(p, cands, live); err != nil {
+			t.Fatal(err)
+		}
+		manual.Postprocess(p, executed)
+		manual.stats.Periods++
+		manual.stats.PeriodLive = append(manual.stats.PeriodLive, len(manual.cur))
+	}
+	if !reflect.DeepEqual(workingKeys(whole), workingKeys(manual)) {
+		t.Errorf("manual stage composition diverges from ProcessPeriod:\n%v\n%v",
+			workingKeys(whole), workingKeys(manual))
+	}
+	if !reflect.DeepEqual(whole.Stats(), manual.Stats()) {
+		t.Errorf("stats diverge:\n%+v\n%+v", whole.Stats(), manual.Stats())
+	}
+}
+
+// TestEngineStartEvent: New announces the session with the effective
+// worker count and the configured bound.
+func TestEngineStartEvent(t *testing.T) {
+	ts, _ := depfunc.NewTaskSet([]string{"a", "b"})
+	rec := obs.NewRecorder()
+	New(ts, Config{Bound: 7, Workers: 3, Observer: rec})
+	evs := rec.OfKind("engine_start")
+	if len(evs) != 1 {
+		t.Fatalf("engine_start events = %d", len(evs))
+	}
+	e := evs[0].(obs.EngineStart)
+	if e.Workers != 3 || e.Bound != 7 {
+		t.Errorf("engine_start = %+v, want workers 3 bound 7", e)
+	}
+	// Workers <= 0 is normalized to the sequential pool of one.
+	rec2 := obs.NewRecorder()
+	New(ts, Config{Workers: -5, Observer: rec2})
+	if e := rec2.OfKind("engine_start")[0].(obs.EngineStart); e.Workers != 1 {
+		t.Errorf("normalized workers = %d, want 1", e.Workers)
+	}
+}
+
+// normalizeEvents zeroes the fields that legitimately differ between
+// two equivalent runs: span wall-clock durations and the announced
+// worker count.
+func normalizeEvents(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(events))
+	for i, e := range events {
+		switch ev := e.(type) {
+		case obs.SpanEnd:
+			ev.ElapsedNS = 0
+			out[i] = ev
+		case obs.EngineStart:
+			ev.Workers = 0
+			out[i] = ev
+		default:
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// TestWorkerDeterminism is the tentpole guarantee: for every worker
+// count, exact and bounded runs over the paper trace produce
+// bit-identical hypothesis sets, statistics AND event streams (the
+// gather order is the sequential order, so even per-child spawn
+// events and heuristic merges coincide).
+func TestWorkerDeterminism(t *testing.T) {
+	for _, bound := range []int{0, 2, 4, 64} {
+		baseRec := obs.NewRecorder()
+		base := runEngine(t, trace.PaperFigure2(), Config{Bound: bound, Observer: baseRec})
+		baseKeys := workingKeys(base)
+		baseStats := base.Stats()
+		baseEvents := normalizeEvents(baseRec.Events())
+		for _, workers := range []int{2, 4, 8} {
+			rec := obs.NewRecorder()
+			e := runEngine(t, trace.PaperFigure2(), Config{Bound: bound, Workers: workers, Observer: rec})
+			if got := workingKeys(e); !reflect.DeepEqual(got, baseKeys) {
+				t.Errorf("bound %d workers %d: hypothesis set diverges:\n got %v\nwant %v",
+					bound, workers, got, baseKeys)
+			}
+			if got := e.Stats(); !reflect.DeepEqual(got, baseStats) {
+				t.Errorf("bound %d workers %d: stats diverge:\n got %+v\nwant %+v",
+					bound, workers, got, baseStats)
+			}
+			if got := normalizeEvents(rec.Events()); !reflect.DeepEqual(got, baseEvents) {
+				t.Errorf("bound %d workers %d: event streams diverge (%d vs %d events)",
+					bound, workers, len(got), len(baseEvents))
+			}
+		}
+	}
+}
+
+// TestWorkerDeterminismEagerPrune covers the EagerPrune child filter
+// on the parallel path (minimalChildren runs inside the workers).
+func TestWorkerDeterminismEagerPrune(t *testing.T) {
+	base := runEngine(t, trace.PaperFigure2(), Config{EagerPrune: true})
+	par := runEngine(t, trace.PaperFigure2(), Config{EagerPrune: true, Workers: 4})
+	if !reflect.DeepEqual(workingKeys(base), workingKeys(par)) {
+		t.Error("EagerPrune: parallel diverges from sequential")
+	}
+}
+
+// TestEngineErrors: an inexplicable message empties the set with
+// ErrNoHypothesis wrapped in period/message context, and the exact
+// algorithm respects MaxHypotheses.
+func TestEngineErrors(t *testing.T) {
+	tr := trace.PaperFigure2()
+	ts, _ := depfunc.NewTaskSet(tr.Tasks)
+
+	// A message with no feasible pair: empty period span, one message
+	// with no surrounding executions.
+	e := New(ts, Config{})
+	bad := &trace.Period{Index: 9, Execs: map[string]trace.Interval{},
+		Msgs: []trace.Message{{ID: "mX", Rise: 10, Fall: 20}}}
+	err := e.ProcessPeriod(bad)
+	if err == nil {
+		t.Fatal("no error for an inexplicable message")
+	}
+	if !errors.Is(err, ErrNoHypothesis) {
+		t.Errorf("error is not ErrNoHypothesis: %v", err)
+	}
+	if got := err.Error(); !strings.Contains(got, "period 9") || !strings.Contains(got, `"mX"`) {
+		t.Errorf("error lacks period/message context: %v", got)
+	}
+
+	e2 := New(ts, Config{MaxHypotheses: 1})
+	var failed error
+	for _, p := range tr.Periods {
+		if failed = e2.ProcessPeriod(p); failed != nil {
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("MaxHypotheses 1 did not trip on the paper trace")
+	}
+	if !errors.Is(failed, ErrTooManyHypotheses) {
+		t.Errorf("error is not ErrTooManyHypotheses: %v", failed)
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+)
+
+// minParallelParents is the working-set size below which the fan-out
+// stays sequential even with Workers > 1: goroutine startup costs
+// more than assuming a handful of pairs.
+const minParallelParents = 2
+
+// fanOut computes the children of every parent in cur concurrently
+// and returns them indexed by parent, preserving the (parent, pair)
+// generation order within each slot. Workers claim parents from a
+// shared atomic cursor, so the pool is work-stealing without a
+// channel. The workers touch only immutable shared state (pairs, the
+// frozen history, parent hypotheses they own for the iteration);
+// statistics, events and merging are left to the caller's sequential
+// gather, which is what makes the parallel path bit-identical to the
+// sequential one.
+func (e *Engine) fanOut(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
+	ctx hypothesis.StepCtx) [][]*hypothesis.Hypothesis {
+
+	results := make([][]*hypothesis.Hypothesis, len(cur))
+	workers := e.cfg.Workers
+	if workers > len(cur) {
+		workers = len(cur)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cur) {
+					return
+				}
+				results[i] = e.childrenOf(cur[i], pairs, ctx,
+					make([]*hypothesis.Hypothesis, 0, len(pairs)))
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/blackbox-rt/modelgen/internal/hypothesis"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+// workList is the engine's working collection of hypotheses. With a
+// positive bound it is kept sorted by ascending weight and every
+// addition that overflows the bound merges the two lightest elements
+// into their least upper bound (Section 3.2).
+type workList struct {
+	bound int
+	items []*hypothesis.Hypothesis
+	stats *Stats
+	obsv  obs.Observer
+	ctx   hypothesis.StepCtx
+}
+
+func newWorkList(bound int, stats *Stats) *workList {
+	return &workList{bound: bound, stats: stats}
+}
+
+func (wl *workList) add(h *hypothesis.Hypothesis) {
+	if wl.bound <= 0 {
+		wl.items = append(wl.items, h)
+		return
+	}
+	wl.insert(h)
+	for len(wl.items) > wl.bound {
+		a, b := wl.items[0], wl.items[1]
+		merged := a.Merge(b, wl.ctx)
+		wl.items = wl.items[2:]
+		wl.stats.Merges++
+		if wl.obsv != nil {
+			wl.obsv.OnHypothesisMerged(obs.HypothesisMerged{
+				Period: wl.ctx.Period, Index: wl.ctx.Msg,
+				WeightA: a.Weight(), WeightB: b.Weight(), WeightMerged: merged.Weight(),
+			})
+		}
+		wl.insert(merged)
+	}
+}
+
+func (wl *workList) insert(h *hypothesis.Hypothesis) {
+	w := h.Weight()
+	i := sort.Search(len(wl.items), func(k int) bool { return wl.items[k].Weight() > w })
+	wl.items = append(wl.items, nil)
+	copy(wl.items[i+1:], wl.items[i:])
+	wl.items[i] = h
+}
+
+// sortByWeight stably sorts hypotheses by ascending weight.
+func sortByWeight(hs []*hypothesis.Hypothesis) {
+	sort.SliceStable(hs, func(a, b int) bool { return hs[a].Weight() < hs[b].Weight() })
+}

@@ -24,6 +24,14 @@ type Hypothesis struct {
 	assumed map[depfunc.Pair]bool
 	weight  int
 
+	// afp is the Zobrist fingerprint of the assumption set: the XOR
+	// of Pair.Fingerprint over the assumed pairs, maintained
+	// incrementally (XOR is self-inverse, so adding and removing a
+	// pair are the same operation). Combined with the dependency
+	// function's own fingerprint it gives the engine an O(1),
+	// allocation-free dedup key where Key() built an O(t²) string.
+	afp uint64
+
 	// Provenance chain (see EnableProvenance): a persistent singly
 	// linked list of the generalization steps that produced D, newest
 	// first. Children share their parent's suffix, so recording is
@@ -101,6 +109,29 @@ func FromDepFunc(d *depfunc.DepFunc) *Hypothesis {
 // Weight returns the cached Definition-8 weight of the hypothesis.
 func (h *Hypothesis) Weight() int { return h.weight }
 
+// Fingerprint returns the 64-bit fingerprint of the hypothesis state
+// (dependency function plus assumption set), the O(1) counterpart of
+// Key. Unequal fingerprints prove unequal states; equal fingerprints
+// must be confirmed with SameState before unifying (64-bit collisions
+// exist in principle).
+func (h *Hypothesis) Fingerprint() uint64 { return h.D.Fingerprint() ^ h.afp }
+
+// SameState reports whether two hypotheses have identical dependency
+// functions and identical assumption sets — the equality that
+// Fingerprint approximates and the engine's dedup sites confirm on a
+// fingerprint hit.
+func (h *Hypothesis) SameState(other *Hypothesis) bool {
+	if len(h.assumed) != len(other.assumed) || !h.D.Equal(other.D) {
+		return false
+	}
+	for p := range h.assumed {
+		if !other.assumed[p] {
+			return false
+		}
+	}
+	return true
+}
+
 // EnableProvenance switches on step recording for h and every
 // hypothesis derived from it. Recording costs one small allocation
 // per changed entry; the default-off path allocates nothing.
@@ -150,6 +181,7 @@ func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value, ctx StepCtx)
 		D:       h.D.Clone(),
 		assumed: make(map[depfunc.Pair]bool, len(h.assumed)+1),
 		weight:  h.weight,
+		afp:     h.afp ^ p.Fingerprint(),
 		prov:    h.prov,
 		provOn:  h.provOn,
 	}
@@ -181,6 +213,7 @@ func (h *Hypothesis) joinEntry(p depfunc.Pair, i, j int, v lattice.Value, ctx St
 func (h *Hypothesis) ClearAssumptions() {
 	if len(h.assumed) > 0 {
 		h.assumed = map[depfunc.Pair]bool{}
+		h.afp = 0
 	}
 }
 
@@ -194,6 +227,7 @@ func (h *Hypothesis) RetainAssumptions(keep func(depfunc.Pair) bool) {
 	for p := range h.assumed {
 		if !keep(p) {
 			delete(h.assumed, p)
+			h.afp ^= p.Fingerprint()
 		}
 	}
 }
@@ -239,12 +273,14 @@ func (h *Hypothesis) Relax(executed func(task int) bool, ctx StepCtx) int {
 func (h *Hypothesis) Merge(other *Hypothesis, ctx StepCtx) *Hypothesis {
 	d := h.D.Join(other.D)
 	assumed := map[depfunc.Pair]bool{}
+	var afp uint64
 	for k := range h.assumed {
 		if other.assumed[k] {
 			assumed[k] = true
+			afp ^= k.Fingerprint()
 		}
 	}
-	m := &Hypothesis{D: d, assumed: assumed, weight: d.Weight(), prov: h.prov, provOn: h.provOn || other.provOn}
+	m := &Hypothesis{D: d, assumed: assumed, weight: d.Weight(), afp: afp, prov: h.prov, provOn: h.provOn || other.provOn}
 	if m.provOn {
 		n := d.N()
 		for i := 0; i < n; i++ {
@@ -268,7 +304,7 @@ func (h *Hypothesis) Merge(other *Hypothesis, ctx StepCtx) *Hypothesis {
 // Clone returns a deep copy (the immutable provenance chain is
 // shared).
 func (h *Hypothesis) Clone() *Hypothesis {
-	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight, prov: h.prov, provOn: h.provOn}
+	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight, afp: h.afp, prov: h.prov, provOn: h.provOn}
 	for k := range h.assumed {
 		cp.assumed[k] = true
 	}

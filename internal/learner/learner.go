@@ -34,6 +34,17 @@
 // replaced by their least upper bound. The result remains correct but
 // is no longer guaranteed to be most specific. Runtime is
 // O(m·b² + m·b·t²) for m messages and t tasks.
+//
+// # Architecture
+//
+// The period-processing core — candidate enumeration, per-message
+// generalization, end-of-period post-processing — lives in
+// internal/engine; this package is the result-facing front-end. Learn
+// and Online both drive the same engine, which is what guarantees
+// their equivalence, and Options.Workers shards the engine's
+// per-message fan-out across a worker pool without changing any
+// result (see the engine package comment for the determinism
+// argument).
 package learner
 
 import (
@@ -43,8 +54,8 @@ import (
 	"time"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/engine"
 	"github.com/blackbox-rt/modelgen/internal/hypothesis"
-	"github.com/blackbox-rt/modelgen/internal/lattice"
 	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
@@ -52,12 +63,20 @@ import (
 // ErrNoHypothesis is returned when the hypothesis set becomes empty:
 // either the trace violates the assumed model of computation, or the
 // generalization language cannot express the observed behaviour
-// (Section 3.1).
-var ErrNoHypothesis = errors.New("learner: hypothesis set became empty")
+// (Section 3.1). It is the engine's error re-exported, so errors.Is
+// works across both layers.
+var ErrNoHypothesis = engine.ErrNoHypothesis
 
 // ErrTooManyHypotheses is returned by the exact algorithm when the
 // working set exceeds Options.MaxHypotheses.
-var ErrTooManyHypotheses = errors.New("learner: hypothesis set exceeded the configured maximum")
+var ErrTooManyHypotheses = engine.ErrTooManyHypotheses
+
+// ErrVerifyUnavailable is returned by Online.Result when
+// Options.VerifyResults is set but the session retained no periods to
+// verify against (Options.RetainPeriods is zero). Batch Learn always
+// has the full trace and never returns it.
+var ErrVerifyUnavailable = errors.New(
+	"learner: VerifyResults needs retained periods in an online session (set Options.RetainPeriods)")
 
 // Options configures a learning run.
 type Options struct {
@@ -80,19 +99,37 @@ type Options struct {
 	// size. Zero means unlimited.
 	MaxHypotheses int
 
+	// Workers is the size of the engine's per-message fan-out worker
+	// pool. Values <= 1 (the default) select the sequential path.
+	// The result is bit-identical for every value, in both the exact
+	// and the bounded mode: parallelism only reorders child
+	// *computation*, never the gather order that determines merging
+	// and deduplication.
+	Workers int
+
 	// VerifyResults re-checks every final hypothesis against the full
 	// trace with the matching function M and drops any that fail
 	// (counted in Stats.DroppedUnsound). The exact algorithm never
 	// produces unsound hypotheses; bounded merging can in rare
-	// adversarial traces.
+	// adversarial traces. In an online session verification needs
+	// RetainPeriods > 0, and re-checks against the retained window;
+	// Result returns ErrVerifyUnavailable otherwise.
 	VerifyResults bool
 
-	// Observer, when non-nil, receives the structured run-trace:
-	// period boundaries, per-message candidate fan-out, hypothesis
-	// spawn/merge/prune events, and phase timing spans. Every emit
-	// site is nil-guarded, so a nil Observer adds no allocations to
-	// the hot path (verified by TestNopObserverZeroAlloc). Use
-	// obs.NewMulti to attach several sinks at once.
+	// RetainPeriods makes an online session keep deep copies of the
+	// most recent N consumed periods in a ring buffer, giving
+	// Online.Result a trace to verify against (see VerifyResults).
+	// Zero (the default) retains nothing. Ignored by batch Learn,
+	// which always has the full trace.
+	RetainPeriods int
+
+	// Observer, when non-nil, receives the structured run-trace: the
+	// session announcement (engine_start), period boundaries,
+	// per-message candidate fan-out, hypothesis spawn/merge/prune
+	// events, and phase timing spans. Every emit site is nil-guarded,
+	// so a nil Observer adds no allocations to the hot path (verified
+	// by TestNopObserverZeroAlloc). Use obs.NewMulti to attach
+	// several sinks at once.
 	Observer obs.Observer
 
 	// Provenance enables the per-hypothesis audit trail: every
@@ -120,29 +157,25 @@ type Options struct {
 	Negatives []*trace.Period
 }
 
+// engineConfig translates the engine-facing subset of the options.
+func (opt Options) engineConfig() engine.Config {
+	return engine.Config{
+		Bound:         opt.Bound,
+		Policy:        opt.Policy,
+		EagerPrune:    opt.EagerPrune,
+		MaxHypotheses: opt.MaxHypotheses,
+		Workers:       opt.Workers,
+		Observer:      opt.Observer,
+		Provenance:    opt.Provenance,
+	}
+}
+
 // Stats instruments a learning run. It is populated even without an
 // Observer, so callers get the headline numbers without consuming the
-// full event stream.
-type Stats struct {
-	Periods        int // periods processed
-	Messages       int // message occurrences processed
-	Candidates     int // timing-feasible candidate pairs summed over messages
-	Children       int // hypotheses created by generalization
-	Merges         int // heuristic least-upper-bound merges
-	Relaxations    int // entries relaxed by end-of-period tests
-	Peak           int // peak working-set size
-	Final          int // hypotheses in the returned set
-	DroppedUnsound int // results dropped by VerifyResults
-	// NegativeRejections counts final hypotheses discarded because
-	// they matched a forbidden behaviour from Options.Negatives.
-	NegativeRejections int
-	// PeriodLive records the live hypothesis count at the end of each
-	// processed period, in order (the per-period series behind Peak).
-	PeriodLive []int
-	// Elapsed is the wall time of the batch Learn call (zero for
-	// Online.Result snapshots, which have no defined start).
-	Elapsed time.Duration
-}
+// full event stream. It is the engine's Stats type: the engine
+// maintains the per-period counters, this package fills in the
+// result-assembly fields.
+type Stats = engine.Stats
 
 // ProvStep is one recorded generalization step of a hypothesis's
 // derivation chain (see Options.Provenance). Format renders it for
@@ -227,18 +260,19 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 	}
 	// Extract the working set directly: the session ends here, so the
 	// defensive clone of Online.Result is unnecessary.
-	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	working := o.eng.Working()
+	ds := make([]*depfunc.DepFunc, 0, len(working))
 	var prov map[*depfunc.DepFunc][]ProvStep
 	if opt.Provenance {
-		prov = make(map[*depfunc.DepFunc][]ProvStep, len(o.cur))
+		prov = make(map[*depfunc.DepFunc][]ProvStep, len(working))
 	}
-	for _, h := range o.cur {
+	for _, h := range working {
 		ds = append(ds, h.D)
 		if prov != nil {
 			prov[h.D] = h.Provenance()
 		}
 	}
-	res, err := finish(o.ts, tr, ds, opt, o.stats)
+	res, err := finish(o.eng.TaskSet(), tr, ds, opt, o.eng.Stats())
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +280,7 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 	res.Stats.Elapsed = time.Since(t0)
 	if opt.Observer != nil {
 		if opt.Provenance {
-			emitProvenance(opt.Observer, o.ts, res.Provenance(0))
+			emitProvenance(opt.Observer, o.eng.TaskSet(), res.Provenance(0))
 		}
 		opt.Observer.OnRunEnd(obs.RunEnd{
 			Periods:   res.Stats.Periods,
@@ -286,241 +320,9 @@ func LearnBounded(tr *trace.Trace, bound int, pol depfunc.CandidatePolicy) (*Res
 	return Learn(tr, Options{Bound: bound, Policy: pol})
 }
 
-// analyzeMessage extends every hypothesis in cur by every admissible
-// candidate assumption for one message, applying heuristic merging
-// when a bound is set.
-func analyzeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
-	hist []bool, n int, opt Options, stats *Stats, period, msg int, msgID string) ([]*hypothesis.Hypothesis, error) {
-
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
-	}
-	ctx := hypothesis.StepCtx{Period: period, Msg: msg, MsgID: msgID}
-	wl := newWorkList(opt.Bound, stats)
-	wl.obsv, wl.ctx = opt.Observer, ctx
-	seen := make(map[string]bool, len(cur)*len(pairs))
-	scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
-	for _, h := range cur {
-		children := scratch[:0]
-		for _, pr := range pairs {
-			fwd := lattice.Fwd
-			if hist[pr.S*n+pr.R] {
-				fwd = lattice.FwdMaybe
-			}
-			bwd := lattice.Bwd
-			if hist[pr.R*n+pr.S] {
-				bwd = lattice.BwdMaybe
-			}
-			if c := h.Assume(pr, fwd, bwd, ctx); c != nil {
-				children = append(children, c)
-			}
-		}
-		if opt.EagerPrune {
-			children = minimalChildren(children)
-		}
-		for _, c := range children {
-			k := c.Key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			stats.Children++
-			if opt.Observer != nil {
-				opt.Observer.OnHypothesisSpawned(obs.HypothesisSpawned{
-					Period: period, Index: msg, Weight: c.Weight(),
-				})
-			}
-			wl.add(c)
-		}
-	}
-	out := wl.items
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%w: no hypothesis can explain the message", ErrNoHypothesis)
-	}
-	if opt.Bound <= 0 && opt.MaxHypotheses > 0 && len(out) > opt.MaxHypotheses {
-		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyHypotheses, len(out), opt.MaxHypotheses)
-	}
-	return out, nil
-}
-
-// workList is the learner's working collection of hypotheses. With a
-// positive bound it is kept sorted by ascending weight and every
-// addition that overflows the bound merges the two lightest elements
-// into their least upper bound (Section 3.2).
-type workList struct {
-	bound int
-	items []*hypothesis.Hypothesis
-	stats *Stats
-	obsv  obs.Observer
-	ctx   hypothesis.StepCtx
-}
-
-func newWorkList(bound int, stats *Stats) *workList {
-	return &workList{bound: bound, stats: stats}
-}
-
-func (wl *workList) add(h *hypothesis.Hypothesis) {
-	if wl.bound <= 0 {
-		wl.items = append(wl.items, h)
-		return
-	}
-	wl.insert(h)
-	for len(wl.items) > wl.bound {
-		a, b := wl.items[0], wl.items[1]
-		merged := a.Merge(b, wl.ctx)
-		wl.items = wl.items[2:]
-		wl.stats.Merges++
-		if wl.obsv != nil {
-			wl.obsv.OnHypothesisMerged(obs.HypothesisMerged{
-				Period: wl.ctx.Period, Index: wl.ctx.Msg,
-				WeightA: a.Weight(), WeightB: b.Weight(), WeightMerged: merged.Weight(),
-			})
-		}
-		wl.insert(merged)
-	}
-}
-
-func (wl *workList) insert(h *hypothesis.Hypothesis) {
-	w := h.Weight()
-	i := sort.Search(len(wl.items), func(k int) bool { return wl.items[k].Weight() > w })
-	wl.items = append(wl.items, nil)
-	copy(wl.items[i+1:], wl.items[i:])
-	wl.items[i] = h
-}
-
-// liveSuffixes returns, for each message index i, the set of pairs
-// appearing in the candidate sets of messages i..end (live[len] is
-// empty). After message i is analyzed, assumptions about pairs outside
-// live[i+1] can never be consulted again this period.
-func liveSuffixes(cands [][]depfunc.Pair) []map[depfunc.Pair]bool {
-	live := make([]map[depfunc.Pair]bool, len(cands)+1)
-	live[len(cands)] = map[depfunc.Pair]bool{}
-	for i := len(cands) - 1; i >= 0; i-- {
-		m := make(map[depfunc.Pair]bool, len(live[i+1])+len(cands[i]))
-		for p := range live[i+1] {
-			m[p] = true
-		}
-		for _, p := range cands[i] {
-			m[p] = true
-		}
-		live[i] = m
-	}
-	return live
-}
-
-// forgetDeadAssumptions drops assumptions about pairs that no
-// remaining message of the period can use, then unifies hypotheses
-// that became identical — a pure optimization that preserves the
-// algorithm's results (dead assumptions cannot influence any future
-// dup-pair check, and assumption sets are discarded at the period
-// boundary anyway).
-func forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bool) []*hypothesis.Hypothesis {
-	seen := make(map[string]bool, len(hs))
-	out := hs[:0]
-	for _, h := range hs {
-		h.RetainAssumptions(func(p depfunc.Pair) bool { return live[p] })
-		k := h.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, h)
-		}
-	}
-	return out
-}
-
-// minimalChildren keeps only the minimal elements (by the pointwise
-// order on dependency functions) among the children one parent
-// spawned for one message. Children with equal dependency functions
-// but different assumptions are all kept.
-func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
-	dominated := make([]bool, len(children))
-	for i, c := range children {
-		for j, o := range children {
-			if i != j && o.D.Lt(c.D) {
-				dominated[i] = true
-				break
-			}
-		}
-	}
-	out := children[:0]
-	for i, c := range children {
-		if !dominated[i] {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-// pruneMostSpecific unifies equal hypotheses and removes redundant
-// ones: h is redundant iff some other hypothesis is strictly more
-// specific (Section 3.1 post-processing). Removals are reported to
-// obsv (reason "duplicate" or "redundant") when it is non-nil.
-func pruneMostSpecific(hs []*hypothesis.Hypothesis, obsv obs.Observer, period int) []*hypothesis.Hypothesis {
-	seen := make(map[string]bool, len(hs))
-	uniq := make([]*hypothesis.Hypothesis, 0, len(hs))
-	for _, h := range hs {
-		k := h.D.Key()
-		if !seen[k] {
-			seen[k] = true
-			uniq = append(uniq, h)
-		} else if obsv != nil {
-			obsv.OnHypothesisPruned(obs.HypothesisPruned{
-				Period: period, Reason: "duplicate", Weight: h.Weight(),
-			})
-		}
-	}
-	// Sort by weight: a hypothesis can only be dominated by a
-	// strictly lighter one.
-	sort.SliceStable(uniq, func(a, b int) bool { return uniq[a].Weight() < uniq[b].Weight() })
-	out := make([]*hypothesis.Hypothesis, 0, len(uniq))
-	for i, h := range uniq {
-		redundant := false
-		for j := 0; j < i; j++ {
-			if uniq[j].Weight() >= h.Weight() {
-				break
-			}
-			if uniq[j].D.Lt(h.D) {
-				redundant = true
-				break
-			}
-		}
-		if !redundant {
-			out = append(out, h)
-		} else if obsv != nil {
-			obsv.OnHypothesisPruned(obs.HypothesisPruned{
-				Period: period, Reason: "redundant", Weight: h.Weight(),
-			})
-		}
-	}
-	return out
-}
-
-func execVector(p *trace.Period, ts *depfunc.TaskSet) []bool {
-	v := make([]bool, ts.Len())
-	for name := range p.Execs {
-		if i := ts.Index(name); i >= 0 {
-			v[i] = true
-		}
-	}
-	return v
-}
-
-func updateHistory(hist []bool, executed []bool, n int) {
-	for a := 0; a < n; a++ {
-		if !executed[a] {
-			continue
-		}
-		for b := 0; b < n; b++ {
-			if a != b && !executed[b] {
-				hist[a*n+b] = true
-			}
-		}
-	}
-}
-
 // finish assembles the Result from the surviving dependency
-// functions. tr may be nil (incremental sessions), in which case
-// VerifyResults is skipped.
+// functions. tr may be nil (incremental sessions without retained
+// periods), in which case VerifyResults is skipped.
 func finish(ts *depfunc.TaskSet, tr *trace.Trace, ds []*depfunc.DepFunc,
 	opt Options, stats Stats) (*Result, error) {
 

@@ -45,6 +45,8 @@ func TestObserverEventSequenceExact(t *testing.T) {
 	// paper trace prunes nothing (no duplicate or redundant
 	// hypotheses), periods 2 and 3 do.
 	want := []string{
+		// The session opens with the engine announcement.
+		"engine_start",
 		// period 0: 2 messages.
 		"period_start", "span",
 		"hypothesis_spawned", "message_processed",

@@ -1,11 +1,8 @@
 package learner
 
 import (
-	"fmt"
-
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
-	"github.com/blackbox-rt/modelgen/internal/hypothesis"
-	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/engine"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -21,22 +18,29 @@ import (
 //	res, _ := o.Result()
 //
 // Online and the batch Learn function produce identical results for
-// the same sequence of periods (guaranteed by tests). Options.
-// VerifyResults is ignored by Result, which has no access to the
-// already-consumed instances; use MatchTrace on a retained trace if
-// post-hoc verification is wanted.
+// the same sequence of periods (guaranteed by tests): both are thin
+// front-ends over the same internal/engine session.
 //
-// With Options.Observer set, AddPeriod emits the structured
-// run-trace (PeriodStart, MessageProcessed, hypothesis events,
-// PeriodEnd); the RunEnd event is only emitted by the batch Learn,
-// since an incremental session has no defined end.
+// Options.VerifyResults in an online session re-checks the snapshot
+// against the retained-period window, which exists only when
+// Options.RetainPeriods > 0; without retained periods Result fails
+// with ErrVerifyUnavailable rather than silently skipping the check.
+//
+// With Options.Observer set, NewOnline announces the session
+// (EngineStart) and AddPeriod emits the structured run-trace
+// (PeriodStart, MessageProcessed, hypothesis events, PeriodEnd); the
+// RunEnd event is only emitted by the batch Learn, since an
+// incremental session has no defined end.
 type Online struct {
-	ts    *depfunc.TaskSet
-	opt   Options
-	hist  []bool
-	cur   []*hypothesis.Hypothesis
-	stats Stats
-	err   error
+	eng *engine.Engine
+	opt Options
+	err error
+
+	// retained is the ring buffer of the last Options.RetainPeriods
+	// consumed periods (deep copies, oldest first after reordering by
+	// retainedTrace). next is the ring write cursor.
+	retained []*trace.Period
+	next     int
 }
 
 // NewOnline starts an incremental learning session over the predefined
@@ -46,23 +50,15 @@ func NewOnline(tasks []string, opt Options) (*Online, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := ts.Len()
-	bottom := hypothesis.Bottom(ts)
-	if opt.Provenance {
-		bottom.EnableProvenance()
+	o := &Online{eng: engine.New(ts, opt.engineConfig()), opt: opt}
+	if opt.RetainPeriods > 0 {
+		o.retained = make([]*trace.Period, 0, opt.RetainPeriods)
 	}
-	o := &Online{
-		ts:   ts,
-		opt:  opt,
-		hist: make([]bool, n*n),
-		cur:  []*hypothesis.Hypothesis{bottom},
-	}
-	o.stats.Peak = 1
 	return o, nil
 }
 
 // TaskSet returns the session's task set.
-func (o *Online) TaskSet() *depfunc.TaskSet { return o.ts }
+func (o *Online) TaskSet() *depfunc.TaskSet { return o.eng.TaskSet() }
 
 // Err returns the sticky error of the session, if any. Once a period
 // fails, the session is dead: the hypothesis set no longer reflects a
@@ -70,103 +66,87 @@ func (o *Online) TaskSet() *depfunc.TaskSet { return o.ts }
 func (o *Online) Err() error { return o.err }
 
 // Stats returns a snapshot of the instrumentation counters.
-func (o *Online) Stats() Stats { return o.stats }
+func (o *Online) Stats() Stats { return o.eng.Stats() }
 
 // WorkingSetSize returns the current number of live hypotheses.
-func (o *Online) WorkingSetSize() int { return len(o.cur) }
+func (o *Online) WorkingSetSize() int { return o.eng.WorkingSetSize() }
+
+// RetainedPeriods returns the number of periods currently held in the
+// verification ring buffer (at most Options.RetainPeriods).
+func (o *Online) RetainedPeriods() int { return len(o.retained) }
 
 // AddPeriod consumes one instance: message-guided generalization over
-// the period's messages followed by the end-of-period post-processing.
+// the period's messages followed by the end-of-period post-processing
+// (both delegated to the engine), then retention bookkeeping.
 func (o *Online) AddPeriod(p *trace.Period) error {
 	if o.err != nil {
 		return o.err
 	}
-	obsv := o.opt.Observer
-	if obsv != nil {
-		obsv.OnPeriodStart(obs.PeriodStart{Period: p.Index, Messages: len(p.Msgs)})
+	if err := o.eng.ProcessPeriod(p); err != nil {
+		o.err = err
+		return o.err
 	}
-	n := o.ts.Len()
-	executed := execVector(p, o.ts)
-	spCand := obs.StartSpan(obsv, obs.PhaseCandidates)
-	cands := depfunc.Candidates(p, o.ts, o.opt.Policy)
-	live := liveSuffixes(cands)
-	spCand.End()
-	cur := o.cur
-	spGen := obs.StartSpan(obsv, obs.PhaseGeneralize)
-	for mi := range p.Msgs {
-		next, err := analyzeMessage(cur, cands[mi], o.hist, n, o.opt, &o.stats, p.Index, mi, p.Msgs[mi].ID)
-		if err != nil {
-			spGen.End()
-			o.err = fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
-			return o.err
+	if o.opt.RetainPeriods > 0 {
+		cp := p.Clone()
+		if len(o.retained) < o.opt.RetainPeriods {
+			o.retained = append(o.retained, cp)
+		} else {
+			o.retained[o.next] = cp
+			o.next = (o.next + 1) % o.opt.RetainPeriods
 		}
-		cur = forgetDeadAssumptions(next, live[mi+1])
-		o.stats.Messages++
-		o.stats.Candidates += len(cands[mi])
-		if len(cur) > o.stats.Peak {
-			o.stats.Peak = len(cur)
-		}
-		if obsv != nil {
-			obsv.OnMessageProcessed(obs.MessageProcessed{
-				Period: p.Index, Index: mi, ID: p.Msgs[mi].ID,
-				Candidates: len(cands[mi]), Live: len(cur),
-			})
-		}
-	}
-	spGen.End()
-	spPost := obs.StartSpan(obsv, obs.PhasePostprocess)
-	relaxed := 0
-	endCtx := hypothesis.StepCtx{Period: p.Index, Msg: -1}
-	for _, h := range cur {
-		relaxed += h.Relax(func(i int) bool { return executed[i] }, endCtx)
-		h.ClearAssumptions()
-	}
-	o.stats.Relaxations += relaxed
-	before := len(cur)
-	cur = pruneMostSpecific(cur, obsv, p.Index)
-	updateHistory(o.hist, executed, n)
-	spPost.End()
-	o.cur = cur
-	o.stats.Periods++
-	o.stats.PeriodLive = append(o.stats.PeriodLive, len(cur))
-	if obsv != nil {
-		// pruneMostSpecific leaves the survivors sorted by ascending
-		// weight, so the weight range is at the ends.
-		obsv.OnPeriodEnd(obs.PeriodEnd{
-			Period:      p.Index,
-			Live:        len(cur),
-			Dropped:     before - len(cur),
-			WeightMin:   cur[0].Weight(),
-			WeightMax:   cur[len(cur)-1].Weight(),
-			Relaxations: relaxed,
-		})
 	}
 	return nil
+}
+
+// retainedTrace assembles the retained window into a trace, oldest
+// period first, or nil when nothing is retained.
+func (o *Online) retainedTrace() *trace.Trace {
+	if len(o.retained) == 0 {
+		return nil
+	}
+	tr := trace.New(o.eng.TaskSet().Names())
+	// The ring wraps at next: [next..len) are the oldest entries.
+	tr.Periods = append(tr.Periods, o.retained[o.next:]...)
+	tr.Periods = append(tr.Periods, o.retained[:o.next]...)
+	return tr
 }
 
 // Result snapshots the current hypothesis set. The session remains
 // usable: further periods may be added and Result called again. The
 // returned dependency functions are deep copies and never mutated by
 // subsequent AddPeriod calls.
+//
+// With Options.VerifyResults set, the snapshot is re-checked against
+// the retained-period window (Options.RetainPeriods); hypotheses
+// failing the re-check are dropped and counted in
+// Stats.DroppedUnsound. When verification is requested but no periods
+// are retained, Result fails with ErrVerifyUnavailable — it never
+// silently skips a requested check.
 func (o *Online) Result() (*Result, error) {
 	if o.err != nil {
 		return nil, o.err
 	}
-	ds := make([]*depfunc.DepFunc, 0, len(o.cur))
+	var verifyTr *trace.Trace
+	if o.opt.VerifyResults {
+		verifyTr = o.retainedTrace()
+		if verifyTr == nil {
+			return nil, ErrVerifyUnavailable
+		}
+	}
+	working := o.eng.Working()
+	ds := make([]*depfunc.DepFunc, 0, len(working))
 	var prov map[*depfunc.DepFunc][]ProvStep
 	if o.opt.Provenance {
-		prov = make(map[*depfunc.DepFunc][]ProvStep, len(o.cur))
+		prov = make(map[*depfunc.DepFunc][]ProvStep, len(working))
 	}
-	for _, h := range o.cur {
+	for _, h := range working {
 		d := h.D.Clone()
 		ds = append(ds, d)
 		if prov != nil {
 			prov[d] = h.Provenance()
 		}
 	}
-	snap := o.opt
-	snap.VerifyResults = false
-	res, err := finish(o.ts, nil, ds, snap, o.stats)
+	res, err := finish(o.eng.TaskSet(), verifyTr, ds, o.opt, o.eng.Stats())
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ const (
 	MetricRuns          = "modelgen_learner_runs_total"
 	MetricRunSeconds    = "modelgen_learner_run_seconds"
 	MetricProvSteps     = "modelgen_learner_provenance_steps_total"
+	MetricWorkers       = "modelgen_engine_workers"
 )
 
 // PhaseMetric returns the histogram name of a pipeline phase span
@@ -52,7 +53,7 @@ type metricsObserver struct {
 
 	periods, messages, spawned, pruned, merges, relaxations, runs *Counter
 	provSteps                                                     *Counter
-	live, peak                                                    *Gauge
+	live, peak, workers                                           *Gauge
 	candidates, livePerPeriod, runSeconds                         *Histogram
 
 	mu       sync.Mutex
@@ -76,6 +77,7 @@ func NewMetricsObserver(reg *Registry) Observer {
 		provSteps:     reg.Counter(MetricProvSteps, "provenance steps emitted for winning hypotheses"),
 		live:          reg.Gauge(MetricLive, "live hypotheses after the last period"),
 		peak:          reg.Gauge(MetricPeak, "peak working-set size"),
+		workers:       reg.Gauge(MetricWorkers, "engine worker-pool size of the current session (1 = sequential)"),
 		candidates:    reg.Histogram(MetricCandidates, "timing-feasible candidate pairs per message", CandidateBuckets),
 		livePerPeriod: reg.Histogram(MetricLivePerPeriod, "live hypotheses at each period end", LiveBuckets),
 		runSeconds:    reg.Histogram(MetricRunSeconds, "learning-run wall time in seconds", RunSecondsBuckets),
@@ -83,6 +85,8 @@ func NewMetricsObserver(reg *Registry) Observer {
 		phases:        map[string]*Histogram{},
 	}
 }
+
+func (m *metricsObserver) OnEngineStart(e EngineStart) { m.workers.Set(int64(e.Workers)) }
 
 func (m *metricsObserver) OnPeriodStart(PeriodStart) {}
 

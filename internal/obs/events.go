@@ -11,6 +11,17 @@ type Event interface {
 	Kind() string
 }
 
+// EngineStart opens a learning session: the period-engine
+// configuration behind the run. Workers is the size of the bounded
+// worker pool sharding the per-message hypothesis fan-out (1 =
+// sequential), Bound the heuristic working-set bound (0 = exact).
+// Emitted once per engine before its first period, by both the batch
+// and the incremental front-ends.
+type EngineStart struct {
+	Workers int `json:"workers"`
+	Bound   int `json:"bound"`
+}
+
 // PeriodStart opens one period of a learning run.
 type PeriodStart struct {
 	Period   int `json:"period"`
@@ -122,6 +133,7 @@ type SpanEnd struct {
 	ElapsedNS int64  `json:"elapsed_ns"`
 }
 
+func (EngineStart) Kind() string       { return "engine_start" }
 func (PeriodStart) Kind() string       { return "period_start" }
 func (MessageProcessed) Kind() string  { return "message_processed" }
 func (HypothesisSpawned) Kind() string { return "hypothesis_spawned" }
@@ -141,6 +153,7 @@ func (SpanEnd) Kind() string           { return "span" }
 // Implementations embed NopObserver to pick up no-op defaults for the
 // events they do not care about.
 type Observer interface {
+	OnEngineStart(EngineStart)
 	OnPeriodStart(PeriodStart)
 	OnMessageProcessed(MessageProcessed)
 	OnHypothesisSpawned(HypothesisSpawned)
@@ -157,6 +170,7 @@ type Observer interface {
 // partially.
 type NopObserver struct{}
 
+func (NopObserver) OnEngineStart(EngineStart)             {}
 func (NopObserver) OnPeriodStart(PeriodStart)             {}
 func (NopObserver) OnMessageProcessed(MessageProcessed)   {}
 func (NopObserver) OnHypothesisSpawned(HypothesisSpawned) {}
@@ -194,6 +208,11 @@ func NewMulti(os ...Observer) Observer {
 	return kept
 }
 
+func (m multi) OnEngineStart(e EngineStart) {
+	for _, o := range m {
+		o.OnEngineStart(e)
+	}
+}
 func (m multi) OnPeriodStart(e PeriodStart) {
 	for _, o := range m {
 		o.OnPeriodStart(e)

@@ -56,6 +56,7 @@ func (s *JSONLSink) write(kind string, e any) {
 	_, s.err = s.w.Write(line)
 }
 
+func (s *JSONLSink) OnEngineStart(e EngineStart)             { s.write(e.Kind(), e) }
 func (s *JSONLSink) OnPeriodStart(e PeriodStart)             { s.write(e.Kind(), e) }
 func (s *JSONLSink) OnMessageProcessed(e MessageProcessed)   { s.write(e.Kind(), e) }
 func (s *JSONLSink) OnHypothesisSpawned(e HypothesisSpawned) { s.write(e.Kind(), e) }
@@ -89,6 +90,8 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			err error
 		)
 		switch raw.Event {
+		case "engine_start":
+			e, err = decodeEvent[EngineStart](msg)
 		case "period_start":
 			e, err = decodeEvent[PeriodStart](msg)
 		case "message_processed":

@@ -24,6 +24,7 @@ func httpGet(url string) (string, error) {
 
 // emitAll drives one of every event through an observer.
 func emitAll(o Observer) {
+	o.OnEngineStart(EngineStart{Workers: 4, Bound: 8})
 	o.OnPeriodStart(PeriodStart{Period: 0, Messages: 2})
 	o.OnHypothesisSpawned(HypothesisSpawned{Period: 0, Index: 0, Weight: 2})
 	o.OnMessageProcessed(MessageProcessed{Period: 0, Index: 0, ID: "m1", Candidates: 2, Live: 2})
@@ -42,7 +43,7 @@ func TestRecorderOrderAndFilters(t *testing.T) {
 	r := NewRecorder()
 	emitAll(r)
 	wantKinds := []string{
-		"period_start", "hypothesis_spawned", "message_processed",
+		"engine_start", "period_start", "hypothesis_spawned", "message_processed",
 		"hypothesis_merged", "message_processed", "hypothesis_pruned",
 		"period_end", "run_end", "pipeline", "provenance", "span",
 	}
@@ -56,8 +57,8 @@ func TestRecorderOrderAndFilters(t *testing.T) {
 	if ms[1].(MessageProcessed).ID != "m2" {
 		t.Errorf("second message event = %+v", ms[1])
 	}
-	if r.Len() != 11 {
-		t.Errorf("Len = %d, want 11", r.Len())
+	if r.Len() != 12 {
+		t.Errorf("Len = %d, want 12", r.Len())
 	}
 	r.Reset()
 	if r.Len() != 0 {
@@ -85,8 +86,8 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 			t.Errorf("line %d has no event field: %s", lines, sc.Text())
 		}
 	}
-	if lines != 11 {
-		t.Errorf("lines = %d, want 11", lines)
+	if lines != 12 {
+		t.Errorf("lines = %d, want 12", lines)
 	}
 	// And the typed parser reconstructs the same events a Recorder saw.
 	rec := NewRecorder()
@@ -142,8 +143,8 @@ func TestNewMulti(t *testing.T) {
 	r2 := NewRecorder()
 	m := NewMulti(r, r2)
 	emitAll(m)
-	if r.Len() != 11 || r2.Len() != 11 {
-		t.Errorf("fan-out lens = %d/%d, want 11/11", r.Len(), r2.Len())
+	if r.Len() != 12 || r2.Len() != 12 {
+		t.Errorf("fan-out lens = %d/%d, want 12/12", r.Len(), r2.Len())
 	}
 }
 
@@ -163,6 +164,7 @@ func TestMetricsObserverBridge(t *testing.T) {
 		MetricPeak:                         2,
 		"modelgen_trace_events_read_total": 12,
 		MetricProvSteps:                    1,
+		MetricWorkers:                      4,
 	}
 	for name, want := range checks {
 		if got := snap.Value(name); got != want {

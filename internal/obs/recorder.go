@@ -18,6 +18,7 @@ func (r *Recorder) record(e Event) {
 	r.mu.Unlock()
 }
 
+func (r *Recorder) OnEngineStart(e EngineStart)             { r.record(e) }
 func (r *Recorder) OnPeriodStart(e PeriodStart)             { r.record(e) }
 func (r *Recorder) OnMessageProcessed(e MessageProcessed)   { r.record(e) }
 func (r *Recorder) OnHypothesisSpawned(e HypothesisSpawned) { r.record(e) }

@@ -15,6 +15,7 @@ import (
 // a breaking change and must fail a test, not slip through.
 func TestEventKindStrings(t *testing.T) {
 	kinds := map[Event]string{
+		EngineStart{}:       "engine_start",
 		PeriodStart{}:       "period_start",
 		MessageProcessed{}:  "message_processed",
 		HypothesisSpawned{}: "hypothesis_spawned",
@@ -53,6 +54,8 @@ func TestEventKindStrings(t *testing.T) {
 // emitEvent dispatches a typed event through the Observer interface.
 func emitEvent(o Observer, e Event) {
 	switch e := e.(type) {
+	case EngineStart:
+		o.OnEngineStart(e)
 	case PeriodStart:
 		o.OnPeriodStart(e)
 	case MessageProcessed:

@@ -129,6 +129,11 @@ var (
 	ErrNoHypothesis      = learner.ErrNoHypothesis
 	ErrTooManyHypotheses = learner.ErrTooManyHypotheses
 	ErrNoProvenance      = learner.ErrNoProvenance
+	// ErrVerifyUnavailable is returned by OnlineLearner.Result when
+	// LearnOptions.VerifyResults is set without
+	// LearnOptions.RetainPeriods: an online session has no trace to
+	// verify against unless it retains one.
+	ErrVerifyUnavailable = learner.ErrVerifyUnavailable
 )
 
 // ProvenanceStep is one recorded generalization step of a learned
@@ -275,6 +280,7 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	DebugServer     = obs.DebugServer
 
+	EngineStartEvent       = obs.EngineStart
 	PeriodStartEvent       = obs.PeriodStart
 	MessageProcessedEvent  = obs.MessageProcessed
 	HypothesisSpawnedEvent = obs.HypothesisSpawned
