@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench tidy
+.PHONY: check vet build test race bench microbench conform fuzz tidy
 
-## check: the full gate — vet, build everything, race-enabled tests.
-check: vet build race
+## check: the full gate — vet, build everything, race-enabled tests,
+## and the conformance harness over the committed golden corpus.
+check: vet build race conform
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +17,24 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## conform: run the theorem oracles over the committed golden corpus
+## (exits non-zero on any violation), then the mutation smoke that
+## proves the oracles still catch injected faults. See TESTING.md.
+conform:
+	$(GO) run ./cmd/bbconform
+	$(GO) run ./cmd/bbconform -smoke
+
+## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
+## nightly CI uses 10m). Minimized crashers land under the package's
+## testdata/fuzz/<Target>/ — commit them as regression seeds.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzFromEventsPeriodic$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLog$$' -fuzztime $(FUZZTIME) ./internal/can/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDIMACS$$' -fuzztime $(FUZZTIME) ./internal/sat/
+	$(GO) test -run '^$$' -fuzz '^FuzzLearn$$' -fuzztime $(FUZZTIME) ./internal/conformance/
 
 ## bench: regenerate the Section 3.4 runtime table and record it as
 ## benchmark telemetry (BENCH_local.json at the repo root), including

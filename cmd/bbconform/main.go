@@ -1,0 +1,134 @@
+// Command bbconform runs the conformance harness: every theorem
+// oracle of internal/conformance over the golden trace corpus, plus
+// the corpus-independent lattice and fingerprint laws. It prints a
+// human summary, optionally writes the full JSON report, and exits
+// non-zero when any oracle fails — the CI gate behind `make conform`.
+//
+// Usage:
+//
+//	bbconform                               # run the committed corpus
+//	bbconform -corpus path/to/corpus        # run another corpus
+//	bbconform -json conform.json            # also write the JSON report
+//	bbconform -events events.jsonl          # stream obs events as JSONL
+//	bbconform -smoke                        # harness self-test (mutation detection)
+//	bbconform -gen                          # (re)generate the golden corpus in place
+//	bbconform -v                            # per-oracle progress lines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/blackbox-rt/modelgen/internal/conformance"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbconform: ")
+	var (
+		corpusDir = flag.String("corpus", "testdata/corpus", "corpus directory to run the oracles over")
+		jsonOut   = flag.String("json", "", "write the full JSON conformance report to this file")
+		events    = flag.String("events", "", "stream observability events as JSONL to this file")
+		smoke     = flag.Bool("smoke", false, "run the harness self-test: inject faults the oracles must catch")
+		gen       = flag.Bool("gen", false, "(re)generate the golden corpus under -corpus and exit")
+		verbose   = flag.Bool("v", false, "print one line per oracle as it completes")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := conformance.Smoke(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("smoke: injected faults were caught; the oracles are live")
+		if !*gen && flag.NFlag() == 1 {
+			return
+		}
+	}
+	if *gen {
+		c, err := conformance.GenerateCorpus()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := conformance.WriteCorpus(*corpusDir, c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d corpus entries under %s\n", len(c.Entries), *corpusDir)
+		return
+	}
+
+	c, err := conformance.LoadCorpus(*corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var observers []obs.Observer
+	if *verbose {
+		observers = append(observers, progressObserver{})
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink := obs.NewJSONLSink(f)
+		observers = append(observers, sink)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				log.Printf("event stream: %v", err)
+			}
+		}()
+	}
+
+	rep := conformance.Run(c, obs.NewMulti(observers...))
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("corpus %s (version %s): %d entries, %d oracles — %d passed, %d skipped, %d failed\n",
+		*corpusDir, rep.CorpusVersion, len(rep.Entries), rep.Oracles, rep.Passed, rep.Skipped, rep.Failed)
+	if !rep.Ok() {
+		for _, er := range rep.Entries {
+			printFailures(er.Name, er.Results)
+		}
+		printFailures("corpus", rep.Global)
+		os.Exit(1)
+	}
+}
+
+func printFailures(name string, results []conformance.OracleResult) {
+	for _, res := range results {
+		if res.Status != conformance.StatusFail {
+			continue
+		}
+		fmt.Printf("FAIL %s/%s", name, res.Oracle)
+		if res.Detail != "" {
+			fmt.Printf(": %s", res.Detail)
+		}
+		fmt.Println()
+		for _, v := range res.Violations {
+			fmt.Printf("  %s: %s\n", v.Property, v.Detail)
+		}
+	}
+}
+
+// progressObserver prints one line per conformance pipeline event.
+type progressObserver struct{ obs.NopObserver }
+
+func (progressObserver) OnPipeline(e obs.Pipeline) {
+	if e.Stage != "conformance" {
+		return
+	}
+	fmt.Printf("%-40s %s\n", e.Label, e.Name)
+}

@@ -1,0 +1,61 @@
+package can
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLog throws arbitrary bytes at the candump-log parser:
+// truncated frames, garbage timestamps, out-of-range identifiers.
+// Whatever comes back must either be a typed error or a record stream
+// satisfying the parser's contract — non-decreasing timestamps,
+// 11-bit identifiers, payloads within the CAN maximum — and the
+// resulting edge events must be well-formed rise/fall pairs.
+func FuzzParseLog(f *testing.F) {
+	f.Add("(1690000000.000100) can0 123#DEADBEEF\n(1690000000.000350) can0 1A0#\n")
+	f.Add("(0.0) can0 000#\n")
+	f.Add("(1.0) can0 7FF#0102030405060708\n")
+	f.Add("# comment\n\n(2.5) vcan0 0A0#FF\n")
+	f.Add("(1.0) can0 123#0\n")           // odd digit count
+	f.Add("(1.0) can0 800#00\n")          // ID out of range
+	f.Add("(2.0) c 1#00\n(1.0) c 2#00\n") // clock runs backward
+	f.Add("(1.0) can0 123DEAD\n")         // no separator
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ParseLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, rec := range recs {
+			if rec.ID < 0 || rec.ID > 0x7FF {
+				t.Fatalf("record %d: identifier %#x out of 11-bit range", i, rec.ID)
+			}
+			if rec.DLC < 0 || rec.DLC > 8 {
+				t.Fatalf("record %d: DLC %d out of range", i, rec.DLC)
+			}
+			if i > 0 && rec.Time < recs[i-1].Time {
+				t.Fatalf("record %d: time %d precedes record %d's %d", i, rec.Time, i-1, recs[i-1].Time)
+			}
+		}
+		events, err := LogEvents(recs, 500_000)
+		if err != nil {
+			t.Fatalf("LogEvents rejected parsed records: %v", err)
+		}
+		if len(events) != 2*len(recs) {
+			t.Fatalf("%d records became %d events, want %d", len(recs), len(events), 2*len(recs))
+		}
+		seen := map[string]bool{}
+		for i := 0; i < len(events); i += 2 {
+			rise, fall := events[i], events[i+1]
+			if rise.Name != fall.Name {
+				t.Fatalf("edge pair %d has mismatched labels %q, %q", i/2, rise.Name, fall.Name)
+			}
+			if fall.Time <= rise.Time {
+				t.Fatalf("edge pair %d: fall %d not after rise %d", i/2, fall.Time, rise.Time)
+			}
+			if seen[rise.Name] {
+				t.Fatalf("occurrence label %q not unique", rise.Name)
+			}
+			seen[rise.Name] = true
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package can
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// This file parses candump-style CAN logs — the raw input a logging
+// device on the paper's bus would produce — into the message edge
+// events the trace layer consumes:
+//
+//	(1690000000.123456) can0 123#DEADBEEF
+//	(1690000000.124012) can0 1A0#
+//
+// Each line is one completed frame: a parenthesised decimal-seconds
+// timestamp (recorded at the frame's rising edge), an interface name,
+// and ID#DATA with a hexadecimal 11-bit identifier and a 0..8-byte
+// hexadecimal payload. Blank lines and '#'-prefixed comments are
+// skipped.
+
+// Typed parse errors, matchable with errors.Is. Every returned error
+// wraps exactly one of these plus the offending line number.
+var (
+	// ErrTruncatedFrame flags a line with missing fields or an ID#DATA
+	// field without the '#' separator.
+	ErrTruncatedFrame = errors.New("can: truncated log line")
+	// ErrBadTimestamp flags an unparsable or unparenthesised timestamp.
+	ErrBadTimestamp = errors.New("can: unparsable frame timestamp")
+	// ErrNonMonotoneTimestamp flags a frame timestamped before its
+	// predecessor; a single logging device's clock never runs backward.
+	ErrNonMonotoneTimestamp = errors.New("can: frame timestamp precedes previous frame")
+	// ErrBadIdentifier flags a non-hexadecimal or out-of-range (>11
+	// bit) arbitration identifier.
+	ErrBadIdentifier = errors.New("can: bad arbitration identifier")
+	// ErrBadPayload flags a payload with odd hex-digit count, invalid
+	// hex digits, or more than 8 bytes.
+	ErrBadPayload = errors.New("can: bad frame payload")
+)
+
+// LogRecord is one parsed log line.
+type LogRecord struct {
+	// Time is the frame's rising edge in microseconds.
+	Time int64
+	// Interface is the logging interface name ("can0").
+	Interface string
+	// ID is the 11-bit arbitration identifier.
+	ID int
+	// DLC is the payload length in bytes.
+	DLC int
+}
+
+// ParseLog parses a candump-style log. Records are validated as a
+// stream: timestamps must be non-decreasing across the whole log.
+func ParseLog(r io.Reader) ([]LogRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []LogRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLogLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if len(recs) > 0 && rec.Time < recs[len(recs)-1].Time {
+			return nil, fmt.Errorf("line %d: %w: %dµs after %dµs",
+				lineNo, ErrNonMonotoneTimestamp, rec.Time, recs[len(recs)-1].Time)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("can: %w", err)
+	}
+	return recs, nil
+}
+
+func parseLogLine(line string) (LogRecord, error) {
+	var rec LogRecord
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return rec, fmt.Errorf("%w: want \"(TIME) IFACE ID#DATA\", got %d fields", ErrTruncatedFrame, len(fields))
+	}
+	ts := fields[0]
+	if len(ts) < 3 || ts[0] != '(' || ts[len(ts)-1] != ')' {
+		return rec, fmt.Errorf("%w: %q is not parenthesised", ErrBadTimestamp, ts)
+	}
+	t, err := parseSeconds(ts[1 : len(ts)-1])
+	if err != nil {
+		return rec, fmt.Errorf("%w: %q", ErrBadTimestamp, ts)
+	}
+	rec.Time = t
+	rec.Interface = fields[1]
+	id, data, ok := strings.Cut(fields[2], "#")
+	if !ok {
+		return rec, fmt.Errorf("%w: frame field %q has no '#' separator", ErrTruncatedFrame, fields[2])
+	}
+	idVal, err := strconv.ParseUint(id, 16, 32)
+	if err != nil || idVal > 0x7FF {
+		return rec, fmt.Errorf("%w: %q", ErrBadIdentifier, id)
+	}
+	rec.ID = int(idVal)
+	if len(data)%2 != 0 {
+		return rec, fmt.Errorf("%w: odd hex-digit count in %q", ErrBadPayload, data)
+	}
+	rec.DLC = len(data) / 2
+	if rec.DLC > 8 {
+		return rec, fmt.Errorf("%w: %d bytes exceeds the 8-byte CAN maximum", ErrBadPayload, rec.DLC)
+	}
+	for i := 0; i < len(data); i++ {
+		if !isHexDigit(data[i]) {
+			return rec, fmt.Errorf("%w: invalid hex digit %q", ErrBadPayload, data[i])
+		}
+	}
+	return rec, nil
+}
+
+// parseSeconds converts a decimal-seconds timestamp ("1690.123456")
+// to integer microseconds without going through floating point, so
+// large epochs parse exactly.
+func parseSeconds(s string) (int64, error) {
+	whole, frac, _ := strings.Cut(s, ".")
+	sec, err := strconv.ParseInt(whole, 10, 64)
+	if err != nil || sec < 0 {
+		return 0, fmt.Errorf("bad seconds %q", whole)
+	}
+	us := int64(0)
+	if frac != "" {
+		if len(frac) > 6 {
+			frac = frac[:6]
+		}
+		for len(frac) < 6 {
+			frac += "0"
+		}
+		us, err = strconv.ParseInt(frac, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad fraction %q", frac)
+		}
+	}
+	return sec*1_000_000 + us, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// LogEvents converts parsed log records into the trace layer's
+// message edge events: each frame becomes a rise at its log timestamp
+// and a fall one worst-case frame duration later on a bus at the
+// given bit rate. Occurrence labels are "0xID@seq" with a per-ID
+// sequence number, matching the sim's labeling convention of unique
+// labels per occurrence.
+func LogEvents(recs []LogRecord, bitRate int64) ([]trace.Event, error) {
+	if bitRate <= 0 {
+		return nil, fmt.Errorf("can: bit rate must be positive, got %d", bitRate)
+	}
+	bus, err := New(bitRate)
+	if err != nil {
+		return nil, err
+	}
+	seq := map[int]int{}
+	events := make([]trace.Event, 0, 2*len(recs))
+	for _, rec := range recs {
+		label := fmt.Sprintf("0x%03X@%d", rec.ID, seq[rec.ID])
+		seq[rec.ID]++
+		events = append(events,
+			trace.Event{Time: rec.Time, Kind: trace.MsgRise, Name: label},
+			trace.Event{Time: rec.Time + bus.FrameDuration(rec.DLC), Kind: trace.MsgFall, Name: label},
+		)
+	}
+	return events, nil
+}

@@ -1,0 +1,116 @@
+package can
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+func TestParseLog(t *testing.T) {
+	in := `# a comment
+(1690000000.000100) can0 123#DEADBEEF
+
+(1690000000.000350) can0 1A0#
+(1690000000.000350) can0 7FF#0102030405060708
+`
+	recs, err := ParseLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LogRecord{
+		{Time: 1690000000000100, Interface: "can0", ID: 0x123, DLC: 4},
+		{Time: 1690000000000350, Interface: "can0", ID: 0x1A0, DLC: 0},
+		{Time: 1690000000000350, Interface: "can0", ID: 0x7FF, DLC: 8},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i] != w {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], w)
+		}
+	}
+}
+
+func TestParseLogTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"missing fields", "(1.0) can0", ErrTruncatedFrame},
+		{"no separator", "(1.0) can0 123DEAD", ErrTruncatedFrame},
+		{"unparenthesised time", "1.0 can0 123#00", ErrBadTimestamp},
+		{"non-numeric time", "(abc) can0 123#00", ErrBadTimestamp},
+		{"negative time", "(-1.0) can0 123#00", ErrBadTimestamp},
+		{"non-hex id", "(1.0) can0 XYZ#00", ErrBadIdentifier},
+		{"id above 11 bits", "(1.0) can0 800#00", ErrBadIdentifier},
+		{"odd hex digits", "(1.0) can0 123#0", ErrBadPayload},
+		{"bad hex digit", "(1.0) can0 123#0G", ErrBadPayload},
+		{"payload over 8 bytes", "(1.0) can0 123#010203040506070809", ErrBadPayload},
+		{"clock runs backward", "(2.0) can0 123#00\n(1.0) can0 124#00", ErrNonMonotoneTimestamp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLog(strings.NewReader(tc.in))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ParseLog(%q) = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSecondsExact(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1", 1_000_000},
+		{"1.5", 1_500_000},
+		{"1690000000.123456", 1_690_000_000_123_456},
+		{"0.000001", 1},
+		{"3.1234567", 3_123_456}, // sub-microsecond digits truncate
+	}
+	for _, tc := range cases {
+		got, err := parseSeconds(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseSeconds(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestLogEvents(t *testing.T) {
+	recs := []LogRecord{
+		{Time: 100, ID: 0x123, DLC: 4},
+		{Time: 900, ID: 0x123, DLC: 4},
+		{Time: 1700, ID: 0x1A0, DLC: 0},
+	}
+	events, err := LogEvents(recs, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	// Same-ID occurrences must get distinct labels; the fall must land
+	// one frame duration after the rise.
+	if events[0].Name == events[2].Name {
+		t.Errorf("same-ID frames share label %q", events[0].Name)
+	}
+	bus, err := New(500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := events[1].Time-events[0].Time, bus.FrameDuration(4); got != want {
+		t.Errorf("frame occupies %dµs, want %dµs", got, want)
+	}
+	if events[0].Kind != trace.MsgRise || events[1].Kind != trace.MsgFall {
+		t.Errorf("event kinds = %v, %v; want rise, fall", events[0].Kind, events[1].Kind)
+	}
+	if _, err := LogEvents(recs, 0); err == nil {
+		t.Error("LogEvents accepted a zero bit rate")
+	}
+}

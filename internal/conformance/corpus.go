@@ -1,0 +1,211 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// CorpusVersion is the corpus layout version this package reads and
+// writes. Bump it (and document the migration in TESTING.md) whenever
+// the entry format or the meaning of an existing field changes;
+// adding optional manifest fields is backward compatible and does not
+// bump the version.
+const CorpusVersion = "1"
+
+// Manifest is the JSON descriptor of one corpus entry
+// (<entry>/entry.json).
+type Manifest struct {
+	// Name is the entry's directory name.
+	Name string `json:"name"`
+	// Description says what the entry exercises.
+	Description string `json:"description"`
+	// Source records provenance: a pinned constructor
+	// ("trace.PaperFigure2") or a deterministic generator spec
+	// ("sim:figure1 seed=3 periods=6"), so `bbconform -gen` can
+	// rewrite the corpus bit-identically.
+	Source string `json:"source"`
+	// Bounds lists the heuristic bounds the bound-monotonicity oracle
+	// runs (0 entries are ignored; the exact run is implied).
+	Bounds []int `json:"bounds"`
+	// Exact enables the oracles that need the exact algorithm (thm2,
+	// bound monotonicity, period permutation). Entries whose exact run
+	// is intractable set it false.
+	Exact bool `json:"exact"`
+	// Thm2 enables the Theorem-2 soundness oracle; requires Exact and
+	// a truth.txt ground-truth table.
+	Thm2 bool `json:"thm2"`
+	// SenderWindow/ReceiverWindow/MaxSenders/MaxReceivers configure
+	// the candidate policy for this entry (all zero = the paper's
+	// purely causal rule).
+	SenderWindow   int64 `json:"sender_window,omitempty"`
+	ReceiverWindow int64 `json:"receiver_window,omitempty"`
+	MaxSenders     int   `json:"max_senders,omitempty"`
+	MaxReceivers   int   `json:"max_receivers,omitempty"`
+}
+
+// Policy returns the entry's candidate policy.
+func (m *Manifest) Policy() depfunc.CandidatePolicy {
+	return depfunc.CandidatePolicy{
+		SenderWindow:   m.SenderWindow,
+		ReceiverWindow: m.ReceiverWindow,
+		MaxSenders:     m.MaxSenders,
+		MaxReceivers:   m.MaxReceivers,
+	}
+}
+
+// Entry is one loaded corpus entry: its manifest, trace and optional
+// ground truth.
+type Entry struct {
+	Manifest
+	// Trace is the entry's execution trace (trace.txt).
+	Trace *trace.Trace
+	// Truth is the true dependency function (truth.txt), nil when the
+	// entry carries none.
+	Truth *depfunc.DepFunc
+}
+
+// Corpus is a loaded golden corpus.
+type Corpus struct {
+	Version string
+	Entries []*Entry
+}
+
+// LoadCorpus reads a corpus directory: a VERSION file plus one
+// subdirectory per entry containing entry.json, trace.txt and
+// optionally truth.txt. Entries load in lexical name order for
+// deterministic reports.
+func LoadCorpus(dir string) (*Corpus, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "VERSION"))
+	if err != nil {
+		return nil, fmt.Errorf("conformance: corpus %s: %w", dir, err)
+	}
+	version := strings.TrimSpace(string(raw))
+	if version != CorpusVersion {
+		return nil, fmt.Errorf("conformance: corpus %s has version %q, this binary reads %q (see TESTING.md for migration)",
+			dir, version, CorpusVersion)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: corpus %s: %w", dir, err)
+	}
+	c := &Corpus{Version: version}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e, err := loadEntry(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	if len(c.Entries) == 0 {
+		return nil, fmt.Errorf("conformance: corpus %s holds no entries", dir)
+	}
+	return c, nil
+}
+
+func loadEntry(dir string) (*Entry, error) {
+	e := &Entry{}
+	raw, err := os.ReadFile(filepath.Join(dir, "entry.json"))
+	if err != nil {
+		return nil, fmt.Errorf("conformance: entry %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(raw, &e.Manifest); err != nil {
+		return nil, fmt.Errorf("conformance: entry %s: manifest: %w", dir, err)
+	}
+	if e.Name != filepath.Base(dir) {
+		return nil, fmt.Errorf("conformance: entry %s: manifest name %q does not match directory", dir, e.Name)
+	}
+	f, err := os.Open(filepath.Join(dir, "trace.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("conformance: entry %s: %w", dir, err)
+	}
+	e.Trace, err = trace.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: entry %s: trace: %w", dir, err)
+	}
+	if truthRaw, err := os.ReadFile(filepath.Join(dir, "truth.txt")); err == nil {
+		e.Truth, err = depfunc.ParseTable(string(truthRaw))
+		if err != nil {
+			return nil, fmt.Errorf("conformance: entry %s: truth: %w", dir, err)
+		}
+		if !e.Truth.TaskSet().Equal(mustTaskSet(e.Trace.Tasks)) {
+			return nil, fmt.Errorf("conformance: entry %s: truth task set %v does not match trace task set %v",
+				dir, e.Truth.TaskSet().Names(), e.Trace.Tasks)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("conformance: entry %s: %w", dir, err)
+	}
+	if e.Thm2 && (e.Truth == nil || !e.Exact) {
+		return nil, fmt.Errorf("conformance: entry %s: thm2 requires exact mode and a truth.txt", dir)
+	}
+	return e, nil
+}
+
+func mustTaskSet(names []string) *depfunc.TaskSet {
+	ts, err := depfunc.NewTaskSet(names)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// WriteEntry persists one entry under dir/<name>/ in the on-disk
+// layout LoadCorpus reads.
+func WriteEntry(dir string, e *Entry) error {
+	edir := filepath.Join(dir, e.Name)
+	if err := os.MkdirAll(edir, 0o755); err != nil {
+		return err
+	}
+	manifest, err := json.MarshalIndent(&e.Manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(edir, "entry.json"), append(manifest, '\n'), 0o644); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	if err := trace.Write(&sb, e.Trace); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(edir, "trace.txt"), []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	if e.Truth != nil {
+		if err := os.WriteFile(filepath.Join(edir, "truth.txt"), []byte(e.Truth.Table()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCorpus persists a whole corpus, VERSION file included, wiping
+// nothing: existing entry directories not in c are left alone so
+// hand-curated entries survive regeneration.
+func WriteCorpus(dir string, c *Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte(c.Version+"\n"), 0o644); err != nil {
+		return err
+	}
+	for _, e := range c.Entries {
+		if err := WriteEntry(dir, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/blackbox-rt/modelgen/internal/casestudy"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/sim"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// MaxExactHypotheses is the working-set budget the corpus oracles
+// grant the exact algorithm. Generation marks entries whose exact run
+// exceeds it as Exact: false, so runs never surprise-explode.
+const MaxExactHypotheses = 4000
+
+// GenerateCorpus builds the golden corpus deterministically: the
+// paper's Figure-2 worked example, simulated Figure-1 families, the
+// OSEK/CAN case-study subsystem, and random layered designs with
+// known ground-truth dependency functions. Every generator input is a
+// pinned constant, so two invocations produce byte-identical corpora.
+func GenerateCorpus() (*Corpus, error) {
+	c := &Corpus{Version: CorpusVersion}
+
+	// The paper's worked example, with ground truth from the Figure-1
+	// design it was traced from.
+	fig1Truth, ok := TruthFromModel(model.Figure1(), maxTruthChoiceBits)
+	if !ok {
+		return nil, fmt.Errorf("conformance: Figure-1 truth enumeration failed")
+	}
+	fig2 := &Entry{
+		Manifest: Manifest{
+			Name:        "figure2",
+			Description: "the paper's Figure-2 worked example (3 periods, 4 tasks)",
+			Source:      "trace.PaperFigure2",
+			Bounds:      []int{2, 4, 8},
+			Exact:       true,
+			Thm2:        true,
+		},
+		Trace: trace.PaperFigure2(),
+		Truth: fig1Truth,
+	}
+	c.Entries = append(c.Entries, fig2)
+
+	// Simulated Figure-1 families: longer instance streams over the
+	// same design, at pinned seeds.
+	for _, seed := range []int64{3, 11} {
+		tr, err := simTrace(model.Figure1(), 8, seed)
+		if err != nil {
+			return nil, err
+		}
+		c.Entries = append(c.Entries, &Entry{
+			Manifest: Manifest{
+				Name:        fmt.Sprintf("figure1-sim-s%d", seed),
+				Description: "simulated Figure-1 design on the OSEK/CAN substrate",
+				Source:      fmt.Sprintf("sim:figure1 seed=%d periods=8", seed),
+				Bounds:      []int{2, 6},
+				Exact:       true,
+				Thm2:        true,
+			},
+			Trace: tr,
+			Truth: fig1Truth,
+		})
+	}
+
+	// Random layered designs with enumerable ground truth.
+	for _, spec := range []struct {
+		seed    int64
+		layers  int
+		perL    int
+		edgeP   float64
+		periods int
+	}{
+		{seed: 7, layers: 3, perL: 2, edgeP: 0.6, periods: 6},
+		{seed: 19, layers: 2, perL: 3, edgeP: 0.5, periods: 7},
+	} {
+		rng := rand.New(rand.NewSource(spec.seed))
+		opt := model.DefaultRandomOptions()
+		opt.Layers = spec.layers
+		opt.TasksPerLayer = spec.perL
+		opt.EdgeProb = spec.edgeP
+		m := model.RandomModel(rng, opt)
+		truth, ok := TruthFromModel(m, maxTruthChoiceBits)
+		if !ok {
+			return nil, fmt.Errorf("conformance: random model seed %d: truth enumeration failed", spec.seed)
+		}
+		tr, err := simTrace(m, spec.periods, spec.seed)
+		if err != nil {
+			return nil, err
+		}
+		e := &Entry{
+			Manifest: Manifest{
+				Name: fmt.Sprintf("random-s%d", spec.seed),
+				Description: fmt.Sprintf("random %d×%d layered design with enumerated ground truth",
+					spec.layers, spec.perL),
+				Source: fmt.Sprintf("sim:random seed=%d layers=%d perlayer=%d edgep=%.2f periods=%d",
+					spec.seed, spec.layers, spec.perL, spec.edgeP, spec.periods),
+				Bounds: []int{2, 6},
+				Exact:  true,
+				Thm2:   true,
+			},
+			Trace: tr,
+			Truth: truth,
+		}
+		c.Entries = append(c.Entries, e)
+	}
+
+	// The OSEK/CAN case-study subsystem: sync broadcast frames mean no
+	// point-to-point ground truth exists, so it runs the bound and
+	// metamorphic oracles only, under the case study's calibrated
+	// candidate policy.
+	lite, err := casestudy.LiteTrace()
+	if err != nil {
+		return nil, err
+	}
+	pol := casestudy.LitePolicy()
+	c.Entries = append(c.Entries, &Entry{
+		Manifest: Manifest{
+			Name:           "gm-lite",
+			Description:    "7-task GM-style subsystem with OSEK sync gating (no point-to-point ground truth)",
+			Source:         "casestudy.LiteTrace",
+			Bounds:         []int{4, 16, 32},
+			Exact:          true,
+			Thm2:           false,
+			SenderWindow:   pol.SenderWindow,
+			ReceiverWindow: pol.ReceiverWindow,
+			MaxSenders:     pol.MaxSenders,
+			MaxReceivers:   pol.MaxReceivers,
+		},
+		Trace: lite.Trace,
+	})
+
+	// Downgrade any entry whose exact run blows the hypothesis budget;
+	// generation must never bake an intractable oracle into CI.
+	for _, e := range c.Entries {
+		if !e.Exact {
+			continue
+		}
+		_, err := learner.Learn(e.Trace, learner.Options{Policy: e.Policy(), MaxHypotheses: MaxExactHypotheses})
+		if errors.Is(err, learner.ErrTooManyHypotheses) {
+			e.Exact, e.Thm2 = false, false
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("conformance: entry %s: exact probe: %w", e.Name, err)
+		}
+	}
+	return c, nil
+}
+
+func simTrace(m *model.Model, periods int, seed int64) (*trace.Trace, error) {
+	out, err := sim.Run(m, sim.Options{Periods: periods, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: simulating %s (seed %d): %w", m.Name, seed, err)
+	}
+	return out.Trace, nil
+}

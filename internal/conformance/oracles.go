@@ -1,0 +1,358 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Violation is one observed breach of a checked property. A nil or
+// empty slice from an oracle means the property held on its inputs.
+type Violation struct {
+	// Property names the specific law or invariant that broke, e.g.
+	// "thm2/live-hypothesis" or "lattice/join-commutative".
+	Property string `json:"property"`
+	// Detail is a human-readable account of the breach, with enough
+	// context (period, values, keys) to reproduce it.
+	Detail string `json:"detail"`
+}
+
+func violationf(property, format string, args ...interface{}) Violation {
+	return Violation{Property: property, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ErrOracleSkipped is wrapped by oracles that cannot run on the given
+// input (e.g. the exact algorithm exceeds its hypothesis budget); the
+// runner reports such entries as skipped rather than failed.
+var ErrOracleSkipped = errors.New("conformance: oracle not applicable to this input")
+
+// maxTruthChoiceBits bounds the disjunction enumeration of
+// TruthFromModel for corpus generation; 18 bits ≈ 256k resolutions.
+const maxTruthChoiceBits = 18
+
+// Thm2Soundness checks Theorem 2 on a trace with known ground truth:
+// running the exact algorithm period by period, after every processed
+// period at least one live hypothesis h must satisfy h ⊑ d_true — the
+// true dependency function always generalizes part of the version
+// space, so the learner can never have generalized past the truth.
+//
+// maxHyp caps the exact working set; exceeding it returns a wrapped
+// ErrOracleSkipped (the trace is too ambiguous for the exact mode, not
+// wrong). Any other learner failure on a ground-truth trace is itself
+// a violation: the corpus respects the model of computation.
+func Thm2Soundness(tr *trace.Trace, truth *depfunc.DepFunc, pol depfunc.CandidatePolicy, maxHyp int) ([]Violation, error) {
+	o, err := learner.NewOnline(tr.Tasks, learner.Options{Policy: pol, MaxHypotheses: maxHyp})
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			if errors.Is(err, learner.ErrTooManyHypotheses) {
+				return nil, fmt.Errorf("%w: %v", ErrOracleSkipped, err)
+			}
+			out = append(out, violationf("thm2/learner-failure",
+				"exact learner failed on a ground-truth trace at period %d: %v", p.Index, err))
+			return out, nil
+		}
+		r, err := o.Result()
+		if err != nil {
+			out = append(out, violationf("thm2/learner-failure",
+				"snapshot after period %d failed: %v", p.Index, err))
+			return out, nil
+		}
+		if !someGeneralizedBy(r.Hypotheses, truth) {
+			out = append(out, violationf("thm2/live-hypothesis",
+				"after period %d none of the %d live hypotheses is generalized by the true dependency function (lightest live: w=%d, truth: w=%d)",
+				p.Index, len(r.Hypotheses), r.Hypotheses[0].Weight(), truth.Weight()))
+		}
+	}
+	return out, nil
+}
+
+func someGeneralizedBy(hs []*depfunc.DepFunc, truth *depfunc.DepFunc) bool {
+	for _, h := range hs {
+		if h.Leq(truth) {
+			return true
+		}
+	}
+	return false
+}
+
+// BoundMonotonicity checks the bounded-heuristic structure against
+// the exact run. For every configured bound b:
+//
+//   - envelope soundness: the heuristic's recommended answer (the LUB
+//     of its final set) must stay ⊑ the exact LUB — merging commits
+//     to joins of specific explanation branches, so the bounded
+//     result can under-claim relative to the full version space but
+//     must never invent knowledge outside its envelope. This is an
+//     empirical regression pin on the curated corpus, not a universal
+//     theorem: the exact result is pruned to its most-specific
+//     frontier, and fuzzing found degenerate traces where that
+//     frontier's LUB is smaller than a merged bounded hypothesis.
+//     (The reverse containment does not hold at intermediate bounds
+//     either: a converged merged line can settle on a different
+//     explanation than the exact frontier, see examples/convergence.)
+//   - the hypothesis cap is enforced (≤ b final hypotheses);
+//   - every bounded hypothesis still matches the full trace. Like the
+//     envelope, this is a corpus pin rather than a universal law: a
+//     mid-period merge splices two explanation lineages, and on
+//     degenerate traces the joined function can admit no distinct-pair
+//     assignment (the case Options.VerifyResults filters).
+//
+// At bound 1 it additionally checks the paper's Lemma (DESIGN.md E3):
+// a converged bound-1 run returns exactly LUB(exact). It also
+// spot-checks the merge weight law w(a ⊔ b) ≥ max(w(a), w(b)) over
+// deterministic random matrix pairs, since a merge that loses weight
+// would break the worklist's weight-ordered invariant.
+func BoundMonotonicity(tr *trace.Trace, bounds []int, pol depfunc.CandidatePolicy, maxHyp int) ([]Violation, error) {
+	exact, err := learner.Learn(tr, learner.Options{Policy: pol, MaxHypotheses: maxHyp})
+	if errors.Is(err, learner.ErrTooManyHypotheses) {
+		return nil, fmt.Errorf("%w: %v", ErrOracleSkipped, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	if one, err := learner.Learn(tr, learner.Options{Bound: 1, Policy: pol}); err == nil &&
+		one.Converged && len(one.Hypotheses) == 1 && !one.Hypotheses[0].Equal(exact.LUB) {
+		out = append(out, violationf("bound/lemma-bound1",
+			"converged bound-1 result %q differs from exact LUB %q", one.Hypotheses[0].Key(), exact.LUB.Key()))
+	}
+	for _, b := range bounds {
+		if b <= 0 {
+			continue
+		}
+		br, err := learner.Learn(tr, learner.Options{Bound: b, Policy: pol})
+		if err != nil {
+			out = append(out, violationf("bound/learner-failure",
+				"bounded run b=%d failed where the exact run succeeded: %v", b, err))
+			continue
+		}
+		if !br.LUB.Leq(exact.LUB) {
+			out = append(out, violationf("bound/lub-within-exact-envelope",
+				"bound %d: bounded LUB %q is not ⊑ exact LUB %q", b, br.LUB.Key(), exact.LUB.Key()))
+		}
+		if len(br.Hypotheses) > b {
+			out = append(out, violationf("bound/hypothesis-cap",
+				"bound %d: run returned %d hypotheses", b, len(br.Hypotheses)))
+		}
+		for i, d := range br.Hypotheses {
+			if ok, p := depfunc.MatchTrace(d, tr, pol); !ok {
+				out = append(out, violationf("bound/hypothesis-matches-trace",
+					"bound %d: hypothesis %d (%q) fails to match period %d", b, i, d.Key(), p))
+			}
+		}
+	}
+	out = append(out, mergeWeightLaw()...)
+	return out, nil
+}
+
+// mergeWeightLaw samples random dependency-function pairs and checks
+// that the pointwise join never weighs less than either operand, and
+// that both operands are ⊑ the join (the definition of an upper
+// bound). The sample is deterministic so corpus runs are reproducible.
+func mergeWeightLaw() []Violation {
+	rng := rand.New(rand.NewSource(0x5eed))
+	ts := depfunc.MustTaskSet("a", "b", "c", "d")
+	vals := lattice.Values()
+	var out []Violation
+	for iter := 0; iter < 200; iter++ {
+		x, y := depfunc.Bottom(ts), depfunc.Bottom(ts)
+		for i := 0; i < ts.Len(); i++ {
+			for j := 0; j < ts.Len(); j++ {
+				if i == j {
+					continue
+				}
+				x.Set(i, j, vals[rng.Intn(len(vals))])
+				y.Set(i, j, vals[rng.Intn(len(vals))])
+			}
+		}
+		m := x.Join(y)
+		if m.Weight() < x.Weight() || m.Weight() < y.Weight() {
+			out = append(out, violationf("bound/merge-weight-monotone",
+				"w(x⊔y)=%d < max(w(x)=%d, w(y)=%d) for x=%q y=%q",
+				m.Weight(), x.Weight(), y.Weight(), x.Key(), y.Key()))
+		}
+		if !x.Leq(m) || !y.Leq(m) {
+			out = append(out, violationf("bound/merge-upper-bound",
+				"x⊔y is not an upper bound of its operands: x=%q y=%q join=%q",
+				x.Key(), y.Key(), m.Key()))
+		}
+	}
+	return out
+}
+
+// LatticeLaws exhaustively checks the seven-value lattice of Figure 3:
+// the algebraic laws of join and meet, their agreement with an
+// independent Leq-based recomputation, and the weight metric.
+func LatticeLaws() []Violation {
+	return LatticeLawsWith(lattice.Join, lattice.Meet)
+}
+
+// LatticeLawsWith is LatticeLaws over injectable join and meet
+// implementations; Smoke uses it to prove the oracle catches a broken
+// lattice entry.
+func LatticeLawsWith(join, meet func(a, b lattice.Value) lattice.Value) []Violation {
+	var out []Violation
+	vals := lattice.Values()
+	// Independent least-upper-bound recomputation from the order alone.
+	leastUpper := func(a, b lattice.Value) (lattice.Value, bool) {
+		best, found := lattice.Value(0), false
+		for _, c := range vals {
+			if !lattice.Leq(a, c) || !lattice.Leq(b, c) {
+				continue
+			}
+			if !found || lattice.Leq(c, best) {
+				best, found = c, true
+			}
+		}
+		return best, found
+	}
+	greatestLower := func(a, b lattice.Value) (lattice.Value, bool) {
+		best, found := lattice.Value(0), false
+		for _, c := range vals {
+			if !lattice.Leq(c, a) || !lattice.Leq(c, b) {
+				continue
+			}
+			if !found || lattice.Leq(best, c) {
+				best, found = c, true
+			}
+		}
+		return best, found
+	}
+	wantDistance := map[int]bool{0: true, 1: true, 4: true, 9: true}
+	for _, a := range vals {
+		if d := lattice.Distance(a); !wantDistance[d] {
+			out = append(out, violationf("lattice/distance-figure3",
+				"Distance(%v) = %d, want one of {0,1,4,9}", a, d))
+		}
+		if lattice.Distance(a) != lattice.Level(a)*lattice.Level(a) {
+			out = append(out, violationf("lattice/distance-is-squared-level",
+				"Distance(%v) = %d but Level² = %d", a, lattice.Distance(a), lattice.Level(a)*lattice.Level(a)))
+		}
+		if join(a, a) != a {
+			out = append(out, violationf("lattice/join-idempotent", "%v ⊔ %v = %v", a, a, join(a, a)))
+		}
+		if meet(a, a) != a {
+			out = append(out, violationf("lattice/meet-idempotent", "%v ⊓ %v = %v", a, a, meet(a, a)))
+		}
+		for _, b := range vals {
+			if join(a, b) != join(b, a) {
+				out = append(out, violationf("lattice/join-commutative",
+					"%v ⊔ %v = %v but %v ⊔ %v = %v", a, b, join(a, b), b, a, join(b, a)))
+			}
+			if meet(a, b) != meet(b, a) {
+				out = append(out, violationf("lattice/meet-commutative",
+					"%v ⊓ %v = %v but %v ⊓ %v = %v", a, b, meet(a, b), b, a, meet(b, a)))
+			}
+			if want, ok := leastUpper(a, b); !ok || join(a, b) != want {
+				out = append(out, violationf("lattice/join-is-least-upper-bound",
+					"%v ⊔ %v = %v, independent recomputation wants %v", a, b, join(a, b), want))
+			}
+			if want, ok := greatestLower(a, b); !ok || meet(a, b) != want {
+				out = append(out, violationf("lattice/meet-is-greatest-lower-bound",
+					"%v ⊓ %v = %v, independent recomputation wants %v", a, b, meet(a, b), want))
+			}
+			// Absorption ties join and meet together.
+			if join(a, meet(a, b)) != a || meet(a, join(a, b)) != a {
+				out = append(out, violationf("lattice/absorption",
+					"absorption fails for (%v, %v)", a, b))
+			}
+			// The weight metric must be strictly monotone on the order.
+			if lattice.Lt(a, b) && lattice.Distance(a) >= lattice.Distance(b) {
+				out = append(out, violationf("lattice/distance-strictly-monotone",
+					"%v ⊏ %v but Distance %d ≥ %d", a, b, lattice.Distance(a), lattice.Distance(b)))
+			}
+			// Reverse is an order isomorphism and an involution.
+			if lattice.Reverse(lattice.Reverse(a)) != a {
+				out = append(out, violationf("lattice/reverse-involution",
+					"Reverse(Reverse(%v)) = %v", a, lattice.Reverse(lattice.Reverse(a))))
+			}
+			if lattice.Leq(a, b) != lattice.Leq(lattice.Reverse(a), lattice.Reverse(b)) {
+				out = append(out, violationf("lattice/reverse-order-isomorphism",
+					"Leq(%v,%v) disagrees with Leq(Reverse,Reverse)", a, b))
+			}
+			for _, c := range vals {
+				if join(join(a, b), c) != join(a, join(b, c)) {
+					out = append(out, violationf("lattice/join-associative",
+						"(%v⊔%v)⊔%v ≠ %v⊔(%v⊔%v)", a, b, c, a, b, c))
+				}
+				if meet(meet(a, b), c) != meet(a, meet(b, c)) {
+					out = append(out, violationf("lattice/meet-associative",
+						"(%v⊓%v)⊓%v ≠ %v⊓(%v⊓%v)", a, b, c, a, b, c))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FingerprintKeyAgreement drives deterministic random mutation walks
+// over dependency functions and checks that the three identity
+// mechanisms — canonical Key strings, Equal, and the incrementally
+// maintained Zobrist fingerprint — never disagree: Key equality ⇔
+// Equal, Key equality ⇒ fingerprint equality, and the incremental
+// fingerprint always matches a from-scratch rebuild of the same
+// matrix.
+func FingerprintKeyAgreement() []Violation {
+	rng := rand.New(rand.NewSource(0xf1d0))
+	ts := depfunc.MustTaskSet("p", "q", "r", "s", "t")
+	vals := lattice.Values()
+	var out []Violation
+	var pool []*depfunc.DepFunc
+	for walk := 0; walk < 40; walk++ {
+		d := depfunc.Bottom(ts)
+		steps := 1 + rng.Intn(30)
+		for s := 0; s < steps; s++ {
+			i, j := rng.Intn(ts.Len()), rng.Intn(ts.Len())
+			if i == j {
+				continue
+			}
+			v := vals[rng.Intn(len(vals))]
+			if rng.Intn(2) == 0 {
+				d.Set(i, j, v)
+			} else {
+				d.JoinAt(i, j, v)
+			}
+		}
+		if rb := rebuild(d); rb.Fingerprint() != d.Fingerprint() {
+			out = append(out, violationf("fingerprint/incremental-drift",
+				"incremental fingerprint %016x differs from from-scratch rebuild %016x for %q",
+				d.Fingerprint(), rb.Fingerprint(), d.Key()))
+		}
+		pool = append(pool, d)
+	}
+	for i, a := range pool {
+		for _, b := range pool[i:] {
+			keyEq, eq, fpEq := a.Key() == b.Key(), a.Equal(b), a.Fingerprint() == b.Fingerprint()
+			if keyEq != eq {
+				out = append(out, violationf("fingerprint/key-equal-agreement",
+					"Key equality %v but Equal %v for %q vs %q", keyEq, eq, a.Key(), b.Key()))
+			}
+			if keyEq && !fpEq {
+				out = append(out, violationf("fingerprint/key-implies-fingerprint",
+					"equal Keys %q with fingerprints %016x vs %016x", a.Key(), a.Fingerprint(), b.Fingerprint()))
+			}
+			if !fpEq && eq {
+				out = append(out, violationf("fingerprint/equal-implies-fingerprint",
+					"Equal functions with fingerprints %016x vs %016x (%q)", a.Fingerprint(), b.Fingerprint(), a.Key()))
+			}
+		}
+	}
+	return out
+}
+
+// rebuild reconstructs d entry by entry on a fresh Bottom, forcing a
+// from-scratch fingerprint computation through the public API.
+func rebuild(d *depfunc.DepFunc) *depfunc.DepFunc {
+	out := depfunc.Bottom(d.TaskSet())
+	d.Entries(func(i, j int, v lattice.Value) { out.Set(i, j, v) })
+	return out
+}

@@ -1,0 +1,190 @@
+package conformance
+
+import (
+	"fmt"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/model"
+)
+
+// TruthFromModel computes the true dependency function of a design
+// model by exhaustively enumerating disjunction resolutions, the same
+// enumeration model.MustExecutePairs uses for must-execute ground
+// truth. For an ordered pair (a, b):
+//
+//   - d(a, b) = → if in every resolution where a fires it sends a
+//     message to b, →? if it does so in some but not all, and
+//   - d(a, b) = ← if in every resolution where a fires it receives a
+//     message from b, ←? if in some but not all;
+//
+// contributions from both directions are joined (↔ variants can only
+// arise from cyclic designs, which the model validator rejects). Pairs
+// never related by a message are ‖.
+//
+// Enumeration is abandoned (ok = false) when the model carries more
+// than maxChoiceBits bits of disjunction nondeterminism, or when the
+// model uses sync broadcast frames: a broadcast has no single true
+// receiver, so no point-to-point dependency function describes it and
+// Theorem 2 does not apply as stated.
+func TruthFromModel(m *model.Model, maxChoiceBits int) (*depfunc.DepFunc, bool) {
+	for _, t := range m.Tasks {
+		if t.EmitsSync || t.WaitsSync {
+			return nil, false
+		}
+	}
+	res, ok := enumerateResolutions(m, maxChoiceBits)
+	if !ok {
+		return nil, false
+	}
+	ts, err := depfunc.NewTaskSet(m.TaskNames())
+	if err != nil {
+		return nil, false
+	}
+	d := depfunc.Bottom(ts)
+	n := ts.Len()
+	for i := 0; i < n; i++ {
+		a := ts.Name(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			b := ts.Name(j)
+			v := lattice.Join(
+				directional(res, a, b, lattice.Fwd, lattice.FwdMaybe, sendsView),
+				directional(res, a, b, lattice.Bwd, lattice.BwdMaybe, receivesView))
+			d.Set(i, j, v)
+		}
+	}
+	return d, true
+}
+
+// resolution is one resolved firing of the model: which tasks fired
+// and which (sender, receiver) messages were exchanged.
+type resolution struct {
+	fired map[string]bool
+	sent  map[[2]string]bool
+}
+
+// sendsView asks whether a sent to b in the resolution.
+func sendsView(r resolution, a, b string) bool { return r.sent[[2]string{a, b}] }
+
+// receivesView asks whether a received from b in the resolution.
+func receivesView(r resolution, a, b string) bool { return r.sent[[2]string{b, a}] }
+
+// directional folds one direction of the dependency over all
+// resolutions: firm when the relation holds every time a fires, maybe
+// when it holds sometimes, ‖ when never.
+func directional(res []resolution, a, b string, firm, maybe lattice.Value,
+	related func(resolution, string, string) bool) lattice.Value {
+
+	fires, holds := 0, 0
+	for _, r := range res {
+		if !r.fired[a] {
+			continue
+		}
+		fires++
+		if related(r, a, b) {
+			holds++
+		}
+	}
+	switch {
+	case fires == 0 || holds == 0:
+		return lattice.Par
+	case holds == fires:
+		return firm
+	default:
+		return maybe
+	}
+}
+
+// enumerateResolutions walks every combination of disjunction choices
+// (each disjunction node picks a nonempty subset of its out-edges, as
+// model.Fire does) and evaluates the resulting firing plan.
+func enumerateResolutions(m *model.Model, maxChoiceBits int) ([]resolution, bool) {
+	var disj []string
+	bits := 0
+	for _, t := range m.Tasks {
+		if t.Kind == model.Disjunction {
+			disj = append(disj, t.Name)
+			bits += len(m.OutEdges(t.Name))
+		}
+	}
+	if bits > maxChoiceBits {
+		return nil, false
+	}
+	order, err := topoOrder(m)
+	if err != nil {
+		return nil, false
+	}
+	var out []resolution
+	choice := map[int]bool{} // CAN ID -> edge chosen
+	var enumerate func(i int)
+	evaluate := func() {
+		r := resolution{fired: map[string]bool{}, sent: map[[2]string]bool{}}
+		incoming := map[string]bool{}
+		for _, name := range order {
+			t := m.Task(name)
+			if !t.Source && !incoming[name] {
+				continue
+			}
+			r.fired[name] = true
+			for _, e := range m.OutEdges(name) {
+				if t.Kind != model.Disjunction || choice[e.CANID] {
+					incoming[e.To] = true
+					r.sent[[2]string{e.From, e.To}] = true
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	enumerate = func(i int) {
+		if i == len(disj) {
+			evaluate()
+			return
+		}
+		outs := m.OutEdges(disj[i])
+		for mask := 1; mask < 1<<len(outs); mask++ {
+			for k, e := range outs {
+				choice[e.CANID] = mask&(1<<k) != 0
+			}
+			enumerate(i + 1)
+		}
+		for _, e := range outs {
+			delete(choice, e.CANID)
+		}
+	}
+	enumerate(0)
+	return out, true
+}
+
+// topoOrder is a local topological sort over the design DAG (the
+// model's own topoOrder is unexported). The validator guarantees
+// acyclicity, so failure here means a broken model.
+func topoOrder(m *model.Model) ([]string, error) {
+	indeg := map[string]int{}
+	for _, t := range m.Tasks {
+		indeg[t.Name] = len(m.InEdges(t.Name))
+	}
+	var queue, order []string
+	for _, t := range m.Tasks {
+		if indeg[t.Name] == 0 {
+			queue = append(queue, t.Name)
+		}
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		order = append(order, name)
+		for _, e := range m.OutEdges(name) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(m.Tasks) {
+		return nil, fmt.Errorf("conformance: design graph has a cycle")
+	}
+	return order, nil
+}

@@ -1,0 +1,130 @@
+package lattice
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden lattice tables")
+
+// TestGoldenTables pins every derived table of the 7-value lattice —
+// order, join, meet, distance (Definition 8 / Figure 3), level and
+// reversal — as one reviewable golden file. Any change to the lattice
+// definition shows up as a full-table diff instead of a scattering of
+// single-case failures; regenerate deliberately with
+//
+//	go test ./internal/lattice -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	got := renderTables()
+	path := filepath.Join("testdata", "tables.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("lattice tables changed; diff against %s:\n%s\n(run with -update if the change is intended)",
+			path, diffLines(string(want), got))
+	}
+}
+
+func renderTables() string {
+	vals := Values()
+	var sb strings.Builder
+	header := func(name string) {
+		fmt.Fprintf(&sb, "# %s\n", name)
+	}
+	binary := func(name string, f func(a, b Value) string) {
+		header(name)
+		sb.WriteString(cell(""))
+		for _, b := range vals {
+			sb.WriteString(cell(b.String()))
+		}
+		sb.WriteString("\n")
+		for _, a := range vals {
+			sb.WriteString(cell(a.String()))
+			for _, b := range vals {
+				sb.WriteString(cell(f(a, b)))
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	binary("LEQ (a ⊑ b)", func(a, b Value) string {
+		if Leq(a, b) {
+			return "1"
+		}
+		return "."
+	})
+	binary("JOIN (a ⊔ b)", func(a, b Value) string { return Join(a, b).String() })
+	binary("MEET (a ⊓ b)", func(a, b Value) string { return Meet(a, b).String() })
+	header("VALUE  DIST  LEVEL  REVERSE  EXEC_CONSTRAINT")
+	for _, v := range vals {
+		fmt.Fprintf(&sb, "%s%s%s%s%v\n",
+			cell(v.String()), cell(fmt.Sprint(Distance(v))), cell(fmt.Sprint(Level(v))),
+			cell(Reverse(v).String()), HasExecConstraint(v))
+	}
+	return sb.String()
+}
+
+// cell pads by rune count, not byte count: the lattice symbols are
+// multi-byte UTF-8 and %-6s would misalign the columns.
+func cell(s string) string {
+	pad := 6 - len([]rune(s))
+	if pad < 1 {
+		pad = 1
+	}
+	return s + strings.Repeat(" ", pad)
+}
+
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			fmt.Fprintf(&sb, "line %d:\n  -%s\n  +%s\n", i+1, wl, gl)
+		}
+	}
+	return sb.String()
+}
+
+// TestGoldenTablesCoverAllPairs guards the golden render itself: it
+// must mention every one of the 7×7 value pairs in each binary table
+// (a silent truncation of Values() would otherwise shrink the golden
+// file and still pass).
+func TestGoldenTablesCoverAllPairs(t *testing.T) {
+	if n := len(Values()); n != 7 {
+		t.Fatalf("lattice has %d values, the paper's V has 7", n)
+	}
+	rendered := renderTables()
+	for _, section := range []string{"LEQ", "JOIN", "MEET"} {
+		if !strings.Contains(rendered, "# "+section) {
+			t.Errorf("golden render lost the %s section", section)
+		}
+	}
+	// 3 binary tables × (1 header row + 7 rows) + 1 unary section with
+	// 1 header + 7 rows, plus section titles and blank lines.
+	lines := strings.Split(strings.TrimRight(rendered, "\n"), "\n")
+	wantLines := 3*(1+7+2) + (1 + 7)
+	if len(lines) != wantLines {
+		t.Errorf("golden render has %d lines, want %d", len(lines), wantLines)
+	}
+}

@@ -2,6 +2,7 @@ package learner
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -11,6 +12,14 @@ import (
 	"github.com/blackbox-rt/modelgen/internal/sim"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
+
+// replaySeed replays one differential case in isolation: every case
+// logs its seed on failure, and
+//
+//	go test -run TestDifferentialBatchOnlineParallel -modelgen.seed=<seed>
+//
+// re-runs exactly that model, trace and mode sweep.
+var replaySeed = flag.Int64("modelgen.seed", -1, "replay the differential case with this seed only")
 
 // resultSig collapses a learning result into a comparable signature:
 // every hypothesis key in order, the LUB, and the convergence flag.
@@ -50,77 +59,99 @@ func replayOnline(t *testing.T, tr *trace.Trace, opt Options) *Result {
 // — where tractable — the exact mode. This is the end-to-end check
 // that the engine extraction changed structure, not behaviour.
 func TestDifferentialBatchOnlineParallel(t *testing.T) {
+	if *replaySeed >= 0 {
+		runDifferentialCase(t, *replaySeed)
+		return
+	}
 	if testing.Short() {
 		t.Skip("differential property test is slow")
 	}
-	rng := rand.New(rand.NewSource(1701))
 	cases := 0
 	exactCases := 0
-	for iter := 0; cases < 200; iter++ {
-		var m *model.Model
-		switch iter % 8 {
-		case 0:
-			m = model.Figure1()
-		case 1:
-			m = model.GMStyleLite()
-		default:
-			opt := model.DefaultRandomOptions()
-			opt.Layers = 2 + rng.Intn(2)
-			opt.TasksPerLayer = 1 + rng.Intn(2)
-			opt.EdgeProb = 0.3 + rng.Float64()*0.6
-			m = model.RandomModel(rng, opt)
-		}
-		out, err := sim.Run(m, sim.Options{Periods: 3 + rng.Intn(4), Seed: int64(iter)})
-		if err != nil {
-			t.Fatalf("iter %d: sim: %v", iter, err)
-		}
-		tr := out.Trace
-
-		// Exact and bounded; the exact mode is capped so an
-		// adversarial random trace cannot blow up the suite, and a
-		// capped-out case simply doesn't count towards the quota.
-		for _, bound := range []int{0, 6} {
-			opt := Options{Bound: bound, MaxHypotheses: 2000}
-			base, err := Learn(tr, opt)
-			if errors.Is(err, ErrTooManyHypotheses) {
-				continue
-			}
-			if err != nil {
-				t.Fatalf("iter %d bound %d: %v", iter, bound, err)
-			}
-			want := resultSig(base)
-
-			if got := resultSig(replayOnline(t, tr, opt)); !reflect.DeepEqual(got, want) {
-				t.Fatalf("iter %d bound %d: online diverges from batch:\n got %v\nwant %v",
-					iter, bound, got, want)
-			}
-			for _, workers := range []int{4, 8} {
-				popt := opt
-				popt.Workers = workers
-				par, err := Learn(tr, popt)
-				if err != nil {
-					t.Fatalf("iter %d bound %d workers %d: %v", iter, bound, workers, err)
-				}
-				if got := resultSig(par); !reflect.DeepEqual(got, want) {
-					t.Fatalf("iter %d bound %d workers %d: parallel diverges:\n got %v\nwant %v",
-						iter, bound, workers, got, want)
-				}
-				if !reflect.DeepEqual(par.Stats.PeriodLive, base.Stats.PeriodLive) ||
-					par.Stats.Children != base.Stats.Children ||
-					par.Stats.Merges != base.Stats.Merges {
-					t.Fatalf("iter %d bound %d workers %d: stats diverge: %+v vs %+v",
-						iter, bound, workers, par.Stats, base.Stats)
-				}
-			}
-			cases++
-			if bound == 0 {
-				exactCases++
-			}
-		}
+	for iter := int64(0); cases < 200; iter++ {
+		c, e := runDifferentialCase(t, differentialBaseSeed+iter)
+		cases += c
+		exactCases += e
 	}
 	if exactCases < 50 {
 		t.Errorf("only %d exact-mode cases ran; the differential suite should cover both modes", exactCases)
 	}
+}
+
+// differentialBaseSeed offsets case seeds so a replayed seed is
+// self-identifying (no collision with other suites' small seeds).
+const differentialBaseSeed = 1701_000_000
+
+// runDifferentialCase runs one differential case. All randomness —
+// model shape and simulator schedule — derives from the single seed,
+// so a failure is replayable in isolation via -modelgen.seed. Returns
+// how many (case, exact-mode case) quota units the seed contributed.
+func runDifferentialCase(t *testing.T, seed int64) (cases, exactCases int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("seed %d: %s\nreplay: go test -run TestDifferentialBatchOnlineParallel -modelgen.seed=%d",
+			seed, fmt.Sprintf(format, args...), seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var m *model.Model
+	switch seed % 8 {
+	case 0:
+		m = model.Figure1()
+	case 1:
+		m = model.GMStyleLite()
+	default:
+		opt := model.DefaultRandomOptions()
+		opt.Layers = 2 + rng.Intn(2)
+		opt.TasksPerLayer = 1 + rng.Intn(2)
+		opt.EdgeProb = 0.3 + rng.Float64()*0.6
+		m = model.RandomModel(rng, opt)
+	}
+	out, err := sim.Run(m, sim.Options{Periods: 3 + rng.Intn(4), Seed: seed})
+	if err != nil {
+		fail("sim: %v", err)
+	}
+	tr := out.Trace
+
+	// Exact and bounded; the exact mode is capped so an adversarial
+	// random trace cannot blow up the suite, and a capped-out case
+	// simply doesn't count towards the quota.
+	for _, bound := range []int{0, 6} {
+		opt := Options{Bound: bound, MaxHypotheses: 2000}
+		base, err := Learn(tr, opt)
+		if errors.Is(err, ErrTooManyHypotheses) {
+			continue
+		}
+		if err != nil {
+			fail("bound %d: %v", bound, err)
+		}
+		want := resultSig(base)
+
+		if got := resultSig(replayOnline(t, tr, opt)); !reflect.DeepEqual(got, want) {
+			fail("bound %d: online diverges from batch:\n got %v\nwant %v", bound, got, want)
+		}
+		for _, workers := range []int{4, 8} {
+			popt := opt
+			popt.Workers = workers
+			par, err := Learn(tr, popt)
+			if err != nil {
+				fail("bound %d workers %d: %v", bound, workers, err)
+			}
+			if got := resultSig(par); !reflect.DeepEqual(got, want) {
+				fail("bound %d workers %d: parallel diverges:\n got %v\nwant %v", bound, workers, got, want)
+			}
+			if !reflect.DeepEqual(par.Stats.PeriodLive, base.Stats.PeriodLive) ||
+				par.Stats.Children != base.Stats.Children ||
+				par.Stats.Merges != base.Stats.Merges {
+				fail("bound %d workers %d: stats diverge: %+v vs %+v", bound, workers, par.Stats, base.Stats)
+			}
+		}
+		cases++
+		if bound == 0 {
+			exactCases++
+		}
+	}
+	return cases, exactCases
 }
 
 // TestDifferentialPinnedFigure2 pins the paper's worked example: for

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/model"
+	"github.com/blackbox-rt/modelgen/internal/sim"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -186,5 +188,159 @@ func TestOnlineEmptySession(t *testing.T) {
 	}
 	if !res.Converged || !res.Hypotheses[0].Equal(depfunc.Bottom(res.TaskSet)) {
 		t.Error("empty session should yield d-bottom")
+	}
+}
+
+// simFigure1Trace simulates the Figure 1 model for the given number of
+// periods under one seed; satellite tests use it for traces whose
+// bounded-mode runs actually exercise merging (unlike the tiny paper
+// example).
+func simFigure1Trace(t *testing.T, periods int, seed int64) *trace.Trace {
+	t.Helper()
+	out, err := sim.Run(model.Figure1(), sim.Options{Periods: periods, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Trace
+}
+
+// TestOnlineRingWraparound pins the ring buffer's content across the
+// wrap: after feeding n periods into a k-slot window, the retained
+// trace must hold exactly the last k periods, oldest first, preserving
+// each period's messages and executions.
+func TestOnlineRingWraparound(t *testing.T) {
+	tr := simFigure1Trace(t, 7, 5)
+	const k = 3
+	o, err := NewOnline(tr.Tasks, Options{RetainPeriods: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+		if want := min(i+1, k); o.RetainedPeriods() != want {
+			t.Fatalf("after period %d: RetainedPeriods = %d, want %d", i, o.RetainedPeriods(), want)
+		}
+	}
+	got := o.retainedTrace()
+	if len(got.Periods) != k {
+		t.Fatalf("retained trace has %d periods, want %d", len(got.Periods), k)
+	}
+	want := tr.Periods[len(tr.Periods)-k:]
+	for i, p := range got.Periods {
+		w := want[i]
+		if len(p.Msgs) != len(w.Msgs) || len(p.Execs) != len(w.Execs) {
+			t.Fatalf("retained period %d shape differs: %d msgs/%d execs, want %d/%d",
+				i, len(p.Msgs), len(p.Execs), len(w.Msgs), len(w.Execs))
+		}
+		for j, m := range p.Msgs {
+			if m != w.Msgs[j] {
+				t.Fatalf("retained period %d message %d = %+v, want %+v", i, j, m, w.Msgs[j])
+			}
+		}
+		for task, iv := range w.Execs {
+			if p.Execs[task] != iv {
+				t.Fatalf("retained period %d exec %q = %+v, want %+v", i, task, p.Execs[task], iv)
+			}
+		}
+	}
+}
+
+// TestOnlineVerifyUnavailableSentinel: the sentinel is distinguishable
+// with errors.Is and is a Result-time condition, not a session
+// failure — the session stays alive, keeps accepting periods, and
+// keeps returning the sentinel until retention is configured.
+func TestOnlineVerifyUnavailableSentinel(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := NewOnline(tr.Tasks, Options{VerifyResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddPeriod(tr.Periods[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Result(); !errors.Is(err, ErrVerifyUnavailable) {
+		t.Fatalf("Result = %v, want ErrVerifyUnavailable", err)
+	}
+	if o.Err() != nil {
+		t.Fatalf("verification unavailability stuck to the session: %v", o.Err())
+	}
+	// The session is still live: more periods are accepted, the working
+	// set keeps evolving, and the answer stays the same sentinel.
+	if err := o.AddPeriod(tr.Periods[1]); err != nil {
+		t.Fatalf("AddPeriod after the sentinel: %v", err)
+	}
+	if o.WorkingSetSize() == 0 {
+		t.Fatal("working set vanished after the sentinel")
+	}
+	if _, err := o.Result(); !errors.Is(err, ErrVerifyUnavailable) {
+		t.Fatalf("second Result = %v, want ErrVerifyUnavailable again", err)
+	}
+}
+
+// TestOnlineVerifyAfterWrapEqualsBatchSuffix: verification after the
+// ring wraps is equivalent to batch-learning the full trace without
+// verification and filtering the hypotheses against the retained
+// suffix by hand — in bounded mode, where verification has teeth
+// (merged hypotheses can fail to match their own trace).
+func TestOnlineVerifyAfterWrapEqualsBatchSuffix(t *testing.T) {
+	const k = 2
+	for seed := int64(0); seed < 8; seed++ {
+		tr := simFigure1Trace(t, 6, seed)
+		for _, bound := range []int{0, 2, 4} {
+			o, err := NewOnline(tr.Tasks, Options{Bound: bound, VerifyResults: true, RetainPeriods: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range tr.Periods {
+				if err := o.AddPeriod(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			batch, err := Learn(tr, Options{Bound: bound})
+			if err != nil {
+				t.Fatalf("seed %d bound %d: batch: %v", seed, bound, err)
+			}
+			suffix := trace.New(tr.Tasks)
+			suffix.Periods = append(suffix.Periods, tr.Periods[len(tr.Periods)-k:]...)
+			var wantKeys []string
+			for _, d := range batch.Hypotheses {
+				if ok, _ := depfunc.MatchTrace(d, suffix, depfunc.CandidatePolicy{}); ok {
+					wantKeys = append(wantKeys, d.Key())
+				}
+			}
+
+			got, err := o.Result()
+			if len(wantKeys) == 0 {
+				if !errors.Is(err, ErrNoHypothesis) {
+					t.Fatalf("seed %d bound %d: hand filter kept nothing but Result = %v, want ErrNoHypothesis",
+						seed, bound, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d bound %d: %v", seed, bound, err)
+			}
+			gotKeys := make([]string, 0, len(got.Hypotheses))
+			for _, d := range got.Hypotheses {
+				gotKeys = append(gotKeys, d.Key())
+			}
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("seed %d bound %d: verified-after-wrap returned %d hypotheses, hand filter kept %d",
+					seed, bound, len(gotKeys), len(wantKeys))
+			}
+			for i := range gotKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("seed %d bound %d: hypothesis %d is %q, hand filter has %q",
+						seed, bound, i, gotKeys[i], wantKeys[i])
+				}
+			}
+			if dropped := len(batch.Hypotheses) - len(wantKeys); dropped != got.Stats.DroppedUnsound {
+				t.Fatalf("seed %d bound %d: DroppedUnsound = %d, hand filter dropped %d",
+					seed, bound, got.Stats.DroppedUnsound, dropped)
+			}
+		}
 	}
 }

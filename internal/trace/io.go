@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -93,7 +92,13 @@ func ReadObserved(r io.Reader, o obs.Observer) (tr *Trace, err error) {
 	sawTasks := false
 	lineNo := 0
 
-	parseInt := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	parseInt := func(s string) (int64, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrBadTimestamp, s)
+		}
+		return v, nil
+	}
 
 	for sc.Scan() {
 		lineNo++
@@ -123,41 +128,41 @@ func ReadObserved(r io.Reader, o obs.Observer) (tr *Trace, err error) {
 			events = append(events, Event{Time: t, Kind: PeriodMark})
 		case "exec":
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: exec wants NAME START END", lineNo)
+				return nil, fmt.Errorf("line %d: %w: exec wants NAME START END", lineNo, ErrTruncatedEvent)
 			}
 			start, err := parseInt(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			end, err := parseInt(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			events = append(events,
 				Event{Time: start, Kind: TaskStart, Name: fields[1]},
 				Event{Time: end, Kind: TaskEnd, Name: fields[1]})
 		case "msg":
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: msg wants ID RISE FALL", lineNo)
+				return nil, fmt.Errorf("line %d: %w: msg wants ID RISE FALL", lineNo, ErrTruncatedEvent)
 			}
 			rise, err := parseInt(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			fall, err := parseInt(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			events = append(events,
 				Event{Time: rise, Kind: MsgRise, Name: fields[1]},
 				Event{Time: fall, Kind: MsgFall, Name: fields[1]})
 		case "start", "end", "rise", "fall":
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("trace: line %d: %s wants NAME TIME", lineNo, fields[0])
+				return nil, fmt.Errorf("line %d: %w: %s wants NAME TIME", lineNo, ErrTruncatedEvent, fields[0])
 			}
 			t, err := parseInt(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 			var k Kind
 			switch fields[0] {
@@ -258,9 +263,8 @@ func fromOrderedEvents(tasks []string, events []Event) (*Trace, error) {
 	sortMessages(tr)
 	// Per-period clock restarts are allowed in the text format, so
 	// validate everything except global period ordering.
-	full := tr.Validate()
-	if full != nil && !errors.Is(full, ErrUnsortedPeriods) {
-		return nil, full
+	if err := tr.validatePeriods(); err != nil {
+		return nil, err
 	}
 	return tr, nil
 }

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// Every malformed input maps to a typed sentinel so callers (and the
+// fuzz targets) can assert on the failure class, not the message.
+func TestReadTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{
+			"truncated exec",
+			"tasks t1 t2\nperiod\nexec t1 0\n",
+			ErrTruncatedEvent,
+		},
+		{
+			"truncated msg",
+			"tasks t1 t2\nperiod\nmsg m1 12\n",
+			ErrTruncatedEvent,
+		},
+		{
+			"truncated raw event",
+			"tasks t1 t2\nperiod\nstart t1\n",
+			ErrTruncatedEvent,
+		},
+		{
+			"bad exec timestamp",
+			"tasks t1 t2\nperiod\nexec t1 zero 10\n",
+			ErrBadTimestamp,
+		},
+		{
+			"bad msg timestamp",
+			"tasks t1 t2\nperiod\nmsg m1 12 1x5\n",
+			ErrBadTimestamp,
+		},
+		{
+			"bad raw timestamp",
+			"tasks t1 t2\nperiod\nrise m1 later\n",
+			ErrBadTimestamp,
+		},
+		{
+			"fall without matching rise",
+			"tasks t1 t2\nperiod\nexec t1 0 10\nfall m1 15\n",
+			ErrUnmatchedEvent,
+		},
+		{
+			"end without matching start",
+			"tasks t1 t2\nperiod\nend t1 10\n",
+			ErrUnmatchedEvent,
+		},
+		{
+			"inverted exec interval",
+			"tasks t1 t2\nperiod\nexec t1 10 0\n",
+			ErrInvertedEvent,
+		},
+		{
+			"task outside task set",
+			"tasks t1 t2\nperiod\nexec t9 0 10\n",
+			ErrUnknownTask,
+		},
+		{
+			"rise left open at period end",
+			"tasks t1 t2\nperiod\nexec t1 0 10\nrise m1 12\nperiod\nexec t1 0 10\n",
+			ErrCrossingPeriod,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadString(tc.in)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadString(%q) = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}

@@ -216,6 +216,8 @@ func (tr *Trace) Stats() Stats {
 
 // Validation errors.
 var (
+	ErrTruncatedEvent  = errors.New("trace: truncated event line (missing fields)")
+	ErrBadTimestamp    = errors.New("trace: unparsable timestamp field")
 	ErrUnknownTask     = errors.New("trace: event names task outside the predefined task set")
 	ErrDuplicateExec   = errors.New("trace: task executed more than once in a period")
 	ErrUnmatchedEvent  = errors.New("trace: unmatched start/end or rise/fall event")
@@ -230,10 +232,6 @@ var (
 // period, well-formed intervals and rise-ordered messages with unique
 // labels per period.
 func (tr *Trace) Validate() error {
-	known := make(map[string]bool, len(tr.Tasks))
-	for _, t := range tr.Tasks {
-		known[t] = true
-	}
 	prevEnd := int64(-1 << 62)
 	for _, p := range tr.Periods {
 		span := p.Span()
@@ -244,6 +242,19 @@ func (tr *Trace) Validate() error {
 			}
 			prevEnd = span.End
 		}
+	}
+	return tr.validatePeriods()
+}
+
+// validatePeriods runs the per-period checks of Validate without the
+// global period-ordering check, so front ends that allow per-period
+// clock restarts (the text format) can still enforce everything else.
+func (tr *Trace) validatePeriods() error {
+	known := make(map[string]bool, len(tr.Tasks))
+	for _, t := range tr.Tasks {
+		known[t] = true
+	}
+	for _, p := range tr.Periods {
 		for t, iv := range p.Execs {
 			if !known[t] {
 				return fmt.Errorf("%w: %q in period %d", ErrUnknownTask, t, p.Index)
