@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench conform fuzz tidy
+.PHONY: check vet build test race bench microbench conform soak fuzz tidy
 
 ## check: the full gate — vet, build everything, race-enabled tests,
 ## and the conformance harness over the committed golden corpus.
@@ -24,6 +24,14 @@ race:
 conform:
 	$(GO) run ./cmd/bbconform
 	$(GO) run ./cmd/bbconform -smoke
+	$(GO) run ./cmd/bbconform -serve
+
+## soak: long-run health check of the serving layer — 16 concurrent
+## streams, hundreds of periods each through the HTTP API, then
+## goroutine-leak and heap-growth assertions. Gated behind a build tag
+## so plain `go test ./...` stays fast.
+soak:
+	$(GO) test -tags soak -run TestSoak -timeout 10m -v ./internal/serve/
 
 ## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
 ## nightly CI uses 10m). Minimized crashers land under the package's

@@ -12,6 +12,8 @@
 //	bbconform -events events.jsonl          # stream obs events as JSONL
 //	bbconform -smoke                        # harness self-test (mutation detection)
 //	bbconform -gen                          # (re)generate the golden corpus in place
+//	bbconform -serve                        # feed the corpus through an in-process bbserved API
+//	bbconform -serve -serve-addr URL        # ... or through an already-running deployment
 //	bbconform -v                            # per-oracle progress lines
 package main
 
@@ -20,10 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"github.com/blackbox-rt/modelgen/internal/conformance"
 	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
 )
 
 func main() {
@@ -35,6 +40,8 @@ func main() {
 		events    = flag.String("events", "", "stream observability events as JSONL to this file")
 		smoke     = flag.Bool("smoke", false, "run the harness self-test: inject faults the oracles must catch")
 		gen       = flag.Bool("gen", false, "(re)generate the golden corpus under -corpus and exit")
+		srv       = flag.Bool("serve", false, "run the served-model oracles: feed each entry through the bbserved HTTP API")
+		srvAddr   = flag.String("serve-addr", "", "with -serve, base URL of a running service (empty = start one in process)")
 		verbose   = flag.Bool("v", false, "print one line per oracle as it completes")
 	)
 	flag.Parse()
@@ -84,7 +91,21 @@ func main() {
 		}()
 	}
 
-	rep := conformance.Run(c, obs.NewMulti(observers...))
+	var rep *conformance.Report
+	if *srv {
+		base := *srvAddr
+		if base == "" {
+			stop, addr, err := startLocalService()
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer stop()
+			base = addr
+		}
+		rep = conformance.CheckServed(c, base, nil, obs.NewMulti(observers...))
+	} else {
+		rep = conformance.Run(c, obs.NewMulti(observers...))
+	}
 
 	if *jsonOut != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -105,6 +126,29 @@ func main() {
 		printFailures("corpus", rep.Global)
 		os.Exit(1)
 	}
+}
+
+// startLocalService brings up an in-process model-generation service
+// on a loopback port for -serve runs without -serve-addr, so the
+// served-model oracles exercise the full HTTP stack (routing, body
+// limits, backpressure) with no external deployment.
+func startLocalService() (stop func(), baseURL string, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	sv := serve.New(serve.Config{})
+	httpSrv := &http.Server{Handler: sv.Handler()}
+	go func() {
+		if serr := httpSrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			log.Printf("serve: %v", serr)
+		}
+	}()
+	stop = func() {
+		httpSrv.Close()
+		ln.Close()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
 }
 
 func printFailures(name string, results []conformance.OracleResult) {

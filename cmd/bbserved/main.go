@@ -1,0 +1,114 @@
+// Command bbserved runs the model-generation service: a long-running
+// HTTP server that multiplexes many independent trace streams, each
+// backed by its own online learner (internal/serve).
+//
+// Usage:
+//
+//	bbserved -addr :8080 -checkpoint-dir /var/lib/bbserved
+//	bbserved -addr :8080 -queue 128 -checkpoint-every 32
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/streams                   create a stream (tasks, learner options)
+//	GET    /v1/streams                   list streams
+//	POST   /v1/streams/{id}/events      append raw trace or candump lines (text body)
+//	GET    /v1/streams/{id}/model       current dependency model (?format=dot for DOT)
+//	GET    /v1/streams/{id}/stats       ingest and learner statistics
+//	POST   /v1/streams/{id}/checkpoint  write a checkpoint now
+//	DELETE /v1/streams/{id}             drain and delete a stream
+//	GET    /healthz                      liveness
+//	GET    /metrics                      Prometheus exposition
+//
+// A full ingest queue answers 429 with Retry-After; resend the batch
+// unchanged (rejection is atomic). On SIGINT/SIGTERM the server stops
+// accepting requests, drains every stream, checkpoints, and exits.
+// With -checkpoint-dir, a restarted bbserved reopens every
+// checkpointed stream with identical learner state.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbserved: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for stream checkpoints (empty = in-memory only)")
+		ckptEach = flag.Int("checkpoint-every", 64, "checkpoint a stream after this many learned periods (0 = only on demand and shutdown)")
+		queue    = flag.Int("queue", 256, "per-stream ingest queue depth")
+		maxBody  = flag.Int64("max-body", 8<<20, "maximum events request body in bytes")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "maximum time to drain streams on shutdown")
+		pprof    = flag.String("pprof", "", "also serve /debug/pprof/ and /metrics on this address")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	obs.RuntimeMetrics(reg)
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sv := serve.New(serve.Config{
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEach,
+		QueueDepth:      *queue,
+		MaxBody:         *maxBody,
+		Registry:        reg,
+	})
+	if n, err := sv.RestoreFromDir(); err != nil {
+		log.Fatalf("restore: %v", err)
+	} else if n > 0 {
+		log.Printf("restored %d stream(s) from %s", n, *ckptDir)
+	}
+
+	if *pprof != "" {
+		dbg, err := obs.StartDebugServer(*pprof, reg)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on %s", dbg.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: sv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("serving on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("draining (up to %s)...", *drainFor)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Print("done")
+}

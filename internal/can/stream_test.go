@@ -1,0 +1,125 @@
+package can
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStreamConverterMatchesBatch: feeding a log line by line produces
+// exactly the event stream ParseLog + LogEvents produce — same
+// labels, same per-ID sequence numbers, same edge times.
+func TestStreamConverterMatchesBatch(t *testing.T) {
+	log := strings.Join([]string{
+		"# candump excerpt",
+		"(1690000000.000100) can0 123#DEADBEEF",
+		"",
+		"(1690000000.000900) can0 1A0#",
+		"(1690000000.001500) can0 123#00",
+		"(1690000000.001500) can0 7FF#0102030405060708",
+		"(1690000000.002200) can0 1A0#FF",
+	}, "\n")
+	recs, err := ParseLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LogEvents(recs, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewStreamConverter(500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []interface{}
+	for _, line := range strings.Split(log, "\n") {
+		evs, err := sc.Line(line)
+		if err != nil {
+			t.Fatalf("Line(%q): %v", line, err)
+		}
+		for _, ev := range evs {
+			got = append(got, ev)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("incremental emitted %d events, batch %d", len(got), len(want))
+	}
+	for i, ev := range want {
+		if got[i] != ev {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], ev)
+		}
+	}
+}
+
+// TestStreamConverterErrors: the incremental path reports the same
+// typed sentinels as the batch parser, including the cross-line
+// monotonicity check.
+func TestStreamConverterErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+		want  error
+	}{
+		{"truncated", []string{"(1.0) can0"}, ErrTruncatedFrame},
+		{"bad timestamp", []string{"1.0 can0 123#"}, ErrBadTimestamp},
+		{"bad id", []string{"(1.0) can0 XYZ#00"}, ErrBadIdentifier},
+		{"bad payload", []string{"(1.0) can0 123#0"}, ErrBadPayload},
+		{"clock ran backward", []string{"(2.0) can0 123#", "(1.0) can0 123#"}, ErrNonMonotoneTimestamp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := NewStreamConverter(500_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last error
+			for _, line := range tc.lines {
+				if _, last = sc.Line(line); last != nil {
+					break
+				}
+			}
+			if !errors.Is(last, tc.want) {
+				t.Fatalf("feed %v: err = %v, want %v", tc.lines, last, tc.want)
+			}
+		})
+	}
+	if _, err := NewStreamConverter(0); err == nil {
+		t.Error("NewStreamConverter accepted a zero bit rate")
+	}
+}
+
+// TestStreamConverterCloneIndependence: sequence numbers and the
+// monotonicity cursor advance on the clone without leaking back.
+func TestStreamConverterCloneIndependence(t *testing.T) {
+	sc, err := NewStreamConverter(500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Line("(1.0) can0 123#00"); err != nil {
+		t.Fatal(err)
+	}
+
+	cp := sc.Clone()
+	for i := 0; i < 3; i++ {
+		evs, err := cp.Line(fmt.Sprintf("(2.%d) can0 123#00", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLabel := fmt.Sprintf("0x123@%d", i+1)
+		if evs[0].Name != wantLabel {
+			t.Fatalf("clone frame %d labeled %q, want %q", i, evs[0].Name, wantLabel)
+		}
+	}
+
+	// The original never saw the clone's frames: its next frame is
+	// sequence 1 again, and its clock cursor still allows t=1.5s.
+	evs, err := sc.Line("(1.5) can0 123#00")
+	if err != nil {
+		t.Fatalf("original rejected a frame after clone advanced: %v", err)
+	}
+	if evs[0].Name != "0x123@1" {
+		t.Fatalf("original frame labeled %q, want 0x123@1", evs[0].Name)
+	}
+}

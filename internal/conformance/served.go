@@ -1,0 +1,257 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+// This file checks a *served* model pipeline: each corpus entry is
+// fed, line by line, through the HTTP API of a running
+// model-generation service (internal/serve / cmd/bbserved), and the
+// models the service returns are held to the same oracles as local
+// runs. The checks speak plain HTTP+JSON so they can point at any
+// deployment, not just an in-process server — which is also why this
+// file deliberately does not import internal/serve.
+//
+// Served oracles per entry:
+//
+//   - serve-equivalence: the served bounded frontier is bit-identical
+//     (table for table) to the local batch learner under the same
+//     options, and the stream consumed exactly the entry's periods.
+//   - serve-thm2 (entries with ground truth): an exact-mode stream's
+//     served frontier contains a hypothesis generalized by the true
+//     dependency function — Theorem 2 across the wire.
+//   - serve-verify: the served LUB round-trips through the
+//     verification pipeline (VerifierConsistency) like any locally
+//     learned model.
+
+// servedClient is the minimal HTTP client for the service API.
+type servedClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *servedClient) req(method, path string, body []byte) (int, []byte, error) {
+	r, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// createStream builds a stream over the wire. options mirrors
+// serve.LearnOptions field for field; an anonymous struct keeps the
+// package decoupled from internal/serve.
+func (c *servedClient) createStream(id string, tasks []string, bound, maxHyp int, pol depfunc.CandidatePolicy) error {
+	payload := map[string]interface{}{
+		"id":    id,
+		"tasks": tasks,
+		"options": map[string]interface{}{
+			"bound":           bound,
+			"max_hypotheses":  maxHyp,
+			"sender_window":   pol.SenderWindow,
+			"receiver_window": pol.ReceiverWindow,
+			"max_senders":     pol.MaxSenders,
+			"max_receivers":   pol.MaxReceivers,
+		},
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	status, out, err := c.req("POST", "/v1/streams", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated {
+		return fmt.Errorf("create stream %s: HTTP %d: %s", id, status, out)
+	}
+	return nil
+}
+
+// feedLines pushes the trace text through the events endpoint in
+// chunks, retrying shed batches, and returns the first non-retryable
+// HTTP failure.
+func (c *servedClient) feedLines(id string, lines []string, chunk int) error {
+	for at := 0; at < len(lines); at += chunk {
+		end := at + chunk
+		if end > len(lines) {
+			end = len(lines)
+		}
+		body := []byte(strings.Join(lines[at:end], "\n"))
+		for {
+			status, out, err := c.req("POST", "/v1/streams/"+id+"/events", body)
+			if err != nil {
+				return err
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status == http.StatusTooManyRequests {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return fmt.Errorf("feed %s: HTTP %d: %s", id, status, out)
+		}
+	}
+	return nil
+}
+
+// servedModel reads the stream's current model as dependency
+// functions.
+func (c *servedClient) servedModel(id string) (hyps []*depfunc.DepFunc, lub *depfunc.DepFunc, periods int, err error) {
+	status, out, err := c.req("GET", "/v1/streams/"+id+"/model", nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, nil, 0, fmt.Errorf("model %s: HTTP %d: %s", id, status, out)
+	}
+	var m struct {
+		Hypotheses []string `json:"hypotheses"`
+		LUB        string   `json:"lub"`
+		Periods    int      `json:"periods"`
+	}
+	if err := json.Unmarshal(out, &m); err != nil {
+		return nil, nil, 0, err
+	}
+	for i, tbl := range m.Hypotheses {
+		d, err := depfunc.ParseTable(tbl)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("served hypothesis %d: %w", i, err)
+		}
+		hyps = append(hyps, d)
+	}
+	if lub, err = depfunc.ParseTable(m.LUB); err != nil {
+		return nil, nil, 0, fmt.Errorf("served LUB: %w", err)
+	}
+	return hyps, lub, m.Periods, nil
+}
+
+func (c *servedClient) deleteStream(id string) {
+	_, _, _ = c.req("DELETE", "/v1/streams/"+id, nil)
+}
+
+// feedText converts a trace to its API feed form: the text format
+// line by line plus a trailing "period" directive closing the last
+// period.
+func feedText(e *Entry) []string {
+	lines := strings.Split(strings.TrimRight(e.Trace.String(), "\n"), "\n")
+	return append(lines, "period")
+}
+
+// CheckServed runs the served-model oracles for every corpus entry
+// against the service at baseURL (no trailing slash), reporting like
+// Run. hc may be nil for http.DefaultClient. Streams are namespaced
+// "conform-<entry>" and deleted afterwards, so a long-running
+// deployment is left as found.
+func CheckServed(c *Corpus, baseURL string, hc *http.Client, o obs.Observer) *Report {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	cl := &servedClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	r := &Report{SchemaVersion: ReportSchemaVersion, CorpusVersion: c.Version}
+	for _, e := range c.Entries {
+		er := EntryReport{Name: e.Name}
+		pol := e.Policy()
+		id := "conform-" + e.Name
+		bound := maxBound(e.Bounds)
+
+		er.Results = append(er.Results, record(r, o, e.Name, "serve-equivalence", func() ([]Violation, error) {
+			local, err := learner.Learn(e.Trace, learner.Options{Bound: bound, Policy: pol})
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.createStream(id, e.Trace.Tasks, bound, 0, pol); err != nil {
+				return nil, err
+			}
+			defer cl.deleteStream(id)
+			if err := cl.feedLines(id, feedText(e), 32); err != nil {
+				return nil, err
+			}
+			served, servedLUB, periods, err := cl.servedModel(id)
+			if err != nil {
+				return nil, err
+			}
+			var out []Violation
+			if periods != len(e.Trace.Periods) {
+				out = append(out, violationf("serve/periods",
+					"service learned %d periods, trace has %d", periods, len(e.Trace.Periods)))
+			}
+			if len(served) != len(local.Hypotheses) {
+				out = append(out, violationf("serve/frontier-size",
+					"service returned %d hypotheses, local batch %d", len(served), len(local.Hypotheses)))
+				return out, nil
+			}
+			for i := range served {
+				if !served[i].Equal(local.Hypotheses[i]) {
+					out = append(out, violationf("serve/frontier-entry",
+						"served hypothesis %d differs from the local batch run", i))
+				}
+			}
+			if !servedLUB.Equal(local.LUB) {
+				out = append(out, violationf("serve/lub", "served LUB differs from the local batch run"))
+			}
+			return out, nil
+		}))
+
+		if e.Exact && e.Thm2 && e.Truth != nil {
+			er.Results = append(er.Results, record(r, o, e.Name, "serve-thm2", func() ([]Violation, error) {
+				exactID := id + "-exact"
+				if err := cl.createStream(exactID, e.Trace.Tasks, 0, MaxExactHypotheses, pol); err != nil {
+					return nil, err
+				}
+				defer cl.deleteStream(exactID)
+				if err := cl.feedLines(exactID, feedText(e), 32); err != nil {
+					return nil, err
+				}
+				served, _, _, err := cl.servedModel(exactID)
+				if err != nil {
+					return nil, err
+				}
+				if !someGeneralizedBy(served, e.Truth) {
+					return []Violation{violationf("serve/thm2",
+						"no served exact hypothesis is generalized by the true dependency function (%d served)",
+						len(served))}, nil
+				}
+				return nil, nil
+			}))
+		}
+
+		er.Results = append(er.Results, record(r, o, e.Name, "serve-verify", func() ([]Violation, error) {
+			verifyID := id + "-verify"
+			if err := cl.createStream(verifyID, e.Trace.Tasks, bound, 0, pol); err != nil {
+				return nil, err
+			}
+			defer cl.deleteStream(verifyID)
+			if err := cl.feedLines(verifyID, feedText(e), 32); err != nil {
+				return nil, err
+			}
+			_, servedLUB, _, err := cl.servedModel(verifyID)
+			if err != nil {
+				return nil, err
+			}
+			return VerifierConsistency(servedLUB), nil
+		}))
+		r.Entries = append(r.Entries, er)
+	}
+	return r
+}

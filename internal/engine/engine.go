@@ -97,6 +97,13 @@ type Config struct {
 	// for every value (see the package comment).
 	Workers int
 
+	// PeriodLiveCap bounds the Stats.PeriodLive series to the most
+	// recent N periods (older entries are discarded). Zero keeps the
+	// full series — right for batch runs; long-running online
+	// sessions (internal/serve) set a cap so session memory stays
+	// bounded.
+	PeriodLiveCap int
+
 	// Observer receives the structured run-trace; nil disables
 	// emission at zero cost.
 	Observer obs.Observer
@@ -123,6 +130,8 @@ type Stats struct {
 	NegativeRejections int
 	// PeriodLive records the live hypothesis count at the end of each
 	// processed period, in order (the per-period series behind Peak).
+	// With Config.PeriodLiveCap set, only the most recent N entries
+	// are kept.
 	PeriodLive []int
 	// Elapsed is the wall time of the batch Learn call (zero for
 	// Online.Result snapshots, which have no defined start).
@@ -195,7 +204,13 @@ func (e *Engine) ProcessPeriod(p *trace.Period) error {
 	}
 	relaxed, dropped := e.Postprocess(p, executed)
 	e.stats.Periods++
-	e.stats.PeriodLive = append(e.stats.PeriodLive, len(e.cur))
+	if cap := e.cfg.PeriodLiveCap; cap > 0 && len(e.stats.PeriodLive) >= cap {
+		pl := e.stats.PeriodLive
+		copy(pl, pl[len(pl)-cap+1:])
+		e.stats.PeriodLive = append(pl[:cap-1], len(e.cur))
+	} else {
+		e.stats.PeriodLive = append(e.stats.PeriodLive, len(e.cur))
+	}
 	if obsv != nil {
 		// Postprocess leaves the survivors sorted by ascending
 		// weight, so the weight range is at the ends.

@@ -123,6 +123,12 @@ type Options struct {
 	// which always has the full trace.
 	RetainPeriods int
 
+	// PeriodLiveCap bounds the Stats.PeriodLive series to the most
+	// recent N periods. Zero keeps the full series; long-running
+	// online sessions (internal/serve) set a cap so per-stream memory
+	// stays bounded.
+	PeriodLiveCap int
+
 	// Observer, when non-nil, receives the structured run-trace: the
 	// session announcement (engine_start), period boundaries,
 	// per-message candidate fan-out, hypothesis spawn/merge/prune
@@ -165,6 +171,7 @@ func (opt Options) engineConfig() engine.Config {
 		EagerPrune:    opt.EagerPrune,
 		MaxHypotheses: opt.MaxHypotheses,
 		Workers:       opt.Workers,
+		PeriodLiveCap: opt.PeriodLiveCap,
 		Observer:      opt.Observer,
 		Provenance:    opt.Provenance,
 	}

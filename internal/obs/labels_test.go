@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabeledSeries: labeled instruments of one family share one
+// HELP/TYPE header, render canonical sorted labels, and stay
+// independent series.
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.LabeledCounter("srv_shed_total", "shed periods", "stream", "a")
+	b := r.LabeledCounter("srv_shed_total", "shed periods", "stream", "b")
+	a.Add(2)
+	b.Inc()
+	// Same series regardless of label order.
+	same := r.LabeledGauge("srv_depth", "queue depth", "stream", "a", "zone", "x")
+	same.Set(7)
+	if got := r.LabeledGauge("srv_depth", "queue depth", "zone", "x", "stream", "a"); got != same {
+		t.Fatal("label order changed series identity")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE srv_shed_total counter\n",
+		`srv_shed_total{stream="a"} 2` + "\n",
+		`srv_shed_total{stream="b"} 1` + "\n",
+		`srv_depth{stream="a",zone="x"} 7` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "# TYPE srv_shed_total") != 1 {
+		t.Errorf("family header repeated:\n%s", text)
+	}
+}
+
+// TestLabeledHistogramExposition: the le label joins the series
+// labels and the _sum/_count suffixes attach to the family name.
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.LabeledHistogram("srv_lat", "latency", []float64{1, 2}, "stream", "s1")
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`srv_lat_bucket{stream="s1",le="1"} 1`,
+		`srv_lat_bucket{stream="s1",le="2"} 2`,
+		`srv_lat_bucket{stream="s1",le="+Inf"} 2`,
+		`srv_lat_sum{stream="s1"} 2`,
+		`srv_lat_count{stream="s1"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestUnregister removes exactly the named series.
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("c_total", "", "stream", "a").Inc()
+	r.LabeledCounter("c_total", "", "stream", "b").Inc()
+	name := SeriesName("c_total", "stream", "a")
+	if !r.Unregister(name) {
+		t.Fatalf("Unregister(%q) reported absent", name)
+	}
+	if r.Unregister(name) {
+		t.Fatal("double Unregister reported present")
+	}
+	snap := r.Snapshot()
+	if _, ok := snap[name]; ok {
+		t.Fatal("unregistered series still in snapshot")
+	}
+	if snap.Value(SeriesName("c_total", "stream", "b")) != 1 {
+		t.Fatal("sibling series lost")
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// are escaped per the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("e_total", "", "path", `a"b\c`+"\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `e_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, sb.String())
+	}
+}
+
+// TestFamilyTypeConflict: registering a second instrument type under
+// one family name panics even when the label sets differ.
+func TestFamilyTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("mix_total", "", "stream", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on family type conflict")
+		}
+	}()
+	r.LabeledGauge("mix_total", "", "stream", "b")
+}

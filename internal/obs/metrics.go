@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -89,9 +90,12 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
 
 // metric pairs a named instrument with its help string for
-// exposition.
+// exposition. name is the full series identity (base plus rendered
+// label set); base and labels split it for grouped exposition.
 type metric struct {
 	name, help string
+	base       string // metric family name without labels
+	labels     string // sorted `k="v",...` inner label text, "" when unlabeled
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
@@ -127,33 +131,13 @@ func NewRegistry() *Registry {
 // first use. It panics if the name is already registered as another
 // type (a programming error, as in client_golang).
 func (r *Registry) Counter(name, help string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
-		if m.counter == nil {
-			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
-		}
-		return m.counter
-	}
-	c := &Counter{}
-	r.metrics[name] = &metric{name: name, help: help, counter: c}
-	return c
+	return r.LabeledCounter(name, help)
 }
 
 // Gauge returns the gauge with the given name, creating it on first
 // use.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
-		if m.gauge == nil {
-			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
-		}
-		return m.gauge
-	}
-	g := &Gauge{}
-	r.metrics[name] = &metric{name: name, help: help, gauge: g}
-	return g
+	return r.LabeledGauge(name, help)
 }
 
 // Histogram returns the histogram with the given name, creating it
@@ -161,19 +145,140 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // bucket is implicit) on first use. Later calls ignore the bucket
 // argument.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.LabeledHistogram(name, help, buckets)
+}
+
+// LabeledCounter returns the counter of the series name{kv...},
+// creating it on first use. kv lists alternating label keys and
+// values; the label order is canonicalized, so the same set always
+// names the same series. All series of one metric family must share
+// one instrument type.
+func (r *Registry) LabeledCounter(name, help string, kv ...string) *Counter {
+	m := r.getOrCreate(name, help, kv, func() *metric { return &metric{counter: &Counter{}} })
+	if m.counter == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a %s", m.name, m.typ()))
+	}
+	return m.counter
+}
+
+// LabeledGauge returns the gauge of the series name{kv...}, creating
+// it on first use.
+func (r *Registry) LabeledGauge(name, help string, kv ...string) *Gauge {
+	m := r.getOrCreate(name, help, kv, func() *metric { return &metric{gauge: &Gauge{}} })
+	if m.gauge == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a %s", m.name, m.typ()))
+	}
+	return m.gauge
+}
+
+// LabeledHistogram returns the histogram of the series name{kv...},
+// creating it with the given bucket bounds on first use.
+func (r *Registry) LabeledHistogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	m := r.getOrCreate(name, help, kv, func() *metric {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		return &metric{hist: &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}}
+	})
+	if m.hist == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a %s", m.name, m.typ()))
+	}
+	return m.hist
+}
+
+// getOrCreate looks up the series for (name, kv), creating it with
+// mk on a miss. It panics on malformed label lists and on
+// base-name/type conflicts detected at exposition grouping level.
+func (r *Registry) getOrCreate(name, help string, kv []string, mk func() *metric) *metric {
+	labels := renderLabels(kv)
+	series := seriesName(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
-		if m.hist == nil {
-			panic(fmt.Sprintf("obs: %q already registered as a %s", name, m.typ()))
-		}
-		return m.hist
+	if m, ok := r.metrics[series]; ok {
+		return m
 	}
-	bounds := append([]float64(nil), buckets...)
-	sort.Float64s(bounds)
-	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-	r.metrics[name] = &metric{name: name, help: help, hist: h}
-	return h
+	m := mk()
+	m.name, m.help, m.base, m.labels = series, help, name, labels
+	for _, o := range r.metrics {
+		if o.base == name && o.typ() != m.typ() {
+			panic(fmt.Sprintf("obs: family %q already registered as a %s", name, o.typ()))
+		}
+	}
+	r.metrics[series] = m
+	return m
+}
+
+// Unregister removes the series (a full SeriesName, including labels)
+// from the registry, reporting whether it was present. Useful for
+// per-stream series whose subject was deleted.
+func (r *Registry) Unregister(series string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.metrics[series]
+	delete(r.metrics, series)
+	return ok
+}
+
+// SeriesName renders the canonical full series name of a metric with
+// the given alternating label keys and values — the key Snapshot and
+// Unregister use.
+func SeriesName(name string, kv ...string) string {
+	return seriesName(name, renderLabels(kv))
+}
+
+func seriesName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// renderLabels canonicalizes alternating key/value pairs into the
+// sorted inner label text `k1="v1",k2="v2"`. Values are escaped per
+// the Prometheus text exposition rules.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", kv))
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ps = append(ps, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	var sb strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
 }
 
 // AddScrapeHook registers a function run at the start of every
@@ -199,7 +304,15 @@ func (r *Registry) sorted() []*metric {
 	for _, m := range r.metrics {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	// Sort by (family, labels) so every series of one family is
+	// contiguous: the exposition format wants one HELP/TYPE header per
+	// family, and "foo2" must not split the "foo"/"foo{...}" group.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].labels < out[j].labels
+	})
 	return out
 }
 
@@ -207,14 +320,18 @@ func (r *Registry) sorted() []*metric {
 // exposition format (version 0.0.4), suitable for a /metrics
 // endpoint.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	prevBase := ""
 	for _, m := range r.sorted() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if m.base != prevBase {
+			prevBase = m.base
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.base, m.typ()); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ()); err != nil {
-			return err
 		}
 		var err error
 		switch {
@@ -223,22 +340,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.gauge != nil:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
 		default:
+			// Histogram suffixes attach to the family name; the le
+			// label joins any series labels.
+			withLE := func(le string) string {
+				inner := `le="` + le + `"`
+				if m.labels != "" {
+					inner = m.labels + "," + inner
+				}
+				return m.base + "_bucket{" + inner + "}"
+			}
 			h := m.hist
 			cum := int64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
-					m.name, formatBound(b), cum); err != nil {
+				if _, err = fmt.Fprintf(w, "%s %d\n", withLE(formatBound(b)), cum); err != nil {
 					return err
 				}
 			}
-			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, h.Count()); err != nil {
+			if _, err = fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), h.Count()); err != nil {
 				return err
 			}
-			if _, err = fmt.Fprintf(w, "%s_sum %s\n", m.name, formatBound(h.Sum())); err != nil {
+			if _, err = fmt.Fprintf(w, "%s %s\n",
+				seriesName(m.base+"_sum", m.labels), formatBound(h.Sum())); err != nil {
 				return err
 			}
-			_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+			_, err = fmt.Fprintf(w, "%s %d\n", seriesName(m.base+"_count", m.labels), h.Count())
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"regexp"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/engine"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+)
+
+// Wire types of the HTTP API. Everything is plain JSON over the
+// standard library; the service adds no dependencies.
+
+// LearnOptions is the client-settable subset of learner.Options.
+// Algorithmic fields become part of the stream's checkpoints;
+// Workers, VerifyResults and Provenance are runtime knobs and may
+// differ across restarts of the same stream.
+type LearnOptions struct {
+	Bound          int   `json:"bound,omitempty"`
+	EagerPrune     bool  `json:"eager_prune,omitempty"`
+	MaxHypotheses  int   `json:"max_hypotheses,omitempty"`
+	Workers        int   `json:"workers,omitempty"`
+	VerifyResults  bool  `json:"verify_results,omitempty"`
+	RetainPeriods  int   `json:"retain_periods,omitempty"`
+	PeriodLiveCap  int   `json:"period_live_cap,omitempty"`
+	Provenance     bool  `json:"provenance,omitempty"`
+	SenderWindow   int64 `json:"sender_window,omitempty"`
+	ReceiverWindow int64 `json:"receiver_window,omitempty"`
+	MaxSenders     int   `json:"max_senders,omitempty"`
+	MaxReceivers   int   `json:"max_receivers,omitempty"`
+}
+
+func (lo LearnOptions) options() learner.Options {
+	return learner.Options{
+		Bound:         lo.Bound,
+		EagerPrune:    lo.EagerPrune,
+		MaxHypotheses: lo.MaxHypotheses,
+		Workers:       lo.Workers,
+		VerifyResults: lo.VerifyResults,
+		RetainPeriods: lo.RetainPeriods,
+		PeriodLiveCap: lo.PeriodLiveCap,
+		Provenance:    lo.Provenance,
+		Policy: depfunc.CandidatePolicy{
+			SenderWindow:   lo.SenderWindow,
+			ReceiverWindow: lo.ReceiverWindow,
+			MaxSenders:     lo.MaxSenders,
+			MaxReceivers:   lo.MaxReceivers,
+		},
+	}
+}
+
+// CreateStreamRequest is the body of POST /v1/streams.
+type CreateStreamRequest struct {
+	// ID names the stream; the server generates "s1", "s2", ... when
+	// empty. IDs are [A-Za-z0-9._-], at most 64 characters.
+	ID string `json:"id,omitempty"`
+	// Tasks is the predefined task set of the stream's trace.
+	Tasks []string `json:"tasks"`
+	// BitRate enables candump-format lines on this stream's feed: a
+	// line starting with '(' is parsed as a CAN frame on a bus at
+	// this bit rate and becomes a message rise/fall pair. Zero
+	// rejects candump lines.
+	BitRate int64 `json:"bit_rate,omitempty"`
+	// PeriodUS, when positive, cuts periods on a fixed wall-clock
+	// grid: whenever an event reaches the next multiple of PeriodUS
+	// after the stream's first event, the open period is closed.
+	// Explicit "period" directives still work and reset nothing.
+	PeriodUS int64 `json:"period_us,omitempty"`
+	// Options configures the stream's learner.
+	Options LearnOptions `json:"options"`
+}
+
+// StreamInfo is returned by create and list calls.
+type StreamInfo struct {
+	ID       string       `json:"id"`
+	Tasks    []string     `json:"tasks"`
+	BitRate  int64        `json:"bit_rate,omitempty"`
+	PeriodUS int64        `json:"period_us,omitempty"`
+	Options  LearnOptions `json:"options"`
+}
+
+// IngestResponse is the body of a successful events POST.
+type IngestResponse struct {
+	// Lines is the number of feed lines consumed by this request.
+	Lines int `json:"lines"`
+	// Periods is the number of complete periods the request cut and
+	// queued for learning.
+	Periods int `json:"periods"`
+	// QueueDepth is the ingest queue occupancy after the request.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// StatsResponse is the body of GET /v1/streams/{id}/stats.
+type StatsResponse struct {
+	ID string `json:"id"`
+	// PeriodsLearned counts periods the learner has consumed;
+	// PeriodsCut counts periods ingest has queued. The difference is
+	// in flight.
+	PeriodsLearned int `json:"periods_learned"`
+	PeriodsCut     int `json:"periods_cut"`
+	QueueDepth     int `json:"queue_depth"`
+	QueueCap       int `json:"queue_cap"`
+	// Shed counts events requests rejected with 429.
+	Shed int64 `json:"shed"`
+	// Partial reports whether the ingest parser holds an open period.
+	Partial bool `json:"partial"`
+	// WorkingSet is the learner's live hypothesis count.
+	WorkingSet int `json:"working_set"`
+	// Err is the sticky learner error of a dead stream, empty while
+	// healthy.
+	Err string `json:"err,omitempty"`
+	// Engine is the learner's instrumentation snapshot.
+	Engine engine.Stats `json:"engine"`
+}
+
+// ModelResponse is the body of GET /v1/streams/{id}/model.
+type ModelResponse struct {
+	ID    string   `json:"id"`
+	Tasks []string `json:"tasks"`
+	// Hypotheses holds the frontier D* as dependency tables, sorted
+	// by ascending weight (depfunc.Table / ParseTable round trip).
+	Hypotheses []string `json:"hypotheses"`
+	// LUB is the pointwise least upper bound of the frontier, the
+	// paper's recommended single answer.
+	LUB       string `json:"lub"`
+	Converged bool   `json:"converged"`
+	Periods   int    `json:"periods"`
+}
+
+// CheckpointResponse is the body of POST /v1/streams/{id}/checkpoint.
+type CheckpointResponse struct {
+	ID   string `json:"id"`
+	Path string `json:"path"`
+	// Periods is the number of learned periods the checkpoint covers.
+	Periods int `json:"periods"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+func validateID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("serve: stream id %q must match %s", id, idPattern)
+	}
+	return nil
+}

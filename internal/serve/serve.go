@@ -1,0 +1,460 @@
+// Package serve implements the model-generation service: a
+// long-running HTTP server multiplexing many independent trace
+// streams, each backed by its own online learner (see
+// internal/learner). A logging device POSTs raw trace or candump
+// lines as they are captured; the service cuts periods server-side,
+// feeds them to the stream's learner, and serves the current
+// dependency-model frontier at any time — the paper's workflow turned
+// into an always-on endpoint.
+//
+// Design:
+//
+//   - Per-stream goroutine ownership. Each stream's learner is
+//     touched only by its owner goroutine; the HTTP layer communicates
+//     through a bounded period queue and a closure request channel.
+//     There is no shared mutable learner state and nothing to lock.
+//   - Explicit backpressure. The ingest queue is bounded; a batch
+//     that does not fit entirely is rejected with 429 and Retry-After
+//     and leaves no partial state behind (clone-and-commit parsing),
+//     so the producer can simply resend it.
+//   - Checkpoints. Stream state (the versioned learner snapshot plus
+//     the serve envelope) is written to disk atomically every
+//     CheckpointEvery periods, on graceful shutdown, and on demand; a
+//     restarted server reopens every checkpointed stream with
+//     bit-identical learner state.
+//   - Graceful drain. Shutdown stops ingest, lets every owner finish
+//     the queued periods, checkpoints, and only then returns.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CheckpointDir is where stream checkpoints live. Empty disables
+	// checkpointing (streams are purely in-memory).
+	CheckpointDir string
+	// CheckpointEvery checkpoints a stream after this many learned
+	// periods. Zero checkpoints only on demand and on shutdown.
+	CheckpointEvery int
+	// QueueDepth bounds each stream's ingest queue (default 256).
+	QueueDepth int
+	// MaxBody bounds an events request body in bytes (default 8 MiB).
+	MaxBody int64
+	// Registry, when non-nil, receives the service metrics:
+	// serve_streams, and per-stream serve_queue_depth{stream=...},
+	// serve_periods_total{stream=...}, serve_shed_total{stream=...}.
+	// The registry's Prometheus handler is mounted at /metrics.
+	Registry *obs.Registry
+}
+
+// Server multiplexes trace streams over HTTP. Create with New, mount
+// Handler, and Shutdown when done.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	streams map[string]*stream
+	closed  bool
+	nextID  atomic.Int64
+
+	mStreams *obs.Gauge
+}
+
+// New builds a Server. Call RestoreFromDir afterwards to reopen
+// checkpointed streams.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	sv := &Server{cfg: cfg, streams: map[string]*stream{}}
+	if cfg.Registry != nil {
+		sv.mStreams = cfg.Registry.Gauge("serve_streams", "Number of live trace streams.")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	mux.HandleFunc("POST /v1/streams", sv.handleCreate)
+	mux.HandleFunc("GET /v1/streams", sv.handleList)
+	mux.HandleFunc("POST /v1/streams/{id}/events", sv.handleEvents)
+	mux.HandleFunc("GET /v1/streams/{id}/model", sv.handleModel)
+	mux.HandleFunc("GET /v1/streams/{id}/stats", sv.handleStats)
+	mux.HandleFunc("POST /v1/streams/{id}/checkpoint", sv.handleCheckpoint)
+	mux.HandleFunc("DELETE /v1/streams/{id}", sv.handleDelete)
+	if cfg.Registry != nil {
+		mux.Handle("GET /metrics", cfg.Registry.Handler())
+	}
+	sv.mux = mux
+	return sv
+}
+
+// Handler returns the HTTP handler for the whole API surface.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// StreamCount returns the number of live streams.
+func (sv *Server) StreamCount() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return len(sv.streams)
+}
+
+// RestoreFromDir reopens every checkpointed stream found in
+// Config.CheckpointDir, returning how many were restored. Restored
+// learner state is bit-identical to the checkpoint: feeding the same
+// subsequent periods yields the same models the original process
+// would have produced.
+func (sv *Server) RestoreFromDir() (int, error) {
+	if sv.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(sv.cfg.CheckpointDir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, path := range paths {
+		if err := sv.restoreOne(path); err != nil {
+			return n, fmt.Errorf("serve: restore %s: %w", path, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (sv *Server) restoreOne(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var cf checkpointFile
+	if err := json.NewDecoder(f).Decode(&cf); err != nil {
+		return err
+	}
+	if cf.ServeVersion != serveVersion {
+		return fmt.Errorf("checkpoint envelope version %d, this binary reads %d", cf.ServeVersion, serveVersion)
+	}
+	if cf.Info.ID != strings.TrimSuffix(filepath.Base(path), ".json") {
+		return fmt.Errorf("checkpoint names stream %q but file is %s", cf.Info.ID, filepath.Base(path))
+	}
+	opt := cf.Info.Options.options()
+	o, err := learner.RestoreOnline(cf.Snapshot, opt)
+	if err != nil {
+		return err
+	}
+	_, err = sv.addStream(cf.Info, o, opt, cf.Snapshot.Stats.Periods)
+	return err
+}
+
+// Shutdown drains every stream (remaining queued periods are learned
+// and checkpointed) and refuses new work. It returns early with the
+// context's error if draining outlasts the deadline.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.mu.Lock()
+	sv.closed = true
+	streams := make([]*stream, 0, len(sv.streams))
+	for _, s := range sv.streams {
+		streams = append(streams, s)
+	}
+	sv.mu.Unlock()
+
+	for _, s := range streams {
+		s.close()
+	}
+	for _, s := range streams {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// addStream wires up a stream (fresh or restored) and starts its
+// owner goroutine.
+func (sv *Server) addStream(info StreamInfo, o *learner.Online, opt learner.Options, learned int) (*stream, error) {
+	p, err := newParser(info.Tasks, info.BitRate, info.PeriodUS)
+	if err != nil {
+		return nil, err
+	}
+	s := &stream{
+		id:             info.ID,
+		info:           info,
+		opt:            opt,
+		parser:         p,
+		queue:          make(chan *trace.Period, sv.cfg.QueueDepth),
+		reqs:           make(chan func(*learner.Online)),
+		closing:        make(chan struct{}),
+		done:           make(chan struct{}),
+		o:              o,
+		learned:        learned,
+		checkpointDir:  sv.cfg.CheckpointDir,
+		checkpointEach: sv.cfg.CheckpointEvery,
+	}
+	s.cut.Store(int64(learned))
+	if reg := sv.cfg.Registry; reg != nil {
+		s.mQueueDepth = reg.LabeledGauge("serve_queue_depth",
+			"Ingest queue occupancy per stream.", "stream", s.id)
+		s.mPeriods = reg.LabeledCounter("serve_periods_total",
+			"Periods cut and queued per stream.", "stream", s.id)
+		s.mShed = reg.LabeledCounter("serve_shed_total",
+			"Ingest batches shed with 429 per stream.", "stream", s.id)
+	}
+
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		sv.dropStreamMetrics(s)
+		return nil, errors.New("serve: server is shutting down")
+	}
+	if _, dup := sv.streams[s.id]; dup {
+		sv.mu.Unlock()
+		sv.dropStreamMetrics(s)
+		return nil, fmt.Errorf("serve: stream %q already exists", s.id)
+	}
+	sv.streams[s.id] = s
+	if sv.mStreams != nil {
+		sv.mStreams.Set(int64(len(sv.streams)))
+	}
+	sv.mu.Unlock()
+
+	go s.run()
+	return s, nil
+}
+
+func (sv *Server) dropStreamMetrics(s *stream) {
+	reg := sv.cfg.Registry
+	if reg == nil {
+		return
+	}
+	reg.Unregister(obs.SeriesName("serve_queue_depth", "stream", s.id))
+	reg.Unregister(obs.SeriesName("serve_periods_total", "stream", s.id))
+	reg.Unregister(obs.SeriesName("serve_shed_total", "stream", s.id))
+}
+
+func (sv *Server) stream(id string) (*stream, bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	s, ok := sv.streams[id]
+	return s, ok
+}
+
+// ---- handlers ----
+
+func (sv *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateStreamRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad create body: %w", err))
+		return
+	}
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("s%d", sv.nextID.Add(1))
+	}
+	if err := validateID(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := req.Options.options()
+	o, err := learner.NewOnline(req.Tasks, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info := StreamInfo{ID: req.ID, Tasks: append([]string(nil), req.Tasks...),
+		BitRate: req.BitRate, PeriodUS: req.PeriodUS, Options: req.Options}
+	s, err := sv.addStream(info, o, opt, 0)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.info)
+}
+
+func (sv *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	sv.mu.Lock()
+	infos := make([]StreamInfo, 0, len(sv.streams))
+	for _, s := range sv.streams {
+		infos = append(infos, s.info)
+	}
+	sv.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (sv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, sv.cfg.MaxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: events body: %w", err))
+		return
+	}
+	lines := strings.Split(string(body), "\n")
+	resp, shed, err := s.ingest(lines)
+	switch {
+	case shed:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrStreamClosed):
+		writeError(w, http.StatusGone, err)
+	case err != nil && s.deadErr() != nil:
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+func (sv *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
+		return
+	}
+	var res *learner.Result
+	var resErr error
+	err := s.do(func(o *learner.Online) { res, resErr = o.Result() })
+	if errors.Is(err, ErrStreamClosed) {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	if resErr != nil {
+		writeError(w, http.StatusConflict, resErr)
+		return
+	}
+	if r.URL.Query().Get("format") == "dot" {
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, res.LUB.DOT(s.id))
+		return
+	}
+	m := ModelResponse{
+		ID:        s.id,
+		Tasks:     res.TaskSet.Names(),
+		LUB:       res.LUB.Table(),
+		Converged: res.Converged,
+		Periods:   res.Stats.Periods,
+	}
+	for _, d := range res.Hypotheses {
+		m.Hypotheses = append(m.Hypotheses, d.Table())
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
+		return
+	}
+	resp := StatsResponse{ID: s.id, QueueCap: cap(s.queue)}
+	err := s.do(func(o *learner.Online) {
+		resp.Engine = o.Stats()
+		resp.WorkingSet = o.WorkingSetSize()
+		resp.PeriodsLearned = resp.Engine.Periods
+	})
+	if errors.Is(err, ErrStreamClosed) {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	resp.PeriodsCut = int(s.cut.Load())
+	resp.QueueDepth = len(s.queue)
+	resp.Shed = s.shed.Load()
+	s.feedMu.Lock()
+	resp.Partial = s.parser.partial()
+	s.feedMu.Unlock()
+	if derr := s.deadErr(); derr != nil {
+		resp.Err = derr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (sv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
+		return
+	}
+	if sv.cfg.CheckpointDir == "" {
+		writeError(w, http.StatusConflict, errors.New("serve: server has no checkpoint directory"))
+		return
+	}
+	var path string
+	var cpErr error
+	var periods int
+	err := s.do(func(o *learner.Online) {
+		path, cpErr = s.checkpoint()
+		periods = o.Stats().Periods
+	})
+	if errors.Is(err, ErrStreamClosed) {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	if cpErr != nil {
+		writeError(w, http.StatusConflict, cpErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{ID: s.id, Path: path, Periods: periods})
+}
+
+func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv.mu.Lock()
+	s, ok := sv.streams[id]
+	if ok {
+		delete(sv.streams, id)
+		if sv.mStreams != nil {
+			sv.mStreams.Set(int64(len(sv.streams)))
+		}
+	}
+	sv.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", id))
+		return
+	}
+	s.close()
+	<-s.done
+	s.removeCheckpoint()
+	sv.dropStreamMetrics(s)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// ErrStreamClosed is returned by queries against a stream whose owner
+// goroutine has exited (deleted or server shut down).
+var ErrStreamClosed = errors.New("serve: stream closed")
+
+// stream is one multiplexed learning session. Concurrency contract:
+//
+//   - The learner is touched ONLY by the owner goroutine (run); the
+//     HTTP layer talks to it through the bounded period queue and the
+//     closure request channel. No lock ever guards learner state.
+//   - The ingest parser is guarded by feedMu and advanced
+//     clone-and-commit, so a shed or failed batch leaves no trace.
+//   - dead / periodsCut / shed are atomics readable from any handler.
+type stream struct {
+	id   string
+	info StreamInfo
+	opt  learner.Options
+
+	feedMu sync.Mutex
+	parser *parser
+
+	queue   chan *trace.Period
+	reqs    chan func(*learner.Online)
+	closing chan struct{} // closed once by close() -> owner drains and exits
+	done    chan struct{} // closed by the owner on exit
+
+	closeOnce sync.Once
+	dead      atomic.Pointer[error] // sticky learner error
+	shed      atomic.Int64
+	cut       atomic.Int64 // periods queued by ingest
+
+	// Owner-goroutine state (no synchronization needed).
+	o              *learner.Online
+	learned        int // periods consumed since process start
+	sinceCheckp    int
+	checkpointDir  string
+	checkpointEach int
+
+	// Per-stream metric series, unregistered when the stream is
+	// deleted.
+	mQueueDepth *obs.Gauge
+	mPeriods    *obs.Counter
+	mShed       *obs.Counter
+}
+
+func (s *stream) deadErr() error {
+	if p := s.dead.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ingest parses the batch on a clone of the parser, then atomically
+// either queues every cut period and commits the clone, or rejects
+// the whole batch (shed=true on queue pressure) and commits nothing.
+func (s *stream) ingest(lines []string) (resp IngestResponse, shed bool, err error) {
+	if err := s.deadErr(); err != nil {
+		return resp, false, fmt.Errorf("serve: stream %s is dead: %w", s.id, err)
+	}
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+
+	cp := s.parser.clone()
+	var periods []*trace.Period
+	for _, line := range lines {
+		ps, err := cp.feed(line)
+		if err != nil {
+			return resp, false, err
+		}
+		periods = append(periods, ps...)
+	}
+	// Owner only drains the queue, so under feedMu the free-slot count
+	// can only grow between this check and the sends below: the batch
+	// either fits entirely or is shed entirely.
+	if cap(s.queue)-len(s.queue) < len(periods) {
+		s.shed.Add(1)
+		if s.mShed != nil {
+			s.mShed.Inc()
+		}
+		return resp, true, fmt.Errorf("serve: stream %s ingest queue full (%d periods over %d free slots)",
+			s.id, len(periods), cap(s.queue)-len(s.queue))
+	}
+	for _, p := range periods {
+		select {
+		case s.queue <- p:
+		case <-s.done:
+			return resp, false, ErrStreamClosed
+		}
+	}
+	s.parser = cp
+	s.cut.Add(int64(len(periods)))
+	if s.mPeriods != nil {
+		s.mPeriods.Add(int64(len(periods)))
+	}
+	if s.mQueueDepth != nil {
+		s.mQueueDepth.Set(int64(len(s.queue)))
+	}
+	return IngestResponse{Lines: len(lines), Periods: len(periods), QueueDepth: len(s.queue)}, false, nil
+}
+
+// do runs fn on the owner goroutine and waits for it. The owner
+// drains all already-queued periods first, so a query observes every
+// period whose ingest request completed before the query began
+// (read-your-writes for any single client).
+func (s *stream) do(fn func(o *learner.Online)) error {
+	ran := make(chan struct{})
+	select {
+	case s.reqs <- func(o *learner.Online) { fn(o); close(ran) }:
+		<-ran
+		return nil
+	case <-s.done:
+		return ErrStreamClosed
+	}
+}
+
+// close asks the owner to drain and exit; safe to call repeatedly.
+func (s *stream) close() {
+	s.closeOnce.Do(func() { close(s.closing) })
+}
+
+// run is the owner goroutine: the only code that touches s.o.
+func (s *stream) run() {
+	defer close(s.done)
+	for {
+		// Queue first: requests and shutdown never jump learning work
+		// that is already buffered.
+		select {
+		case p := <-s.queue:
+			s.consume(p)
+			continue
+		default:
+		}
+		select {
+		case p := <-s.queue:
+			s.consume(p)
+		case req := <-s.reqs:
+			s.drain()
+			req(s.o)
+		case <-s.closing:
+			s.drain()
+			if s.checkpointDir != "" && s.learned > 0 {
+				_, _ = s.checkpoint() // best effort on the way out
+			}
+			return
+		}
+	}
+}
+
+func (s *stream) drain() {
+	for {
+		select {
+		case p := <-s.queue:
+			s.consume(p)
+		default:
+			if s.mQueueDepth != nil {
+				s.mQueueDepth.Set(0)
+			}
+			return
+		}
+	}
+}
+
+func (s *stream) consume(p *trace.Period) {
+	if s.deadErr() != nil {
+		return // learner is sticky-dead; drop the backlog
+	}
+	if err := s.o.AddPeriod(p); err != nil {
+		e := err
+		s.dead.Store(&e)
+		return
+	}
+	s.learned++
+	s.sinceCheckp++
+	if s.mQueueDepth != nil {
+		s.mQueueDepth.Set(int64(len(s.queue)))
+	}
+	if s.checkpointDir != "" && s.checkpointEach > 0 && s.sinceCheckp >= s.checkpointEach {
+		_, _ = s.checkpoint() // periodic; failures retried next interval
+	}
+}
+
+// checkpointFile is the on-disk envelope around a learner snapshot:
+// the serve-level identity and runtime knobs needed to reopen the
+// stream. Ingest parser residue (an open period, candump sequence
+// numbers) is deliberately not persisted — checkpoints are taken at
+// period boundaries, and a client that was mid-period replays that
+// period after a restart.
+type checkpointFile struct {
+	ServeVersion int               `json:"serve_version"`
+	Info         StreamInfo        `json:"info"`
+	Snapshot     *learner.Snapshot `json:"snapshot"`
+}
+
+// serveVersion is the checkpoint envelope schema version.
+const serveVersion = 1
+
+// checkpoint writes the stream's current learner state to
+// <dir>/<id>.json atomically (tmp + rename). Owner goroutine only.
+func (s *stream) checkpoint() (string, error) {
+	s.sinceCheckp = 0
+	snap, err := s.o.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	cf := &checkpointFile{ServeVersion: serveVersion, Info: s.info, Snapshot: snap}
+	path := filepath.Join(s.checkpointDir, s.id+".json")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}
+
+// removeCheckpoint deletes the stream's checkpoint file, if any.
+func (s *stream) removeCheckpoint() {
+	if s.checkpointDir != "" {
+		_ = os.Remove(filepath.Join(s.checkpointDir, s.id+".json"))
+	}
+}

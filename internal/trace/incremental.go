@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LineReader is the incremental form of Read: it consumes the text
+// trace format one line at a time and emits each period as soon as
+// the line that closes it arrives, so a long-running service can cut
+// periods out of a live feed without buffering the whole stream
+// (internal/serve is the primary consumer).
+//
+// The predefined task set is fixed at construction instead of being
+// read from the stream; a "tasks" line in the feed is accepted only
+// when it matches exactly, so recorded trace files replay verbatim.
+// Line order is authoritative (per-period clock restarts are legal),
+// matching Read. Every emitted period has passed the same per-period
+// validation Read applies.
+//
+// LineReader is not safe for concurrent use. Clone supports two-phase
+// ingest: parse a batch on a clone, and only commit the clone as the
+// new state once the batch is accepted (see internal/serve's
+// backpressure path).
+type LineReader struct {
+	tasks     []string
+	known     map[string]bool
+	cur       *Period
+	started   bool
+	openStart map[string]int64
+	openRise  map[string]int64
+	line      int // lines consumed, for error positions
+}
+
+// NewLineReader returns a LineReader over the given predefined task
+// set.
+func NewLineReader(tasks []string) (*LineReader, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("trace: empty task set")
+	}
+	known := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if t == "" {
+			return nil, fmt.Errorf("trace: empty task name")
+		}
+		if known[t] {
+			return nil, fmt.Errorf("trace: duplicate task %q", t)
+		}
+		known[t] = true
+	}
+	return &LineReader{
+		tasks:     append([]string(nil), tasks...),
+		known:     known,
+		cur:       &Period{Index: 0, Execs: map[string]Interval{}},
+		openStart: map[string]int64{},
+		openRise:  map[string]int64{},
+	}, nil
+}
+
+// Tasks returns the reader's predefined task set.
+func (lr *LineReader) Tasks() []string { return append([]string(nil), lr.tasks...) }
+
+// Partial reports whether the open period has accumulated any events —
+// state that a Flush (or the closing "period" line) has not yet
+// emitted.
+func (lr *LineReader) Partial() bool {
+	return lr.started || len(lr.openStart) > 0 || len(lr.openRise) > 0
+}
+
+// Clone returns an independent deep copy of the reader state.
+func (lr *LineReader) Clone() *LineReader {
+	cp := &LineReader{
+		tasks:     lr.tasks, // immutable after construction
+		known:     lr.known, // immutable after construction
+		cur:       lr.cur.Clone(),
+		started:   lr.started,
+		openStart: make(map[string]int64, len(lr.openStart)),
+		openRise:  make(map[string]int64, len(lr.openRise)),
+		line:      lr.line,
+	}
+	for k, v := range lr.openStart {
+		cp.openStart[k] = v
+	}
+	for k, v := range lr.openRise {
+		cp.openRise[k] = v
+	}
+	return cp
+}
+
+// Line consumes one line of the text format. It returns the completed
+// period when the line closed one (a "period" directive after at
+// least one event), and nil otherwise. Blank lines and '#' comments
+// are ignored. Errors leave the reader in an undefined state; the
+// caller owns discarding it (or the clone it parsed into).
+func (lr *LineReader) Line(s string) (*Period, error) {
+	lr.line++
+	line := strings.TrimSpace(s)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, nil
+	}
+	p, err := lr.consume(strings.Fields(line))
+	if err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lr.line, err)
+	}
+	return p, nil
+}
+
+func (lr *LineReader) consume(fields []string) (*Period, error) {
+	switch fields[0] {
+	case "tasks":
+		if len(fields)-1 != len(lr.tasks) {
+			return nil, fmt.Errorf("stream declares %d tasks, reader is configured for %d", len(fields)-1, len(lr.tasks))
+		}
+		for i, t := range fields[1:] {
+			if t != lr.tasks[i] {
+				return nil, fmt.Errorf("stream task %d is %q, reader is configured for %q", i, t, lr.tasks[i])
+			}
+		}
+		return nil, nil
+	case "period":
+		return lr.cut()
+	case "exec":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%w: exec wants NAME START END", ErrTruncatedEvent)
+		}
+		start, err := parseTime(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		end, err := parseTime(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		if err := lr.taskStart(fields[1], start); err != nil {
+			return nil, err
+		}
+		return nil, lr.taskEnd(fields[1], end)
+	case "msg":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%w: msg wants ID RISE FALL", ErrTruncatedEvent)
+		}
+		rise, err := parseTime(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		fall, err := parseTime(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		lr.cur.Msgs = append(lr.cur.Msgs, Message{ID: fields[1], Rise: rise, Fall: fall})
+		lr.started = true
+		return nil, nil
+	case "start", "end", "rise", "fall":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: %s wants NAME TIME", ErrTruncatedEvent, fields[0])
+		}
+		t, err := parseTime(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		switch fields[0] {
+		case "start":
+			if err := lr.taskStart(fields[1], t); err != nil {
+				return nil, err
+			}
+		case "end":
+			if err := lr.taskEnd(fields[1], t); err != nil {
+				return nil, err
+			}
+		case "rise":
+			if _, open := lr.openRise[fields[1]]; open {
+				return nil, fmt.Errorf("%w: double rise of %q", ErrUnmatchedEvent, fields[1])
+			}
+			lr.openRise[fields[1]] = t
+			lr.started = true
+		case "fall":
+			rise, ok := lr.openRise[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("%w: fall of %q without rise", ErrUnmatchedEvent, fields[1])
+			}
+			delete(lr.openRise, fields[1])
+			lr.cur.Msgs = append(lr.cur.Msgs, Message{ID: fields[1], Rise: rise, Fall: t})
+			lr.started = true
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// Flush closes the open period and returns it, or nil when no events
+// are pending. It fails when a task or message is still open — the
+// feed ended mid-event-pair — leaving the reader unchanged so the
+// caller can report and decide.
+func (lr *LineReader) Flush() (*Period, error) { return lr.cut() }
+
+func (lr *LineReader) cut() (*Period, error) {
+	if len(lr.openStart) > 0 || len(lr.openRise) > 0 {
+		return nil, fmt.Errorf("%w: period %d has %d open task(s) and %d open message(s)",
+			ErrCrossingPeriod, lr.cur.Index, len(lr.openStart), len(lr.openRise))
+	}
+	if !lr.started {
+		return nil, nil
+	}
+	p := lr.cur
+	sortPeriodMessages(p)
+	if err := validateOnePeriod(p, lr.known); err != nil {
+		return nil, err
+	}
+	lr.cur = &Period{Index: p.Index + 1, Execs: map[string]Interval{}}
+	lr.started = false
+	return p, nil
+}
+
+func (lr *LineReader) taskStart(name string, t int64) error {
+	if !lr.known[name] {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, name)
+	}
+	if _, dup := lr.cur.Execs[name]; dup {
+		return fmt.Errorf("%w: %q in period %d", ErrDuplicateExec, name, lr.cur.Index)
+	}
+	if _, open := lr.openStart[name]; open {
+		return fmt.Errorf("%w: double start of %q", ErrUnmatchedEvent, name)
+	}
+	lr.openStart[name] = t
+	lr.started = true
+	return nil
+}
+
+func (lr *LineReader) taskEnd(name string, t int64) error {
+	st, ok := lr.openStart[name]
+	if !ok {
+		return fmt.Errorf("%w: end of %q without start", ErrUnmatchedEvent, name)
+	}
+	delete(lr.openStart, name)
+	lr.cur.Execs[name] = Interval{Start: st, End: t}
+	lr.started = true
+	return nil
+}
+
+func parseTime(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrBadTimestamp, s)
+	}
+	return v, nil
+}
+
+func sortPeriodMessages(p *Period) {
+	sort.SliceStable(p.Msgs, func(i, j int) bool { return p.Msgs[i].Rise < p.Msgs[j].Rise })
+}

@@ -255,31 +255,42 @@ func (tr *Trace) validatePeriods() error {
 		known[t] = true
 	}
 	for _, p := range tr.Periods {
-		for t, iv := range p.Execs {
-			if !known[t] {
-				return fmt.Errorf("%w: %q in period %d", ErrUnknownTask, t, p.Index)
-			}
-			if iv.End < iv.Start {
-				return fmt.Errorf("%w: task %q in period %d has interval [%d, %d]",
-					ErrInvertedEvent, t, p.Index, iv.Start, iv.End)
-			}
+		if err := validateOnePeriod(p, known); err != nil {
+			return err
 		}
-		seen := make(map[string]bool, len(p.Msgs))
-		prevRise := int64(-1 << 62)
-		for _, m := range p.Msgs {
-			if m.Fall < m.Rise {
-				return fmt.Errorf("%w: message %q in period %d has [%d, %d]",
-					ErrInvertedEvent, m.ID, p.Index, m.Rise, m.Fall)
-			}
-			if seen[m.ID] {
-				return fmt.Errorf("%w: %q in period %d", ErrDuplicateMsgID, m.ID, p.Index)
-			}
-			seen[m.ID] = true
-			if m.Rise < prevRise {
-				return fmt.Errorf("trace: messages in period %d not in rise order", p.Index)
-			}
-			prevRise = m.Rise
+	}
+	return nil
+}
+
+// validateOnePeriod runs the per-period structural checks of Validate
+// on one period, against the known task-name set. It is shared with
+// the incremental LineReader, which validates each period as it is
+// cut.
+func validateOnePeriod(p *Period, known map[string]bool) error {
+	for t, iv := range p.Execs {
+		if !known[t] {
+			return fmt.Errorf("%w: %q in period %d", ErrUnknownTask, t, p.Index)
 		}
+		if iv.End < iv.Start {
+			return fmt.Errorf("%w: task %q in period %d has interval [%d, %d]",
+				ErrInvertedEvent, t, p.Index, iv.Start, iv.End)
+		}
+	}
+	seen := make(map[string]bool, len(p.Msgs))
+	prevRise := int64(-1 << 62)
+	for _, m := range p.Msgs {
+		if m.Fall < m.Rise {
+			return fmt.Errorf("%w: message %q in period %d has [%d, %d]",
+				ErrInvertedEvent, m.ID, p.Index, m.Rise, m.Fall)
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("%w: %q in period %d", ErrDuplicateMsgID, m.ID, p.Index)
+		}
+		seen[m.ID] = true
+		if m.Rise < prevRise {
+			return fmt.Errorf("trace: messages in period %d not in rise order", p.Index)
+		}
+		prevRise = m.Rise
 	}
 	return nil
 }
