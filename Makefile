@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench conform soak fuzz tidy
+.PHONY: check vet build test race bench microbench conform soak fuzz tidy load
 
 ## check: the full gate — vet, build everything, race-enabled tests,
 ## and the conformance harness over the committed golden corpus.
@@ -28,10 +28,19 @@ conform:
 
 ## soak: long-run health check of the serving layer — 16 concurrent
 ## streams, hundreds of periods each through the HTTP API, then
-## goroutine-leak and heap-growth assertions. Gated behind a build tag
-## so plain `go test ./...` stays fast.
+## goroutine-leak and heap-growth assertions — plus the 1000-stream
+## 30-second bbload acceptance run. Gated behind a build tag so plain
+## `go test ./...` stays fast.
 soak:
 	$(GO) test -tags soak -run TestSoak -timeout 10m -v ./internal/serve/
+	$(GO) test -tags soak -run TestLoadThousandStreams -timeout 10m -v ./internal/load/
+
+## load: SLO-gated load smoke — bbload boots bbserved in-process,
+## drives 64 mixed text/candump streams for 5 seconds, prints the
+## p50/p95/p99/shed/availability report, and exits nonzero on an SLO
+## violation (exit 1) or a goroutine leak after shutdown (exit 3).
+load:
+	$(GO) run ./cmd/bbload -streams 64 -duration 5s -slo
 
 ## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
 ## nightly CI uses 10m). Minimized crashers land under the package's

@@ -1,0 +1,154 @@
+// Command bbload is the SLO-tracked load generator for bbserved: it
+// drives N synthetic text and candump streams at a target aggregate
+// batch rate against a live server (-addr) or an in-process one
+// (default), reports p50/p95/p99 client-observed ingest latency,
+// throughput, shed rate and availability per stream class, and — with
+// -slo — exits nonzero when an objective is violated, so CI can gate
+// on "the service still serves under load".
+//
+// Usage:
+//
+//	bbload -streams 64 -duration 5s -slo            # in-process smoke
+//	bbload -addr http://host:8080 -streams 1000 -duration 30s -rate 2000
+//
+// Exit codes: 0 ok, 1 SLO violation (-slo only), 2 run error,
+// 3 goroutine leak after in-process shutdown.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/load"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+	"github.com/blackbox-rt/modelgen/internal/slo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbload: ")
+	var (
+		addr        = flag.String("addr", "", "target server base URL (empty = run bbserved in-process)")
+		streams     = flag.Int("streams", 64, "number of concurrent synthetic streams")
+		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		rate        = flag.Float64("rate", 0, "aggregate batches/sec across all streams (0 = 2 per stream)")
+		perBatch    = flag.Int("periods-per-batch", 3, "learnable periods per batch")
+		canFrac     = flag.Float64("candump-fraction", 0.5, "fraction of candump-class streams")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of batches sent with a traceparent header")
+		queue       = flag.Int("queue", 256, "per-stream ingest queue depth (in-process mode)")
+		jsonOut     = flag.Bool("json", false, "print the report as JSON")
+		sloGate     = flag.Bool("slo", false, "exit 1 when an SLO threshold is violated")
+		sloP99      = flag.Duration("slo-p99", 500*time.Millisecond, "p99 ingest latency threshold")
+		sloShed     = flag.Float64("slo-shed", 0.01, "maximum shed rate")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "minimum availability")
+	)
+	flag.Parse()
+
+	thr := load.Thresholds{
+		P99LatencySeconds: sloP99.Seconds(),
+		MaxShedRate:       *sloShed,
+		MinAvailability:   *sloAvail,
+	}
+	cfg := load.Config{
+		Streams:         *streams,
+		Duration:        *duration,
+		Rate:            *rate,
+		PeriodsPerBatch: *perBatch,
+		CandumpFraction: *canFrac,
+		TraceSample:     *traceSample,
+		SLO:             thr,
+	}
+
+	// In-process mode boots a full bbserved — registry, tracer, SLO
+	// monitor — so the smoke run exercises the same code paths a
+	// deployment would, and can check goroutine hygiene afterwards.
+	var sv *serve.Server
+	var stopMon func()
+	baseline := runtime.NumGoroutine()
+	if *addr == "" {
+		reg := obs.NewRegistry()
+		obs.RuntimeMetrics(reg)
+		var tr *obs.Tracer
+		if *traceSample > 0 {
+			tr = obs.NewTracer(obs.TracerConfig{Sample: *traceSample})
+		}
+		mon := slo.NewMonitor(slo.Config{
+			Registry:   reg,
+			Objectives: slo.DefaultServeObjectives(thr.P99LatencySeconds),
+		})
+		stopMon = mon.Start(time.Second)
+		sv = serve.New(serve.Config{
+			Registry:   reg,
+			Tracer:     tr,
+			SLO:        mon.Handler(),
+			QueueDepth: *queue,
+		})
+		cfg.Handler = sv.Handler()
+		log.Printf("in-process bbserved: %d streams, %s", *streams, *duration)
+	} else {
+		cfg.BaseURL = *addr
+		cfg.Cleanup = true
+		log.Printf("target %s: %d streams, %s", *addr, *streams, *duration)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		log.Printf("run: %v", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Print(rep.Format())
+	}
+
+	leak := false
+	if sv != nil {
+		stopMon()
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := sv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(2)
+		}
+		leak = !goroutinesSettled(baseline)
+		if leak {
+			log.Printf("goroutine leak: %d at start, %d after shutdown",
+				baseline, runtime.NumGoroutine())
+		}
+	}
+
+	switch {
+	case leak:
+		os.Exit(3)
+	case *sloGate && rep.Violated():
+		os.Exit(1)
+	}
+}
+
+// goroutinesSettled waits for the goroutine count to return to (near)
+// the pre-run baseline — the soak-test hygiene check as a CLI gate.
+func goroutinesSettled(baseline int) bool {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return true
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}

@@ -18,6 +18,9 @@
 //	DELETE /v1/streams/{id}             drain and delete a stream
 //	GET    /healthz                      liveness
 //	GET    /metrics                      Prometheus exposition
+//	GET    /slo                          SLO burn-rate status (JSON)
+//	GET    /debug/streams                per-stream operational state (JSON)
+//	GET    /debug/traces                 recent request traces (?trace=<id>, ?format=jsonl)
 //
 // A full ingest queue answers 429 with Retry-After; resend the batch
 // unchanged (rejection is atomic). On SIGINT/SIGTERM the server stops
@@ -39,6 +42,7 @@ import (
 
 	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/serve"
+	"github.com/blackbox-rt/modelgen/internal/slo"
 )
 
 func main() {
@@ -52,6 +56,12 @@ func main() {
 		maxBody  = flag.Int64("max-body", 8<<20, "maximum events request body in bytes")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "maximum time to drain streams on shutdown")
 		pprof    = flag.String("pprof", "", "also serve /debug/pprof/ and /metrics on this address")
+
+		traceSample = flag.Float64("trace-sample", 0.01, "head-sampling probability for traces the client did not already sample (an upstream-sampled traceparent is always recorded); 0 disables tracing")
+		traceRing   = flag.Int("trace-ring", 4096, "spans held in the in-memory ring behind /debug/traces")
+		traceOut    = flag.String("trace-out", "", "also append every recorded span as JSONL to this file")
+		sloP99      = flag.Duration("slo-p99", 500*time.Millisecond, "ingest-latency SLO threshold (p99)")
+		sloEvery    = flag.Duration("slo-every", 10*time.Second, "SLO burn-rate sampling interval")
 	)
 	flag.Parse()
 
@@ -62,12 +72,33 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{Capacity: *traceRing, Sample: *traceSample})
+		if *traceOut != "" {
+			fs, err := obs.OpenFileSink(*traceOut)
+			if err != nil {
+				log.Fatalf("trace-out: %v", err)
+			}
+			defer fs.Close()
+			tracer.SetSink(fs.JSONLSink)
+			log.Printf("streaming spans to %s", fs.Path())
+		}
+	}
+	mon := slo.NewMonitor(slo.Config{
+		Registry:   reg,
+		Objectives: slo.DefaultServeObjectives(sloP99.Seconds()),
+	})
+	stopMon := mon.Start(*sloEvery)
+	defer stopMon()
 	sv := serve.New(serve.Config{
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEach,
 		QueueDepth:      *queue,
 		MaxBody:         *maxBody,
 		Registry:        reg,
+		Tracer:          tracer,
+		SLO:             mon.Handler(),
 	})
 	if n, err := sv.RestoreFromDir(); err != nil {
 		log.Fatalf("restore: %v", err)

@@ -1,0 +1,345 @@
+// Package load is the SLO-tracked load generator behind cmd/bbload:
+// it drives N synthetic streams of text and candump traffic against a
+// bbserved instance — live over HTTP or in-process through its
+// handler — on an open-loop schedule, measures client-observed ingest
+// latency, throughput, shed rate and availability per stream class,
+// and evaluates the result against declarative thresholds so CI can
+// gate on "the service still meets its SLOs under this load".
+//
+// Open loop means each stream fires batches on a fixed schedule
+// derived from the target aggregate rate, regardless of how fast the
+// server answers; responses are awaited on their own goroutines
+// (bounded by a concurrency cap), so a slowing server faces mounting
+// concurrent work rather than a politely backing-off client. That is
+// the load shape the paper's setting implies: a CAN bus does not slow
+// down because the logger is busy.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class names a synthetic traffic shape.
+type Class string
+
+const (
+	// ClassText streams text-format task/message directives with
+	// explicit period cuts.
+	ClassText Class = "text"
+	// ClassCandump streams raw candump frames interleaved with text
+	// task events on a period grid — the mixed-format ingest path.
+	ClassCandump Class = "candump"
+)
+
+// Thresholds are the pass/fail criteria of a run. Zero values disable
+// the corresponding check.
+type Thresholds struct {
+	// P99LatencySeconds bounds the client-observed p99 ingest request
+	// latency, per class and overall.
+	P99LatencySeconds float64
+	// MaxShedRate bounds shed requests / total requests.
+	MaxShedRate float64
+	// MinAvailability bounds successful (non-5xx, non-transport-error)
+	// requests / total requests from below.
+	MinAvailability float64
+}
+
+// DefaultThresholds are the bbserved serving objectives seen from the
+// client: p99 under 500 ms, at most 1% shed, 99.9% availability.
+func DefaultThresholds() Thresholds {
+	return Thresholds{P99LatencySeconds: 0.5, MaxShedRate: 0.01, MinAvailability: 0.999}
+}
+
+// Config configures a run.
+type Config struct {
+	// BaseURL targets a live server ("http://host:port"). Leave empty
+	// and set Handler to drive an in-process server.
+	BaseURL string
+	// Handler is the in-process target when BaseURL is empty.
+	Handler http.Handler
+	// Streams is the number of concurrent synthetic streams.
+	Streams int
+	// CandumpFraction is the fraction of streams in ClassCandump
+	// (default 0.5).
+	CandumpFraction float64
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Rate is the target aggregate batch rate per second across all
+	// streams (default 2 per stream).
+	Rate float64
+	// PeriodsPerBatch is the learnable periods each batch carries
+	// (default 3).
+	PeriodsPerBatch int
+	// TraceSample sends a W3C traceparent header on this fraction of
+	// batches, forcing server-side trace recording for them.
+	TraceSample float64
+	// SLO holds the thresholds evaluated into Report.Violations.
+	SLO Thresholds
+	// Cleanup deletes the synthetic streams after the run (default
+	// keeps them; bbload's in-process mode shuts the server down
+	// instead).
+	Cleanup bool
+	// MaxInFlight caps concurrent outstanding requests (default
+	// 4×Streams, at least 64). When the cap is hit the open-loop
+	// schedule stalls, which shows up as latency, not as lost sends.
+	MaxInFlight int
+}
+
+// ClassReport aggregates one stream class (or the total).
+type ClassReport struct {
+	Class    string  `json:"class"`
+	Streams  int     `json:"streams"`
+	Requests int64   `json:"requests"`
+	Shed     int64   `json:"shed"`
+	Errors   int64   `json:"errors"`
+	Lines    int64   `json:"lines"`
+	Periods  int64   `json:"periods"`
+	P50      float64 `json:"p50_seconds"`
+	P95      float64 `json:"p95_seconds"`
+	P99      float64 `json:"p99_seconds"`
+	// Throughput is accepted requests per second.
+	Throughput float64 `json:"throughput_rps"`
+	// ShedRate is shed/requests; Availability is 1 − errors/requests.
+	ShedRate     float64 `json:"shed_rate"`
+	Availability float64 `json:"availability"`
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Duration   time.Duration `json:"duration_ns"`
+	Classes    []ClassReport `json:"classes"`
+	Total      ClassReport   `json:"total"`
+	Violations []string      `json:"violations,omitempty"`
+}
+
+// Violated reports whether any SLO threshold was breached.
+func (r Report) Violated() bool { return len(r.Violations) > 0 }
+
+// Format renders the human-readable report bbload prints.
+func (r Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bbload report (%s)\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "%-8s %8s %9s %6s %6s %9s %9s %9s %10s %7s\n",
+		"class", "streams", "requests", "shed", "errors", "p50", "p95", "p99", "rps", "avail")
+	row := func(c ClassReport) {
+		fmt.Fprintf(&sb, "%-8s %8d %9d %6d %6d %9s %9s %9s %10.1f %6.2f%%\n",
+			c.Class, c.Streams, c.Requests, c.Shed, c.Errors,
+			fmtSec(c.P50), fmtSec(c.P95), fmtSec(c.P99), c.Throughput, c.Availability*100)
+	}
+	for _, c := range r.Classes {
+		row(c)
+	}
+	row(r.Total)
+	if len(r.Violations) == 0 {
+		sb.WriteString("SLO: ok\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "SLO VIOLATION: %s\n", v)
+		}
+	}
+	return sb.String()
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// classStats is the shared accumulator of one class.
+type classStats struct {
+	mu       sync.Mutex
+	streams  int
+	requests int64
+	shed     int64
+	errors   int64
+	lines    int64
+	periods  int64
+	samples  []float64 // seconds, accepted requests only
+}
+
+// Run executes the load profile and returns the report. The context
+// cancels the run early (the partial report is still returned).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.PeriodsPerBatch <= 0 {
+		cfg.PeriodsPerBatch = 3
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 2 * float64(cfg.Streams)
+	}
+	if cfg.CandumpFraction < 0 || cfg.CandumpFraction > 1 {
+		return Report{}, fmt.Errorf("load: candump fraction %g out of [0,1]", cfg.CandumpFraction)
+	}
+	if cfg.CandumpFraction == 0 {
+		cfg.CandumpFraction = 0.5
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * cfg.Streams
+		if cfg.MaxInFlight < 64 {
+			cfg.MaxInFlight = 64
+		}
+	}
+	client, err := newTarget(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	nCan := int(float64(cfg.Streams) * cfg.CandumpFraction)
+	stats := map[Class]*classStats{
+		ClassText:    {streams: cfg.Streams - nCan},
+		ClassCandump: {streams: nCan},
+	}
+	workers := make([]*worker, 0, cfg.Streams)
+	for i := 0; i < cfg.Streams; i++ {
+		class := ClassText
+		if i < nCan {
+			class = ClassCandump
+		}
+		w := &worker{
+			id:     fmt.Sprintf("load-%s-%d", class, i),
+			class:  class,
+			cfg:    &cfg,
+			client: client,
+			stats:  stats[class],
+			rng:    rand.New(rand.NewSource(int64(i) + 1)),
+		}
+		if err := w.createStream(ctx); err != nil {
+			return Report{}, fmt.Errorf("load: create stream %s: %w", w.id, err)
+		}
+		workers = append(workers, w)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg, inflight sync.WaitGroup
+	start := time.Now()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(runCtx, start, cfg.Rate/float64(cfg.Streams), sem, &inflight)
+		}(w)
+	}
+	wg.Wait()
+	// The schedules have stopped, but sends spawned near the deadline
+	// may still be in flight (runCtx cancellation aborts them quickly);
+	// the stats are read-safe only once they are done.
+	inflight.Wait()
+	elapsed := time.Since(start)
+
+	if cfg.Cleanup {
+		for _, w := range workers {
+			w.deleteStream(ctx)
+		}
+	}
+	return buildReport(cfg, elapsed, stats), nil
+}
+
+func buildReport(cfg Config, elapsed time.Duration, stats map[Class]*classStats) Report {
+	rep := Report{Duration: elapsed}
+	total := ClassReport{Class: "total", Streams: cfg.Streams}
+	var allSamples []float64
+	for _, class := range []Class{ClassText, ClassCandump} {
+		st := stats[class]
+		if st.streams == 0 {
+			continue
+		}
+		c := summarize(string(class), st, elapsed)
+		allSamples = append(allSamples, st.samples...)
+		total.Requests += c.Requests
+		total.Shed += c.Shed
+		total.Errors += c.Errors
+		total.Lines += c.Lines
+		total.Periods += c.Periods
+		rep.Classes = append(rep.Classes, c)
+	}
+	sort.Float64s(allSamples)
+	total.P50, total.P95, total.P99 = quantiles(allSamples)
+	if sec := elapsed.Seconds(); sec > 0 {
+		total.Throughput = float64(total.Requests-total.Shed-total.Errors) / sec
+	}
+	if total.Requests > 0 {
+		total.ShedRate = float64(total.Shed) / float64(total.Requests)
+		total.Availability = 1 - float64(total.Errors)/float64(total.Requests)
+	} else {
+		total.Availability = 1
+	}
+	rep.Total = total
+	rep.Violations = evaluate(cfg.SLO, rep)
+	return rep
+}
+
+func summarize(name string, st *classStats, elapsed time.Duration) ClassReport {
+	c := ClassReport{
+		Class: name, Streams: st.streams,
+		Requests: st.requests, Shed: st.shed, Errors: st.errors,
+		Lines: st.lines, Periods: st.periods,
+	}
+	sort.Float64s(st.samples)
+	c.P50, c.P95, c.P99 = quantiles(st.samples)
+	if sec := elapsed.Seconds(); sec > 0 {
+		c.Throughput = float64(c.Requests-c.Shed-c.Errors) / sec
+	}
+	if c.Requests > 0 {
+		c.ShedRate = float64(c.Shed) / float64(c.Requests)
+		c.Availability = 1 - float64(c.Errors)/float64(c.Requests)
+	} else {
+		c.Availability = 1
+	}
+	return c
+}
+
+func quantiles(sorted []float64) (p50, p95, p99 float64) {
+	q := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return q(0.50), q(0.95), q(0.99)
+}
+
+// evaluate turns threshold breaches into violation strings. Per-class
+// p99 is checked alongside the total so a bad class cannot hide
+// inside a healthy aggregate.
+func evaluate(slo Thresholds, rep Report) []string {
+	var out []string
+	check := func(c ClassReport) {
+		if slo.P99LatencySeconds > 0 && c.P99 > slo.P99LatencySeconds {
+			out = append(out, fmt.Sprintf("%s: p99 %s over threshold %s",
+				c.Class, fmtSec(c.P99), fmtSec(slo.P99LatencySeconds)))
+		}
+		if slo.MaxShedRate > 0 && c.Requests > 0 && c.ShedRate > slo.MaxShedRate {
+			out = append(out, fmt.Sprintf("%s: shed rate %.3f over threshold %.3f",
+				c.Class, c.ShedRate, slo.MaxShedRate))
+		}
+		if slo.MinAvailability > 0 && c.Requests > 0 && c.Availability < slo.MinAvailability {
+			out = append(out, fmt.Sprintf("%s: availability %.4f under threshold %.4f",
+				c.Class, c.Availability, slo.MinAvailability))
+		}
+	}
+	for _, c := range rep.Classes {
+		check(c)
+	}
+	check(rep.Total)
+	return out
+}

@@ -1,0 +1,144 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+)
+
+func inprocServer(t testing.TB, cfg serve.Config) *serve.Server {
+	t.Helper()
+	sv := serve.New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return sv
+}
+
+func TestRunInProcess(t *testing.T) {
+	reg := obs.NewRegistry()
+	sv := inprocServer(t, serve.Config{Registry: reg})
+	rep, err := Run(context.Background(), Config{
+		Handler:  sv.Handler(),
+		Streams:  4,
+		Duration: 400 * time.Millisecond,
+		Rate:     40,
+		SLO:      Thresholds{P99LatencySeconds: 5, MaxShedRate: 0.5, MinAvailability: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	for _, c := range rep.Classes {
+		if c.Streams != 2 {
+			t.Errorf("class %s has %d streams, want 2", c.Class, c.Streams)
+		}
+		if c.Requests == 0 {
+			t.Errorf("class %s sent no requests", c.Class)
+		}
+		if c.Errors != 0 {
+			t.Errorf("class %s had %d errors", c.Class, c.Errors)
+		}
+		if c.Periods == 0 {
+			t.Errorf("class %s cut no periods", c.Class)
+		}
+		if c.P99 <= 0 {
+			t.Errorf("class %s p99 = %g, want > 0", c.Class, c.P99)
+		}
+	}
+	if rep.Total.Requests == 0 || rep.Total.Throughput <= 0 {
+		t.Fatalf("total = %+v", rep.Total)
+	}
+	if rep.Violated() {
+		t.Fatalf("violations under generous thresholds: %v", rep.Violations)
+	}
+	// The registry saw the ingest: offered lines were counted.
+	if got := reg.Snapshot().Value("serve_ingest_offered_lines_total"); got == 0 {
+		t.Error("server registry did not count offered lines")
+	}
+	// Cleanup=false left the streams for the server's Shutdown.
+	if sv.StreamCount() != 4 {
+		t.Errorf("stream count = %d, want 4", sv.StreamCount())
+	}
+}
+
+// TestSLOGateViolation pins the -slo gating path: an impossible p99
+// threshold must produce a violated report.
+func TestSLOGateViolation(t *testing.T) {
+	sv := inprocServer(t, serve.Config{})
+	rep, err := Run(context.Background(), Config{
+		Handler:  sv.Handler(),
+		Streams:  2,
+		Duration: 200 * time.Millisecond,
+		Rate:     20,
+		SLO:      Thresholds{P99LatencySeconds: 1e-9},
+		Cleanup:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Violated() {
+		t.Fatalf("report not violated under 1ns p99 threshold: %+v", rep.Total)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "p99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not mention p99", rep.Violations)
+	}
+	if sv.StreamCount() != 0 {
+		t.Errorf("cleanup left %d streams", sv.StreamCount())
+	}
+}
+
+func TestTracePropagationFromLoad(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{Capacity: 1024})
+	sv := inprocServer(t, serve.Config{Tracer: tr})
+	rep, err := Run(context.Background(), Config{
+		Handler:     sv.Handler(),
+		Streams:     2,
+		Duration:    300 * time.Millisecond,
+		Rate:        30,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Requests == 0 {
+		t.Fatal("no requests sent")
+	}
+	if got := len(tr.Summaries(0)); got == 0 {
+		t.Fatal("no traces recorded despite TraceSample=1")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rep := Report{
+		Duration: time.Second,
+		Classes: []ClassReport{{
+			Class: "text", Streams: 2, Requests: 100, P50: 0.001, P95: 0.01, P99: 0.6,
+			Throughput: 100, Availability: 1,
+		}},
+		Total:      ClassReport{Class: "total", Streams: 2, Requests: 100, Availability: 1},
+		Violations: []string{"text: p99 600.0ms over threshold 500.0ms"},
+	}
+	out := rep.Format()
+	for _, want := range []string{"bbload report", "text", "total", "SLO VIOLATION", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+//go:build soak
+
+package load
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+)
+
+// TestLoadThousandStreams is the ISSUE-6 acceptance run: bbload's
+// engine drives 1000 synthetic streams for 30 seconds against an
+// in-process bbserved and must complete with a full report, no
+// errors, and no goroutine leak once the server is down. Run with the
+// soak build tag, e.g. `make soak`.
+func TestLoadThousandStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run")
+	}
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	sv := serve.New(serve.Config{Registry: reg, QueueDepth: 64})
+	rep, err := Run(context.Background(), Config{
+		Handler:  sv.Handler(),
+		Streams:  1000,
+		Duration: 30 * time.Second,
+		Rate:     1000, // one batch/s per stream on average
+		SLO:      Thresholds{P99LatencySeconds: 5, MaxShedRate: 0.05, MinAvailability: 0.999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if rep.Total.Requests < 1000 {
+		t.Fatalf("only %d requests over 30s", rep.Total.Requests)
+	}
+	if rep.Total.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Total.Errors)
+	}
+	if rep.Total.P99 <= 0 || rep.Total.Periods == 0 {
+		t.Fatalf("degenerate report: %+v", rep.Total)
+	}
+	if rep.Violated() {
+		t.Fatalf("SLO violations: %v", rep.Violations)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := sv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Goroutine hygiene: everything the run spawned must be gone.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+10 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,222 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+// target abstracts "where requests go": a live base URL or an
+// in-process handler invoked without a socket.
+type target struct {
+	base string
+	c    *http.Client
+}
+
+func newTarget(cfg Config) (*target, error) {
+	switch {
+	case cfg.BaseURL != "":
+		return &target{base: strings.TrimRight(cfg.BaseURL, "/"),
+			c: &http.Client{Timeout: 30 * time.Second}}, nil
+	case cfg.Handler != nil:
+		return &target{base: "http://bbserved.inproc",
+			c: &http.Client{Transport: inprocTransport{h: cfg.Handler}}}, nil
+	default:
+		return nil, fmt.Errorf("load: neither BaseURL nor Handler configured")
+	}
+}
+
+// inprocTransport serves requests by calling the handler directly —
+// the in-process mode that lets bbload push thousands of streams
+// without sockets or ports.
+type inprocTransport struct{ h http.Handler }
+
+func (t inprocTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, r)
+	return rec.Result(), nil
+}
+
+func (t *target) do(ctx context.Context, method, path string, body []byte, hdr map[string]string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := t.c.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, out, nil
+}
+
+// worker drives one synthetic stream.
+type worker struct {
+	id     string
+	class  Class
+	cfg    *Config
+	client *target
+	stats  *classStats
+	rng    *rand.Rand
+
+	clockUS int64 // synthetic trace clock, µs
+}
+
+const (
+	workerPeriodUS = 1000
+	workerBitRate  = 500_000
+)
+
+func (w *worker) createStream(ctx context.Context) error {
+	body := fmt.Sprintf(`{"id":%q,"tasks":["t1","t2"]`, w.id)
+	if w.class == ClassCandump {
+		body += fmt.Sprintf(`,"bit_rate":%d,"period_us":%d`, workerBitRate, workerPeriodUS)
+	}
+	body += "}"
+	code, _, out, err := w.client.do(ctx, "POST", "/v1/streams", []byte(body), nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("status %d: %s", code, out)
+	}
+	return nil
+}
+
+func (w *worker) deleteStream(ctx context.Context) {
+	_, _, _, _ = w.client.do(ctx, "DELETE", "/v1/streams/"+w.id, nil, nil)
+}
+
+// run fires batches on the open-loop schedule: batch n is due at
+// start + n/rate, independent of how earlier batches fared. Responses
+// are awaited on their own goroutines, bounded by the shared
+// semaphore and tracked by inflight so Run can wait them out before
+// reading the stats.
+func (w *worker) run(ctx context.Context, start time.Time, rate float64, sem chan struct{}, inflight *sync.WaitGroup) {
+	interval := time.Duration(float64(time.Second) / rate)
+	// Desynchronize the fleet: stream n starts at a random phase of
+	// its interval instead of all firing on the same tick.
+	phase := time.Duration(w.rng.Int63n(int64(interval) + 1))
+	for n := int64(0); ; n++ {
+		due := start.Add(phase + time.Duration(n)*interval)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Until(due)):
+		}
+		batch := w.nextBatch()
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		inflight.Add(1)
+		go func(batch string) {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			w.send(ctx, batch)
+		}(batch)
+	}
+}
+
+// nextBatch renders PeriodsPerBatch learnable periods and advances
+// the stream clock. Text streams cut periods explicitly; candump
+// streams interleave task exec lines with CAN frames and rely on the
+// server's period grid plus one explicit flush.
+func (w *worker) nextBatch() string {
+	var sb strings.Builder
+	for k := 0; k < w.cfg.PeriodsPerBatch; k++ {
+		base := w.clockUS
+		w.clockUS += workerPeriodUS
+		fmt.Fprintf(&sb, "exec t1 %d %d\n", base, base+100)
+		if w.class == ClassCandump {
+			t := base + 150
+			fmt.Fprintf(&sb, "(%d.%06d) can0 123#AA\n", t/1_000_000, t%1_000_000)
+		} else {
+			fmt.Fprintf(&sb, "msg m1 %d %d\n", base+150, base+200)
+		}
+		fmt.Fprintf(&sb, "exec t2 %d %d\n", base+400, base+500)
+		if w.class == ClassText {
+			sb.WriteString("period\n")
+		}
+	}
+	if w.class == ClassCandump {
+		sb.WriteString("period\n")
+	}
+	return sb.String()
+}
+
+func (w *worker) send(ctx context.Context, batch string) {
+	var hdr map[string]string
+	if p := w.cfg.TraceSample; p > 0 {
+		w.stats.mu.Lock()
+		roll := w.rng.Float64()
+		w.stats.mu.Unlock()
+		if roll < p {
+			hdr = map[string]string{"traceparent": randomTraceparent(roll)}
+		}
+	}
+	lines := int64(strings.Count(batch, "\n"))
+	t0 := time.Now()
+	code, _, out, err := w.client.do(ctx, "POST", "/v1/streams/"+w.id+"/events", []byte(batch), hdr)
+	lat := time.Since(t0).Seconds()
+
+	w.stats.mu.Lock()
+	defer w.stats.mu.Unlock()
+	w.stats.requests++
+	w.stats.lines += lines
+	switch {
+	case err != nil:
+		if ctx.Err() != nil {
+			// The run ended mid-request; not a server failure.
+			w.stats.requests--
+			w.stats.lines -= lines
+			return
+		}
+		w.stats.errors++
+	case code == http.StatusTooManyRequests:
+		w.stats.shed++
+	case code == http.StatusAccepted:
+		w.stats.samples = append(w.stats.samples, lat)
+		var ir struct {
+			Periods int64 `json:"periods"`
+		}
+		_ = json.Unmarshal(out, &ir)
+		w.stats.periods += ir.Periods
+	default:
+		w.stats.errors++
+	}
+}
+
+// randomTraceparent builds a sampled traceparent from the given
+// entropy source value (stretched over the ID bytes via obs's parser
+// requirements: nonzero trace and span IDs).
+func randomTraceparent(seed float64) string {
+	r := rand.New(rand.NewSource(int64(seed*float64(1<<62)) | 1))
+	var tid obs.TraceID
+	var sid obs.SpanID
+	for i := range tid {
+		tid[i] = byte(r.Intn(255) + 1)
+	}
+	for i := range sid {
+		sid[i] = byte(r.Intn(255) + 1)
+	}
+	return obs.SpanContext{TraceID: tid, SpanID: sid, Sampled: true}.Traceparent()
+}

@@ -42,10 +42,23 @@ var LiveBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // from 5 ms to ~10 s, the paper's reported range).
 var RunSecondsBuckets = []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12, 10.24}
 
-// PhaseSecondsBuckets are the phase-span histogram bounds. Phases are
-// finer-grained than whole runs (a candidates pass over one period
-// can be tens of microseconds), so the range starts at 100 µs.
-var PhaseSecondsBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+// PhaseSecondsBuckets are the default phase-span histogram bounds:
+// the shared µs-to-seconds latency layout. A candidates pass over one
+// period can be single-digit microseconds while a backlogged online
+// session can spend seconds in one phase, so the full latency range
+// applies (the old fixed 100µs floor saturated at both ends).
+var PhaseSecondsBuckets = DefLatencyBuckets
+
+// MetricsObserverOptions configures the histogram bucket layouts of
+// the metrics bridge. Zero values select the package defaults.
+type MetricsObserverOptions struct {
+	// PhaseBuckets are the bounds of the modelgen_phase_*_seconds
+	// histograms (default PhaseSecondsBuckets).
+	PhaseBuckets []float64
+	// RunBuckets are the bounds of modelgen_learner_run_seconds
+	// (default RunSecondsBuckets).
+	RunBuckets []float64
+}
 
 // metricsObserver bridges events into a Registry.
 type metricsObserver struct {
@@ -56,17 +69,32 @@ type metricsObserver struct {
 	live, peak, workers                                           *Gauge
 	candidates, livePerPeriod, runSeconds                         *Histogram
 
+	phaseBuckets []float64
+
 	mu       sync.Mutex
 	pipeline map[string]*Counter   // stage/name -> counter, created on demand
 	phases   map[string]*Histogram // phase -> seconds histogram, created on demand
 }
 
 // NewMetricsObserver returns an Observer that maintains the
-// modelgen_* metrics in reg. Instruments are created eagerly so a
-// scrape before the first event already shows the full catalogue.
+// modelgen_* metrics in reg with the default bucket layouts.
 func NewMetricsObserver(reg *Registry) Observer {
+	return NewMetricsObserverWith(reg, MetricsObserverOptions{})
+}
+
+// NewMetricsObserverWith is NewMetricsObserver with configurable
+// histogram buckets. Instruments are created eagerly so a scrape
+// before the first event already shows the full catalogue.
+func NewMetricsObserverWith(reg *Registry, opts MetricsObserverOptions) Observer {
+	if opts.PhaseBuckets == nil {
+		opts.PhaseBuckets = PhaseSecondsBuckets
+	}
+	if opts.RunBuckets == nil {
+		opts.RunBuckets = RunSecondsBuckets
+	}
 	return &metricsObserver{
 		reg:           reg,
+		phaseBuckets:  opts.PhaseBuckets,
 		periods:       reg.Counter(MetricPeriods, "periods processed by the learner"),
 		messages:      reg.Counter(MetricMessages, "message occurrences processed"),
 		spawned:       reg.Counter(MetricSpawned, "hypotheses created by generalization"),
@@ -80,7 +108,7 @@ func NewMetricsObserver(reg *Registry) Observer {
 		workers:       reg.Gauge(MetricWorkers, "engine worker-pool size of the current session (1 = sequential)"),
 		candidates:    reg.Histogram(MetricCandidates, "timing-feasible candidate pairs per message", CandidateBuckets),
 		livePerPeriod: reg.Histogram(MetricLivePerPeriod, "live hypotheses at each period end", LiveBuckets),
-		runSeconds:    reg.Histogram(MetricRunSeconds, "learning-run wall time in seconds", RunSecondsBuckets),
+		runSeconds:    reg.Histogram(MetricRunSeconds, "learning-run wall time in seconds", opts.RunBuckets),
 		pipeline:      map[string]*Counter{},
 		phases:        map[string]*Histogram{},
 	}
@@ -133,9 +161,11 @@ func (m *metricsObserver) OnSpan(e SpanEnd) {
 	m.mu.Lock()
 	h, ok := m.phases[e.Phase]
 	if !ok {
-		h = m.reg.Histogram(PhaseMetric(e.Phase),
-			fmt.Sprintf("wall time of the %q pipeline phase in seconds", e.Phase),
-			PhaseSecondsBuckets)
+		h = m.reg.HistogramWith(HistogramOpts{
+			Name:    PhaseMetric(e.Phase),
+			Help:    fmt.Sprintf("wall time of the %q pipeline phase in seconds", e.Phase),
+			Buckets: m.phaseBuckets,
+		})
 		m.phases[e.Phase] = h
 	}
 	m.mu.Unlock()

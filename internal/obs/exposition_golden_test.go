@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPrometheusGoldenEscaping pins the exact exposition bytes for a
+// registry whose label values and HELP text need escaping — the
+// text-format spec requires backslash, double-quote and newline in
+// label values, and backslash and newline in HELP, to be escaped. A
+// stream ID is client-chosen, so `can"bus` must round-trip through a
+// scrape without corrupting the document.
+func TestPrometheusGoldenEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("serve_stream_periods_total", "periods per stream",
+		"stream", `can"bus`).Add(2)
+	r.LabeledCounter("serve_stream_periods_total", "periods per stream",
+		"stream", "a\\b\nc").Inc()
+	r.Counter("serve_notes_total", "first line\nsecond \\ line").Inc()
+	r.LabeledHistogram("serve_lat_seconds", "latency", []float64{0.5},
+		"stream", `can"bus`).Observe(0.25)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP serve_lat_seconds latency
+# TYPE serve_lat_seconds histogram
+serve_lat_seconds_bucket{stream="can\"bus",le="0.5"} 1
+serve_lat_seconds_bucket{stream="can\"bus",le="+Inf"} 1
+serve_lat_seconds_sum{stream="can\"bus"} 0.25
+serve_lat_seconds_count{stream="can\"bus"} 1
+# HELP serve_notes_total first line\nsecond \\ line
+# TYPE serve_notes_total counter
+serve_notes_total 1
+# HELP serve_stream_periods_total periods per stream
+# TYPE serve_stream_periods_total counter
+serve_stream_periods_total{stream="a\\b\nc"} 1
+serve_stream_periods_total{stream="can\"bus"} 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

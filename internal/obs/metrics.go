@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric.
@@ -56,6 +57,27 @@ func (g *Gauge) SetMax(v int64) {
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 — burn rates, ratios and
+// quantile estimates that do not fit the integer Gauge.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// Exemplar links one observation of a histogram bucket to the trace
+// that produced it, so a saturated latency bucket is one click away
+// from the span tree of an offending request.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	UnixNS  int64   `json:"unix_ns"`
+}
+
 // Histogram counts observations into fixed cumulative buckets
 // (Prometheus-style: bucket i counts observations <= Bounds[i], with
 // an implicit +Inf bucket equal to Count).
@@ -63,7 +85,8 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	sum    atomic.Uint64              // float64 bits, CAS-updated
+	ex     []atomic.Pointer[Exemplar] // len(bounds)+1, latest exemplar per bucket
 }
 
 // Observe records one observation.
@@ -78,6 +101,24 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one observation and attaches traceID as the
+// bucket's exemplar (latest wins). Unlike Observe it allocates; call
+// it only for observations that actually carry a sampled trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, now time.Time) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNS: now.UnixNano()})
+	h.Observe(v)
+}
+
+// BucketExemplar returns the latest exemplar of bucket i (bounds
+// index; len(Bounds()) is the +Inf bucket), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -98,6 +139,7 @@ type metric struct {
 	labels     string // sorted `k="v",...` inner label text, "" when unlabeled
 	counter    *Counter
 	gauge      *Gauge
+	fgauge     *FloatGauge
 	hist       *Histogram
 }
 
@@ -105,7 +147,7 @@ func (m *metric) typ() string {
 	switch {
 	case m.counter != nil:
 		return "counter"
-	case m.gauge != nil:
+	case m.gauge != nil, m.fgauge != nil:
 		return "gauge"
 	default:
 		return "histogram"
@@ -177,12 +219,78 @@ func (r *Registry) LabeledHistogram(name, help string, buckets []float64, kv ...
 	m := r.getOrCreate(name, help, kv, func() *metric {
 		bounds := append([]float64(nil), buckets...)
 		sort.Float64s(bounds)
-		return &metric{hist: &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}}
+		return &metric{hist: &Histogram{
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+			ex:     make([]atomic.Pointer[Exemplar], len(bounds)+1),
+		}}
 	})
 	if m.hist == nil {
 		panic(fmt.Sprintf("obs: %q already registered as a %s", m.name, m.typ()))
 	}
 	return m.hist
+}
+
+// FloatGauge returns the float-valued gauge with the given name,
+// creating it on first use.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.LabeledFloatGauge(name, help)
+}
+
+// LabeledFloatGauge returns the float-valued gauge of the series
+// name{kv...}, creating it on first use.
+func (r *Registry) LabeledFloatGauge(name, help string, kv ...string) *FloatGauge {
+	m := r.getOrCreate(name, help, kv, func() *metric { return &metric{fgauge: &FloatGauge{}} })
+	if m.fgauge == nil {
+		panic(fmt.Sprintf("obs: %q already registered as a %s", m.name, m.typ()))
+	}
+	return m.fgauge
+}
+
+// HistogramOpts names a histogram family and its bucket layout — the
+// constructor form latency instruments use, where the fixed default
+// layouts saturate (bbserved ingest latencies span µs to seconds).
+type HistogramOpts struct {
+	Name string
+	Help string
+	// Buckets lists the finite upper bounds, ascending. Nil selects
+	// DefLatencyBuckets.
+	Buckets []float64
+}
+
+// HistogramWith returns the histogram of the series opts.Name{kv...},
+// creating it with opts.Buckets (default DefLatencyBuckets) on first
+// use.
+func (r *Registry) HistogramWith(opts HistogramOpts, kv ...string) *Histogram {
+	buckets := opts.Buckets
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return r.LabeledHistogram(opts.Name, opts.Help, buckets, kv...)
+}
+
+// ExponentialBuckets returns n bucket bounds starting at start and
+// multiplying by factor: the standard layout for latency histograms
+// whose observations span several orders of magnitude.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets(%g, %g, %d): want start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 1µs to ~10s at roughly half-decade
+// resolution — wide enough for both a sub-millisecond period learn
+// and a multi-second backlog drain without saturating either end.
+var DefLatencyBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
 // getOrCreate looks up the series for (name, kv), creating it with
@@ -261,6 +369,16 @@ func renderLabels(kv []string) string {
 	return sb.String()
 }
 
+// escapeHelp escapes HELP text per the exposition format: backslash
+// and newline only (double quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {
 		return v
@@ -325,7 +443,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if m.base != prevBase {
 			prevBase = m.base
 			if m.help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, m.help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, escapeHelp(m.help)); err != nil {
 					return err
 				}
 			}
@@ -339,6 +457,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
 		case m.gauge != nil:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case m.fgauge != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatBound(m.fgauge.Value()))
 		default:
 			// Histogram suffixes attach to the family name; the le
 			// label joins any series labels.
@@ -388,6 +508,8 @@ func (r *Registry) Handler() http.Handler {
 type Bucket struct {
 	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
+	// Exemplar is the bucket's latest trace exemplar, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Metric is the snapshot of one instrument.
@@ -395,11 +517,40 @@ type Metric struct {
 	Type string `json:"type"`
 	// Value is the counter or gauge value.
 	Value int64 `json:"value,omitempty"`
+	// Float is the value of a float-valued gauge.
+	Float float64 `json:"float,omitempty"`
 	// Histogram fields: total count, sum of observations, cumulative
 	// finite buckets (the +Inf bucket equals Count).
 	Count   int64    `json:"count,omitempty"`
 	Sum     float64  `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram
+// Metric by linear interpolation within the winning bucket, the same
+// estimate Prometheus's histogram_quantile produces. It returns 0 for
+// an empty histogram and the highest finite bound when the quantile
+// lands in the +Inf bucket.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Type != "histogram" || m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(m.Count)
+	for i, b := range m.Buckets {
+		if float64(b.Count) >= rank {
+			lower, lowerCount := 0.0, int64(0)
+			if i > 0 {
+				lower, lowerCount = m.Buckets[i-1].LE, m.Buckets[i-1].Count
+			}
+			width := b.LE - lower
+			inBucket := b.Count - lowerCount
+			if inBucket <= 0 {
+				return b.LE
+			}
+			return lower + width*(rank-float64(lowerCount))/float64(inBucket)
+		}
+	}
+	return m.Buckets[len(m.Buckets)-1].LE
 }
 
 // Snapshot is a point-in-time copy of a Registry, keyed by metric
@@ -415,13 +566,15 @@ func (r *Registry) Snapshot() Snapshot {
 			out[m.name] = Metric{Type: "counter", Value: m.counter.Value()}
 		case m.gauge != nil:
 			out[m.name] = Metric{Type: "gauge", Value: m.gauge.Value()}
+		case m.fgauge != nil:
+			out[m.name] = Metric{Type: "gauge", Float: m.fgauge.Value()}
 		default:
 			h := m.hist
 			bs := make([]Bucket, len(h.bounds))
 			cum := int64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				bs[i] = Bucket{LE: b, Count: cum}
+				bs[i] = Bucket{LE: b, Count: cum, Exemplar: h.ex[i].Load()}
 			}
 			out[m.name] = Metric{Type: "histogram", Count: h.Count(), Sum: h.Sum(), Buckets: bs}
 		}

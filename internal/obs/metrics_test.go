@@ -59,7 +59,7 @@ func TestHistogramBuckets(t *testing.T) {
 	snap := r.Snapshot()
 	m := snap["h"]
 	// Cumulative: <=1 → 2, <=2 → 4, <=4 → 5 (the 8 lands in +Inf).
-	want := []Bucket{{1, 2}, {2, 4}, {4, 5}}
+	want := []Bucket{{LE: 1, Count: 2}, {LE: 2, Count: 4}, {LE: 4, Count: 5}}
 	if len(m.Buckets) != len(want) {
 		t.Fatalf("buckets = %+v, want %+v", m.Buckets, want)
 	}

@@ -1,0 +1,514 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-tracing core: 128-bit trace identities,
+// W3C traceparent propagation, parent/child spans, and a bounded
+// in-memory ring of finished spans served at /debug/traces.
+//
+// The design mirrors the Observer contract: a nil *Tracer is the
+// disabled state, every method is nil-safe, and the disabled path
+// never reads the clock and never allocates (pinned by
+// TestNilTracerZeroAlloc / BenchmarkTraceSpanNil). Head sampling
+// happens at span start: an unsampled request yields a nil *TraceSpan
+// and the whole subtree disappears at zero marginal cost, which is
+// what lets the ingest hot path of internal/serve stay allocation
+// free while a sampled fraction of requests gets a full span tree.
+
+// TraceID is a 128-bit trace identity (W3C trace-id).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero identity.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the 32-character lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalJSON renders the hex form.
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses the hex form.
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	t, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*id = t
+	return nil
+}
+
+// ParseTraceID parses the 32-character hex form.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id %q is not 32 hex characters", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// SpanID is a 64-bit span identity (W3C parent-id).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero identity.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the 16-character lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalJSON renders the hex form.
+func (id SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses the hex form.
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if len(s) != 16 {
+		return fmt.Errorf("obs: span id %q is not 16 hex characters", s)
+	}
+	_, err := hex.Decode(id[:], []byte(s))
+	return err
+}
+
+// SpanContext is the propagated identity of a span: what crosses
+// process and goroutine boundaries. It is a small value type so that
+// queuing it (internal/serve carries one per queued period) costs no
+// allocation.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the W3C traceparent header (version 00):
+// "00-<trace-id>-<parent-id>-<flags>".
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header. It accepts any
+// version whose first four fields follow the version-00 layout, per
+// the spec's forward-compatibility rule, and reports ok=false for a
+// missing or malformed header (callers treat that as "no parent").
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	if h[0] == 'f' && h[1] == 'f' { // version 0xff is forbidden
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, true
+}
+
+// SpanRecord is one finished span as stored in the ring and exported
+// as JSONL.
+type SpanRecord struct {
+	TraceID TraceID           `json:"trace_id"`
+	SpanID  SpanID            `json:"span_id"`
+	Parent  SpanID            `json:"parent_id,omitempty"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_unix_ns"`
+	DurNS   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// Capacity bounds the in-memory ring of finished spans (default
+	// 4096). Old spans are overwritten, newest-wins.
+	Capacity int
+	// Sample is the head-sampling probability applied to requests that
+	// arrive without a traceparent (default 1: trace everything).
+	// Requests carrying a sampled traceparent are always traced;
+	// requests carrying an unsampled one never are — the upstream
+	// decision is honored both ways.
+	Sample float64
+}
+
+// Tracer records spans into a bounded ring. The zero value is not
+// usable; construct with NewTracer. A nil *Tracer is the disabled
+// tracer: every method is nil-safe and free.
+type Tracer struct {
+	cfg TracerConfig
+	rnd atomic.Uint64 // splitmix64 state for IDs and sampling
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	n    int // live records, <= len(ring)
+
+	sink *JSONLSink // optional copy of every finished span
+}
+
+// NewTracer returns a Tracer with the given configuration.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 1
+	}
+	t := &Tracer{cfg: cfg, ring: make([]SpanRecord, cfg.Capacity)}
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		t.rnd.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		t.rnd.Store(uint64(time.Now().UnixNano()))
+	}
+	return t
+}
+
+// SetSink attaches a JSONL sink that additionally receives every
+// finished span as a {"event":"trace_span",...} line — pair it with
+// OpenFileSink for durable trace export alongside the event stream.
+func (t *Tracer) SetSink(s *JSONLSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// rand64 is a lock-free splitmix64 step, good enough for span IDs and
+// sampling decisions (crypto-strength identifiers are not needed, and
+// the hot path must not contend on a lock).
+func (t *Tracer) rand64() uint64 {
+	x := t.rnd.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.LittleEndian.PutUint64(id[:8], t.rand64())
+	binary.LittleEndian.PutUint64(id[8:], t.rand64())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	for {
+		var id SpanID
+		binary.LittleEndian.PutUint64(id[:], t.rand64())
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// TraceSpan is one in-flight span. A nil *TraceSpan (disabled tracer,
+// unsampled request) accepts every method as a no-op, so instrumented
+// code never branches on the sampling decision.
+type TraceSpan struct {
+	t   *Tracer
+	rec SpanRecord
+}
+
+// StartSpan begins a span. With an invalid parent the span starts a
+// new trace, subject to head sampling; with a sampled parent it joins
+// the parent's trace; with an explicitly unsampled parent (or a nil
+// tracer) it returns nil and the subtree is dropped.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *TraceSpan {
+	if t == nil {
+		return nil
+	}
+	if parent.Valid() {
+		if !parent.Sampled {
+			return nil
+		}
+		return t.start(name, parent.TraceID, parent.SpanID)
+	}
+	if t.cfg.Sample < 1 && float64(t.rand64()>>11)/(1<<53) >= t.cfg.Sample {
+		return nil
+	}
+	return t.start(name, t.newTraceID(), SpanID{})
+}
+
+func (t *Tracer) start(name string, tid TraceID, parent SpanID) *TraceSpan {
+	return &TraceSpan{t: t, rec: SpanRecord{
+		TraceID: tid,
+		SpanID:  t.newSpanID(),
+		Parent:  parent,
+		Name:    name,
+		StartNS: time.Now().UnixNano(),
+	}}
+}
+
+// StartChild begins a child span of s (nil-safe).
+func (s *TraceSpan) StartChild(name string) *TraceSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.rec.TraceID, s.rec.SpanID)
+}
+
+// Context returns the propagable identity of the span; the zero
+// SpanContext for a nil span, so an unsampled request propagates
+// "nothing" for free.
+func (s *TraceSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID, Sampled: true}
+}
+
+// SetAttr attaches a key/value attribute (nil-safe).
+func (s *TraceSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[k] = v
+}
+
+// End finishes the span and commits it to the tracer's ring
+// (nil-safe).
+func (s *TraceSpan) End() {
+	if s == nil {
+		return
+	}
+	s.rec.DurNS = time.Now().UnixNano() - s.rec.StartNS
+	s.t.commit(s.rec)
+}
+
+// RecordSpan commits an already-measured span under the given parent:
+// the bridge used to attach engine-phase timings (which arrive as
+// elapsed durations via the Observer) to a request's span tree.
+// Dropped for a nil tracer or an invalid/unsampled parent.
+func (t *Tracer) RecordSpan(parent SpanContext, name string, start time.Time, d time.Duration) {
+	if t == nil || !parent.Valid() || !parent.Sampled {
+		return
+	}
+	t.commit(SpanRecord{
+		TraceID: parent.TraceID,
+		SpanID:  t.newSpanID(),
+		Parent:  parent.SpanID,
+		Name:    name,
+		StartNS: start.UnixNano(),
+		DurNS:   d.Nanoseconds(),
+	})
+}
+
+func (t *Tracer) commit(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink.write("trace_span", rec)
+	}
+}
+
+// records returns a copy of the live ring contents, oldest first.
+func (t *Tracer) records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	start := (t.next - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Spans returns every retained span of the trace, sorted by start
+// time (nil-safe: a nil tracer retains nothing).
+func (t *Tracer) Spans(id TraceID) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	var out []SpanRecord
+	for _, r := range t.records() {
+		if r.TraceID == id {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// TraceSummary is one trace of the ring as listed by /debug/traces.
+type TraceSummary struct {
+	TraceID TraceID `json:"trace_id"`
+	// Root is the name of the earliest retained span of the trace
+	// (the root proper unless it has been overwritten).
+	Root    string `json:"root"`
+	StartNS int64  `json:"start_unix_ns"`
+	// DurNS spans the earliest start to the latest end of the
+	// retained spans.
+	DurNS int64 `json:"dur_ns"`
+	Spans int   `json:"spans"`
+}
+
+// Summaries lists the retained traces, newest first, at most limit
+// entries (0 = all).
+func (t *Tracer) Summaries(limit int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	byTrace := map[TraceID]*TraceSummary{}
+	rooted := map[TraceID]bool{} // a parentless span names the trace
+	var order []TraceID
+	var ends = map[TraceID]int64{}
+	for _, r := range t.records() {
+		s, ok := byTrace[r.TraceID]
+		if !ok {
+			s = &TraceSummary{TraceID: r.TraceID, Root: r.Name, StartNS: r.StartNS}
+			byTrace[r.TraceID] = s
+			order = append(order, r.TraceID)
+		}
+		if r.StartNS < s.StartNS {
+			s.StartNS = r.StartNS
+			if !rooted[r.TraceID] {
+				s.Root = r.Name
+			}
+		}
+		if r.Parent.IsZero() {
+			rooted[r.TraceID] = true
+			s.Root = r.Name
+		}
+		if end := r.StartNS + r.DurNS; end > ends[r.TraceID] {
+			ends[r.TraceID] = end
+		}
+		s.Spans++
+	}
+	for id, s := range byTrace {
+		s.DurNS = ends[id] - s.StartNS
+	}
+	out := make([]TraceSummary, 0, len(byTrace))
+	for i := len(order) - 1; i >= 0; i-- {
+		out = append(out, *byTrace[order[i]])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// SpanNode is a span with its children nested — the tree form served
+// by /debug/traces?trace=<id>.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles the retained spans of a trace into its span forest
+// (normally one root; orphans whose parent fell out of the ring
+// surface as extra roots rather than disappearing).
+func (t *Tracer) Tree(id TraceID) []*SpanNode {
+	spans := t.Spans(id)
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, r := range spans {
+		nodes[r.SpanID] = &SpanNode{SpanRecord: r}
+	}
+	var roots []*SpanNode
+	for _, r := range spans {
+		n := nodes[r.SpanID]
+		if p, ok := nodes[r.Parent]; ok && r.Parent != r.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// WriteJSONL exports every retained span as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the ring: GET /debug/traces lists trace summaries
+// (?limit=N), ?trace=<32-hex> returns one trace's span tree, and
+// ?format=jsonl dumps the raw ring.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = t.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := ParseTraceID(q)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			tree := t.Tree(id)
+			if len(tree) == 0 {
+				http.Error(w, "trace not found (expired from the ring?)", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(map[string]any{"trace_id": id, "spans": tree})
+			return
+		}
+		limit := 0
+		fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &limit)
+		_ = enc.Encode(map[string]any{"traces": t.Summaries(limit)})
+	})
+}

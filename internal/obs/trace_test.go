@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	sp := tr.StartSpan("root", SpanContext{})
+	if sp == nil {
+		t.Fatal("default tracer dropped a root span")
+	}
+	h := sp.Context().Traceparent()
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own output", h)
+	}
+	if sc != sp.Context() {
+		t.Fatalf("round trip: got %+v, want %+v", sc, sp.Context())
+	}
+	if !sc.Sampled {
+		t.Error("recorded span rendered an unsampled traceparent")
+	}
+}
+
+func TestTraceparentParsing(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	sc, ok := ParseTraceparent(valid)
+	if !ok || sc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" ||
+		sc.SpanID.String() != "b7ad6b7169203331" || !sc.Sampled {
+		t.Fatalf("valid header parsed to %+v ok=%v", sc, ok)
+	}
+	if sc, _ := ParseTraceparent(strings.Replace(valid, "-01", "-00", 1)); sc.Sampled {
+		t.Error("flags 00 parsed as sampled")
+	}
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01", // non-hex
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("accepted malformed traceparent %q", bad)
+		}
+	}
+}
+
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 64})
+	root := tr.StartSpan("ingest", SpanContext{})
+	root.SetAttr("stream", "s1")
+	cut := root.StartChild("period_cut")
+	cut.End()
+	// A late child recorded from a propagated context after the root
+	// ended — the serve learn path.
+	ctx := root.Context()
+	root.End()
+	learn := tr.StartSpan("learn_period", ctx)
+	tr.RecordSpan(learn.Context(), "generalize", time.Now().Add(-time.Millisecond), time.Millisecond)
+	learn.End()
+
+	roots := tr.Tree(ctx.TraceID)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	got := roots[0]
+	if got.Name != "ingest" || got.Attrs["stream"] != "s1" {
+		t.Fatalf("root = %+v", got.SpanRecord)
+	}
+	names := map[string]bool{}
+	for _, c := range got.Children {
+		names[c.Name] = true
+		if c.Name == "learn_period" {
+			if len(c.Children) != 1 || c.Children[0].Name != "generalize" {
+				t.Fatalf("learn_period children = %+v", c.Children)
+			}
+		}
+	}
+	if !names["period_cut"] || !names["learn_period"] {
+		t.Fatalf("root children = %v", names)
+	}
+
+	sums := tr.Summaries(0)
+	if len(sums) != 1 || sums[0].Spans != 4 || sums[0].Root != "ingest" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 8})
+	for i := 0; i < 50; i++ {
+		tr.StartSpan("s", SpanContext{}).End()
+	}
+	if got := len(tr.records()); got != 8 {
+		t.Fatalf("ring holds %d records, want 8", got)
+	}
+}
+
+func TestTracerSamplingHonorsUpstream(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 0.0000001})
+	// Unsampled upstream decision: always dropped.
+	parent := SpanContext{TraceID: TraceID{1}, SpanID: SpanID{2}, Sampled: false}
+	if sp := tr.StartSpan("x", parent); sp != nil {
+		t.Error("unsampled parent was traced")
+	}
+	// Sampled upstream decision: always kept, regardless of Sample.
+	parent.Sampled = true
+	if sp := tr.StartSpan("x", parent); sp == nil {
+		t.Error("sampled parent was dropped")
+	}
+	// Fresh traces at a tiny probability: overwhelmingly dropped.
+	kept := 0
+	for i := 0; i < 1000; i++ {
+		if sp := tr.StartSpan("x", SpanContext{}); sp != nil {
+			kept++
+		}
+	}
+	if kept > 10 {
+		t.Errorf("head sampling kept %d/1000 at p=1e-7", kept)
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	root := tr.StartSpan("ingest", SpanContext{})
+	id := root.Context().TraceID
+	root.StartChild("period_cut").End()
+	root.End()
+
+	// List.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list struct{ Traces []TraceSummary }
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != id {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// One trace's tree.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+id.String(), nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"period_cut"`) {
+		t.Fatalf("tree response %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Unknown trace 404s.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET",
+		"/debug/traces?trace=ffffffffffffffffffffffffffffffff", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace: %d", rec.Code)
+	}
+
+	// JSONL export.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=jsonl", nil))
+	if lines := strings.Count(strings.TrimSpace(rec.Body.String()), "\n") + 1; lines != 2 {
+		t.Fatalf("jsonl export has %d lines, want 2: %s", lines, rec.Body.String())
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TracerConfig{})
+	tr.SetSink(NewJSONLSink(&buf))
+	tr.StartSpan("root", SpanContext{}).End()
+	if !strings.Contains(buf.String(), `"event":"trace_span"`) {
+		t.Fatalf("sink output = %q", buf.String())
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("sink line is not a span record: %v", err)
+	}
+	if rec.Name != "root" {
+		t.Fatalf("sink span name = %q", rec.Name)
+	}
+}
+
+// TestNilTracerZeroAlloc pins the disabled-tracer contract: starting,
+// attributing, propagating and ending spans against a nil *Tracer
+// allocates nothing — the serve ingest hot path relies on it, exactly
+// like the learner relies on the nil-Observer guard.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.StartSpan("ingest", SpanContext{})
+		sp.SetAttr("stream", "s1")
+		child := sp.StartChild("period_cut")
+		child.End()
+		ctx := sp.Context()
+		tr.RecordSpan(ctx, "generalize", time.Time{}, 0)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTraceSpanNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("ingest", SpanContext{})
+		sp.StartChild("period_cut").End()
+		sp.End()
+	}
+}
+
+func BenchmarkTraceSpanRecorded(b *testing.B) {
+	tr := NewTracer(TracerConfig{Capacity: 1024})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("ingest", SpanContext{})
+		sp.StartChild("period_cut").End()
+		sp.End()
+	}
+}

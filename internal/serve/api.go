@@ -128,6 +128,30 @@ type ModelResponse struct {
 	Periods   int    `json:"periods"`
 }
 
+// DebugStreamsResponse is the body of GET /debug/streams: one JSON
+// document with the operational state of every stream.
+type DebugStreamsResponse struct {
+	Streams []StreamDebug `json:"streams"`
+}
+
+// StreamDebug is one stream's entry in /debug/streams.
+type StreamDebug struct {
+	ID         string `json:"id"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	PeriodsCut int64  `json:"periods_cut"`
+	// LastPeriod is the index of the last period the learner consumed.
+	LastPeriod int64 `json:"last_period"`
+	// LiveHyps is the learner's live hypothesis count after the last
+	// period.
+	LiveHyps int64 `json:"live_hypotheses"`
+	Shed     int64 `json:"shed"`
+	// CheckpointAgeSeconds is the age of the last successful
+	// checkpoint; zero when the stream has never checkpointed.
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	Err                  string  `json:"err,omitempty"`
+}
+
 // CheckpointResponse is the body of POST /v1/streams/{id}/checkpoint.
 type CheckpointResponse struct {
 	ID   string `json:"id"`

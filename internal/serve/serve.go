@@ -39,10 +39,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
-	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
 // Config configures a Server.
@@ -58,10 +58,22 @@ type Config struct {
 	// MaxBody bounds an events request body in bytes (default 8 MiB).
 	MaxBody int64
 	// Registry, when non-nil, receives the service metrics:
-	// serve_streams, and per-stream serve_queue_depth{stream=...},
+	// serve_streams, serve_http_requests_total, serve_http_errors_total,
+	// serve_ingest_offered_lines_total, serve_ingest_shed_lines_total,
+	// the serve_ingest_latency_seconds histogram (enqueue → committed
+	// model update, with trace exemplars when tracing is on), and
+	// per-stream serve_queue_depth{stream=...},
 	// serve_periods_total{stream=...}, serve_shed_total{stream=...}.
 	// The registry's Prometheus handler is mounted at /metrics.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records request traces: /events extracts
+	// W3C traceparent headers, spans cover ingest → period_cut →
+	// learn_period → engine phases, and /debug/traces serves the span
+	// ring. Nil disables tracing with zero ingest-path overhead.
+	Tracer *obs.Tracer
+	// SLO, when non-nil, is mounted at /slo. The caller owns sampling
+	// (slo.Monitor.Start) so tests can drive a synthetic clock.
+	SLO http.Handler
 }
 
 // Server multiplexes trace streams over HTTP. Create with New, mount
@@ -75,8 +87,19 @@ type Server struct {
 	closed  bool
 	nextID  atomic.Int64
 
-	mStreams *obs.Gauge
+	mStreams      *obs.Gauge
+	mReqs, mErrs  *obs.Counter
+	mOfferedLines *obs.Counter
+	mShedLines    *obs.Counter
+	mLatency      *obs.Histogram
 }
+
+// errStreamExists marks create collisions so the handler can map them
+// to 409 while other addStream failures stay 400.
+var errStreamExists = errors.New("stream already exists")
+
+// errServerClosed rejects work arriving after Shutdown began.
+var errServerClosed = errors.New("serve: server is shutting down")
 
 // New builds a Server. Call RestoreFromDir afterwards to reopen
 // checkpointed streams.
@@ -88,8 +111,16 @@ func New(cfg Config) *Server {
 		cfg.MaxBody = 8 << 20
 	}
 	sv := &Server{cfg: cfg, streams: map[string]*stream{}}
-	if cfg.Registry != nil {
-		sv.mStreams = cfg.Registry.Gauge("serve_streams", "Number of live trace streams.")
+	if reg := cfg.Registry; reg != nil {
+		sv.mStreams = reg.Gauge("serve_streams", "Number of live trace streams.")
+		sv.mReqs = reg.Counter("serve_http_requests_total", "API requests served.")
+		sv.mErrs = reg.Counter("serve_http_errors_total", "API requests answered with a 5xx status.")
+		sv.mOfferedLines = reg.Counter("serve_ingest_offered_lines_total", "Feed lines offered to ingest, shed or not.")
+		sv.mShedLines = reg.Counter("serve_ingest_shed_lines_total", "Feed lines rejected with 429 under backpressure.")
+		sv.mLatency = reg.HistogramWith(obs.HistogramOpts{
+			Name: "serve_ingest_latency_seconds",
+			Help: "Seconds from period enqueue to committed model update.",
+		})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealth)
@@ -100,15 +131,48 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/streams/{id}/stats", sv.handleStats)
 	mux.HandleFunc("POST /v1/streams/{id}/checkpoint", sv.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/streams/{id}", sv.handleDelete)
+	mux.HandleFunc("GET /debug/streams", sv.handleDebugStreams)
 	if cfg.Registry != nil {
 		mux.Handle("GET /metrics", cfg.Registry.Handler())
+	}
+	if cfg.Tracer != nil {
+		mux.Handle("GET /debug/traces", cfg.Tracer.Handler())
+	}
+	if cfg.SLO != nil {
+		mux.Handle("GET /slo", cfg.SLO)
 	}
 	sv.mux = mux
 	return sv
 }
 
-// Handler returns the HTTP handler for the whole API surface.
-func (sv *Server) Handler() http.Handler { return sv.mux }
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the HTTP handler for the whole API surface. With a
+// registry it is wrapped in request/error accounting (5xx only:
+// backpressure 429s are deliberate and tracked by the shed SLO, not
+// availability).
+func (sv *Server) Handler() http.Handler {
+	if sv.mReqs == nil {
+		return sv.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sv.mReqs.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sv.mux.ServeHTTP(sw, r)
+		if sw.code >= 500 {
+			sv.mErrs.Inc()
+		}
+	})
+}
 
 // StreamCount returns the number of live streams.
 func (sv *Server) StreamCount() int {
@@ -157,12 +221,7 @@ func (sv *Server) restoreOne(path string) error {
 	if cf.Info.ID != strings.TrimSuffix(filepath.Base(path), ".json") {
 		return fmt.Errorf("checkpoint names stream %q but file is %s", cf.Info.ID, filepath.Base(path))
 	}
-	opt := cf.Info.Options.options()
-	o, err := learner.RestoreOnline(cf.Snapshot, opt)
-	if err != nil {
-		return err
-	}
-	_, err = sv.addStream(cf.Info, o, opt, cf.Snapshot.Stats.Periods)
+	_, err = sv.addStream(cf.Info, cf.Snapshot, cf.Snapshot.Stats.Periods)
 	return err
 }
 
@@ -191,28 +250,47 @@ func (sv *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// addStream wires up a stream (fresh or restored) and starts its
-// owner goroutine.
-func (sv *Server) addStream(info StreamInfo, o *learner.Online, opt learner.Options, learned int) (*stream, error) {
+// addStream wires up a stream (fresh when snap is nil, else restored
+// from the snapshot) and starts its owner goroutine. The learner is
+// created here so the stream's trace bridge can be installed as its
+// engine observer before the first period.
+func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int) (*stream, error) {
 	p, err := newParser(info.Tasks, info.BitRate, info.PeriodUS)
 	if err != nil {
 		return nil, err
 	}
+	opt := info.Options.options()
 	s := &stream{
 		id:             info.ID,
 		info:           info,
-		opt:            opt,
 		parser:         p,
-		queue:          make(chan *trace.Period, sv.cfg.QueueDepth),
+		queue:          make(chan queuedPeriod, sv.cfg.QueueDepth),
 		reqs:           make(chan func(*learner.Online)),
 		closing:        make(chan struct{}),
 		done:           make(chan struct{}),
-		o:              o,
 		learned:        learned,
 		checkpointDir:  sv.cfg.CheckpointDir,
 		checkpointEach: sv.cfg.CheckpointEvery,
+		tracer:         sv.cfg.Tracer,
+		mLatency:       sv.mLatency,
+		mOfferedLines:  sv.mOfferedLines,
+		mShedLines:     sv.mShedLines,
 	}
+	if sv.cfg.Tracer != nil {
+		s.bridge = &phaseBridge{tracer: sv.cfg.Tracer}
+		opt.Observer = s.bridge
+	}
+	if snap == nil {
+		s.o, err = learner.NewOnline(info.Tasks, opt)
+	} else {
+		s.o, err = learner.RestoreOnline(snap, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.opt = opt
 	s.cut.Store(int64(learned))
+	s.lastPeriod.Store(int64(learned))
 	if reg := sv.cfg.Registry; reg != nil {
 		s.mQueueDepth = reg.LabeledGauge("serve_queue_depth",
 			"Ingest queue occupancy per stream.", "stream", s.id)
@@ -226,12 +304,12 @@ func (sv *Server) addStream(info StreamInfo, o *learner.Online, opt learner.Opti
 	if sv.closed {
 		sv.mu.Unlock()
 		sv.dropStreamMetrics(s)
-		return nil, errors.New("serve: server is shutting down")
+		return nil, errServerClosed
 	}
 	if _, dup := sv.streams[s.id]; dup {
 		sv.mu.Unlock()
 		sv.dropStreamMetrics(s)
-		return nil, fmt.Errorf("serve: stream %q already exists", s.id)
+		return nil, fmt.Errorf("serve: stream %q: %w", s.id, errStreamExists)
 	}
 	sv.streams[s.id] = s
 	if sv.mStreams != nil {
@@ -279,17 +357,15 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opt := req.Options.options()
-	o, err := learner.NewOnline(req.Tasks, opt)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	info := StreamInfo{ID: req.ID, Tasks: append([]string(nil), req.Tasks...),
 		BitRate: req.BitRate, PeriodUS: req.PeriodUS, Options: req.Options}
-	s, err := sv.addStream(info, o, opt, 0)
-	if err != nil {
+	s, err := sv.addStream(info, nil, 0)
+	switch {
+	case errors.Is(err, errStreamExists) || errors.Is(err, errServerClosed):
 		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.info)
@@ -318,7 +394,16 @@ func (sv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lines := strings.Split(string(body), "\n")
-	resp, shed, err := s.ingest(lines)
+	parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := sv.cfg.Tracer.StartSpan("ingest", parent)
+	sp.SetAttr("stream", s.id)
+	if sp != nil {
+		// Inject the (possibly server-started) trace back to the client
+		// so it can find the span tree at /debug/traces.
+		w.Header().Set("traceparent", sp.Context().Traceparent())
+	}
+	resp, shed, err := s.ingest(lines, sp.Context())
+	sp.End()
 	switch {
 	case shed:
 		w.Header().Set("Retry-After", "1")
@@ -423,6 +508,41 @@ func (sv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckpointResponse{ID: s.id, Path: path, Periods: periods})
+}
+
+// handleDebugStreams serves the one-page operational view: every
+// stream's queue depth, live hypothesis count, last period index and
+// checkpoint age, read from atomics without disturbing the owners.
+func (sv *Server) handleDebugStreams(w http.ResponseWriter, _ *http.Request) {
+	sv.mu.Lock()
+	streams := make([]*stream, 0, len(sv.streams))
+	for _, s := range sv.streams {
+		streams = append(streams, s)
+	}
+	sv.mu.Unlock()
+	sort.Slice(streams, func(i, j int) bool { return streams[i].id < streams[j].id })
+
+	now := time.Now()
+	out := DebugStreamsResponse{Streams: make([]StreamDebug, 0, len(streams))}
+	for _, s := range streams {
+		d := StreamDebug{
+			ID:         s.id,
+			QueueDepth: len(s.queue),
+			QueueCap:   cap(s.queue),
+			PeriodsCut: s.cut.Load(),
+			LastPeriod: s.lastPeriod.Load(),
+			LiveHyps:   s.liveWS.Load(),
+			Shed:       s.shed.Load(),
+		}
+		if ns := s.ckptUnixNS.Load(); ns > 0 {
+			d.CheckpointAgeSeconds = now.Sub(time.Unix(0, ns)).Seconds()
+		}
+		if err := s.deadErr(); err != nil {
+			d.Err = err.Error()
+		}
+		out.Streams = append(out.Streams, d)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -6,13 +6,47 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
+
+// queuedPeriod is one unit of ingest→owner handoff: the cut period
+// plus the telemetry needed to measure and trace its trip through the
+// queue. The SpanContext is a value; with tracing disabled it is zero
+// and the handoff stays allocation-free.
+type queuedPeriod struct {
+	p   *trace.Period
+	enq time.Time
+	ctx obs.SpanContext // the ingest span, parent of learn_period
+}
+
+// phaseBridge converts the engine's SpanEnd phase events
+// (candidates/generalize/postprocess) into trace spans parented under
+// the current learn_period span. The owner goroutine stores the
+// parent before AddPeriod; engine workers may emit OnSpan
+// concurrently, hence the atomic.
+type phaseBridge struct {
+	obs.NopObserver
+	tracer *obs.Tracer
+	parent atomic.Value // obs.SpanContext
+}
+
+func (b *phaseBridge) setParent(sc obs.SpanContext) { b.parent.Store(sc) }
+
+func (b *phaseBridge) OnSpan(e obs.SpanEnd) {
+	sc, _ := b.parent.Load().(obs.SpanContext)
+	if !sc.Sampled {
+		return
+	}
+	d := time.Duration(e.ElapsedNS)
+	b.tracer.RecordSpan(sc, e.Phase, time.Now().Add(-d), d)
+}
 
 // ErrStreamClosed is returned by queries against a stream whose owner
 // goroutine has exited (deleted or server shut down).
@@ -34,7 +68,7 @@ type stream struct {
 	feedMu sync.Mutex
 	parser *parser
 
-	queue   chan *trace.Period
+	queue   chan queuedPeriod
 	reqs    chan func(*learner.Online)
 	closing chan struct{} // closed once by close() -> owner drains and exits
 	done    chan struct{} // closed by the owner on exit
@@ -43,6 +77,16 @@ type stream struct {
 	dead      atomic.Pointer[error] // sticky learner error
 	shed      atomic.Int64
 	cut       atomic.Int64 // periods queued by ingest
+
+	// Introspection atomics for /debug/streams, written by the owner.
+	liveWS     atomic.Int64 // working-set size after the last period
+	lastPeriod atomic.Int64 // periods learned
+	ckptUnixNS atomic.Int64 // wall time of the last successful checkpoint
+
+	// Tracing (nil tracer disables; the hot path then allocates
+	// nothing extra).
+	tracer *obs.Tracer
+	bridge *phaseBridge
 
 	// Owner-goroutine state (no synchronization needed).
 	o              *learner.Online
@@ -56,6 +100,12 @@ type stream struct {
 	mQueueDepth *obs.Gauge
 	mPeriods    *obs.Counter
 	mShed       *obs.Counter
+
+	// Service-wide instruments shared by every stream (owned by the
+	// Server; nil without a registry).
+	mLatency      *obs.Histogram // serve_ingest_latency_seconds
+	mOfferedLines *obs.Counter   // serve_ingest_offered_lines_total
+	mShedLines    *obs.Counter   // serve_ingest_shed_lines_total
 }
 
 func (s *stream) deadErr() error {
@@ -68,22 +118,32 @@ func (s *stream) deadErr() error {
 // ingest parses the batch on a clone of the parser, then atomically
 // either queues every cut period and commits the clone, or rejects
 // the whole batch (shed=true on queue pressure) and commits nothing.
-func (s *stream) ingest(lines []string) (resp IngestResponse, shed bool, err error) {
+// parent is the request's ingest span context (zero when tracing is
+// off); cut periods carry it into the owner's learn_period span.
+func (s *stream) ingest(lines []string, parent obs.SpanContext) (resp IngestResponse, shed bool, err error) {
+	if s.mOfferedLines != nil {
+		s.mOfferedLines.Add(int64(len(lines)))
+	}
 	if err := s.deadErr(); err != nil {
 		return resp, false, fmt.Errorf("serve: stream %s is dead: %w", s.id, err)
 	}
 	s.feedMu.Lock()
 	defer s.feedMu.Unlock()
 
+	cutSpan := s.tracer.StartSpan("period_cut", parent)
 	cp := s.parser.clone()
 	var periods []*trace.Period
 	for _, line := range lines {
 		ps, err := cp.feed(line)
 		if err != nil {
+			cutSpan.SetAttr("error", err.Error())
+			cutSpan.End()
 			return resp, false, err
 		}
 		periods = append(periods, ps...)
 	}
+	cutSpan.SetAttr("periods", strconv.Itoa(len(periods)))
+	cutSpan.End()
 	// Owner only drains the queue, so under feedMu the free-slot count
 	// can only grow between this check and the sends below: the batch
 	// either fits entirely or is shed entirely.
@@ -92,12 +152,16 @@ func (s *stream) ingest(lines []string) (resp IngestResponse, shed bool, err err
 		if s.mShed != nil {
 			s.mShed.Inc()
 		}
+		if s.mShedLines != nil {
+			s.mShedLines.Add(int64(len(lines)))
+		}
 		return resp, true, fmt.Errorf("serve: stream %s ingest queue full (%d periods over %d free slots)",
 			s.id, len(periods), cap(s.queue)-len(s.queue))
 	}
+	enq := time.Now()
 	for _, p := range periods {
 		select {
-		case s.queue <- p:
+		case s.queue <- queuedPeriod{p: p, enq: enq, ctx: parent}:
 		case <-s.done:
 			return resp, false, ErrStreamClosed
 		}
@@ -175,17 +239,44 @@ func (s *stream) drain() {
 	}
 }
 
-func (s *stream) consume(p *trace.Period) {
+func (s *stream) consume(qp queuedPeriod) {
 	if s.deadErr() != nil {
 		return // learner is sticky-dead; drop the backlog
 	}
-	if err := s.o.AddPeriod(p); err != nil {
+	sp := s.tracer.StartSpan("learn_period", qp.ctx)
+	if s.bridge != nil {
+		if sp != nil {
+			s.bridge.setParent(sp.Context())
+		} else {
+			s.bridge.setParent(obs.SpanContext{})
+		}
+	}
+	err := s.o.AddPeriod(qp.p)
+	if sp != nil {
+		sp.SetAttr("stream", s.id)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	if err != nil {
 		e := err
 		s.dead.Store(&e)
 		return
 	}
 	s.learned++
 	s.sinceCheckp++
+	s.lastPeriod.Store(int64(s.learned))
+	s.liveWS.Store(int64(s.o.WorkingSetSize()))
+	if s.mLatency != nil {
+		// Ingest→model-update latency: enqueue to committed learn.
+		d := time.Since(qp.enq).Seconds()
+		if sp != nil {
+			s.mLatency.ObserveExemplar(d, sp.Context().TraceID.String(), time.Now())
+		} else {
+			s.mLatency.Observe(d)
+		}
+	}
 	if s.mQueueDepth != nil {
 		s.mQueueDepth.Set(int64(len(s.queue)))
 	}
@@ -239,6 +330,7 @@ func (s *stream) checkpoint() (string, error) {
 		os.Remove(tmp)
 		return "", err
 	}
+	s.ckptUnixNS.Store(time.Now().UnixNano())
 	return path, nil
 }
 

@@ -1,0 +1,380 @@
+// Package slo evaluates service-level objectives over an obs.Registry
+// with multi-window burn-rate math.
+//
+// An Objective declares a target fraction of good events and a
+// service-level indicator that classifies events as good or bad —
+// either a latency SLI (observations of a registry histogram under a
+// threshold are good) or a ratio SLI (a bad-event counter over a
+// total-event counter). A Monitor keeps a bounded ring of timestamped
+// registry snapshots and, for each configured window, computes the
+// burn rate over that window:
+//
+//	burn = badFraction / (1 − target)
+//
+// A burn rate of 1 consumes the error budget exactly at the rate the
+// target allows; the default windows use the classic multi-window
+// thresholds (14.4× over 5 m, 6× over 1 h, 1× over 6 h) so a fast
+// burn trips quickly while a slow leak still alerts. Results are
+// published as modelgen_slo_* series on the same registry and served
+// as JSON by Handler (the /slo endpoint). Latency objectives carry
+// the exemplar trace ID of the current p99 bucket, linking a slow SLI
+// straight to a span tree at /debug/traces.
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+// Objective is one declarative SLO: a target plus exactly one SLI.
+type Objective struct {
+	// Name identifies the objective (label value of the
+	// modelgen_slo_* series).
+	Name string `json:"name"`
+	// Description says what the objective protects.
+	Description string `json:"description,omitempty"`
+	// Target is the desired good fraction in (0, 1), e.g. 0.999.
+	Target float64 `json:"target"`
+
+	// LatencySeries selects a latency SLI: the full series name of a
+	// registry histogram of seconds. Observations <= Threshold are
+	// good. Thresholds between bucket bounds are rounded down to the
+	// nearest bound (conservative: borderline events count as bad).
+	LatencySeries string  `json:"latency_series,omitempty"`
+	Threshold     float64 `json:"threshold_seconds,omitempty"`
+
+	// BadSeries/TotalSeries select a ratio SLI over two counters:
+	// badFraction = ΔBad / ΔTotal per window.
+	BadSeries   string `json:"bad_series,omitempty"`
+	TotalSeries string `json:"total_series,omitempty"`
+}
+
+// Window is one burn-rate evaluation window.
+type Window struct {
+	// Name labels the window in series and JSON ("5m", "1h", ...).
+	Name string `json:"name"`
+	// Dur is the window length.
+	Dur time.Duration `json:"-"`
+	// Burn is the burn-rate threshold at or above which the window is
+	// violated.
+	Burn float64 `json:"burn_threshold"`
+}
+
+// DefaultWindows are the classic multi-window burn-rate alerts:
+// page-fast on a 5-minute 14.4× burn, page-slow on a 1-hour 6× burn,
+// ticket on a 6-hour budget-rate burn.
+func DefaultWindows() []Window {
+	return []Window{
+		{Name: "5m", Dur: 5 * time.Minute, Burn: 14.4},
+		{Name: "1h", Dur: time.Hour, Burn: 6},
+		{Name: "6h", Dur: 6 * time.Hour, Burn: 1},
+	}
+}
+
+// Config configures a Monitor.
+type Config struct {
+	Registry   *obs.Registry
+	Objectives []Objective
+	// Windows defaults to DefaultWindows().
+	Windows []Window
+	// MaxSamples bounds the snapshot ring (default 4096).
+	MaxSamples int
+}
+
+// Monitor evaluates objectives over a ring of registry snapshots.
+type Monitor struct {
+	reg        *obs.Registry
+	objectives []Objective
+	windows    []Window
+	maxSamples int
+
+	mu      sync.Mutex
+	samples []sample // ascending by time
+}
+
+type sample struct {
+	at   time.Time
+	snap obs.Snapshot
+}
+
+// NewMonitor returns a Monitor over cfg.Registry. It does not sample
+// by itself: call Sample on a schedule (or Start).
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.Windows == nil {
+		cfg.Windows = DefaultWindows()
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 4096
+	}
+	return &Monitor{
+		reg:        cfg.Registry,
+		objectives: cfg.Objectives,
+		windows:    cfg.Windows,
+		maxSamples: cfg.MaxSamples,
+	}
+}
+
+// Sample snapshots the registry at the given instant, evicts samples
+// older than the longest window, and refreshes the modelgen_slo_*
+// series. Tests drive it with a synthetic clock; Start drives it with
+// the wall clock.
+func (m *Monitor) Sample(now time.Time) {
+	snap := m.reg.Snapshot()
+	var maxDur time.Duration
+	for _, w := range m.windows {
+		if w.Dur > maxDur {
+			maxDur = w.Dur
+		}
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, sample{at: now, snap: snap})
+	cut := 0
+	for cut < len(m.samples)-1 && m.samples[cut].at.Before(now.Add(-maxDur)) {
+		cut++
+	}
+	if over := len(m.samples) - m.maxSamples; over > cut {
+		cut = over
+	}
+	m.samples = m.samples[cut:]
+	m.mu.Unlock()
+	m.publish(m.statusLocked(now))
+}
+
+// Start samples every interval until the returned stop function is
+// called.
+func (m *Monitor) Start(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				m.Sample(now)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Status is the point-in-time SLO evaluation served at /slo.
+type Status struct {
+	SampledAt  time.Time         `json:"sampled_at"`
+	Healthy    bool              `json:"healthy"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// ObjectiveStatus is one objective's evaluation across all windows.
+type ObjectiveStatus struct {
+	Objective
+	Windows []WindowStatus `json:"windows"`
+	// Violated reports whether any window is at or past its burn
+	// threshold.
+	Violated bool `json:"violated"`
+	// ExemplarTraceID is the trace exemplar of the current p99 bucket
+	// of a latency objective, if one was recorded.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+	// P99Seconds is the current all-time p99 estimate of a latency
+	// objective.
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+}
+
+// WindowStatus is one objective × window burn evaluation.
+type WindowStatus struct {
+	Window      string  `json:"window"`
+	Good        int64   `json:"good"`
+	Total       int64   `json:"total"`
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is badFraction/(1−target); 1 means the error budget is
+	// being consumed exactly at the sustainable rate.
+	BurnRate float64 `json:"burn_rate"`
+	Violated bool    `json:"violated"`
+}
+
+// Status evaluates every objective over the sample ring as of now.
+func (m *Monitor) Status(now time.Time) Status {
+	return m.statusLocked(now)
+}
+
+func (m *Monitor) statusLocked(now time.Time) Status {
+	m.mu.Lock()
+	samples := make([]sample, len(m.samples))
+	copy(samples, m.samples)
+	m.mu.Unlock()
+	st := Status{SampledAt: now, Healthy: true}
+	if len(samples) == 0 {
+		samples = []sample{{at: now, snap: m.reg.Snapshot()}}
+	}
+	newest := samples[len(samples)-1]
+	for _, o := range m.objectives {
+		os := ObjectiveStatus{Objective: o}
+		for _, w := range m.windows {
+			base := baseline(samples, now.Add(-w.Dur))
+			diff := newest.snap.Diff(base.snap)
+			good, total := o.goodTotal(diff)
+			ws := WindowStatus{Window: w.Name, Good: good, Total: total}
+			if total > 0 {
+				ws.BadFraction = float64(total-good) / float64(total)
+				if o.Target < 1 {
+					ws.BurnRate = ws.BadFraction / (1 - o.Target)
+				} else if ws.BadFraction > 0 {
+					ws.BurnRate = ws.BadFraction * 1e9 // target 1.0: any badness is infinite burn
+				}
+				ws.Violated = ws.BurnRate >= w.Burn
+			}
+			os.Violated = os.Violated || ws.Violated
+			os.Windows = append(os.Windows, ws)
+		}
+		if o.LatencySeries != "" {
+			lat := newest.snap[o.LatencySeries]
+			os.P99Seconds = lat.Quantile(0.99)
+			os.ExemplarTraceID = p99ExemplarTrace(lat)
+		}
+		st.Healthy = st.Healthy && !os.Violated
+		st.Objectives = append(st.Objectives, os)
+	}
+	return st
+}
+
+// baseline picks the snapshot that anchors a window starting at
+// cutoff: the newest sample at or before it, else the oldest sample
+// (a partial window while history is still filling).
+func baseline(samples []sample, cutoff time.Time) sample {
+	best := samples[0]
+	for _, s := range samples {
+		if s.at.After(cutoff) {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// goodTotal classifies the window delta d under the objective's SLI.
+func (o Objective) goodTotal(d obs.Snapshot) (good, total int64) {
+	if o.LatencySeries != "" {
+		m := d[o.LatencySeries]
+		total = m.Count
+		for _, b := range m.Buckets {
+			if b.LE <= o.Threshold+1e-12 {
+				good = b.Count
+			} else {
+				break
+			}
+		}
+		return good, total
+	}
+	total = d[o.TotalSeries].Value
+	bad := d[o.BadSeries].Value
+	if bad > total {
+		bad = total
+	}
+	return total - bad, total
+}
+
+// p99ExemplarTrace returns the trace ID of the newest exemplar at or
+// above the p99 bucket of a histogram metric.
+func p99ExemplarTrace(m obs.Metric) string {
+	if m.Count == 0 {
+		return ""
+	}
+	rank := 0.99 * float64(m.Count)
+	var best *obs.Exemplar
+	for _, b := range m.Buckets {
+		if b.Exemplar != nil && (float64(b.Count) >= rank || best == nil) {
+			// Keep the last exemplar seen below the rank as a fallback,
+			// and prefer any exemplar in or above the p99 bucket.
+			best = b.Exemplar
+			if float64(b.Count) >= rank {
+				return best.TraceID
+			}
+		}
+	}
+	if best != nil {
+		return best.TraceID
+	}
+	return ""
+}
+
+// Metric-name helpers of the published series.
+const (
+	MetricBurnRate    = "modelgen_slo_burn_rate"
+	MetricBadFraction = "modelgen_slo_bad_fraction"
+	MetricTarget      = "modelgen_slo_target"
+	MetricViolated    = "modelgen_slo_violated"
+)
+
+// publish refreshes the modelgen_slo_* series from a Status.
+func (m *Monitor) publish(st Status) {
+	for _, os := range st.Objectives {
+		m.reg.LabeledFloatGauge(MetricTarget,
+			"good-fraction target of the objective", "objective", os.Name).Set(os.Target)
+		v := int64(0)
+		if os.Violated {
+			v = 1
+		}
+		m.reg.LabeledGauge(MetricViolated,
+			"1 while any window of the objective is past its burn threshold",
+			"objective", os.Name).Set(v)
+		for _, ws := range os.Windows {
+			m.reg.LabeledFloatGauge(MetricBurnRate,
+				"error-budget burn rate over the window",
+				"objective", os.Name, "window", ws.Window).Set(ws.BurnRate)
+			m.reg.LabeledFloatGauge(MetricBadFraction,
+				"bad-event fraction over the window",
+				"objective", os.Name, "window", ws.Window).Set(ws.BadFraction)
+		}
+	}
+}
+
+// Handler serves the current Status as JSON — the /slo endpoint. A
+// violated objective does not change the HTTP status (the endpoint
+// reports health, it is not a health check): gate on "healthy".
+func (m *Monitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Status(time.Now()))
+	})
+}
+
+// DefaultServeObjectives are the bbserved SLOs: ingest→model-update
+// latency, shed rate, and request availability, over the serve_*
+// series. latencyP99 is the latency threshold in seconds (<=0 selects
+// 500 ms).
+func DefaultServeObjectives(latencyP99 float64) []Objective {
+	if latencyP99 <= 0 {
+		latencyP99 = 0.5
+	}
+	return []Objective{
+		{
+			Name:          "ingest-latency",
+			Description:   "99% of ingested batches reach a committed model update quickly",
+			Target:        0.99,
+			LatencySeries: "serve_ingest_latency_seconds",
+			Threshold:     latencyP99,
+		},
+		{
+			Name:        "shed-rate",
+			Description: "at most 1% of ingested lines are shed under backpressure",
+			Target:      0.99,
+			BadSeries:   "serve_ingest_shed_lines_total",
+			TotalSeries: "serve_ingest_offered_lines_total",
+		},
+		{
+			Name:        "availability",
+			Description: "99.9% of API requests succeed (non-5xx)",
+			Target:      0.999,
+			BadSeries:   "serve_http_errors_total",
+			TotalSeries: "serve_http_requests_total",
+		},
+	}
+}

@@ -1,0 +1,220 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func testWindows() []Window {
+	return []Window{
+		{Name: "1m", Dur: time.Minute, Burn: 10},
+		{Name: "10m", Dur: 10 * time.Minute, Burn: 1},
+	}
+}
+
+func TestRatioBurnRates(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("req_bad_total", "")
+	total := reg.Counter("req_total", "")
+	m := NewMonitor(Config{
+		Registry: reg,
+		Objectives: []Objective{{
+			Name: "availability", Target: 0.99,
+			BadSeries: "req_bad_total", TotalSeries: "req_total",
+		}},
+		Windows: testWindows(),
+	})
+
+	// Nine minutes of clean traffic, then one bad minute at 20% errors.
+	now := t0
+	m.Sample(now)
+	for i := 0; i < 9; i++ {
+		total.Add(100)
+		now = now.Add(time.Minute)
+		m.Sample(now)
+	}
+	total.Add(100)
+	bad.Add(20)
+	now = now.Add(time.Minute)
+	m.Sample(now)
+
+	st := m.Status(now)
+	if len(st.Objectives) != 1 {
+		t.Fatalf("objectives = %+v", st.Objectives)
+	}
+	ws := st.Objectives[0].Windows
+	// 1m window: 20/100 bad → burn 0.2/0.01 = 20 ≥ 10 → violated.
+	if ws[0].Total != 100 || ws[0].Good != 80 {
+		t.Fatalf("1m window = %+v", ws[0])
+	}
+	if got := ws[0].BurnRate; got < 19.99 || got > 20.01 {
+		t.Errorf("1m burn = %g, want 20", got)
+	}
+	if !ws[0].Violated {
+		t.Error("1m window not violated at 20x burn")
+	}
+	// 10m window: 20/1000 bad → burn 0.02/0.01 = 2 ≥ 1 → violated.
+	if ws[1].Total != 1000 || ws[1].Good != 980 {
+		t.Fatalf("10m window = %+v", ws[1])
+	}
+	if got := ws[1].BurnRate; got < 1.99 || got > 2.01 {
+		t.Errorf("10m burn = %g, want 2", got)
+	}
+	if !st.Objectives[0].Violated || st.Healthy {
+		t.Error("status did not surface the violation")
+	}
+}
+
+func TestRatioHealthyUnderBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	bad := reg.Counter("req_bad_total", "")
+	total := reg.Counter("req_total", "")
+	m := NewMonitor(Config{
+		Registry: reg,
+		Objectives: []Objective{{
+			Name: "availability", Target: 0.99,
+			BadSeries: "req_bad_total", TotalSeries: "req_total",
+		}},
+		Windows: testWindows(),
+	})
+	now := t0
+	m.Sample(now)
+	for i := 0; i < 10; i++ {
+		total.Add(1000)
+		if i%2 == 0 {
+			bad.Add(1) // 0.05% bad — burn 0.05, well under budget
+		}
+		now = now.Add(time.Minute)
+		m.Sample(now)
+	}
+	st := m.Status(now)
+	if !st.Healthy || st.Objectives[0].Violated {
+		t.Fatalf("healthy traffic flagged: %+v", st.Objectives[0])
+	}
+}
+
+func TestLatencyObjectiveAndExemplar(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	m := NewMonitor(Config{
+		Registry: reg,
+		Objectives: []Objective{{
+			Name: "latency", Target: 0.9,
+			LatencySeries: "lat_seconds", Threshold: 0.1,
+		}},
+		Windows: []Window{{Name: "5m", Dur: 5 * time.Minute, Burn: 1}},
+	})
+	now := t0
+	m.Sample(now)
+	for i := 0; i < 80; i++ {
+		h.Observe(0.005) // good
+	}
+	for i := 0; i < 20; i++ {
+		// 20% of observations are slow; the exemplar ties the worst
+		// bucket to a trace.
+		h.ObserveExemplar(0.7, "deadbeefdeadbeefdeadbeefdeadbeef", now)
+	}
+	now = now.Add(time.Minute)
+	m.Sample(now)
+
+	st := m.Status(now)
+	o := st.Objectives[0]
+	ws := o.Windows[0]
+	if ws.Total != 100 || ws.Good != 80 {
+		t.Fatalf("window = %+v", ws)
+	}
+	// badFraction 0.2 over budget 0.1 → burn 2 → violated.
+	if !o.Violated {
+		t.Errorf("latency objective not violated: %+v", ws)
+	}
+	if o.ExemplarTraceID != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Errorf("exemplar = %q", o.ExemplarTraceID)
+	}
+	if o.P99Seconds <= 0.1 || o.P99Seconds > 1 {
+		t.Errorf("p99 = %g, want in (0.1, 1]", o.P99Seconds)
+	}
+}
+
+func TestPartialHistoryUsesOldestSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	total := reg.Counter("req_total", "")
+	m := NewMonitor(Config{
+		Registry:   reg,
+		Objectives: []Objective{{Name: "o", Target: 0.99, BadSeries: "req_bad_total", TotalSeries: "req_total"}},
+		Windows:    []Window{{Name: "6h", Dur: 6 * time.Hour, Burn: 1}},
+	})
+	m.Sample(t0)
+	total.Add(50)
+	m.Sample(t0.Add(time.Minute))
+	st := m.Status(t0.Add(time.Minute))
+	if got := st.Objectives[0].Windows[0].Total; got != 50 {
+		t.Fatalf("partial 6h window total = %d, want 50 (delta from oldest sample)", got)
+	}
+}
+
+func TestPublishesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("req_total", "").Add(10)
+	m := NewMonitor(Config{
+		Registry:   reg,
+		Objectives: []Objective{{Name: "avail", Target: 0.99, BadSeries: "req_bad_total", TotalSeries: "req_total"}},
+		Windows:    testWindows(),
+	})
+	m.Sample(t0)
+	snap := reg.Snapshot()
+	burn := obs.SeriesName(MetricBurnRate, "objective", "avail", "window", "1m")
+	if _, ok := snap[burn]; !ok {
+		t.Fatalf("missing series %q in %d-metric snapshot", burn, len(snap))
+	}
+	tgt := obs.SeriesName(MetricTarget, "objective", "avail")
+	if got := snap[tgt].Float; got != 0.99 {
+		t.Errorf("target gauge = %g, want 0.99", got)
+	}
+	if got := snap.Value(obs.SeriesName(MetricViolated, "objective", "avail")); got != 0 {
+		t.Errorf("violated gauge = %d, want 0", got)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(Config{Registry: reg, MaxSamples: 8, Windows: testWindows()})
+	for i := 0; i < 100; i++ {
+		m.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	m.mu.Lock()
+	n := len(m.samples)
+	m.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("ring holds %d samples, want <= 8", n)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(Config{Registry: reg, Objectives: DefaultServeObjectives(0)})
+	m.Sample(t0)
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad /slo JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(st.Objectives) != 3 || !st.Healthy {
+		t.Fatalf("status = %+v", st)
+	}
+	names := map[string]bool{}
+	for _, o := range st.Objectives {
+		names[o.Name] = true
+	}
+	for _, want := range []string{"ingest-latency", "shed-rate", "availability"} {
+		if !names[want] {
+			t.Errorf("missing default objective %q", want)
+		}
+	}
+}
