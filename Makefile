@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench conform soak fuzz tidy load
+.PHONY: check vet build test race bench microbench conform soak fuzz tidy load drift
 
 ## check: the full gate — vet, build everything, race-enabled tests,
 ## and the conformance harness over the committed golden corpus.
@@ -41,6 +41,20 @@ soak:
 ## violation (exit 1) or a goroutine leak after shutdown (exit 3).
 load:
 	$(GO) run ./cmd/bbload -streams 64 -duration 5s -slo
+
+## drift: the model-drift gate — the drift unit/integration tests, the
+## conformance drift oracles over the committed corpus (change-point
+## detection on drift entries, zero false alarms on stationary ones),
+## and the bbload drift-injection smoke: every stream flips its regime
+## mid-run and the server must report the change point within the
+## window, SLO-gated.
+drift:
+	$(GO) test ./internal/drift/
+	$(GO) test ./internal/conformance/ -run Drift
+	$(GO) test ./internal/serve/ -run Drift
+	$(GO) test ./internal/load/ -run Drift
+	$(GO) run ./cmd/bbconform -drift
+	$(GO) run ./cmd/bbload -streams 8 -duration 5s -rate 96 -drift-flip 20 -slo
 
 ## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
 ## nightly CI uses 10m). Minimized crashers land under the package's

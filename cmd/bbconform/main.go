@@ -11,6 +11,7 @@
 //	bbconform -json conform.json            # also write the JSON report
 //	bbconform -events events.jsonl          # stream obs events as JSONL
 //	bbconform -smoke                        # harness self-test (mutation detection)
+//	bbconform -drift                        # drift oracles only: change-point detection + false-alarm gate
 //	bbconform -gen                          # (re)generate the golden corpus in place
 //	bbconform -serve                        # feed the corpus through an in-process bbserved API
 //	bbconform -serve -serve-addr URL        # ... or through an already-running deployment
@@ -39,6 +40,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the full JSON conformance report to this file")
 		events    = flag.String("events", "", "stream observability events as JSONL to this file")
 		smoke     = flag.Bool("smoke", false, "run the harness self-test: inject faults the oracles must catch")
+		driftOnly = flag.Bool("drift", false, "run only the drift oracles: change-point detection on drift entries, zero false alarms on stationary ones")
 		gen       = flag.Bool("gen", false, "(re)generate the golden corpus under -corpus and exit")
 		srv       = flag.Bool("serve", false, "run the served-model oracles: feed each entry through the bbserved HTTP API")
 		srvAddr   = flag.String("serve-addr", "", "with -serve, base URL of a running service (empty = start one in process)")
@@ -92,7 +94,10 @@ func main() {
 	}
 
 	var rep *conformance.Report
-	if *srv {
+	switch {
+	case *driftOnly:
+		rep = conformance.RunDrift(c, obs.NewMulti(observers...))
+	case *srv:
 		base := *srvAddr
 		if base == "" {
 			stop, addr, err := startLocalService()
@@ -103,7 +108,7 @@ func main() {
 			base = addr
 		}
 		rep = conformance.CheckServed(c, base, nil, obs.NewMulti(observers...))
-	} else {
+	default:
 		rep = conformance.Run(c, obs.NewMulti(observers...))
 	}
 

@@ -10,6 +10,7 @@
 //
 //	bbload -streams 64 -duration 5s -slo            # in-process smoke
 //	bbload -addr http://host:8080 -streams 1000 -duration 30s -rate 2000
+//	bbload -streams 8 -duration 5s -rate 96 -drift-flip 20 -slo   # drift injection
 //
 // Exit codes: 0 ok, 1 SLO violation (-slo only), 2 run error,
 // 3 goroutine leak after in-process shutdown.
@@ -50,6 +51,8 @@ func main() {
 		sloP99      = flag.Duration("slo-p99", 500*time.Millisecond, "p99 ingest latency threshold")
 		sloShed     = flag.Float64("slo-shed", 0.01, "maximum shed rate")
 		sloAvail    = flag.Float64("slo-availability", 0.999, "minimum availability")
+		driftFlip   = flag.Int("drift-flip", 0, "drift scenario: flip every stream's regime after this many periods (0 = off)")
+		driftWindow = flag.Int("drift-window", 20, "drift scenario: detection-lag bound in periods")
 	)
 	flag.Parse()
 
@@ -66,6 +69,8 @@ func main() {
 		CandumpFraction: *canFrac,
 		TraceSample:     *traceSample,
 		SLO:             thr,
+		DriftFlipAfter:  *driftFlip,
+		DriftWindow:     *driftWindow,
 	}
 
 	// In-process mode boots a full bbserved — registry, tracer, SLO

@@ -48,6 +48,16 @@ type Manifest struct {
 	ReceiverWindow int64 `json:"receiver_window,omitempty"`
 	MaxSenders     int   `json:"max_senders,omitempty"`
 	MaxReceivers   int   `json:"max_receivers,omitempty"`
+	// DriftFlipPeriod marks an entry whose dependency structure changes
+	// mid-trace: periods 1..DriftFlipPeriod (1-based) are the
+	// stationary regime and the change takes effect at period
+	// DriftFlipPeriod+1. Zero means the trace is stationary, and the
+	// drift oracle then asserts zero alarms instead.
+	DriftFlipPeriod int `json:"drift_flip_period,omitempty"`
+	// DriftWindow bounds the drift oracle's detection lag in periods
+	// (0 selects DefaultDriftWindow). Only meaningful with a nonzero
+	// DriftFlipPeriod.
+	DriftWindow int `json:"drift_window,omitempty"`
 }
 
 // Policy returns the entry's candidate policy.
@@ -151,6 +161,13 @@ func loadEntry(dir string) (*Entry, error) {
 	}
 	if e.Thm2 && (e.Truth == nil || !e.Exact) {
 		return nil, fmt.Errorf("conformance: entry %s: thm2 requires exact mode and a truth.txt", dir)
+	}
+	if e.DriftFlipPeriod < 0 || e.DriftFlipPeriod >= len(e.Trace.Periods) {
+		return nil, fmt.Errorf("conformance: entry %s: drift_flip_period %d outside the trace's %d periods",
+			dir, e.DriftFlipPeriod, len(e.Trace.Periods))
+	}
+	if e.DriftWindow != 0 && e.DriftFlipPeriod == 0 {
+		return nil, fmt.Errorf("conformance: entry %s: drift_window without a drift_flip_period", dir)
 	}
 	return e, nil
 }

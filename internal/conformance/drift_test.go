@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// flipEntry builds the drift-flip corpus entry in memory: 30
+// stationary periods of t1→(m1)→t2, then 20 with t1 alone.
+func flipEntry() *Entry {
+	return &Entry{
+		Manifest: Manifest{
+			Name:            "drift-flip",
+			Bounds:          []int{4},
+			DriftFlipPeriod: 30,
+			DriftWindow:     DefaultDriftWindow,
+		},
+		Trace: driftFlipTrace(30, 20),
+	}
+}
+
+func driftViolations(t *testing.T, e *Entry) []Violation {
+	t.Helper()
+	vs, err := DriftDetection(e, learner.Options{Bound: maxBound(e.Bounds), Policy: e.Policy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestDriftOracleDetectsFlip(t *testing.T) {
+	if vs := driftViolations(t, flipEntry()); len(vs) > 0 {
+		t.Fatalf("drift oracle failed on the genuine flip entry: %v", vs)
+	}
+}
+
+// TestDriftOracleCatchesMislabeledStationary is the oracle's mutation
+// test in one direction: a flipped trace declared stationary must be
+// reported as a false alarm, proving the oracle actually observes the
+// monitor rather than vacuously passing.
+func TestDriftOracleCatchesMislabeledStationary(t *testing.T) {
+	e := flipEntry()
+	e.DriftFlipPeriod, e.DriftWindow = 0, 0
+	vs := driftViolations(t, e)
+	if len(vs) == 0 {
+		t.Fatal("oracle passed a flipped trace declared stationary")
+	}
+	if !strings.Contains(vs[0].Property, "stationary-false-alarm") {
+		t.Fatalf("unexpected violation: %+v", vs[0])
+	}
+}
+
+// TestDriftOracleCatchesMissedFlip is the other direction: a
+// stationary trace declared as drifting must fail for want of an
+// alarm.
+func TestDriftOracleCatchesMissedFlip(t *testing.T) {
+	e := &Entry{
+		Manifest: Manifest{Name: "never-flips", Bounds: []int{4}, DriftFlipPeriod: 30},
+		Trace:    driftFlipTrace(50, 0),
+	}
+	vs := driftViolations(t, e)
+	if len(vs) == 0 {
+		t.Fatal("oracle passed a stationary trace declared as drifting")
+	}
+	if !strings.Contains(vs[0].Property, "flip-undetected") {
+		t.Fatalf("unexpected violation: %+v", vs[0])
+	}
+}
+
+// TestDriftOracleEnforcesWindow: an impossible 1-period window must
+// turn the (legitimately ~λ/(1−δ)-period) detection lag into a
+// violation.
+func TestDriftOracleEnforcesWindow(t *testing.T) {
+	e := flipEntry()
+	e.DriftWindow = 1
+	vs := driftViolations(t, e)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Property, "detection-window") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no detection-window violation under a 1-period window: %v", vs)
+	}
+}
+
+func TestLoadCorpusRejectsBadDriftManifest(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Entry)
+		want string
+	}{
+		{"flip-outside-trace", func(e *Entry) { e.DriftFlipPeriod = len(e.Trace.Periods) }, "drift_flip_period"},
+		{"window-without-flip", func(e *Entry) { e.DriftFlipPeriod = 0 }, "drift_window"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := flipEntry()
+			e.Name = "bad"
+			tc.mut(e)
+			dir := t.TempDir()
+			c := &Corpus{Version: CorpusVersion, Entries: []*Entry{e}}
+			if err := WriteCorpus(dir, c); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCorpus(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error mentioning %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestDriftFlipTraceShape pins the generated two-regime trace: tasks,
+// period counts and the exact flip boundary the manifest declares.
+func TestDriftFlipTraceShape(t *testing.T) {
+	tr := driftFlipTrace(30, 20)
+	if len(tr.Tasks) != 2 || len(tr.Periods) != 50 {
+		t.Fatalf("trace shape: %d tasks, %d periods", len(tr.Tasks), len(tr.Periods))
+	}
+	for i, p := range tr.Periods {
+		stationary := i < 30
+		if got := p.Executed("t2"); got != stationary {
+			t.Fatalf("period %d: t2 executed = %v, want %v", i, got, stationary)
+		}
+		if got := len(p.Msgs) == 1; got != stationary {
+			t.Fatalf("period %d: %d messages", i, len(p.Msgs))
+		}
+	}
+	// Round-trips through the text format like any corpus trace.
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Periods) != len(tr.Periods) {
+		t.Fatalf("round trip lost periods: %d -> %d", len(tr.Periods), len(back.Periods))
+	}
+}

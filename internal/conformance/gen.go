@@ -133,6 +133,24 @@ func GenerateCorpus() (*Corpus, error) {
 		Trace: lite.Trace,
 	})
 
+	// A mid-trace dependency change for the drift oracle: the t1→t2
+	// messaging of the stationary regime disappears after period 30,
+	// and the monitor must pin the change point there. There is no
+	// single ground truth over a drifted trace, so the entry runs the
+	// bounded oracles only.
+	c.Entries = append(c.Entries, &Entry{
+		Manifest: Manifest{
+			Name:            "drift-flip",
+			Description:     "mid-trace dependency change: the t1→t2 message disappears after period 30",
+			Source:          "gen:drift-flip stationary=30 flipped=20",
+			Bounds:          []int{4},
+			Exact:           false,
+			DriftFlipPeriod: 30,
+			DriftWindow:     DefaultDriftWindow,
+		},
+		Trace: driftFlipTrace(30, 20),
+	})
+
 	// Downgrade any entry whose exact run blows the hypothesis budget;
 	// generation must never bake an intractable oracle into CI.
 	for _, e := range c.Entries {
@@ -149,6 +167,25 @@ func GenerateCorpus() (*Corpus, error) {
 		}
 	}
 	return c, nil
+}
+
+// driftFlipTrace renders a two-regime trace: `stationary` periods in
+// which t1 sends m1 to t2, then `flipped` periods in which t1 runs
+// alone. Fully pinned, so regeneration is byte-identical.
+func driftFlipTrace(stationary, flipped int) *trace.Trace {
+	tr := trace.New([]string{"t1", "t2"})
+	for k := 0; k < stationary+flipped; k++ {
+		base := int64(k) * 1000
+		p := &trace.Period{Index: k, Execs: map[string]trace.Interval{
+			"t1": {Start: base, End: base + 100},
+		}}
+		if k < stationary {
+			p.Msgs = []trace.Message{{ID: "m1", Rise: base + 150, Fall: base + 200}}
+			p.Execs["t2"] = trace.Interval{Start: base + 400, End: base + 500}
+		}
+		tr.Periods = append(tr.Periods, p)
+	}
+	return tr
 }
 
 func simTrace(m *model.Model, periods int, seed int64) (*trace.Trace, error) {

@@ -93,6 +93,30 @@ func Run(c *Corpus, o obs.Observer) *Report {
 			}
 			return VerifierConsistency(res.LUB), nil
 		}))
+		er.Results = append(er.Results, record(r, o, e.Name, "drift", driftOracle(e)))
+		r.Entries = append(r.Entries, er)
+	}
+	return r
+}
+
+// driftOracle builds the drift-detection closure for one entry: the
+// bounded learner mirrors what the serving layer runs in production,
+// so the oracle measures the deployed signal path, not a lab variant.
+func driftOracle(e *Entry) func() ([]Violation, error) {
+	return func() ([]Violation, error) {
+		return DriftDetection(e, learner.Options{Bound: maxBound(e.Bounds), Policy: e.Policy()})
+	}
+}
+
+// RunDrift executes only the drift oracle over the corpus — the quick
+// drift-focused gate behind `make drift` and `bbconform -drift`:
+// change-point detection on drift-marked entries, zero false alarms on
+// the stationary rest.
+func RunDrift(c *Corpus, o obs.Observer) *Report {
+	r := &Report{SchemaVersion: ReportSchemaVersion, CorpusVersion: c.Version}
+	for _, e := range c.Entries {
+		er := EntryReport{Name: e.Name}
+		er.Results = append(er.Results, record(r, o, e.Name, "drift", driftOracle(e)))
 		r.Entries = append(r.Entries, er)
 	}
 	return r

@@ -1,0 +1,513 @@
+// Package drift tracks model convergence and detects change points in
+// a stream of learned periods — the online analogue of the paper's
+// unintended-dependency finding: notice when the system under
+// observation stops behaving like the model we converged on, and say
+// at which period it changed.
+//
+// # Convergence tracking
+//
+// After every consumed period the Monitor receives the frontier's
+// least upper bound (via the engine's per-period verify-outcome hook)
+// and tracks its Zobrist fingerprint: the stability streak is the
+// number of consecutive periods the fingerprint has been unchanged,
+// and the ambiguity ratio is the fraction of ordered task pairs whose
+// entry is conditional (→?, ←?, ↔?) — the "how much did the model
+// have to hedge" number.
+//
+// # Change-point detection
+//
+// Once the streak reaches Config.ConvergeAfter, the Monitor freezes
+// the current LUB as the generation's reference model. Every later
+// period is verified against that frozen reference with the matching
+// function M (Definition 3), yielding a per-period failure indicator
+// x_t ∈ {0,1}, and a Page–Hinkley test runs over the x_t series:
+//
+//	m_t = m_{t-1} + (x_t − x̄_t − δ)     (x̄_t = running failure mean)
+//	alarm when m_t − min_{i≤t} m_i > λ
+//
+// A stationary stream keeps m_t falling (each success contributes
+// −δ), so isolated verification failures — a rare behaviour the
+// learner legitimately relaxes into the model — never alarm; a
+// genuine dependency change makes every subsequent period fail
+// against the frozen reference and trips λ within about λ/(1−δ)
+// periods. The estimated change point is the period right after the
+// accumulator's minimum.
+//
+// When the live model changes (the learner relaxed an entry) and then
+// re-stabilizes for ConvergeAfter periods, the reference is re-frozen
+// to the new model and the detector resets: refinement the learner
+// absorbs and holds is reclassified as learning, not drift. A change
+// the learner cannot quietly absorb keeps failing against the old
+// reference and alarms first (ConvergeAfter > λ/(1−δ) guarantees the
+// ordering for hard flips).
+//
+// On alarm the Monitor archives the reference model, bumps the stream
+// to a new model generation and resets itself; the caller (the
+// serving layer) forks a fresh learner for the new generation.
+//
+// Monitor state is plainly serializable (State / Restore): every
+// field round-trips through JSON bit-identically, so a restored
+// monitor continues the streak and the detector accumulator exactly
+// where the checkpoint left them.
+package drift
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// Defaults of Config's tunables.
+const (
+	// DefaultConvergeAfter is the stability streak that freezes the
+	// reference model. It must comfortably exceed the alarm horizon
+	// λ/(1−δ) (≈ 3.2 periods at the defaults) so a hard flip alarms
+	// before the relaxed post-flip model is mistaken for convergence.
+	DefaultConvergeAfter = 8
+	// DefaultDelta is the Page–Hinkley tolerance δ: the failure rate
+	// regarded as noise.
+	DefaultDelta = 0.05
+	// DefaultLambda is the Page–Hinkley alarm threshold λ.
+	DefaultLambda = 3.0
+	// DefaultMaxArchived bounds the archived-model list.
+	DefaultMaxArchived = 4
+)
+
+// Config configures a Monitor. The zero value selects every default.
+type Config struct {
+	// ConvergeAfter is the stability streak (periods with an
+	// unchanged model fingerprint) after which the live LUB is frozen
+	// as the generation's reference model. <= 0 selects
+	// DefaultConvergeAfter.
+	ConvergeAfter int
+	// Delta is the Page–Hinkley tolerance δ. <= 0 selects
+	// DefaultDelta.
+	Delta float64
+	// Lambda is the Page–Hinkley alarm threshold λ. <= 0 selects
+	// DefaultLambda.
+	Lambda float64
+	// MaxArchived bounds the archived-model ring (oldest evicted).
+	// <= 0 selects DefaultMaxArchived.
+	MaxArchived int
+	// Policy is the candidate policy used to verify periods against
+	// the frozen reference — it must match the learner's, or the
+	// failure signal would measure policy skew instead of drift.
+	Policy depfunc.CandidatePolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConvergeAfter <= 0 {
+		c.ConvergeAfter = DefaultConvergeAfter
+	}
+	if c.Delta <= 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = DefaultLambda
+	}
+	if c.MaxArchived <= 0 {
+		c.MaxArchived = DefaultMaxArchived
+	}
+	return c
+}
+
+// Event is one detected change point, returned by Observe (or
+// ForceAlarm) exactly when an alarm fires.
+type Event struct {
+	// Period is the monitor period index (1-based, counted across
+	// generations) at which the alarm fired.
+	Period int
+	// ChangePoint is the estimated offending period: the first period
+	// past the Page–Hinkley accumulator's minimum. ForceAlarm events
+	// point at the period that killed the learner.
+	ChangePoint int
+	// Generation is the new model generation after the bump.
+	Generation int
+	// Failures and Observed are the detector's sample counts since
+	// the reference was frozen (zero for ForceAlarm before freezing).
+	Failures, Observed int64
+	// Archived is the retired reference model's table, empty when no
+	// reference was frozen yet.
+	Archived string
+	// Forced marks an alarm raised by ForceAlarm (the learner died on
+	// a period no hypothesis could explain) rather than by the
+	// detector.
+	Forced bool
+}
+
+// ArchivedModel is one retired generation's reference model.
+type ArchivedModel struct {
+	// Generation is the generation the model served.
+	Generation int `json:"generation"`
+	// Table is the reference model (depfunc.Table form).
+	Table string `json:"table"`
+	// FrozenAt and RetiredAt are the monitor period indices at which
+	// the reference was frozen and retired.
+	FrozenAt  int `json:"frozen_at"`
+	RetiredAt int `json:"retired_at"`
+}
+
+// Monitor tracks one stream's model convergence and change points. It
+// is not safe for concurrent use: the serving layer confines it to
+// the stream's owner goroutine.
+type Monitor struct {
+	cfg Config
+
+	generation int
+	periods    int // periods observed, 1-based, across generations
+
+	// Convergence tracking of the live model.
+	haveFP    bool
+	lastFP    uint64
+	streak    int
+	live      int
+	ambiguous int // conditional ordered pairs in the last LUB
+	pairs     int // total ordered pairs (n·(n−1))
+
+	// Frozen reference of the current generation (nil until the
+	// streak first reaches ConvergeAfter).
+	ref       *depfunc.DepFunc
+	refFP     uint64
+	refPeriod int
+
+	// Page–Hinkley accumulator over the failure indicators since the
+	// reference was frozen (or last re-frozen).
+	phN        int64
+	phFails    int64
+	phSum      float64
+	phMin      float64
+	phMinAt    int // period index of the accumulator minimum
+	lastFail   bool
+	lastAlarm  int // period of the last alarm, 0 = none
+	lastChange int // estimated change point of the last alarm, 0 = none
+	alarms     int
+
+	archived []ArchivedModel
+}
+
+// New returns a Monitor at generation 1 with nothing observed.
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), generation: 1}
+}
+
+// Config returns the monitor's effective (default-filled)
+// configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Generation returns the current model generation (1-based).
+func (m *Monitor) Generation() int { return m.generation }
+
+// Periods returns how many periods the monitor has observed, across
+// generations.
+func (m *Monitor) Periods() int { return m.periods }
+
+// Streak returns the stability streak: consecutive periods the live
+// model fingerprint has been unchanged.
+func (m *Monitor) Streak() int { return m.streak }
+
+// Converged reports whether the current generation has a frozen
+// reference model.
+func (m *Monitor) Converged() bool { return m.ref != nil }
+
+// AmbiguityRatio returns the fraction of ordered task pairs whose
+// entry in the last observed LUB is conditional (→?, ←?, ↔?).
+func (m *Monitor) AmbiguityRatio() float64 {
+	if m.pairs == 0 {
+		return 0
+	}
+	return float64(m.ambiguous) / float64(m.pairs)
+}
+
+// LastChangePoint returns the estimated offending period of the last
+// alarm, 0 when none has fired.
+func (m *Monitor) LastChangePoint() int { return m.lastChange }
+
+// LastAlarmPeriod returns the period at which the last alarm fired, 0
+// when none has.
+func (m *Monitor) LastAlarmPeriod() int { return m.lastAlarm }
+
+// Alarms returns how many alarms have fired over the monitor's life.
+func (m *Monitor) Alarms() int { return m.alarms }
+
+// Archived returns the retired reference models, oldest first (the
+// slice is shared; callers must not mutate it).
+func (m *Monitor) Archived() []ArchivedModel { return m.archived }
+
+// Observe consumes one period's verification report: p is the period
+// just learned, lub the post-period frontier LUB (the monitor clones
+// what it keeps), live the working-set size. It returns a non-nil
+// Event exactly when a change-point alarm fires; the caller then owns
+// forking a fresh learner for the new generation.
+func (m *Monitor) Observe(p *trace.Period, lub *depfunc.DepFunc, live int) *Event {
+	m.periods++
+
+	// 1. Change-point detection against the frozen reference.
+	if m.ref != nil {
+		fail := !depfunc.Match(m.ref, p, m.cfg.Policy)
+		m.phN++
+		if fail {
+			m.phFails++
+		}
+		x := 0.0
+		if fail {
+			x = 1.0
+		}
+		mean := float64(m.phFails) / float64(m.phN)
+		m.phSum += x - mean - m.cfg.Delta
+		if m.phSum < m.phMin {
+			m.phMin = m.phSum
+			m.phMinAt = m.periods
+		}
+		m.lastFail = fail
+		if m.phSum-m.phMin > m.cfg.Lambda {
+			return m.alarm(false, m.phMinAt+1)
+		}
+	}
+
+	// 2. Convergence tracking of the live model.
+	fp := lub.Fingerprint()
+	if m.haveFP && fp == m.lastFP {
+		m.streak++
+	} else {
+		m.haveFP = true
+		m.lastFP = fp
+		m.streak = 0
+	}
+	m.live = live
+	m.ambiguous, m.pairs = countAmbiguous(lub)
+
+	// 3. Freeze (or re-freeze) the reference once the model has been
+	// stable long enough. Re-freezing onto a changed fingerprint
+	// resets the detector: refinement the learner absorbed and held
+	// for ConvergeAfter periods is learning, not drift.
+	if m.streak >= m.cfg.ConvergeAfter && (m.ref == nil || m.refFP != fp) {
+		m.ref = lub.Clone()
+		m.refFP = fp
+		m.refPeriod = m.periods
+		m.resetDetector()
+	}
+	return nil
+}
+
+// ForceAlarm raises a change point without detector evidence: the
+// serving layer calls it when the learner dies on a period no
+// hypothesis can explain — the strongest possible model violation.
+// The offending period is the one about to be replayed on the fresh
+// generation (the monitor never observed it).
+func (m *Monitor) ForceAlarm() *Event {
+	ev := m.alarm(true, m.periods+1)
+	ev.Period = m.periods + 1
+	return ev
+}
+
+// alarm archives the reference, bumps the generation and resets all
+// per-generation state.
+func (m *Monitor) alarm(forced bool, changePoint int) *Event {
+	ev := &Event{
+		Period:      m.periods,
+		ChangePoint: changePoint,
+		Generation:  m.generation + 1,
+		Failures:    m.phFails,
+		Observed:    m.phN,
+		Forced:      forced,
+	}
+	if m.ref != nil {
+		ev.Archived = m.ref.Table()
+		m.archived = append(m.archived, ArchivedModel{
+			Generation: m.generation,
+			Table:      ev.Archived,
+			FrozenAt:   m.refPeriod,
+			RetiredAt:  m.periods,
+		})
+		if over := len(m.archived) - m.cfg.MaxArchived; over > 0 {
+			m.archived = append(m.archived[:0], m.archived[over:]...)
+		}
+	}
+	m.generation++
+	m.alarms++
+	m.lastAlarm = ev.Period
+	m.lastChange = ev.ChangePoint
+	m.ref = nil
+	m.refFP = 0
+	m.refPeriod = 0
+	m.haveFP = false
+	m.lastFP = 0
+	m.streak = 0
+	m.resetDetector()
+	return ev
+}
+
+func (m *Monitor) resetDetector() {
+	m.phN = 0
+	m.phFails = 0
+	m.phSum = 0
+	m.phMin = 0
+	m.phMinAt = m.periods
+	m.lastFail = false
+}
+
+func countAmbiguous(d *depfunc.DepFunc) (ambiguous, pairs int) {
+	d.Entries(func(i, j int, v lattice.Value) {
+		pairs++
+		switch v {
+		case lattice.FwdMaybe, lattice.BwdMaybe, lattice.BiMaybe:
+			ambiguous++
+		}
+	})
+	return ambiguous, pairs
+}
+
+// DetectorState is the serialized Page–Hinkley accumulator. Floats
+// round-trip bit-identically through JSON (encoding/json emits the
+// shortest representation that parses back to the same float64).
+type DetectorState struct {
+	// N and Failures are the sample and failure counts since the
+	// reference was frozen.
+	N        int64 `json:"n"`
+	Failures int64 `json:"failures"`
+	// Sum is the accumulator m_t; Min its running minimum, reached at
+	// period MinAt.
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	MinAt int     `json:"min_at"`
+	// LastFail reports whether the most recent observed period failed
+	// verification against the reference.
+	LastFail bool `json:"last_fail,omitempty"`
+}
+
+// State is the complete serializable monitor state, embedded in
+// serve checkpoints and served at /v1/streams/{id}/drift.
+type State struct {
+	// Generation is the current model generation (1-based).
+	Generation int `json:"generation"`
+	// Periods counts observed periods across generations.
+	Periods int `json:"periods"`
+	// Streak is the stability streak of the live model fingerprint.
+	Streak int `json:"streak"`
+	// Fingerprint is the live model's 64-bit Zobrist fingerprint in
+	// hex, empty before the generation's first period.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Live is the working-set size after the last observed period.
+	Live int `json:"live,omitempty"`
+	// AmbiguousPairs over TotalPairs is the ambiguity ratio of the
+	// last observed LUB (kept as integers so state round-trips
+	// exactly); AmbiguityRatio is the derived convenience value.
+	AmbiguousPairs int     `json:"ambiguous_pairs"`
+	TotalPairs     int     `json:"total_pairs"`
+	AmbiguityRatio float64 `json:"ambiguity_ratio"`
+	// Converged reports whether a reference model is frozen;
+	// Reference is its table, ReferenceFingerprint its hex
+	// fingerprint and ReferencePeriod the period it was frozen at.
+	Converged            bool   `json:"converged"`
+	Reference            string `json:"reference,omitempty"`
+	ReferenceFingerprint string `json:"reference_fingerprint,omitempty"`
+	ReferencePeriod      int    `json:"reference_period,omitempty"`
+	// Detector is the Page–Hinkley accumulator.
+	Detector DetectorState `json:"detector"`
+	// LastChangePoint/LastAlarmPeriod/Alarms summarize alarm history
+	// (zero values = no alarm yet).
+	LastChangePoint int `json:"last_change_point,omitempty"`
+	LastAlarmPeriod int `json:"last_alarm_period,omitempty"`
+	Alarms          int `json:"alarms,omitempty"`
+	// Archived lists retired reference models, oldest first.
+	Archived []ArchivedModel `json:"archived,omitempty"`
+}
+
+// State snapshots the monitor. The snapshot shares nothing mutable
+// with the monitor.
+func (m *Monitor) State() State {
+	st := State{
+		Generation:     m.generation,
+		Periods:        m.periods,
+		Streak:         m.streak,
+		Live:           m.live,
+		AmbiguousPairs: m.ambiguous,
+		TotalPairs:     m.pairs,
+		AmbiguityRatio: m.AmbiguityRatio(),
+		Converged:      m.ref != nil,
+		Detector: DetectorState{
+			N:        m.phN,
+			Failures: m.phFails,
+			Sum:      m.phSum,
+			Min:      m.phMin,
+			MinAt:    m.phMinAt,
+			LastFail: m.lastFail,
+		},
+		LastChangePoint: m.lastChange,
+		LastAlarmPeriod: m.lastAlarm,
+		Alarms:          m.alarms,
+	}
+	if m.haveFP {
+		st.Fingerprint = fmtFP(m.lastFP)
+	}
+	if m.ref != nil {
+		st.Reference = m.ref.Table()
+		st.ReferenceFingerprint = fmtFP(m.refFP)
+		st.ReferencePeriod = m.refPeriod
+	}
+	st.Archived = append(st.Archived, m.archived...)
+	return st
+}
+
+// Restore rebuilds a monitor from a State snapshot under cfg (the
+// runtime configuration; the snapshot carries no tunables, mirroring
+// how serve re-derives learner options). The restored monitor
+// continues the streak, generation and detector accumulator exactly.
+func Restore(st State, cfg Config) (*Monitor, error) {
+	m := New(cfg)
+	if st.Generation > 0 {
+		m.generation = st.Generation
+	}
+	m.periods = st.Periods
+	m.streak = st.Streak
+	m.live = st.Live
+	m.ambiguous = st.AmbiguousPairs
+	m.pairs = st.TotalPairs
+	if st.Fingerprint != "" {
+		fp, err := parseFP(st.Fingerprint)
+		if err != nil {
+			return nil, fmt.Errorf("drift: restore fingerprint: %w", err)
+		}
+		m.haveFP = true
+		m.lastFP = fp
+	}
+	if st.Reference != "" {
+		ref, err := depfunc.ParseTable(st.Reference)
+		if err != nil {
+			return nil, fmt.Errorf("drift: restore reference model: %w", err)
+		}
+		m.ref = ref
+		m.refFP = ref.Fingerprint()
+		if st.ReferenceFingerprint != "" {
+			want, err := parseFP(st.ReferenceFingerprint)
+			if err != nil {
+				return nil, fmt.Errorf("drift: restore reference fingerprint: %w", err)
+			}
+			if want != m.refFP {
+				return nil, fmt.Errorf("drift: restored reference model fingerprints %s, state says %s",
+					fmtFP(m.refFP), st.ReferenceFingerprint)
+			}
+		}
+		m.refPeriod = st.ReferencePeriod
+	} else if st.Converged {
+		return nil, fmt.Errorf("drift: state marked converged but carries no reference model")
+	}
+	m.phN = st.Detector.N
+	m.phFails = st.Detector.Failures
+	m.phSum = st.Detector.Sum
+	m.phMin = st.Detector.Min
+	m.phMinAt = st.Detector.MinAt
+	m.lastFail = st.Detector.LastFail
+	m.lastChange = st.LastChangePoint
+	m.lastAlarm = st.LastAlarmPeriod
+	m.alarms = st.Alarms
+	m.archived = append(m.archived, st.Archived...)
+	return m, nil
+}
+
+func fmtFP(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+func parseFP(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }

@@ -110,6 +110,34 @@ type Config struct {
 
 	// Provenance enables per-hypothesis derivation recording.
 	Provenance bool
+
+	// OnPeriodVerify, when non-nil, receives one VerifyOutcome after
+	// every successfully processed period: whether the period matched
+	// the model as it stood when the period arrived, plus the
+	// post-period frontier LUB — the online analogue of re-running
+	// Definition 3 against each new instance. Drift monitors
+	// (internal/drift) hook here. Nil disables the extra Match and
+	// JoinAll work entirely.
+	OnPeriodVerify func(VerifyOutcome)
+}
+
+// VerifyOutcome is the per-period verification report delivered to
+// Config.OnPeriodVerify.
+type VerifyOutcome struct {
+	// Period is the period just consumed (engine-owned; hooks must
+	// treat it as read-only and not retain it past the call).
+	Period *trace.Period
+	// Verified reports whether the period matched the pre-period LUB
+	// of the working set under the matching function M. The first
+	// periods of a session virtually always fail this check (the
+	// model is still ⊥-ish); sustained failures after convergence are
+	// the drift signal.
+	Verified bool
+	// LUB is the post-period least upper bound of the working set — a
+	// fresh DepFunc the hook may keep.
+	LUB *depfunc.DepFunc
+	// Live is the post-period working-set size.
+	Live int
 }
 
 // Stats instruments a run. The engine maintains the per-period
@@ -197,6 +225,10 @@ func (e *Engine) ProcessPeriod(p *trace.Period) error {
 	if obsv != nil {
 		obsv.OnPeriodStart(obs.PeriodStart{Period: p.Index, Messages: len(p.Msgs)})
 	}
+	var pre *depfunc.DepFunc
+	if e.cfg.OnPeriodVerify != nil {
+		pre = e.lub()
+	}
 	executed := execVector(p, e.ts)
 	cands, live := e.EnumerateCandidates(p)
 	if err := e.Generalize(p, cands, live); err != nil {
@@ -223,7 +255,28 @@ func (e *Engine) ProcessPeriod(p *trace.Period) error {
 			Relaxations: relaxed,
 		})
 	}
+	if hook := e.cfg.OnPeriodVerify; hook != nil {
+		sp := obs.StartSpan(obsv, obs.PhaseDriftVerify)
+		out := VerifyOutcome{
+			Period:   p,
+			Verified: depfunc.Match(pre, p, e.cfg.Policy),
+			LUB:      e.lub(),
+			Live:     len(e.cur),
+		}
+		sp.End()
+		hook(out)
+	}
 	return nil
+}
+
+// lub returns the pointwise least upper bound of the working set as a
+// fresh dependency function.
+func (e *Engine) lub() *depfunc.DepFunc {
+	ds := make([]*depfunc.DepFunc, len(e.cur))
+	for i, h := range e.cur {
+		ds[i] = h.D
+	}
+	return depfunc.JoinAll(ds)
 }
 
 // EnumerateCandidates computes the timing-feasible candidate pairs of

@@ -148,6 +148,15 @@ type Options struct {
 	// and the default path must stay allocation-free.
 	Provenance bool
 
+	// OnPeriodVerify, when non-nil, receives the engine's per-period
+	// verification report (engine.VerifyOutcome): whether each newly
+	// consumed period matched the model as it stood before the
+	// period, plus the post-period frontier LUB. It is a runtime knob
+	// (like Workers): not part of snapshots, and internal/serve wires
+	// it to the stream's drift monitor. The callback runs on the
+	// goroutine driving AddPeriod/Learn.
+	OnPeriodVerify func(engine.VerifyOutcome)
+
 	// Negatives lists periods the system is known to be unable to
 	// produce (forbidden behaviours supplied by the analyst — the
 	// version-space extension the paper sketches as future work).
@@ -166,14 +175,15 @@ type Options struct {
 // engineConfig translates the engine-facing subset of the options.
 func (opt Options) engineConfig() engine.Config {
 	return engine.Config{
-		Bound:         opt.Bound,
-		Policy:        opt.Policy,
-		EagerPrune:    opt.EagerPrune,
-		MaxHypotheses: opt.MaxHypotheses,
-		Workers:       opt.Workers,
-		PeriodLiveCap: opt.PeriodLiveCap,
-		Observer:      opt.Observer,
-		Provenance:    opt.Provenance,
+		Bound:          opt.Bound,
+		Policy:         opt.Policy,
+		EagerPrune:     opt.EagerPrune,
+		MaxHypotheses:  opt.MaxHypotheses,
+		Workers:        opt.Workers,
+		PeriodLiveCap:  opt.PeriodLiveCap,
+		Observer:       opt.Observer,
+		Provenance:     opt.Provenance,
+		OnPeriodVerify: opt.OnPeriodVerify,
 	}
 }
 

@@ -151,8 +151,8 @@ func (sp SnapshotPeriod) period() *trace.Period {
 // algorithmic options (Bound, Policy, EagerPrune, MaxHypotheses,
 // RetainPeriods, PeriodLiveCap) come from the snapshot; opt supplies
 // only the runtime-facing knobs — Workers, Observer, Provenance,
-// VerifyResults, Negatives — which may differ from the original
-// session's without affecting replay determinism.
+// VerifyResults, Negatives, OnPeriodVerify — which may differ from
+// the original session's without affecting replay determinism.
 func RestoreOnline(s *Snapshot, opt Options) (*Online, error) {
 	if s.Version != SnapshotVersion {
 		return nil, fmt.Errorf("learner: snapshot version %d, this binary reads %d", s.Version, SnapshotVersion)

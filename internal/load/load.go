@@ -90,6 +90,18 @@ type Config struct {
 	// 4×Streams, at least 64). When the cap is hit the open-loop
 	// schedule stalls, which shows up as latency, not as lost sends.
 	MaxInFlight int
+	// DriftFlipAfter, when positive, turns the run into a
+	// drift-injection scenario: every stream is created with the drift
+	// monitor enabled, batches are sent synchronously (the detector's
+	// failure signal is sequential, so sends must not reorder), and
+	// once a stream has generated this many periods its traffic shape
+	// flips — the message and the receiving task disappear. After the
+	// run each stream's /drift state is collected into Report.Drift
+	// and evaluated: the flip must be detected within DriftWindow
+	// periods of the true change point, with no false alarms.
+	DriftFlipAfter int
+	// DriftWindow bounds the detection lag in periods (default 20).
+	DriftWindow int
 }
 
 // ClassReport aggregates one stream class (or the total).
@@ -111,11 +123,44 @@ type ClassReport struct {
 	Availability float64 `json:"availability"`
 }
 
+// DriftStream is one stream's detection outcome in a drift-injection
+// run.
+type DriftStream struct {
+	ID string `json:"id"`
+	// Expected is the true change point: the first flipped period the
+	// server accepted.
+	Expected int `json:"expected_change_point"`
+	// ChangePoint/AlarmPeriod/Alarms/Generation mirror the stream's
+	// /drift state after the run.
+	ChangePoint int `json:"change_point"`
+	AlarmPeriod int `json:"alarm_period"`
+	Alarms      int `json:"alarms"`
+	Generation  int `json:"generation"`
+	// Detected: exactly one alarm, pointing at the true change point
+	// (within a small slack), within the window. FalseAlarm: extra
+	// alarms or an alarm at the wrong place.
+	Detected   bool `json:"detected"`
+	FalseAlarm bool `json:"false_alarm"`
+}
+
+// DriftReport aggregates the drift-injection outcome.
+type DriftReport struct {
+	FlipAfter   int           `json:"flip_after"`
+	Window      int           `json:"window"`
+	Streams     int           `json:"streams"`
+	Detected    int           `json:"detected"`
+	Undetected  int           `json:"undetected"`
+	FalseAlarms int           `json:"false_alarms"`
+	MaxLag      int           `json:"max_lag_periods"`
+	Entries     []DriftStream `json:"entries"`
+}
+
 // Report is the outcome of a run.
 type Report struct {
 	Duration   time.Duration `json:"duration_ns"`
 	Classes    []ClassReport `json:"classes"`
 	Total      ClassReport   `json:"total"`
+	Drift      *DriftReport  `json:"drift,omitempty"`
 	Violations []string      `json:"violations,omitempty"`
 }
 
@@ -137,6 +182,10 @@ func (r Report) Format() string {
 		row(c)
 	}
 	row(r.Total)
+	if d := r.Drift; d != nil {
+		fmt.Fprintf(&sb, "drift: flip@%d window=%d streams=%d detected=%d undetected=%d false=%d max_lag=%d\n",
+			d.FlipAfter, d.Window, d.Streams, d.Detected, d.Undetected, d.FalseAlarms, d.MaxLag)
+	}
 	if len(r.Violations) == 0 {
 		sb.WriteString("SLO: ok\n")
 	} else {
@@ -196,6 +245,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			cfg.MaxInFlight = 64
 		}
 	}
+	if cfg.DriftWindow <= 0 {
+		cfg.DriftWindow = 20
+	}
 	client, err := newTarget(cfg)
 	if err != nil {
 		return Report{}, err
@@ -245,12 +297,79 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	inflight.Wait()
 	elapsed := time.Since(start)
 
+	rep := buildReport(cfg, elapsed, stats)
+	if cfg.DriftFlipAfter > 0 {
+		// Collected under the caller's context: runCtx has expired.
+		rep.Drift = collectDrift(ctx, cfg, workers)
+		rep.Violations = append(rep.Violations, evaluateDrift(rep.Drift)...)
+	}
 	if cfg.Cleanup {
 		for _, w := range workers {
 			w.deleteStream(ctx)
 		}
 	}
-	return buildReport(cfg, elapsed, stats), nil
+	return rep, nil
+}
+
+// collectDrift queries every stream's /drift state and scores the
+// detection against the worker's recorded flip point.
+func collectDrift(ctx context.Context, cfg Config, workers []*worker) *DriftReport {
+	dr := &DriftReport{FlipAfter: cfg.DriftFlipAfter, Window: cfg.DriftWindow, Streams: len(workers)}
+	// The change-point estimate sits on a period boundary the server
+	// and client may count one apart (candump grid flushes); allow a
+	// small slack before calling an alarm misplaced.
+	const slack = 2
+	for _, w := range workers {
+		st, err := w.driftState(ctx)
+		if err != nil {
+			dr.Undetected++
+			dr.Entries = append(dr.Entries, DriftStream{ID: w.id, Expected: w.flipPoint()})
+			continue
+		}
+		e := DriftStream{
+			ID:          w.id,
+			Expected:    w.flipPoint(),
+			ChangePoint: st.LastChangePoint,
+			AlarmPeriod: st.LastAlarmPeriod,
+			Alarms:      st.Alarms,
+			Generation:  st.Generation,
+		}
+		lag := e.AlarmPeriod - e.ChangePoint
+		onPoint := e.ChangePoint >= e.Expected-slack && e.ChangePoint <= e.Expected+slack
+		switch {
+		case e.Alarms == 0:
+			dr.Undetected++
+		case e.Alarms == 1 && onPoint:
+			// A slow detection is still a detection; the MaxLag check
+			// reports it separately.
+			e.Detected = true
+			dr.Detected++
+			if lag > dr.MaxLag {
+				dr.MaxLag = lag
+			}
+		default:
+			e.FalseAlarm = true
+			dr.FalseAlarms++
+		}
+		dr.Entries = append(dr.Entries, e)
+	}
+	return dr
+}
+
+// evaluateDrift turns a drift report into SLO-style violations: every
+// injected flip must be caught, in the window, with no false alarms.
+func evaluateDrift(dr *DriftReport) []string {
+	var out []string
+	if dr.Undetected > 0 {
+		out = append(out, fmt.Sprintf("drift: %d of %d injected flips undetected", dr.Undetected, dr.Streams))
+	}
+	if dr.FalseAlarms > 0 {
+		out = append(out, fmt.Sprintf("drift: %d streams with false or misplaced alarms", dr.FalseAlarms))
+	}
+	if dr.MaxLag > dr.Window {
+		out = append(out, fmt.Sprintf("drift: max detection lag %d periods over window %d", dr.MaxLag, dr.Window))
+	}
+	return out
 }
 
 func buildReport(cfg Config, elapsed time.Duration, stats map[Class]*classStats) Report {

@@ -72,6 +72,47 @@ func TestRunInProcess(t *testing.T) {
 	}
 }
 
+// TestDriftInjection runs the drift scenario end to end in process:
+// every stream flips its regime mid-run and the detector must report
+// the change point within the window on all of them, with no false
+// alarms and no SLO violations.
+func TestDriftInjection(t *testing.T) {
+	sv := inprocServer(t, serve.Config{})
+	rep, err := Run(context.Background(), Config{
+		Handler:        sv.Handler(),
+		Streams:        4,
+		Duration:       2 * time.Second,
+		Rate:           48, // 12 batches/s per stream, 3 periods each
+		DriftFlipAfter: 15,
+		DriftWindow:    20,
+		SLO:            Thresholds{P99LatencySeconds: 5, MaxShedRate: 0.5, MinAvailability: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Drift
+	if d == nil {
+		t.Fatal("drift report missing")
+	}
+	if d.Streams != 4 || d.Detected != 4 || d.Undetected != 0 || d.FalseAlarms != 0 {
+		t.Fatalf("drift report = %+v", d)
+	}
+	if d.MaxLag > d.Window {
+		t.Fatalf("max lag %d over window %d", d.MaxLag, d.Window)
+	}
+	for _, e := range d.Entries {
+		if e.Generation != 2 {
+			t.Errorf("stream %s ended at generation %d, want 2 (%+v)", e.ID, e.Generation, e)
+		}
+	}
+	if rep.Violated() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if !strings.Contains(rep.Format(), "drift: flip@15") {
+		t.Errorf("report format lacks the drift line:\n%s", rep.Format())
+	}
+}
+
 // TestSLOGateViolation pins the -slo gating path: an impossible p99
 // threshold must produce a violated report.
 func TestSLOGateViolation(t *testing.T) {

@@ -77,6 +77,11 @@ type worker struct {
 	rng    *rand.Rand
 
 	clockUS int64 // synthetic trace clock, µs
+
+	// Drift-injection bookkeeping (drift mode sends synchronously, so
+	// these need no locking).
+	periodsGen         int // periods rendered so far
+	acceptedStationary int // pre-flip periods the server accepted
 }
 
 const (
@@ -88,6 +93,9 @@ func (w *worker) createStream(ctx context.Context) error {
 	body := fmt.Sprintf(`{"id":%q,"tasks":["t1","t2"]`, w.id)
 	if w.class == ClassCandump {
 		body += fmt.Sprintf(`,"bit_rate":%d,"period_us":%d`, workerBitRate, workerPeriodUS)
+	}
+	if w.cfg.DriftFlipAfter > 0 {
+		body += `,"drift":{"enabled":true}`
 	}
 	body += "}"
 	code, _, out, err := w.client.do(ctx, "POST", "/v1/streams", []byte(body), nil)
@@ -121,7 +129,14 @@ func (w *worker) run(ctx context.Context, start time.Time, rate float64, sem cha
 			return
 		case <-time.After(time.Until(due)):
 		}
-		batch := w.nextBatch()
+		batch, pre := w.nextBatch()
+		if w.cfg.DriftFlipAfter > 0 {
+			// Drift mode: the Page–Hinkley failure signal is
+			// sequential, so batches must arrive in generation order —
+			// send on the schedule goroutine itself.
+			w.send(ctx, batch, pre)
+			continue
+		}
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
@@ -131,28 +146,72 @@ func (w *worker) run(ctx context.Context, start time.Time, rate float64, sem cha
 		go func(batch string) {
 			defer inflight.Done()
 			defer func() { <-sem }()
-			w.send(ctx, batch)
+			w.send(ctx, batch, pre)
 		}(batch)
 	}
 }
 
+// flipPoint is the true change point on the server: the period after
+// the last accepted stationary one.
+func (w *worker) flipPoint() int { return w.acceptedStationary + 1 }
+
+// driftWire is the subset of the server's drift state the report
+// scores against.
+type driftWire struct {
+	Generation      int `json:"generation"`
+	Alarms          int `json:"alarms"`
+	LastChangePoint int `json:"last_change_point"`
+	LastAlarmPeriod int `json:"last_alarm_period"`
+}
+
+// driftState fetches the stream's monitor state after a run.
+func (w *worker) driftState(ctx context.Context) (*driftWire, error) {
+	code, _, out, err := w.client.do(ctx, "GET", "/v1/streams/"+w.id+"/drift", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("drift status %d: %s", code, out)
+	}
+	var resp struct {
+		Enabled bool       `json:"enabled"`
+		State   *driftWire `json:"state"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Enabled || resp.State == nil {
+		return nil, fmt.Errorf("stream %s has no drift state", w.id)
+	}
+	return resp.State, nil
+}
+
 // nextBatch renders PeriodsPerBatch learnable periods and advances
-// the stream clock. Text streams cut periods explicitly; candump
-// streams interleave task exec lines with CAN frames and rely on the
-// server's period grid plus one explicit flush.
-func (w *worker) nextBatch() string {
+// the stream clock, returning the batch and how many of its periods
+// are pre-flip (stationary). Text streams cut periods explicitly;
+// candump streams interleave task exec lines with CAN frames and rely
+// on the server's period grid plus one explicit flush. In a
+// drift-injection run, periods past DriftFlipAfter flip to the
+// changed regime: t1 keeps running, the message and t2 disappear.
+func (w *worker) nextBatch() (string, int) {
 	var sb strings.Builder
+	pre := 0
 	for k := 0; k < w.cfg.PeriodsPerBatch; k++ {
 		base := w.clockUS
 		w.clockUS += workerPeriodUS
+		w.periodsGen++
+		flipped := w.cfg.DriftFlipAfter > 0 && w.periodsGen > w.cfg.DriftFlipAfter
 		fmt.Fprintf(&sb, "exec t1 %d %d\n", base, base+100)
-		if w.class == ClassCandump {
-			t := base + 150
-			fmt.Fprintf(&sb, "(%d.%06d) can0 123#AA\n", t/1_000_000, t%1_000_000)
-		} else {
-			fmt.Fprintf(&sb, "msg m1 %d %d\n", base+150, base+200)
+		if !flipped {
+			pre++
+			if w.class == ClassCandump {
+				t := base + 150
+				fmt.Fprintf(&sb, "(%d.%06d) can0 123#AA\n", t/1_000_000, t%1_000_000)
+			} else {
+				fmt.Fprintf(&sb, "msg m1 %d %d\n", base+150, base+200)
+			}
+			fmt.Fprintf(&sb, "exec t2 %d %d\n", base+400, base+500)
 		}
-		fmt.Fprintf(&sb, "exec t2 %d %d\n", base+400, base+500)
 		if w.class == ClassText {
 			sb.WriteString("period\n")
 		}
@@ -160,10 +219,10 @@ func (w *worker) nextBatch() string {
 	if w.class == ClassCandump {
 		sb.WriteString("period\n")
 	}
-	return sb.String()
+	return sb.String(), pre
 }
 
-func (w *worker) send(ctx context.Context, batch string) {
+func (w *worker) send(ctx context.Context, batch string, pre int) {
 	var hdr map[string]string
 	if p := w.cfg.TraceSample; p > 0 {
 		w.stats.mu.Lock()
@@ -200,6 +259,15 @@ func (w *worker) send(ctx context.Context, batch string) {
 		}
 		_ = json.Unmarshal(out, &ir)
 		w.stats.periods += ir.Periods
+		if w.cfg.DriftFlipAfter > 0 {
+			// The candump grid may hold one period back, so count the
+			// server's number, capped at the batch's stationary share.
+			acc := int(ir.Periods)
+			if acc > pre {
+				acc = pre
+			}
+			w.acceptedStationary += acc
+		}
 	default:
 		w.stats.errors++
 	}

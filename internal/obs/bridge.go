@@ -26,6 +26,30 @@ const (
 	MetricWorkers       = "modelgen_engine_workers"
 )
 
+// Metric-name constants of the drift/convergence family, maintained
+// per stream by internal/serve from the internal/drift monitor.
+const (
+	// MetricDriftGeneration is the stream's current model generation
+	// (gauge, 1-based; bumped on every change-point alarm).
+	MetricDriftGeneration = "modelgen_drift_generation"
+	// MetricDriftStreak is the stability streak: periods since the
+	// model fingerprint last changed (gauge).
+	MetricDriftStreak = "modelgen_drift_streak_periods"
+	// MetricDriftAmbiguity is the fraction of ordered task pairs with
+	// a conditional (→?, ←?, ↔?) entry in the live model (float
+	// gauge in [0,1]).
+	MetricDriftAmbiguity = "modelgen_drift_ambiguity_ratio"
+	// MetricDriftAlarms counts change-point alarms (counter).
+	MetricDriftAlarms = "modelgen_drift_alarms_total"
+	// MetricDriftLag is the service-wide detection-lag histogram:
+	// periods between the estimated change point and the alarm, with
+	// the triggering request's trace ID as exemplar.
+	MetricDriftLag = "modelgen_drift_detection_lag_periods"
+)
+
+// DriftLagBuckets are the detection-lag histogram bounds, in periods.
+var DriftLagBuckets = []float64{1, 2, 3, 5, 8, 13, 20, 40, 80}
+
 // PhaseMetric returns the histogram name of a pipeline phase span
 // (e.g. PhaseMetric("generalize") = "modelgen_phase_generalize_seconds").
 func PhaseMetric(phase string) string { return "modelgen_phase_" + phase + "_seconds" }
@@ -172,18 +196,29 @@ func (m *metricsObserver) OnSpan(e SpanEnd) {
 	h.Observe(time.Duration(e.ElapsedNS).Seconds())
 }
 
-// RuntimeMetrics registers a scrape hook publishing Go runtime
-// health into reg: go_goroutines, go_heap_alloc_bytes,
-// go_gc_runs_total. Values refresh on every scrape/snapshot.
+// RuntimeMetrics registers a scrape hook publishing Go runtime health
+// into reg — the "is the process healthy" series a /metrics scrape
+// answers without reaching for pprof: go_goroutines,
+// go_heap_alloc_bytes, go_gc_runs_total and
+// go_gc_pause_seconds_total. Values refresh on every scrape/snapshot.
+// Calling it again on the same registry is a no-op, so every layer
+// that wants the series present (serve.New, a main, the pprof
+// server) may call it defensively without stacking duplicate
+// ReadMemStats hooks.
 func RuntimeMetrics(reg *Registry) {
+	if reg.runtimeHooked.Swap(true) {
+		return
+	}
 	goroutines := reg.Gauge("go_goroutines", "current goroutine count")
 	heap := reg.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects")
 	gcRuns := reg.Gauge("go_gc_runs_total", "completed GC cycles")
+	gcPause := reg.FloatGauge("go_gc_pause_seconds_total", "cumulative GC stop-the-world pause time in seconds")
 	reg.AddScrapeHook(func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		goroutines.Set(int64(runtime.NumGoroutine()))
 		heap.Set(int64(ms.HeapAlloc))
 		gcRuns.Set(int64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
 	})
 }

@@ -162,6 +162,10 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
 	hooks   []func()
+
+	// runtimeHooked latches once RuntimeMetrics has installed its
+	// scrape hook, making repeat calls no-ops.
+	runtimeHooked atomic.Bool
 }
 
 // NewRegistry returns an empty Registry.

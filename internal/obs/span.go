@@ -20,12 +20,13 @@ type Span struct {
 // StartSpan accepts any string, but sticking to these keeps the
 // modelgen_phase_*_seconds catalogue stable across tools.
 const (
-	PhaseSimulate    = "simulate"    // design-model simulation (internal/sim)
-	PhaseTraceParse  = "trace_parse" // trace parsing / event segmentation
-	PhaseCandidates  = "candidates"  // per-period candidate-pair enumeration
-	PhaseGeneralize  = "generalize"  // per-message generalization sweep
-	PhasePostprocess = "postprocess" // end-of-period relax/unify/prune
-	PhaseVerify      = "verify"      // result re-verification against the trace
+	PhaseSimulate    = "simulate"     // design-model simulation (internal/sim)
+	PhaseTraceParse  = "trace_parse"  // trace parsing / event segmentation
+	PhaseCandidates  = "candidates"   // per-period candidate-pair enumeration
+	PhaseGeneralize  = "generalize"   // per-message generalization sweep
+	PhasePostprocess = "postprocess"  // end-of-period relax/unify/prune
+	PhaseVerify      = "verify"       // result re-verification against the trace
+	PhaseDriftVerify = "drift_verify" // per-period verify-outcome hook (drift detection)
 )
 
 // StartSpan begins timing the named phase against o. A nil observer

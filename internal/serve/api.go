@@ -5,6 +5,7 @@ import (
 	"regexp"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/drift"
 	"github.com/blackbox-rt/modelgen/internal/engine"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 )
@@ -69,15 +70,47 @@ type CreateStreamRequest struct {
 	PeriodUS int64 `json:"period_us,omitempty"`
 	// Options configures the stream's learner.
 	Options LearnOptions `json:"options"`
+	// Drift, when present and enabled, attaches a model-drift monitor
+	// to the stream (see internal/drift).
+	Drift *DriftOptions `json:"drift,omitempty"`
+}
+
+// DriftOptions is the client-settable drift-monitor configuration.
+// Like the algorithmic learner options it becomes part of the
+// stream's identity and is persisted in checkpoints.
+type DriftOptions struct {
+	// Enabled turns the monitor on; when false the remaining fields
+	// are ignored and /drift answers {"enabled": false}.
+	Enabled bool `json:"enabled"`
+	// ConvergeAfter, Delta, Lambda and MaxArchived override the
+	// drift.Config tunables; zero values select the drift defaults.
+	ConvergeAfter int     `json:"converge_after,omitempty"`
+	Delta         float64 `json:"delta,omitempty"`
+	Lambda        float64 `json:"lambda,omitempty"`
+	MaxArchived   int     `json:"max_archived,omitempty"`
+}
+
+// config maps the wire options onto a drift.Config. The candidate
+// policy comes from the stream's learner options so reference
+// verification measures drift, not policy skew.
+func (do *DriftOptions) config(policy depfunc.CandidatePolicy) drift.Config {
+	return drift.Config{
+		ConvergeAfter: do.ConvergeAfter,
+		Delta:         do.Delta,
+		Lambda:        do.Lambda,
+		MaxArchived:   do.MaxArchived,
+		Policy:        policy,
+	}
 }
 
 // StreamInfo is returned by create and list calls.
 type StreamInfo struct {
-	ID       string       `json:"id"`
-	Tasks    []string     `json:"tasks"`
-	BitRate  int64        `json:"bit_rate,omitempty"`
-	PeriodUS int64        `json:"period_us,omitempty"`
-	Options  LearnOptions `json:"options"`
+	ID       string        `json:"id"`
+	Tasks    []string      `json:"tasks"`
+	BitRate  int64         `json:"bit_rate,omitempty"`
+	PeriodUS int64         `json:"period_us,omitempty"`
+	Options  LearnOptions  `json:"options"`
+	Drift    *DriftOptions `json:"drift,omitempty"`
 }
 
 // IngestResponse is the body of a successful events POST.
@@ -150,6 +183,22 @@ type StreamDebug struct {
 	// checkpoint; zero when the stream has never checkpointed.
 	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
 	Err                  string  `json:"err,omitempty"`
+	// Drift-monitor view (only on streams with drift enabled):
+	// generation, stability streak, ambiguity ratio of the live model,
+	// and the last detected change point (0 = none yet).
+	Generation      int64   `json:"generation,omitempty"`
+	Streak          int64   `json:"streak,omitempty"`
+	AmbiguityRatio  float64 `json:"ambiguity_ratio,omitempty"`
+	LastChangePoint int64   `json:"last_change_point,omitempty"`
+}
+
+// DriftResponse is the body of GET /v1/streams/{id}/drift.
+type DriftResponse struct {
+	ID string `json:"id"`
+	// Enabled reports whether the stream carries a drift monitor.
+	Enabled bool `json:"enabled"`
+	// State is the full monitor snapshot, nil when Enabled is false.
+	State *drift.State `json:"state,omitempty"`
 }
 
 // CheckpointResponse is the body of POST /v1/streams/{id}/checkpoint.

@@ -239,7 +239,7 @@ func TestPartialTextLineSurfacesTypedError(t *testing.T) {
 func BenchmarkServeIngest(b *testing.B) {
 	run := func(b *testing.B, tracer *obs.Tracer) {
 		sv := New(Config{Tracer: tracer})
-		s, err := sv.addStream(StreamInfo{ID: "bench", Tasks: []string{"t1", "t2"}}, nil, 0)
+		s, err := sv.addStream(StreamInfo{ID: "bench", Tasks: []string{"t1", "t2"}}, nil, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -41,6 +42,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/blackbox-rt/modelgen/internal/drift"
+	"github.com/blackbox-rt/modelgen/internal/engine"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
 )
@@ -87,11 +90,14 @@ type Server struct {
 	closed  bool
 	nextID  atomic.Int64
 
-	mStreams      *obs.Gauge
-	mReqs, mErrs  *obs.Counter
-	mOfferedLines *obs.Counter
-	mShedLines    *obs.Counter
-	mLatency      *obs.Histogram
+	mStreams        *obs.Gauge
+	mReqs, mErrs    *obs.Counter
+	mOfferedLines   *obs.Counter
+	mShedLines      *obs.Counter
+	mLatency        *obs.Histogram
+	mPeriodsLearned *obs.Counter
+	mAlarmPeriods   *obs.Counter
+	mDriftLag       *obs.Histogram
 }
 
 // errStreamExists marks create collisions so the handler can map them
@@ -121,6 +127,16 @@ func New(cfg Config) *Server {
 			Name: "serve_ingest_latency_seconds",
 			Help: "Seconds from period enqueue to committed model update.",
 		})
+		sv.mPeriodsLearned = reg.Counter("serve_periods_learned_total",
+			"Periods committed to a model update, across all streams.")
+		sv.mAlarmPeriods = reg.Counter("serve_drift_alarm_periods_total",
+			"Periods that raised a model change-point alarm, across all streams.")
+		sv.mDriftLag = reg.HistogramWith(obs.HistogramOpts{
+			Name:    obs.MetricDriftLag,
+			Help:    "Periods between an estimated change point and its alarm.",
+			Buckets: obs.DriftLagBuckets,
+		})
+		obs.RuntimeMetrics(reg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealth)
@@ -129,6 +145,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/streams/{id}/events", sv.handleEvents)
 	mux.HandleFunc("GET /v1/streams/{id}/model", sv.handleModel)
 	mux.HandleFunc("GET /v1/streams/{id}/stats", sv.handleStats)
+	mux.HandleFunc("GET /v1/streams/{id}/drift", sv.handleDrift)
 	mux.HandleFunc("POST /v1/streams/{id}/checkpoint", sv.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/streams/{id}", sv.handleDelete)
 	mux.HandleFunc("GET /debug/streams", sv.handleDebugStreams)
@@ -221,7 +238,13 @@ func (sv *Server) restoreOne(path string) error {
 	if cf.Info.ID != strings.TrimSuffix(filepath.Base(path), ".json") {
 		return fmt.Errorf("checkpoint names stream %q but file is %s", cf.Info.ID, filepath.Base(path))
 	}
-	_, err = sv.addStream(cf.Info, cf.Snapshot, cf.Snapshot.Stats.Periods)
+	learned := cf.Snapshot.Stats.Periods
+	if cf.Drift != nil && cf.Drift.Periods > learned {
+		// The snapshot covers only the current model generation; the
+		// monitor counts periods across generations.
+		learned = cf.Drift.Periods
+	}
+	_, err = sv.addStream(cf.Info, cf.Snapshot, learned, cf.Drift)
 	return err
 }
 
@@ -251,34 +274,57 @@ func (sv *Server) Shutdown(ctx context.Context) error {
 }
 
 // addStream wires up a stream (fresh when snap is nil, else restored
-// from the snapshot) and starts its owner goroutine. The learner is
-// created here so the stream's trace bridge can be installed as its
-// engine observer before the first period.
-func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int) (*stream, error) {
+// from the snapshot, with dst the checkpointed drift-monitor state)
+// and starts its owner goroutine. The learner is created here so the
+// stream's trace bridge and drift hook can be installed as its engine
+// observers before the first period.
+func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int, dst *drift.State) (*stream, error) {
 	p, err := newParser(info.Tasks, info.BitRate, info.PeriodUS)
 	if err != nil {
 		return nil, err
 	}
 	opt := info.Options.options()
 	s := &stream{
-		id:             info.ID,
-		info:           info,
-		parser:         p,
-		queue:          make(chan queuedPeriod, sv.cfg.QueueDepth),
-		reqs:           make(chan func(*learner.Online)),
-		closing:        make(chan struct{}),
-		done:           make(chan struct{}),
-		learned:        learned,
-		checkpointDir:  sv.cfg.CheckpointDir,
-		checkpointEach: sv.cfg.CheckpointEvery,
-		tracer:         sv.cfg.Tracer,
-		mLatency:       sv.mLatency,
-		mOfferedLines:  sv.mOfferedLines,
-		mShedLines:     sv.mShedLines,
+		id:              info.ID,
+		info:            info,
+		parser:          p,
+		queue:           make(chan queuedPeriod, sv.cfg.QueueDepth),
+		reqs:            make(chan func(*learner.Online)),
+		closing:         make(chan struct{}),
+		done:            make(chan struct{}),
+		learned:         learned,
+		checkpointDir:   sv.cfg.CheckpointDir,
+		checkpointEach:  sv.cfg.CheckpointEvery,
+		tracer:          sv.cfg.Tracer,
+		mLatency:        sv.mLatency,
+		mOfferedLines:   sv.mOfferedLines,
+		mShedLines:      sv.mShedLines,
+		mPeriodsLearned: sv.mPeriodsLearned,
+		mAlarmPeriods:   sv.mAlarmPeriods,
+		mDriftLag:       sv.mDriftLag,
 	}
 	if sv.cfg.Tracer != nil {
 		s.bridge = &phaseBridge{tracer: sv.cfg.Tracer}
 		opt.Observer = s.bridge
+	}
+	if do := info.Drift; do != nil && do.Enabled {
+		cfg := do.config(opt.Policy)
+		if dst != nil {
+			s.mon, err = drift.Restore(*dst, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("serve: stream %s drift state: %w", info.ID, err)
+			}
+		} else {
+			s.mon = drift.New(cfg)
+		}
+		// The hook runs synchronously inside AddPeriod on the owner
+		// goroutine; consume picks up pendingDrift right after.
+		mon := s.mon
+		opt.OnPeriodVerify = func(out engine.VerifyOutcome) {
+			if ev := mon.Observe(out.Period, out.LUB, out.Live); ev != nil {
+				s.pendingDrift = ev
+			}
+		}
 	}
 	if snap == nil {
 		s.o, err = learner.NewOnline(info.Tasks, opt)
@@ -298,7 +344,18 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 			"Periods cut and queued per stream.", "stream", s.id)
 		s.mShed = reg.LabeledCounter("serve_shed_total",
 			"Ingest batches shed with 429 per stream.", "stream", s.id)
+		if s.mon != nil {
+			s.mDriftGen = reg.LabeledGauge(obs.MetricDriftGeneration,
+				"Current model generation per stream.", "stream", s.id)
+			s.mDriftStreak = reg.LabeledGauge(obs.MetricDriftStreak,
+				"Stability streak (periods with an unchanged model) per stream.", "stream", s.id)
+			s.mDriftAmbig = reg.LabeledFloatGauge(obs.MetricDriftAmbiguity,
+				"Fraction of task pairs with a conditional dependency per stream.", "stream", s.id)
+			s.mDriftAlarms = reg.LabeledCounter(obs.MetricDriftAlarms,
+				"Model change-point alarms per stream.", "stream", s.id)
+		}
 	}
+	s.publishDriftView()
 
 	sv.mu.Lock()
 	if sv.closed {
@@ -329,6 +386,12 @@ func (sv *Server) dropStreamMetrics(s *stream) {
 	reg.Unregister(obs.SeriesName("serve_queue_depth", "stream", s.id))
 	reg.Unregister(obs.SeriesName("serve_periods_total", "stream", s.id))
 	reg.Unregister(obs.SeriesName("serve_shed_total", "stream", s.id))
+	if s.mon != nil {
+		reg.Unregister(obs.SeriesName(obs.MetricDriftGeneration, "stream", s.id))
+		reg.Unregister(obs.SeriesName(obs.MetricDriftStreak, "stream", s.id))
+		reg.Unregister(obs.SeriesName(obs.MetricDriftAmbiguity, "stream", s.id))
+		reg.Unregister(obs.SeriesName(obs.MetricDriftAlarms, "stream", s.id))
+	}
 }
 
 func (sv *Server) stream(id string) (*stream, bool) {
@@ -358,8 +421,8 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := StreamInfo{ID: req.ID, Tasks: append([]string(nil), req.Tasks...),
-		BitRate: req.BitRate, PeriodUS: req.PeriodUS, Options: req.Options}
-	s, err := sv.addStream(info, nil, 0)
+		BitRate: req.BitRate, PeriodUS: req.PeriodUS, Options: req.Options, Drift: req.Drift}
+	s, err := sv.addStream(info, nil, 0, nil)
 	switch {
 	case errors.Is(err, errStreamExists) || errors.Is(err, errServerClosed):
 		writeError(w, http.StatusConflict, err)
@@ -464,7 +527,9 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	err := s.do(func(o *learner.Online) {
 		resp.Engine = o.Stats()
 		resp.WorkingSet = o.WorkingSetSize()
-		resp.PeriodsLearned = resp.Engine.Periods
+		// s.learned, not engine periods: a drift fork starts a fresh
+		// learner whose own period count resets with the generation.
+		resp.PeriodsLearned = s.learned
 	})
 	if errors.Is(err, ErrStreamClosed) {
 		writeError(w, http.StatusGone, err)
@@ -478,6 +543,30 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.feedMu.Unlock()
 	if derr := s.deadErr(); derr != nil {
 		resp.Err = derr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDrift serves the stream's drift-monitor state. The query runs
+// on the owner goroutine, so like /model it observes every period
+// whose ingest completed before the request.
+func (sv *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
+		return
+	}
+	resp := DriftResponse{ID: s.id}
+	err := s.do(func(*learner.Online) {
+		if s.mon != nil {
+			resp.Enabled = true
+			st := s.mon.State()
+			resp.State = &st
+		}
+	})
+	if errors.Is(err, ErrStreamClosed) {
+		writeError(w, http.StatusGone, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -536,6 +625,12 @@ func (sv *Server) handleDebugStreams(w http.ResponseWriter, _ *http.Request) {
 		}
 		if ns := s.ckptUnixNS.Load(); ns > 0 {
 			d.CheckpointAgeSeconds = now.Sub(time.Unix(0, ns)).Seconds()
+		}
+		if s.mon != nil { // set once before run() starts, safe to read
+			d.Generation = s.genA.Load()
+			d.Streak = s.streakA.Load()
+			d.AmbiguityRatio = math.Float64frombits(s.ambigBits.Load())
+			d.LastChangePoint = s.lastCPA.Load()
 		}
 		if err := s.deadErr(); err != nil {
 			d.Err = err.Error()

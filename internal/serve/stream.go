@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/blackbox-rt/modelgen/internal/drift"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/trace"
@@ -83,6 +85,12 @@ type stream struct {
 	lastPeriod atomic.Int64 // periods learned
 	ckptUnixNS atomic.Int64 // wall time of the last successful checkpoint
 
+	// Drift-monitor introspection atomics (valid only when mon != nil).
+	genA      atomic.Int64  // model generation
+	streakA   atomic.Int64  // stability streak
+	lastCPA   atomic.Int64  // last detected change point
+	ambigBits atomic.Uint64 // ambiguity ratio as math.Float64bits
+
 	// Tracing (nil tracer disables; the hot path then allocates
 	// nothing extra).
 	tracer *obs.Tracer
@@ -95,17 +103,31 @@ type stream struct {
 	checkpointDir  string
 	checkpointEach int
 
+	// Drift monitoring (nil when the stream was created without it).
+	// mon is owner-only; pendingDrift carries the alarm raised by the
+	// verify hook during AddPeriod back to consume, which forks the
+	// next model generation.
+	mon          *drift.Monitor
+	pendingDrift *drift.Event
+
 	// Per-stream metric series, unregistered when the stream is
 	// deleted.
-	mQueueDepth *obs.Gauge
-	mPeriods    *obs.Counter
-	mShed       *obs.Counter
+	mQueueDepth  *obs.Gauge
+	mPeriods     *obs.Counter
+	mShed        *obs.Counter
+	mDriftGen    *obs.Gauge      // modelgen_drift_generation{stream}
+	mDriftStreak *obs.Gauge      // modelgen_drift_streak_periods{stream}
+	mDriftAmbig  *obs.FloatGauge // modelgen_drift_ambiguity_ratio{stream}
+	mDriftAlarms *obs.Counter    // modelgen_drift_alarms_total{stream}
 
 	// Service-wide instruments shared by every stream (owned by the
 	// Server; nil without a registry).
-	mLatency      *obs.Histogram // serve_ingest_latency_seconds
-	mOfferedLines *obs.Counter   // serve_ingest_offered_lines_total
-	mShedLines    *obs.Counter   // serve_ingest_shed_lines_total
+	mLatency        *obs.Histogram // serve_ingest_latency_seconds
+	mOfferedLines   *obs.Counter   // serve_ingest_offered_lines_total
+	mShedLines      *obs.Counter   // serve_ingest_shed_lines_total
+	mPeriodsLearned *obs.Counter   // serve_periods_learned_total
+	mAlarmPeriods   *obs.Counter   // serve_drift_alarm_periods_total
+	mDriftLag       *obs.Histogram // modelgen_drift_detection_lag_periods
 }
 
 func (s *stream) deadErr() error {
@@ -251,7 +273,26 @@ func (s *stream) consume(qp queuedPeriod) {
 			s.bridge.setParent(obs.SpanContext{})
 		}
 	}
+	s.pendingDrift = nil
 	err := s.o.AddPeriod(qp.p)
+	if err != nil && s.mon != nil && errors.Is(err, learner.ErrNoHypothesis) {
+		// A period no hypothesis can explain is the strongest drift
+		// signal there is: with a monitor attached, treat it as a
+		// forced change point and replay the period on the fresh
+		// generation instead of killing the stream.
+		if ferr := s.forkGeneration(s.mon.ForceAlarm(), sp); ferr != nil {
+			err = ferr
+		} else {
+			s.pendingDrift = nil
+			err = s.o.AddPeriod(qp.p)
+		}
+	}
+	if err == nil && s.pendingDrift != nil {
+		// The verify hook raised a detector alarm during AddPeriod.
+		ev := s.pendingDrift
+		s.pendingDrift = nil
+		err = s.forkGeneration(ev, sp)
+	}
 	if sp != nil {
 		sp.SetAttr("stream", s.id)
 		if err != nil {
@@ -265,6 +306,10 @@ func (s *stream) consume(qp queuedPeriod) {
 		return
 	}
 	s.learned++
+	if s.mPeriodsLearned != nil {
+		s.mPeriodsLearned.Inc()
+	}
+	s.publishDriftView()
 	s.sinceCheckp++
 	s.lastPeriod.Store(int64(s.learned))
 	s.liveWS.Store(int64(s.o.WorkingSetSize()))
@@ -285,6 +330,62 @@ func (s *stream) consume(qp queuedPeriod) {
 	}
 }
 
+// forkGeneration retires the current learner after a change-point
+// alarm and starts a fresh one for the monitor's new model
+// generation, keeping the stream alive across regime changes. Owner
+// goroutine only.
+func (s *stream) forkGeneration(ev *drift.Event, sp *obs.TraceSpan) error {
+	o, err := learner.NewOnline(s.info.Tasks, s.opt)
+	if err != nil {
+		return err
+	}
+	s.o = o
+	if s.mDriftAlarms != nil {
+		s.mDriftAlarms.Inc()
+	}
+	if s.mAlarmPeriods != nil {
+		s.mAlarmPeriods.Inc()
+	}
+	if s.mDriftLag != nil {
+		lag := float64(ev.Period - ev.ChangePoint)
+		if ev.Forced {
+			lag = 0 // the offending period itself raised the alarm
+		}
+		// The alarm path gets an exemplar: the trace of the request
+		// whose period tripped the detector.
+		if sp != nil {
+			s.mDriftLag.ObserveExemplar(lag, sp.Context().TraceID.String(), time.Now())
+		} else {
+			s.mDriftLag.Observe(lag)
+		}
+	}
+	if sp != nil {
+		sp.SetAttr("drift_generation", strconv.Itoa(ev.Generation))
+		sp.SetAttr("drift_change_point", strconv.Itoa(ev.ChangePoint))
+	}
+	return nil
+}
+
+// publishDriftView copies the monitor's headline numbers into the
+// stream's atomics and gauges so /debug/streams and /metrics read
+// them without disturbing the owner. Owner goroutine only.
+func (s *stream) publishDriftView() {
+	if s.mon == nil {
+		return
+	}
+	gen, streak := int64(s.mon.Generation()), int64(s.mon.Streak())
+	ambig := s.mon.AmbiguityRatio()
+	s.genA.Store(gen)
+	s.streakA.Store(streak)
+	s.lastCPA.Store(int64(s.mon.LastChangePoint()))
+	s.ambigBits.Store(math.Float64bits(ambig))
+	if s.mDriftGen != nil {
+		s.mDriftGen.Set(gen)
+		s.mDriftStreak.Set(streak)
+		s.mDriftAmbig.Set(ambig)
+	}
+}
+
 // checkpointFile is the on-disk envelope around a learner snapshot:
 // the serve-level identity and runtime knobs needed to reopen the
 // stream. Ingest parser residue (an open period, candump sequence
@@ -295,6 +396,10 @@ type checkpointFile struct {
 	ServeVersion int               `json:"serve_version"`
 	Info         StreamInfo        `json:"info"`
 	Snapshot     *learner.Snapshot `json:"snapshot"`
+	// Drift is the drift-monitor state of a drift-enabled stream.
+	// Optional, so version-1 checkpoints from before drift monitoring
+	// still restore.
+	Drift *drift.State `json:"drift,omitempty"`
 }
 
 // serveVersion is the checkpoint envelope schema version.
@@ -309,6 +414,10 @@ func (s *stream) checkpoint() (string, error) {
 		return "", err
 	}
 	cf := &checkpointFile{ServeVersion: serveVersion, Info: s.info, Snapshot: snap}
+	if s.mon != nil {
+		st := s.mon.State()
+		cf.Drift = &st
+	}
 	path := filepath.Join(s.checkpointDir, s.id+".json")
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)

@@ -347,9 +347,9 @@ func (m *Monitor) Handler() http.Handler {
 }
 
 // DefaultServeObjectives are the bbserved SLOs: ingest→model-update
-// latency, shed rate, and request availability, over the serve_*
-// series. latencyP99 is the latency threshold in seconds (<=0 selects
-// 500 ms).
+// latency, shed rate, request availability, and model stability, over
+// the serve_* series. latencyP99 is the latency threshold in seconds
+// (<=0 selects 500 ms).
 func DefaultServeObjectives(latencyP99 float64) []Objective {
 	if latencyP99 <= 0 {
 		latencyP99 = 0.5
@@ -375,6 +375,13 @@ func DefaultServeObjectives(latencyP99 float64) []Objective {
 			Target:      0.999,
 			BadSeries:   "serve_http_errors_total",
 			TotalSeries: "serve_http_requests_total",
+		},
+		{
+			Name:        "model-stability",
+			Description: "at most 0.1% of learned periods trigger a model change-point",
+			Target:      0.999,
+			BadSeries:   "serve_drift_alarm_periods_total",
+			TotalSeries: "serve_periods_learned_total",
 		},
 	}
 }

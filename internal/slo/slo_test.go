@@ -205,14 +205,14 @@ func TestHandler(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatalf("bad /slo JSON: %v\n%s", err, rec.Body.String())
 	}
-	if len(st.Objectives) != 3 || !st.Healthy {
+	if len(st.Objectives) != 4 || !st.Healthy {
 		t.Fatalf("status = %+v", st)
 	}
 	names := map[string]bool{}
 	for _, o := range st.Objectives {
 		names[o.Name] = true
 	}
-	for _, want := range []string{"ingest-latency", "shed-rate", "availability"} {
+	for _, want := range []string{"ingest-latency", "shed-rate", "availability", "model-stability"} {
 		if !names[want] {
 			t.Errorf("missing default objective %q", want)
 		}
