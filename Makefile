@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench conform soak fuzz tidy load drift
+.PHONY: check vet build test race bench microbench conform soak fuzz tidy load drift store
 
 ## check: the full gate — vet, build everything, race-enabled tests,
 ## and the conformance harness over the committed golden corpus.
@@ -56,6 +56,19 @@ drift:
 	$(GO) run ./cmd/bbconform -drift
 	$(GO) run ./cmd/bbload -streams 8 -duration 5s -rate 96 -drift-flip 20 -slo
 
+## store: the stream-state-store gate — the store unit/crash-injection
+## tests (WAL framing, torn tails, compaction epochs, quarantine), the
+## serve-level WAL restart-equivalence and lazy-hydration suites under
+## the race detector, a short run of the WAL-decoder fuzz target, and
+## the bbload cold-restart benchmark: 1000 checkpointed streams, 10
+## driven after restart, hydration contracts gated (exit 1 on
+## violation).
+store:
+	$(GO) test -race ./internal/store/
+	$(GO) test -race -run 'Restart|Hydrat|Quarantin|Legacy|Compact|Torn|Store' ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 10s ./internal/store/
+	$(GO) run ./cmd/bbload -restart -streams 1000 -active 10 -slo -json
+
 ## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
 ## nightly CI uses 10m). Minimized crashers land under the package's
 ## testdata/fuzz/<Target>/ — commit them as regression seeds.
@@ -66,6 +79,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLog$$' -fuzztime $(FUZZTIME) ./internal/can/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDIMACS$$' -fuzztime $(FUZZTIME) ./internal/sat/
 	$(GO) test -run '^$$' -fuzz '^FuzzLearn$$' -fuzztime $(FUZZTIME) ./internal/conformance/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime $(FUZZTIME) ./internal/store/
 
 ## bench: regenerate the Section 3.4 runtime table and record it as
 ## benchmark telemetry (BENCH_local.json at the repo root), including

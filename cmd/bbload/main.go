@@ -11,6 +11,12 @@
 //	bbload -streams 64 -duration 5s -slo            # in-process smoke
 //	bbload -addr http://host:8080 -streams 1000 -duration 30s -rate 2000
 //	bbload -streams 8 -duration 5s -rate 96 -drift-flip 20 -slo   # drift injection
+//	bbload -restart -streams 1000 -active 10 -json  # cold-restart benchmark
+//
+// -restart switches to the cold-restart scenario: seed -streams
+// checkpointed streams into a store, restart the server from disk,
+// drive -active of them, and report restore time plus per-stream
+// first-ingest latency (the lazy-hydration cost). Always in process.
 //
 // Exit codes: 0 ok, 1 SLO violation (-slo only), 2 run error,
 // 3 goroutine leak after in-process shutdown.
@@ -53,8 +59,16 @@ func main() {
 		sloAvail    = flag.Float64("slo-availability", 0.999, "minimum availability")
 		driftFlip   = flag.Int("drift-flip", 0, "drift scenario: flip every stream's regime after this many periods (0 = off)")
 		driftWindow = flag.Int("drift-window", 20, "drift scenario: detection-lag bound in periods")
+		restart     = flag.Bool("restart", false, "run the cold-restart scenario instead of the load profile")
+		restartDir  = flag.String("restart-dir", "", "restart scenario: store root (empty = temp dir, removed after)")
+		active      = flag.Int("active", 10, "restart scenario: streams driven after the restart")
+		periods     = flag.Int("periods", 3, "restart scenario: seeded periods per stream")
 	)
 	flag.Parse()
+
+	if *restart {
+		os.Exit(runRestart(*restartDir, *streams, *active, *periods, *queue, *jsonOut, *sloGate))
+	}
 
 	thr := load.Thresholds{
 		P99LatencySeconds: sloP99.Seconds(),
@@ -143,6 +157,46 @@ func main() {
 	case *sloGate && rep.Violated():
 		os.Exit(1)
 	}
+}
+
+// runRestart executes the cold-restart scenario and returns the exit
+// code under the shared conventions (1 = violated contract under
+// -slo, 2 = run error).
+func runRestart(dir string, streams, active, periods, queue int, jsonOut, sloGate bool) int {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "bbload-restart-*")
+		if err != nil {
+			log.Printf("restart: %v", err)
+			return 2
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	log.Printf("restart scenario: %d streams (%d active), store %s", streams, active, dir)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.RunRestart(ctx, load.RestartConfig{
+		Dir:        dir,
+		Streams:    streams,
+		Active:     active,
+		Periods:    periods,
+		QueueDepth: queue,
+	})
+	if err != nil {
+		log.Printf("restart: %v", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if sloGate && rep.Violated() {
+		return 1
+	}
+	return 0
 }
 
 // goroutinesSettled waits for the goroutine count to return to (near)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bbserved -addr :8080 -checkpoint-dir /var/lib/bbserved
-//	bbserved -addr :8080 -queue 128 -checkpoint-every 32
+//	bbserved -addr :8080 -queue 128 -checkpoint-every 32 -compact-bytes 1048576
 //
 // API (JSON unless noted):
 //
@@ -14,7 +14,8 @@
 //	POST   /v1/streams/{id}/events      append raw trace or candump lines (text body)
 //	GET    /v1/streams/{id}/model       current dependency model (?format=dot for DOT)
 //	GET    /v1/streams/{id}/stats       ingest and learner statistics
-//	POST   /v1/streams/{id}/checkpoint  write a checkpoint now
+//	POST   /v1/streams/{id}/checkpoint  compact the stream's WAL into a base snapshot now
+//	POST   /v1/streams/{id}/compact     same, with the store view in the response
 //	DELETE /v1/streams/{id}             drain and delete a stream
 //	GET    /healthz                      liveness
 //	GET    /metrics                      Prometheus exposition
@@ -23,10 +24,13 @@
 //	GET    /debug/traces                 recent request traces (?trace=<id>, ?format=jsonl)
 //
 // A full ingest queue answers 429 with Retry-After; resend the batch
-// unchanged (rejection is atomic). On SIGINT/SIGTERM the server stops
-// accepting requests, drains every stream, checkpoints, and exits.
-// With -checkpoint-dir, a restarted bbserved reopens every
-// checkpointed stream with identical learner state.
+// unchanged (rejection is atomic). With -checkpoint-dir every learned
+// period is appended to a per-stream write-ahead log before the next
+// one starts, so any restart — drained or not — reopens every stream
+// with identical learner state. Restore is an index scan: stream
+// state pages in lazily on first touch, so restart cost tracks the
+// active set, not the corpus. On SIGINT/SIGTERM the server stops
+// accepting requests, drains every stream, and exits.
 package main
 
 import (
@@ -50,8 +54,10 @@ func main() {
 	log.SetPrefix("bbserved: ")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		ckptDir  = flag.String("checkpoint-dir", "", "directory for stream checkpoints (empty = in-memory only)")
-		ckptEach = flag.Int("checkpoint-every", 64, "checkpoint a stream after this many learned periods (0 = only on demand and shutdown)")
+		ckptDir  = flag.String("checkpoint-dir", "", "root of the stream state store (empty = in-memory only)")
+		ckptEach = flag.Int("checkpoint-every", 0, "compact a stream's WAL into a base snapshot after this many records (0 = store default)")
+		cmpBytes = flag.Int64("compact-bytes", 0, "also compact when a stream's WAL exceeds this many bytes (0 = store default)")
+		cmpJit   = flag.Float64("compact-jitter", 0, "per-stream jitter fraction on the compaction thresholds (0 = store default)")
 		queue    = flag.Int("queue", 256, "per-stream ingest queue depth")
 		maxBody  = flag.Int64("max-body", 8<<20, "maximum events request body in bytes")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "maximum time to drain streams on shutdown")
@@ -94,11 +100,14 @@ func main() {
 	sv := serve.New(serve.Config{
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEach,
+		CompactBytes:    *cmpBytes,
+		CompactJitter:   *cmpJit,
 		QueueDepth:      *queue,
 		MaxBody:         *maxBody,
 		Registry:        reg,
 		Tracer:          tracer,
 		SLO:             mon.Handler(),
+		Logf:            log.Printf,
 	})
 	if n, err := sv.RestoreFromDir(); err != nil {
 		log.Fatalf("restore: %v", err)

@@ -177,6 +177,8 @@ type Engine struct {
 	hist  []bool
 	cur   []*hypothesis.Hypothesis
 	stats Stats
+	// base is the incremental-checkpoint capture baseline (delta.go).
+	base deltaBase
 }
 
 // New starts an engine session over the task set: the working set is
@@ -197,6 +199,7 @@ func New(ts *depfunc.TaskSet, cfg Config) *Engine {
 		cur:  []*hypothesis.Hypothesis{bottom},
 	}
 	e.stats.Peak = 1
+	e.resetDeltaBase()
 	if cfg.Observer != nil {
 		cfg.Observer.OnEngineStart(obs.EngineStart{Workers: cfg.Workers, Bound: cfg.Bound})
 	}

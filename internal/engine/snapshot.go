@@ -41,6 +41,10 @@ func (e *Engine) State() *State {
 	for _, h := range e.cur {
 		st.Working = append(st.Working, h.D.Clone())
 	}
+	// A full snapshot is a valid delta capture point: re-anchor so
+	// PeriodDelta's "one period since the baseline" contract holds for
+	// checkpoint-then-continue sessions.
+	e.resetDeltaBase()
 	return st
 }
 
@@ -82,6 +86,7 @@ func Restore(ts *depfunc.TaskSet, cfg Config, st *State) (*Engine, error) {
 	if e.stats.Peak < len(e.cur) {
 		e.stats.Peak = len(e.cur)
 	}
+	e.resetDeltaBase()
 	if cfg.Observer != nil {
 		cfg.Observer.OnEngineStart(obs.EngineStart{Workers: cfg.Workers, Bound: cfg.Bound})
 	}

@@ -1,0 +1,342 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/serve"
+)
+
+// RestartConfig configures a cold-restart scenario: seed a store with
+// N checkpointed streams, restart the server from disk, and measure
+// how long the restore scan takes and how quickly the first ingest on
+// a small active subset becomes visible — the lazy-hydration cost a
+// client actually observes. The scenario owns the server lifecycle,
+// so it always runs in process.
+type RestartConfig struct {
+	// Dir is the store root; it must be empty or nonexistent (the seed
+	// phase populates it and the restart phase re-opens it).
+	Dir string
+	// Streams is the number of streams seeded and checkpointed
+	// (default 1000).
+	Streams int
+	// Active is how many of them receive traffic after the restart
+	// (default 10).
+	Active int
+	// Periods is the learned periods seeded per stream (default 3).
+	Periods int
+	// Seeders bounds the concurrent seeding workers (default 32).
+	Seeders int
+	// QueueDepth sets the server's per-stream ingest queue.
+	QueueDepth int
+}
+
+// Latency summarizes a small latency sample in seconds.
+type Latency struct {
+	P50  float64 `json:"p50_seconds"`
+	P95  float64 `json:"p95_seconds"`
+	Max  float64 `json:"max_seconds"`
+	Mean float64 `json:"mean_seconds"`
+}
+
+// RestartReport is the outcome of a cold-restart scenario.
+type RestartReport struct {
+	Streams int `json:"streams"`
+	Active  int `json:"active"`
+	Periods int `json:"periods_per_stream"`
+	// SeedSeconds is the wall time of the seed phase (create + feed +
+	// drain), for context only.
+	SeedSeconds float64 `json:"seed_seconds"`
+	// RestoreSeconds is the wall time of RestoreFromDir on the cold
+	// store — the restart cost that must stay O(index scan), not
+	// O(total state).
+	RestoreSeconds  float64 `json:"restore_seconds"`
+	RestoredStreams int     `json:"restored_streams"`
+	// HydratedAfterRestore counts streams with learner state paged in
+	// right after the restore scan; the lazy-hydration contract pins
+	// it at zero.
+	HydratedAfterRestore int `json:"hydrated_after_restore"`
+	// FirstIngest is the per-active-stream latency from the first
+	// ingest POST to the new period being visible in /stats — the
+	// client-observed hydration + learning cost.
+	FirstIngest Latency `json:"first_ingest"`
+	// HydratedAfterActive counts hydrated streams after the active
+	// subset was driven; the contract pins it at exactly Active.
+	HydratedAfterActive int      `json:"hydrated_after_active"`
+	Violations          []string `json:"violations,omitempty"`
+}
+
+// Violated reports whether the scenario broke a hydration contract.
+func (r RestartReport) Violated() bool { return len(r.Violations) > 0 }
+
+// Format renders the human-readable restart report.
+func (r RestartReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bbload restart report: %d streams (%d active), %d periods each\n",
+		r.Streams, r.Active, r.Periods)
+	fmt.Fprintf(&sb, "seed %0.2fs  restore %s (%d streams)  hydrated after restore: %d, after active: %d\n",
+		r.SeedSeconds, fmtSec(r.RestoreSeconds), r.RestoredStreams,
+		r.HydratedAfterRestore, r.HydratedAfterActive)
+	fmt.Fprintf(&sb, "first ingest: p50 %s p95 %s max %s mean %s\n",
+		fmtSec(r.FirstIngest.P50), fmtSec(r.FirstIngest.P95),
+		fmtSec(r.FirstIngest.Max), fmtSec(r.FirstIngest.Mean))
+	if len(r.Violations) == 0 {
+		sb.WriteString("restart: ok\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "RESTART VIOLATION: %s\n", v)
+		}
+	}
+	return sb.String()
+}
+
+func restartStreamID(i int) string { return fmt.Sprintf("restart-%05d", i) }
+
+// RunRestart executes the cold-restart scenario.
+func RunRestart(ctx context.Context, cfg RestartConfig) (RestartReport, error) {
+	if cfg.Dir == "" {
+		return RestartReport{}, fmt.Errorf("load: restart scenario needs a store dir")
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1000
+	}
+	if cfg.Active <= 0 {
+		cfg.Active = 10
+	}
+	if cfg.Active > cfg.Streams {
+		cfg.Active = cfg.Streams
+	}
+	if cfg.Periods <= 0 {
+		cfg.Periods = 3
+	}
+	if cfg.Seeders <= 0 {
+		cfg.Seeders = 32
+	}
+	rep := RestartReport{Streams: cfg.Streams, Active: cfg.Active, Periods: cfg.Periods}
+
+	// Phase 1: seed. Every period is WAL-durable on consume, so a
+	// drained shutdown checkpoints the whole fleet with no explicit
+	// checkpoint calls.
+	sv := serve.New(serve.Config{CheckpointDir: cfg.Dir, QueueDepth: cfg.QueueDepth})
+	tgt := &target{base: "http://bbserved.inproc",
+		c: &http.Client{Transport: inprocTransport{h: sv.Handler()}}}
+	t0 := time.Now()
+	if err := seedRestartStreams(ctx, tgt, cfg); err != nil {
+		return rep, err
+	}
+	if err := sv.Shutdown(ctx); err != nil {
+		return rep, fmt.Errorf("load: seed shutdown: %w", err)
+	}
+	rep.SeedSeconds = time.Since(t0).Seconds()
+
+	// Phase 2: cold restart. RestoreFromDir is an index scan; nothing
+	// hydrates until touched.
+	sv2 := serve.New(serve.Config{CheckpointDir: cfg.Dir, QueueDepth: cfg.QueueDepth})
+	t1 := time.Now()
+	n, err := sv2.RestoreFromDir()
+	rep.RestoreSeconds = time.Since(t1).Seconds()
+	rep.RestoredStreams = n
+	if err != nil {
+		return rep, fmt.Errorf("load: restore: %w", err)
+	}
+	tgt2 := &target{base: "http://bbserved.inproc",
+		c: &http.Client{Transport: inprocTransport{h: sv2.Handler()}}}
+	defer sv2.Shutdown(context.Background())
+
+	rep.HydratedAfterRestore, err = countHydrated(ctx, tgt2)
+	if err != nil {
+		return rep, err
+	}
+
+	// Phase 3: drive the active subset and time each stream's first
+	// ingest until the learned period is visible in /stats.
+	clock := int64(cfg.Periods) * workerPeriodUS
+	batch := fmt.Sprintf("exec t1 %d %d\nmsg m1 %d %d\nexec t2 %d %d\nperiod\n",
+		clock, clock+100, clock+150, clock+200, clock+400, clock+500)
+	samples := make([]float64, 0, cfg.Active)
+	for i := 0; i < cfg.Active; i++ {
+		id := restartStreamID(i)
+		t := time.Now()
+		code, _, out, err := tgt2.do(ctx, "POST", "/v1/streams/"+id+"/events", []byte(batch), nil)
+		if err != nil {
+			return rep, fmt.Errorf("load: first ingest %s: %w", id, err)
+		}
+		if code != http.StatusAccepted {
+			return rep, fmt.Errorf("load: first ingest %s: status %d: %s", id, code, out)
+		}
+		if err := waitPeriods(ctx, tgt2, id, cfg.Periods+1); err != nil {
+			return rep, err
+		}
+		samples = append(samples, time.Since(t).Seconds())
+	}
+	rep.FirstIngest = summarizeLatency(samples)
+
+	rep.HydratedAfterActive, err = countHydrated(ctx, tgt2)
+	if err != nil {
+		return rep, err
+	}
+	rep.Violations = evaluateRestart(rep)
+	return rep, nil
+}
+
+// seedRestartStreams creates and feeds the fleet with a bounded
+// worker pool.
+func seedRestartStreams(ctx context.Context, tgt *target, cfg RestartConfig) error {
+	sem := make(chan struct{}, cfg.Seeders)
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
+	for i := 0; i < cfg.Streams; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := seedOne(ctx, tgt, restartStreamID(i), cfg.Periods); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func seedOne(ctx context.Context, tgt *target, id string, periods int) error {
+	body := fmt.Sprintf(`{"id":%q,"tasks":["t1","t2"]}`, id)
+	code, _, out, err := tgt.do(ctx, "POST", "/v1/streams", []byte(body), nil)
+	if err != nil {
+		return fmt.Errorf("load: create %s: %w", id, err)
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("load: create %s: status %d: %s", id, code, out)
+	}
+	var sb strings.Builder
+	for k := 0; k < periods; k++ {
+		base := int64(k) * workerPeriodUS
+		fmt.Fprintf(&sb, "exec t1 %d %d\nmsg m1 %d %d\nexec t2 %d %d\nperiod\n",
+			base, base+100, base+150, base+200, base+400, base+500)
+	}
+	code, _, out, err = tgt.do(ctx, "POST", "/v1/streams/"+id+"/events", []byte(sb.String()), nil)
+	if err != nil {
+		return fmt.Errorf("load: seed %s: %w", id, err)
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("load: seed %s: status %d: %s", id, code, out)
+	}
+	return nil
+}
+
+// waitPeriods polls the stream's stats until the learner has consumed
+// want periods.
+func waitPeriods(ctx context.Context, tgt *target, id string, want int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, _, out, err := tgt.do(ctx, "GET", "/v1/streams/"+id+"/stats", nil, nil)
+		if err != nil {
+			return fmt.Errorf("load: stats %s: %w", id, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("load: stats %s: status %d: %s", id, code, out)
+		}
+		var st struct {
+			PeriodsLearned int    `json:"periods_learned"`
+			Err            string `json:"err"`
+		}
+		if err := json.Unmarshal(out, &st); err != nil {
+			return err
+		}
+		if st.Err != "" {
+			return fmt.Errorf("load: stream %s died: %s", id, st.Err)
+		}
+		if st.PeriodsLearned >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("load: stream %s stuck at %d/%d periods", id, st.PeriodsLearned, want)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// countHydrated reads /debug/streams and counts paged-in streams.
+func countHydrated(ctx context.Context, tgt *target) (int, error) {
+	code, _, out, err := tgt.do(ctx, "GET", "/debug/streams", nil, nil)
+	if err != nil {
+		return 0, fmt.Errorf("load: debug streams: %w", err)
+	}
+	if code != http.StatusOK {
+		return 0, fmt.Errorf("load: debug streams: status %d: %s", code, out)
+	}
+	var dbg struct {
+		Streams []struct {
+			Hydrated bool `json:"hydrated"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(out, &dbg); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range dbg.Streams {
+		if s.Hydrated {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func summarizeLatency(samples []float64) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	p50, p95, _ := quantiles(samples)
+	return Latency{
+		P50:  p50,
+		P95:  p95,
+		Max:  samples[len(samples)-1],
+		Mean: sum / float64(len(samples)),
+	}
+}
+
+// evaluateRestart turns broken hydration contracts into violations.
+func evaluateRestart(rep RestartReport) []string {
+	var out []string
+	if rep.RestoredStreams != rep.Streams {
+		out = append(out, fmt.Sprintf("restart: restored %d of %d seeded streams",
+			rep.RestoredStreams, rep.Streams))
+	}
+	if rep.HydratedAfterRestore != 0 {
+		out = append(out, fmt.Sprintf("restart: %d streams hydrated eagerly by the restore scan",
+			rep.HydratedAfterRestore))
+	}
+	if rep.HydratedAfterActive != rep.Active {
+		out = append(out, fmt.Sprintf("restart: %d streams hydrated after driving %d",
+			rep.HydratedAfterActive, rep.Active))
+	}
+	return out
+}

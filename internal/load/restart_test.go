@@ -1,0 +1,47 @@
+package load
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunRestart runs the cold-restart scenario at test scale and
+// pins the hydration contracts: the restore scan hydrates nothing,
+// driving K streams hydrates exactly K, and every first ingest lands.
+func TestRunRestart(t *testing.T) {
+	rep, err := RunRestart(context.Background(), RestartConfig{
+		Dir:     t.TempDir(),
+		Streams: 40,
+		Active:  5,
+		Periods: 3,
+	})
+	if err != nil {
+		t.Fatalf("restart run: %v\nreport: %+v", err, rep)
+	}
+	if rep.Violated() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.RestoredStreams != 40 {
+		t.Errorf("restored %d streams, want 40", rep.RestoredStreams)
+	}
+	if rep.HydratedAfterRestore != 0 {
+		t.Errorf("hydrated after restore = %d, want 0", rep.HydratedAfterRestore)
+	}
+	if rep.HydratedAfterActive != 5 {
+		t.Errorf("hydrated after active = %d, want 5", rep.HydratedAfterActive)
+	}
+	if rep.FirstIngest.Max <= 0 {
+		t.Errorf("no first-ingest samples: %+v", rep.FirstIngest)
+	}
+	if rep.RestoreSeconds <= 0 {
+		t.Errorf("restore took %v seconds", rep.RestoreSeconds)
+	}
+	if s := rep.Format(); s == "" {
+		t.Error("empty formatted report")
+	}
+
+	// Config validation: the scenario refuses to run without a dir.
+	if _, err := RunRestart(context.Background(), RestartConfig{}); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

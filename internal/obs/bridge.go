@@ -50,6 +50,31 @@ const (
 // DriftLagBuckets are the detection-lag histogram bounds, in periods.
 var DriftLagBuckets = []float64{1, 2, 3, 5, 8, 13, 20, 40, 80}
 
+// Metric-name constants of the stream state store (internal/store):
+// the per-stream period WAL and its compactor.
+const (
+	// MetricStoreWALRecords counts period records appended across all
+	// streams (counter).
+	MetricStoreWALRecords = "modelgen_store_wal_records_total"
+	// MetricStoreWALBytes counts WAL bytes written, frames included
+	// (counter).
+	MetricStoreWALBytes = "modelgen_store_wal_bytes_total"
+	// MetricStoreCompactions counts WAL-into-base compactions
+	// (counter).
+	MetricStoreCompactions = "modelgen_store_compactions_total"
+	// MetricStoreHydrations counts lazy stream hydrations: cold state
+	// paged in as base + WAL replay (counter).
+	MetricStoreHydrations = "modelgen_store_hydrations_total"
+	// MetricStoreHydrationSeconds is the hydration-latency histogram.
+	MetricStoreHydrationSeconds = "modelgen_store_hydration_seconds"
+	// MetricStoreDirtyStreams is the number of open streams with WAL
+	// records not yet folded into their base snapshot (gauge).
+	MetricStoreDirtyStreams = "modelgen_store_dirty_streams"
+)
+
+// HydrationSecondsBuckets are the hydration-latency histogram bounds.
+var HydrationSecondsBuckets = []float64{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1}
+
 // PhaseMetric returns the histogram name of a pipeline phase span
 // (e.g. PhaseMetric("generalize") = "modelgen_phase_generalize_seconds").
 func PhaseMetric(phase string) string { return "modelgen_phase_" + phase + "_seconds" }

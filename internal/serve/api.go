@@ -180,9 +180,21 @@ type StreamDebug struct {
 	LiveHyps int64 `json:"live_hypotheses"`
 	Shed     int64 `json:"shed"`
 	// CheckpointAgeSeconds is the age of the last successful
-	// checkpoint; zero when the stream has never checkpointed.
+	// compaction; zero when the stream's WAL has never been folded
+	// into a base snapshot.
 	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
 	Err                  string  `json:"err,omitempty"`
+	// Store persistence view. Hydrated reports whether the stream's
+	// learner state is paged in (false = registered cold from a
+	// restore scan); WALRecords/WALBytes count period records not yet
+	// folded into the base; LastCompaction is the RFC 3339 time of the
+	// current base snapshot; PersistErr is the last persistence
+	// failure, empty while durable state is in sync.
+	Hydrated       bool   `json:"hydrated"`
+	WALRecords     int    `json:"wal_records,omitempty"`
+	WALBytes       int64  `json:"wal_bytes,omitempty"`
+	LastCompaction string `json:"last_compaction,omitempty"`
+	PersistErr     string `json:"persist_err,omitempty"`
 	// Drift-monitor view (only on streams with drift enabled):
 	// generation, stability streak, ambiguity ratio of the live model,
 	// and the last detected change point (0 = none yet).
@@ -207,6 +219,20 @@ type CheckpointResponse struct {
 	Path string `json:"path"`
 	// Periods is the number of learned periods the checkpoint covers.
 	Periods int `json:"periods"`
+}
+
+// CompactResponse is the body of POST /v1/streams/{id}/compact: the
+// stream's durable state after folding its WAL into a fresh base
+// snapshot.
+type CompactResponse struct {
+	ID string `json:"id"`
+	// Path is the new base snapshot file.
+	Path string `json:"path"`
+	// Periods is the number of learned periods the base covers.
+	Periods int `json:"periods"`
+	// WALRecords is the WAL record count after the compaction (0: the
+	// log was fully folded).
+	WALRecords int `json:"wal_records"`
 }
 
 // errorResponse is every non-2xx body.

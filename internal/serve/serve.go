@@ -17,13 +17,21 @@
 //     that does not fit entirely is rejected with 429 and Retry-After
 //     and leaves no partial state behind (clone-and-commit parsing),
 //     so the producer can simply resend it.
-//   - Checkpoints. Stream state (the versioned learner snapshot plus
-//     the serve envelope) is written to disk atomically every
-//     CheckpointEvery periods, on graceful shutdown, and on demand; a
-//     restarted server reopens every checkpointed stream with
-//     bit-identical learner state.
+//   - Per-period durability. With a state store configured
+//     (CheckpointDir), every learned period appends one O(delta) record
+//     to the stream's write-ahead log (internal/store); the log is
+//     periodically folded into a base snapshot. A crash at any point
+//     loses at most the period being written.
+//   - Lazy hydration. RestoreFromDir is an index scan: it registers
+//     every stored stream without decoding a single model, and a
+//     stream's learner state pages in (base + WAL replay) on its first
+//     ingest or query — restart cost is O(active streams), not
+//     O(stored streams). Restored state is bit-identical to what the
+//     previous process had made durable. Corrupt state is quarantined,
+//     never silently dropped.
 //   - Graceful drain. Shutdown stops ingest, lets every owner finish
-//     the queued periods, checkpoints, and only then returns.
+//     the queued periods (each made durable as it lands), and only
+//     then returns.
 package serve
 
 import (
@@ -46,16 +54,31 @@ import (
 	"github.com/blackbox-rt/modelgen/internal/engine"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/store"
 )
 
 // Config configures a Server.
 type Config struct {
-	// CheckpointDir is where stream checkpoints live. Empty disables
-	// checkpointing (streams are purely in-memory).
+	// CheckpointDir is the root of the stream state store. Empty
+	// disables persistence entirely (streams are purely in-memory).
 	CheckpointDir string
-	// CheckpointEvery checkpoints a stream after this many learned
-	// periods. Zero checkpoints only on demand and on shutdown.
+	// CheckpointEvery is the WAL-compaction record threshold: a
+	// stream's log is folded into a fresh base snapshot once it holds
+	// this many period records. Zero selects the store default (256).
+	// Durability does not depend on it — every period is WAL-durable
+	// regardless — it only bounds replay work at hydration.
 	CheckpointEvery int
+	// CompactBytes additionally triggers a stream compaction once its
+	// WAL reaches this size. Zero selects the store default (4 MiB).
+	CompactBytes int64
+	// CompactJitter spreads each stream's compaction thresholds by a
+	// deterministic per-stream factor in [1-f, 1+f], so a fleet of
+	// streams fed in lockstep doesn't compact in lockstep. Zero
+	// selects the store default (0.2); negative disables.
+	CompactJitter float64
+	// Logf, when non-nil, receives store recovery and restore logs
+	// (torn WAL tails, quarantined state, legacy migrations).
+	Logf func(format string, args ...any)
 	// QueueDepth bounds each stream's ingest queue (default 256).
 	QueueDepth int
 	// MaxBody bounds an events request body in bytes (default 8 MiB).
@@ -85,6 +108,12 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
+	// store is the stream state store, nil when CheckpointDir is
+	// empty; storeErr holds the open failure (surfaced by
+	// RestoreFromDir and create) so New can keep its signature.
+	store    *store.Store
+	storeErr error
+
 	mu      sync.Mutex
 	streams map[string]*stream
 	closed  bool
@@ -98,6 +127,13 @@ type Server struct {
 	mPeriodsLearned *obs.Counter
 	mAlarmPeriods   *obs.Counter
 	mDriftLag       *obs.Histogram
+	mQuarantined    *obs.Counter
+}
+
+func (sv *Server) logf(format string, args ...any) {
+	if sv.cfg.Logf != nil {
+		sv.cfg.Logf(format, args...)
+	}
 }
 
 // errStreamExists marks create collisions so the handler can map them
@@ -117,6 +153,16 @@ func New(cfg Config) *Server {
 		cfg.MaxBody = 8 << 20
 	}
 	sv := &Server{cfg: cfg, streams: map[string]*stream{}}
+	if cfg.CheckpointDir != "" {
+		sv.store, sv.storeErr = store.Open(store.Options{
+			Dir:            cfg.CheckpointDir,
+			CompactRecords: cfg.CheckpointEvery,
+			CompactBytes:   cfg.CompactBytes,
+			JitterFrac:     cfg.CompactJitter,
+			Registry:       cfg.Registry,
+			Logf:           cfg.Logf,
+		})
+	}
 	if reg := cfg.Registry; reg != nil {
 		sv.mStreams = reg.Gauge("serve_streams", "Number of live trace streams.")
 		sv.mReqs = reg.Counter("serve_http_requests_total", "API requests served.")
@@ -136,6 +182,8 @@ func New(cfg Config) *Server {
 			Help:    "Periods between an estimated change point and its alarm.",
 			Buckets: obs.DriftLagBuckets,
 		})
+		sv.mQuarantined = reg.Counter("serve_restore_quarantined_total",
+			"Corrupt stream state moved to quarantine during restore.")
 		obs.RuntimeMetrics(reg)
 	}
 	mux := http.NewServeMux()
@@ -147,6 +195,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/streams/{id}/stats", sv.handleStats)
 	mux.HandleFunc("GET /v1/streams/{id}/drift", sv.handleDrift)
 	mux.HandleFunc("POST /v1/streams/{id}/checkpoint", sv.handleCheckpoint)
+	mux.HandleFunc("POST /v1/streams/{id}/compact", sv.handleCompact)
 	mux.HandleFunc("DELETE /v1/streams/{id}", sv.handleDelete)
 	mux.HandleFunc("GET /debug/streams", sv.handleDebugStreams)
 	if cfg.Registry != nil {
@@ -198,59 +247,166 @@ func (sv *Server) StreamCount() int {
 	return len(sv.streams)
 }
 
-// RestoreFromDir reopens every checkpointed stream found in
-// Config.CheckpointDir, returning how many were restored. Restored
-// learner state is bit-identical to the checkpoint: feeding the same
-// subsequent periods yields the same models the original process
-// would have produced.
+// RestoreFromDir registers every stream found in the state store
+// without hydrating any of them, returning how many were registered.
+// The scan reads per-stream manifests and WAL frame headers only, so
+// restart cost is proportional to the number of streams and their WAL
+// sizes, never their model sizes; each stream's learner state pages
+// in lazily on its first ingest or query, bit-identical to what the
+// previous process had made durable.
+//
+// Pre-store one-file-per-stream checkpoints (<dir>/<id>.json) are
+// migrated into the store first: the file bytes become the stream's
+// base snapshot verbatim. Corrupt state — store streams failing
+// validation, or legacy files that cannot be decoded — is moved to
+// <dir>/quarantine/ and counted in serve_restore_quarantined_total
+// (typed as store.CorruptError in the logs), never silently dropped
+// and never fatal to the remaining streams.
 func (sv *Server) RestoreFromDir() (int, error) {
 	if sv.cfg.CheckpointDir == "" {
 		return 0, nil
 	}
+	if sv.storeErr != nil {
+		return 0, sv.storeErr
+	}
+	nq, err := sv.migrateLegacy()
+	if err != nil {
+		return 0, err
+	}
+	res, err := sv.store.Scan()
+	if err != nil {
+		return 0, err
+	}
+	nq += len(res.Quarantined)
+	n := 0
+	for _, sm := range res.Streams {
+		if err := sv.registerCold(sm); err != nil {
+			var ce *store.CorruptError
+			if !errors.As(err, &ce) {
+				return n, fmt.Errorf("serve: restore %s: %w", sm.ID, err)
+			}
+			sv.logf("serve: restore %s: %v; quarantining", sm.ID, err)
+			if qerr := sv.store.Quarantine(filepath.Join(sv.store.Dir(), sm.ID)); qerr != nil {
+				return n, qerr
+			}
+			nq++
+			continue
+		}
+		n++
+	}
+	if nq > 0 && sv.mQuarantined != nil {
+		sv.mQuarantined.Add(int64(nq))
+	}
+	return n, nil
+}
+
+// migrateLegacy moves pre-store checkpoint files into the store, one
+// stream each: the file bytes are the base snapshot of a new epoch-1
+// stream, so a migrated stream restores bit-identically through the
+// same hydration path as native store state. Undecodable or
+// mismatched files are quarantined and counted, not fatal.
+func (sv *Server) migrateLegacy() (quarantined int, err error) {
 	paths, err := filepath.Glob(filepath.Join(sv.cfg.CheckpointDir, "*.json"))
 	if err != nil {
 		return 0, err
 	}
 	sort.Strings(paths)
-	n := 0
 	for _, path := range paths {
-		if err := sv.restoreOne(path); err != nil {
-			return n, fmt.Errorf("serve: restore %s: %w", path, err)
+		if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+			continue // a stream directory whose ID ends in .json
 		}
-		n++
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return quarantined, err
+		}
+		var cf checkpointFile
+		reason := ""
+		switch {
+		case json.Unmarshal(b, &cf) != nil:
+			reason = "undecodable checkpoint"
+		case cf.ServeVersion != serveVersion:
+			reason = fmt.Sprintf("checkpoint envelope version %d, this binary reads %d", cf.ServeVersion, serveVersion)
+		case cf.Snapshot == nil:
+			reason = "checkpoint carries no learner snapshot"
+		case cf.Info.ID != strings.TrimSuffix(filepath.Base(path), ".json"):
+			reason = fmt.Sprintf("checkpoint names stream %q but file is %s", cf.Info.ID, filepath.Base(path))
+		}
+		if reason == "" {
+			learned := cf.Snapshot.Stats.Periods
+			if cf.Drift != nil && cf.Drift.Periods > learned {
+				// The snapshot covers only the current model generation;
+				// the monitor counts periods across generations.
+				learned = cf.Drift.Periods
+			}
+			meta, merr := json.Marshal(cf.Info)
+			if merr != nil {
+				return quarantined, merr
+			}
+			h, cerr := sv.store.Create(cf.Info.ID, meta, b, uint64(learned))
+			if cerr == nil {
+				h.Close()
+				if rerr := os.Remove(path); rerr != nil {
+					return quarantined, rerr
+				}
+				continue
+			}
+			if !errors.Is(cerr, store.ErrExists) {
+				return quarantined, cerr
+			}
+			// The store already holds newer state for this stream; the
+			// stale legacy file is preserved aside, not merged.
+			reason = "stream already has store state"
+		}
+		sv.logf("serve: restore %s: %s; quarantining", path, reason)
+		if qerr := sv.store.Quarantine(path); qerr != nil {
+			return quarantined, qerr
+		}
+		quarantined++
 	}
-	return n, nil
+	return quarantined, nil
 }
 
-func (sv *Server) restoreOne(path string) error {
-	f, err := os.Open(path)
+// registerCold registers a scanned stream without hydrating it: no
+// learner, no drift monitor, no open WAL handle — just the
+// registration, the parser, and the scan-time stats for /debug. The
+// owner goroutine pages real state in on first use.
+func (sv *Server) registerCold(sm store.StreamMeta) error {
+	manifestPath := filepath.Join(sv.store.Dir(), sm.ID, "manifest.json")
+	if len(sm.Meta) == 0 {
+		return &store.CorruptError{Stream: sm.ID, Path: manifestPath, Reason: "manifest carries no stream info"}
+	}
+	var info StreamInfo
+	if err := json.Unmarshal(sm.Meta, &info); err != nil {
+		return &store.CorruptError{Stream: sm.ID, Path: manifestPath, Reason: "undecodable stream info", Err: err}
+	}
+	if info.ID != sm.ID {
+		return &store.CorruptError{Stream: sm.ID, Path: manifestPath,
+			Reason: fmt.Sprintf("manifest names stream %q", info.ID)}
+	}
+	s, err := sv.newStreamShell(info)
 	if err != nil {
+		return &store.CorruptError{Stream: sm.ID, Path: manifestPath, Reason: "stream info rejected", Err: err}
+	}
+	s.cold = &sm
+	s.learned = int(sm.LastSeq)
+	s.cut.Store(int64(sm.LastSeq))
+	s.lastPeriod.Store(int64(sm.LastSeq))
+	if sm.CompactedAtUnixNS > 0 {
+		s.ckptUnixNS.Store(sm.CompactedAtUnixNS)
+	}
+	if s.driftEnabled && sm.LastGeneration > 0 {
+		s.genA.Store(int64(sm.LastGeneration))
+	}
+	if err := sv.register(s); err != nil {
 		return err
 	}
-	defer f.Close()
-	var cf checkpointFile
-	if err := json.NewDecoder(f).Decode(&cf); err != nil {
-		return err
-	}
-	if cf.ServeVersion != serveVersion {
-		return fmt.Errorf("checkpoint envelope version %d, this binary reads %d", cf.ServeVersion, serveVersion)
-	}
-	if cf.Info.ID != strings.TrimSuffix(filepath.Base(path), ".json") {
-		return fmt.Errorf("checkpoint names stream %q but file is %s", cf.Info.ID, filepath.Base(path))
-	}
-	learned := cf.Snapshot.Stats.Periods
-	if cf.Drift != nil && cf.Drift.Periods > learned {
-		// The snapshot covers only the current model generation; the
-		// monitor counts periods across generations.
-		learned = cf.Drift.Periods
-	}
-	_, err = sv.addStream(cf.Info, cf.Snapshot, learned, cf.Drift)
-	return err
+	return nil
 }
 
-// Shutdown drains every stream (remaining queued periods are learned
-// and checkpointed) and refuses new work. It returns early with the
-// context's error if draining outlasts the deadline.
+// Shutdown drains every stream (remaining queued periods are learned,
+// each made durable as it lands, and the store handles released) and
+// refuses new work. It returns early with the context's error if
+// draining outlasts the deadline.
 func (sv *Server) Shutdown(ctx context.Context) error {
 	sv.mu.Lock()
 	sv.closed = true
@@ -273,12 +429,13 @@ func (sv *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// addStream wires up a stream (fresh when snap is nil, else restored
-// from the snapshot, with dst the checkpointed drift-monitor state)
-// and starts its owner goroutine. The learner is created here so the
-// stream's trace bridge and drift hook can be installed as its engine
-// observers before the first period.
-func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int, dst *drift.State) (*stream, error) {
+// newStreamShell builds a stream minus its learner and drift monitor:
+// parser, channels, metrics, the trace bridge and the drift verify
+// hook (which reads s.mon dynamically, so it works whether the
+// monitor is built now, at hydration, or at a generation fork). The
+// caller either hydrates the shell eagerly (addStream) or registers
+// it cold (registerCold).
+func (sv *Server) newStreamShell(info StreamInfo) (*stream, error) {
 	p, err := newParser(info.Tasks, info.BitRate, info.PeriodUS)
 	if err != nil {
 		return nil, err
@@ -292,9 +449,7 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 		reqs:            make(chan func(*learner.Online)),
 		closing:         make(chan struct{}),
 		done:            make(chan struct{}),
-		learned:         learned,
-		checkpointDir:   sv.cfg.CheckpointDir,
-		checkpointEach:  sv.cfg.CheckpointEvery,
+		store:           sv.store,
 		tracer:          sv.cfg.Tracer,
 		mLatency:        sv.mLatency,
 		mOfferedLines:   sv.mOfferedLines,
@@ -308,35 +463,20 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 		opt.Observer = s.bridge
 	}
 	if do := info.Drift; do != nil && do.Enabled {
-		cfg := do.config(opt.Policy)
-		if dst != nil {
-			s.mon, err = drift.Restore(*dst, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("serve: stream %s drift state: %w", info.ID, err)
-			}
-		} else {
-			s.mon = drift.New(cfg)
-		}
+		s.driftEnabled = true
 		// The hook runs synchronously inside AddPeriod on the owner
-		// goroutine; consume picks up pendingDrift right after.
-		mon := s.mon
+		// goroutine; consume picks up pendingDrift right after. s.mon
+		// is owner-written, so the dynamic read is race-free.
 		opt.OnPeriodVerify = func(out engine.VerifyOutcome) {
-			if ev := mon.Observe(out.Period, out.LUB, out.Live); ev != nil {
+			if s.mon == nil {
+				return
+			}
+			if ev := s.mon.Observe(out.Period, out.LUB, out.Live); ev != nil {
 				s.pendingDrift = ev
 			}
 		}
 	}
-	if snap == nil {
-		s.o, err = learner.NewOnline(info.Tasks, opt)
-	} else {
-		s.o, err = learner.RestoreOnline(snap, opt)
-	}
-	if err != nil {
-		return nil, err
-	}
 	s.opt = opt
-	s.cut.Store(int64(learned))
-	s.lastPeriod.Store(int64(learned))
 	if reg := sv.cfg.Registry; reg != nil {
 		s.mQueueDepth = reg.LabeledGauge("serve_queue_depth",
 			"Ingest queue occupancy per stream.", "stream", s.id)
@@ -344,7 +484,7 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 			"Periods cut and queued per stream.", "stream", s.id)
 		s.mShed = reg.LabeledCounter("serve_shed_total",
 			"Ingest batches shed with 429 per stream.", "stream", s.id)
-		if s.mon != nil {
+		if s.driftEnabled {
 			s.mDriftGen = reg.LabeledGauge(obs.MetricDriftGeneration,
 				"Current model generation per stream.", "stream", s.id)
 			s.mDriftStreak = reg.LabeledGauge(obs.MetricDriftStreak,
@@ -355,18 +495,22 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 				"Model change-point alarms per stream.", "stream", s.id)
 		}
 	}
-	s.publishDriftView()
+	return s, nil
+}
 
+// register publishes a fully built stream and starts its owner
+// goroutine.
+func (sv *Server) register(s *stream) error {
 	sv.mu.Lock()
 	if sv.closed {
 		sv.mu.Unlock()
 		sv.dropStreamMetrics(s)
-		return nil, errServerClosed
+		return errServerClosed
 	}
 	if _, dup := sv.streams[s.id]; dup {
 		sv.mu.Unlock()
 		sv.dropStreamMetrics(s)
-		return nil, fmt.Errorf("serve: stream %q: %w", s.id, errStreamExists)
+		return fmt.Errorf("serve: stream %q: %w", s.id, errStreamExists)
 	}
 	sv.streams[s.id] = s
 	if sv.mStreams != nil {
@@ -375,6 +519,59 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 	sv.mu.Unlock()
 
 	go s.run()
+	return nil
+}
+
+// addStream wires up a hot stream (fresh when snap is nil, else
+// restored from the snapshot, with dst the drift-monitor state),
+// creates its store entry and starts its owner goroutine.
+func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int, dst *drift.State) (*stream, error) {
+	if sv.cfg.CheckpointDir != "" && sv.storeErr != nil {
+		return nil, sv.storeErr
+	}
+	s, err := sv.newStreamShell(info)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.buildLearner(snap); err != nil {
+		sv.dropStreamMetrics(s)
+		return nil, err
+	}
+	if err := s.buildMonitor(dst); err != nil {
+		sv.dropStreamMetrics(s)
+		return nil, fmt.Errorf("serve: stream %s %w", info.ID, err)
+	}
+	s.learned = learned
+	s.hydrated = true
+	s.hydratedA.Store(true)
+	s.cut.Store(int64(learned))
+	s.lastPeriod.Store(int64(learned))
+	s.publishDriftView()
+	if sv.store != nil {
+		meta, err := json.Marshal(info)
+		if err != nil {
+			sv.dropStreamMetrics(s)
+			return nil, err
+		}
+		st, err := sv.store.Create(info.ID, meta, nil, uint64(learned))
+		if err != nil {
+			sv.dropStreamMetrics(s)
+			if errors.Is(err, store.ErrExists) {
+				return nil, fmt.Errorf("serve: stream %q: %w", info.ID, errStreamExists)
+			}
+			return nil, err
+		}
+		s.st = st
+		s.stA.Store(st)
+	}
+	if err := sv.register(s); err != nil {
+		if s.st != nil {
+			// We created the entry above, so nothing else references it.
+			s.st.Close()
+			_ = sv.store.Remove(info.ID)
+		}
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -386,7 +583,7 @@ func (sv *Server) dropStreamMetrics(s *stream) {
 	reg.Unregister(obs.SeriesName("serve_queue_depth", "stream", s.id))
 	reg.Unregister(obs.SeriesName("serve_periods_total", "stream", s.id))
 	reg.Unregister(obs.SeriesName("serve_shed_total", "stream", s.id))
-	if s.mon != nil {
+	if s.driftEnabled {
 		reg.Unregister(obs.SeriesName(obs.MetricDriftGeneration, "stream", s.id))
 		reg.Unregister(obs.SeriesName(obs.MetricDriftStreak, "stream", s.id))
 		reg.Unregister(obs.SeriesName(obs.MetricDriftAmbiguity, "stream", s.id))
@@ -490,7 +687,13 @@ func (sv *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *learner.Result
 	var resErr error
-	err := s.do(func(o *learner.Online) { res, resErr = o.Result() })
+	err := s.do(func(o *learner.Online) {
+		if o == nil { // hydration failed; surface the sticky error
+			resErr = s.deadErr()
+			return
+		}
+		res, resErr = o.Result()
+	})
 	if errors.Is(err, ErrStreamClosed) {
 		writeError(w, http.StatusGone, err)
 		return
@@ -525,11 +728,14 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := StatsResponse{ID: s.id, QueueCap: cap(s.queue)}
 	err := s.do(func(o *learner.Online) {
-		resp.Engine = o.Stats()
-		resp.WorkingSet = o.WorkingSetSize()
 		// s.learned, not engine periods: a drift fork starts a fresh
 		// learner whose own period count resets with the generation.
 		resp.PeriodsLearned = s.learned
+		if o == nil { // hydration failed; Err carries the sticky error
+			return
+		}
+		resp.Engine = o.Stats()
+		resp.WorkingSet = o.WorkingSetSize()
 	})
 	if errors.Is(err, ErrStreamClosed) {
 		writeError(w, http.StatusGone, err)
@@ -571,32 +777,67 @@ func (sv *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (sv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+// compactNow runs an on-demand compaction on the stream's owner
+// goroutine (hydrating a cold stream first) and returns the new
+// base's path, the periods it covers, and the post-compaction WAL
+// record count.
+func (sv *Server) compactNow(w http.ResponseWriter, r *http.Request) (CompactResponse, bool) {
+	var out CompactResponse
 	s, ok := sv.stream(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no stream %q", r.PathValue("id")))
-		return
+		return out, false
 	}
-	if sv.cfg.CheckpointDir == "" {
+	if sv.store == nil {
 		writeError(w, http.StatusConflict, errors.New("serve: server has no checkpoint directory"))
-		return
+		return out, false
 	}
-	var path string
 	var cpErr error
-	var periods int
 	err := s.do(func(o *learner.Online) {
-		path, cpErr = s.checkpoint()
-		periods = o.Stats().Periods
+		if o == nil || s.st == nil {
+			if cpErr = s.deadErr(); cpErr == nil {
+				cpErr = errors.New("serve: stream has no durable state handle")
+			}
+			return
+		}
+		s.compactPersist()
+		if cpErr = s.persistErr(); cpErr != nil {
+			return
+		}
+		out = CompactResponse{
+			ID:         s.id,
+			Path:       s.st.BasePath(),
+			Periods:    s.learned,
+			WALRecords: s.st.Stats().WALRecords,
+		}
 	})
 	if errors.Is(err, ErrStreamClosed) {
 		writeError(w, http.StatusGone, err)
-		return
+		return out, false
 	}
 	if cpErr != nil {
 		writeError(w, http.StatusConflict, cpErr)
+		return out, false
+	}
+	return out, true
+}
+
+func (sv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	out, ok := sv.compactNow(w, r)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, CheckpointResponse{ID: s.id, Path: path, Periods: periods})
+	writeJSON(w, http.StatusOK, CheckpointResponse{ID: out.ID, Path: out.Path, Periods: out.Periods})
+}
+
+// handleCompact is POST /v1/streams/{id}/compact: fold the stream's
+// WAL into a fresh base right now, regardless of thresholds.
+func (sv *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	out, ok := sv.compactNow(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleDebugStreams serves the one-page operational view: every
@@ -626,11 +867,31 @@ func (sv *Server) handleDebugStreams(w http.ResponseWriter, _ *http.Request) {
 		if ns := s.ckptUnixNS.Load(); ns > 0 {
 			d.CheckpointAgeSeconds = now.Sub(time.Unix(0, ns)).Seconds()
 		}
-		if s.mon != nil { // set once before run() starts, safe to read
+		if s.driftEnabled { // immutable after construction, safe to read
 			d.Generation = s.genA.Load()
 			d.Streak = s.streakA.Load()
 			d.AmbiguityRatio = math.Float64frombits(s.ambigBits.Load())
 			d.LastChangePoint = s.lastCPA.Load()
+		}
+		// Store view: live handle stats once hydrated, the scan-time
+		// snapshot while cold (exact — a cold stream appends nothing).
+		d.Hydrated = s.hydratedA.Load()
+		var sm *store.StreamMeta
+		if h := s.stA.Load(); h != nil {
+			v := h.Stats()
+			sm = &v
+		} else if s.cold != nil {
+			sm = s.cold
+		}
+		if sm != nil {
+			d.WALRecords = sm.WALRecords
+			d.WALBytes = sm.WALBytes
+			if sm.CompactedAtUnixNS > 0 {
+				d.LastCompaction = time.Unix(0, sm.CompactedAtUnixNS).UTC().Format(time.RFC3339Nano)
+			}
+		}
+		if err := s.persistErr(); err != nil {
+			d.PersistErr = err.Error()
 		}
 		if err := s.deadErr(); err != nil {
 			d.Err = err.Error()
@@ -657,7 +918,11 @@ func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.close()
 	<-s.done
-	s.removeCheckpoint()
+	if sv.store != nil { // the owner has exited and closed its handle
+		if err := sv.store.Remove(id); err != nil {
+			sv.logf("serve: delete %s: %v", id, err)
+		}
+	}
 	sv.dropStreamMetrics(s)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/conformance"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// shutdownServer drains a server and fails the test on error.
+func shutdownServer(t *testing.T, sv *Server) {
+	t.Helper()
+	if err := sv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// debugStreams fetches and decodes /debug/streams.
+func debugStreams(t *testing.T, c *client) []StreamDebug {
+	t.Helper()
+	resp, body := c.do("GET", "/debug/streams", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/streams: %d %s", resp.StatusCode, body)
+	}
+	var dbg DebugStreamsResponse
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatal(err)
+	}
+	return dbg.Streams
+}
+
+// TestRestartWithoutCheckpointIsLossless is the tentpole durability
+// guarantee: every learned period is WAL-durable the moment ingest is
+// acknowledged as consumed, so a server that shuts down WITHOUT any
+// checkpoint request restores the identical model purely from the
+// write-ahead log.
+func TestRestartWithoutCheckpointIsLossless(t *testing.T) {
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	c := newClient(t, ts)
+
+	tr := trace.PaperFigure2()
+	tables, lub := batchTables(t, tr, learner.Options{})
+	c.createStream(CreateStreamRequest{ID: "walonly", Tasks: tr.Tasks})
+	c.feed("walonly", tr.String()+"period\n")
+	waitLearned(t, c, "walonly", len(tr.Periods))
+
+	// No checkpoint POST anywhere; drain and restart.
+	shutdownServer(t, sv)
+	ts.Close()
+
+	sv2 := New(Config{CheckpointDir: dir})
+	if n, err := sv2.RestoreFromDir(); err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	c2 := newClient(t, ts2)
+	assertModelEquals(t, c2.model("walonly"), tables, lub)
+	if st := c2.stats("walonly"); st.PeriodsLearned != len(tr.Periods) {
+		t.Fatalf("restored periods = %d, want %d", st.PeriodsLearned, len(tr.Periods))
+	}
+}
+
+// TestLazyHydrationOnlyTouchedStreams pins the restart-cost contract:
+// RestoreFromDir registers every stored stream cold, and only the
+// streams actually ingested or queried afterwards hydrate.
+func TestLazyHydrationOnlyTouchedStreams(t *testing.T) {
+	const nStreams, nActive = 12, 3
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	c := newClient(t, ts)
+	for i := 0; i < nStreams; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		c.createStream(CreateStreamRequest{ID: id, Tasks: []string{"t1", "t2"}})
+		c.feed(id, learnableFeed(0, 2))
+		waitLearned(t, c, id, 2)
+	}
+	shutdownServer(t, sv)
+	ts.Close()
+
+	reg := obs.NewRegistry()
+	sv2 := New(Config{CheckpointDir: dir, Registry: reg})
+	if n, err := sv2.RestoreFromDir(); err != nil || n != nStreams {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	c2 := newClient(t, ts2)
+
+	for _, d := range debugStreams(t, c2) {
+		if d.Hydrated {
+			t.Fatalf("stream %s hydrated right after restore", d.ID)
+		}
+		if d.LastPeriod != 2 || d.WALRecords == 0 {
+			t.Fatalf("cold debug view = %+v", d)
+		}
+	}
+
+	// Touch a subset: one by ingest, the rest by queries.
+	c2.feed("s000", learnableFeed(2000, 1))
+	waitLearned(t, c2, "s000", 3)
+	c2.model("s001")
+	c2.stats("s002") // stats query hydrates too (read-your-writes path)
+
+	hydrated := map[string]bool{}
+	for _, d := range debugStreams(t, c2) {
+		if d.Hydrated {
+			hydrated[d.ID] = true
+		}
+	}
+	for _, id := range []string{"s000", "s001", "s002"} {
+		if !hydrated[id] {
+			t.Errorf("touched stream %s not hydrated", id)
+		}
+	}
+	if len(hydrated) != nActive {
+		t.Errorf("%d streams hydrated, want %d: %v", len(hydrated), nActive, hydrated)
+	}
+	if m := reg.Snapshot()[obs.MetricStoreHydrations]; m.Value != nActive {
+		t.Errorf("%s = %d, want %d", obs.MetricStoreHydrations, m.Value, nActive)
+	}
+	// The ingested stream continued from its durable state.
+	if st := c2.stats("s000"); st.PeriodsLearned != 3 {
+		t.Errorf("s000 periods = %d, want 3", st.PeriodsLearned)
+	}
+}
+
+// TestRestoreQuarantinesCorruptState: a corrupt store stream and an
+// undecodable legacy checkpoint file are moved to <dir>/quarantine/
+// and counted, while every healthy stream restores and serves.
+func TestRestoreQuarantinesCorruptState(t *testing.T) {
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	c := newClient(t, ts)
+	tr := trace.PaperFigure2()
+	tables, lub := batchTables(t, tr, learner.Options{})
+	for _, id := range []string{"good", "bad"} {
+		c.createStream(CreateStreamRequest{ID: id, Tasks: tr.Tasks})
+		c.feed(id, tr.String()+"period\n")
+		waitLearned(t, c, id, len(tr.Periods))
+	}
+	shutdownServer(t, sv)
+	ts.Close()
+
+	// Corrupt one stream's manifest and drop an undecodable legacy
+	// checkpoint next to the store directories.
+	if err := os.WriteFile(filepath.Join(dir, "bad", "manifest.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sv2 := New(Config{CheckpointDir: dir, Registry: reg})
+	n, err := sv2.RestoreFromDir()
+	if err != nil {
+		t.Fatalf("restore must not hard-fail on corrupt state: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d streams, want 1", n)
+	}
+	if m := reg.Snapshot()["serve_restore_quarantined_total"]; m.Value != 2 {
+		t.Errorf("serve_restore_quarantined_total = %d, want 2", m.Value)
+	}
+	for _, name := range []string{"bad", "junk.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", name)); err != nil {
+			t.Errorf("quarantined %s missing: %v", name, err)
+		}
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	c2 := newClient(t, ts2)
+	assertModelEquals(t, c2.model("good"), tables, lub)
+	if resp, _ := c2.do("GET", "/v1/streams/bad/model", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("quarantined stream answers %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLegacyCheckpointMigration: a pre-store one-file-per-stream
+// checkpoint is folded into the store on restore and hydrates
+// bit-identically through the WAL path.
+func TestLegacyCheckpointMigration(t *testing.T) {
+	tr := trace.PaperFigure2()
+	o, err := learner.NewOnline(tr.Tasks, learner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, lub := batchTables(t, tr, learner.Options{})
+
+	dir := t.TempDir()
+	cf := checkpointFile{ServeVersion: serveVersion,
+		Info: StreamInfo{ID: "legacy", Tasks: tr.Tasks}, Snapshot: snap}
+	b, err := json.Marshal(&cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "legacy.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sv := New(Config{CheckpointDir: dir})
+	if n, err := sv.RestoreFromDir(); err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "legacy.json")); !os.IsNotExist(err) {
+		t.Errorf("legacy file still at the root after migration (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "legacy", "manifest.json")); err != nil {
+		t.Errorf("migrated stream has no manifest: %v", err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	c := newClient(t, ts)
+	assertModelEquals(t, c.model("legacy"), tables, lub)
+
+	// The migrated stream keeps learning and persisting via the WAL:
+	// a second restart without checkpoints still restores everything.
+	c.feed("legacy", "exec t1 100000 100100\nmsg m1 100150 100200\nexec t2 100400 100500\nperiod\n")
+	waitLearned(t, c, "legacy", len(tr.Periods)+1)
+	shutdownServer(t, sv)
+	ts.Close()
+
+	sv2 := New(Config{CheckpointDir: dir})
+	if n, err := sv2.RestoreFromDir(); err != nil || n != 1 {
+		t.Fatalf("second restore: n=%d err=%v", n, err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	if st := newClient(t, ts2).stats("legacy"); st.PeriodsLearned != len(tr.Periods)+1 {
+		t.Fatalf("periods after migration+wal restart = %d, want %d", st.PeriodsLearned, len(tr.Periods)+1)
+	}
+}
+
+// TestDriftForkSurvivesRestartWithoutCheckpoint: a generation fork is
+// itself a WAL record, so a crash-style restart right after a change
+// point restores the forked learner and the monitor mid-flight —
+// bit-identical drift state, no checkpoint anywhere.
+func TestDriftForkSurvivesRestartWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	c := newClient(t, ts)
+	c.createStream(CreateStreamRequest{ID: "fork", Tasks: []string{"t1", "t2"}, Drift: driftEnabled()})
+
+	const flipAt = 20
+	c.feed("fork", driftFeed(0, flipAt))
+	waitLearned(t, c, "fork", flipAt)
+	c.feed("fork", flipFeed(flipAt, 8)) // enough to alarm and fork
+	waitLearned(t, c, "fork", flipAt+8)
+
+	dr, before := c.drift("fork")
+	if dr.State.Alarms != 1 || dr.State.Generation != 2 {
+		t.Fatalf("pre-restart state = %+v", dr.State)
+	}
+	shutdownServer(t, sv)
+	ts.Close()
+
+	sv2 := New(Config{CheckpointDir: dir})
+	if n, err := sv2.RestoreFromDir(); err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	c2 := newClient(t, ts2)
+	if _, after := c2.drift("fork"); string(after) != string(before) {
+		t.Fatalf("drift state changed across WAL-only restart:\n%s\nvs\n%s", before, after)
+	}
+	// The restored generation-2 learner keeps converging on the new
+	// regime exactly as the original would.
+	c2.feed("fork", flipFeed(flipAt+8, 10))
+	waitLearned(t, c2, "fork", flipAt+18)
+	if dr, _ := c2.drift("fork"); dr.State.Generation != 2 || dr.State.Alarms != 1 {
+		t.Fatalf("post-restart continuation = %+v", dr.State)
+	}
+}
+
+// TestCompactEndpoint: POST /v1/streams/{id}/compact folds the WAL
+// into a fresh base on demand and the debug surface tracks it.
+func TestCompactEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	c := newClient(t, ts)
+	c.createStream(CreateStreamRequest{ID: "cmp", Tasks: []string{"t1", "t2"}})
+	c.feed("cmp", learnableFeed(0, 5))
+	waitLearned(t, c, "cmp", 5)
+
+	if d := debugStreams(t, c)[0]; d.WALRecords != 5 || d.LastCompaction != "" {
+		t.Fatalf("pre-compact debug = %+v", d)
+	}
+	resp, body := c.do("POST", "/v1/streams/cmp/compact", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %d %s", resp.StatusCode, body)
+	}
+	var cr CompactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Periods != 5 || cr.WALRecords != 0 {
+		t.Fatalf("compact response = %+v", cr)
+	}
+	if _, err := os.Stat(cr.Path); err != nil {
+		t.Fatalf("compacted base %s: %v", cr.Path, err)
+	}
+	if d := debugStreams(t, c)[0]; d.WALRecords != 0 || d.LastCompaction == "" || d.CheckpointAgeSeconds <= 0 {
+		t.Fatalf("post-compact debug = %+v", d)
+	}
+	// On a store-less server the endpoint is a 409, like checkpoint.
+	svNone := New(Config{})
+	tsNone := httptest.NewServer(svNone.Handler())
+	defer tsNone.Close()
+	cNone := newClient(t, tsNone)
+	cNone.createStream(CreateStreamRequest{ID: "cmp", Tasks: []string{"t1", "t2"}})
+	if resp, _ := cNone.do("POST", "/v1/streams/cmp/compact", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("compact without store: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeTornWALTailRecovers: serve-level crash recovery. Bytes
+// flipped in the WAL's final frame lose exactly that period — the
+// intact prefix hydrates and the stream keeps learning from there.
+func TestServeTornWALTailRecovers(t *testing.T) {
+	const n = 6
+	dir := t.TempDir()
+	sv := New(Config{CheckpointDir: dir})
+	ts := httptest.NewServer(sv.Handler())
+	c := newClient(t, ts)
+	c.createStream(CreateStreamRequest{ID: "torn", Tasks: []string{"t1", "t2"}})
+	c.feed("torn", learnableFeed(0, n))
+	waitLearned(t, c, "torn", n)
+	shutdownServer(t, sv)
+	ts.Close()
+
+	walPath := filepath.Join(dir, "torn", "wal-1.log")
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF // corrupt the last frame's tail
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sv2 := New(Config{CheckpointDir: dir})
+	if nr, err := sv2.RestoreFromDir(); err != nil || nr != 1 {
+		t.Fatalf("restore: n=%d err=%v", nr, err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	c2 := newClient(t, ts2)
+	if st := c2.stats("torn"); st.PeriodsLearned != n-1 {
+		t.Fatalf("periods after torn tail = %d, want %d", st.PeriodsLearned, n-1)
+	}
+	// Re-feeding the lost period (the documented client contract)
+	// lands the stream exactly where it was.
+	c2.feed("torn", learnableFeed(int64(n-1)*1000, 1))
+	waitLearned(t, c2, "torn", n)
+	if d := debugStreams(t, c2)[0]; d.WALRecords != n {
+		t.Fatalf("wal records after refeed = %d, want %d", d.WALRecords, n)
+	}
+}
+
+// TestCorpusWALRestartEquivalence is the acceptance criterion for the
+// WAL path: for every golden-corpus entry, feeding half the trace,
+// restarting with NO checkpoint, and feeding the rest yields exactly
+// the model of an uninterrupted batch run — the strict variant of
+// TestCorpusCheckpointRestart where durability comes from the period
+// log alone.
+func TestCorpusWALRestartEquivalence(t *testing.T) {
+	corpus, err := conformance.LoadCorpus("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range corpus.Entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			opt := LearnOptions{
+				Bound:          8,
+				SenderWindow:   e.SenderWindow,
+				ReceiverWindow: e.ReceiverWindow,
+				MaxSenders:     e.MaxSenders,
+				MaxReceivers:   e.MaxReceivers,
+			}
+			tables, lub := batchTables(t, e.Trace, opt.options())
+
+			dir := t.TempDir()
+			sv := New(Config{CheckpointDir: dir})
+			ts := httptest.NewServer(sv.Handler())
+			c := newClient(t, ts)
+			c.createStream(CreateStreamRequest{ID: e.Name, Tasks: e.Trace.Tasks, Options: opt})
+
+			lines := strings.Split(strings.TrimRight(e.Trace.String(), "\n"), "\n")
+			lines = append(lines, "period")
+			half := len(lines) / 2
+			c.feed(e.Name, strings.Join(lines[:half], "\n"))
+			var replayFrom int
+			if st := c.stats(e.Name); st.Partial {
+				replayFrom = lastPeriodStart(lines[:half])
+			} else {
+				replayFrom = half
+			}
+			// No checkpoint POST: drain so queued periods hit the WAL,
+			// then drop the process state.
+			shutdownServer(t, sv)
+			ts.Close()
+
+			sv2 := New(Config{CheckpointDir: dir})
+			if n, err := sv2.RestoreFromDir(); err != nil || n != 1 {
+				t.Fatalf("restore: n=%d err=%v", n, err)
+			}
+			ts2 := httptest.NewServer(sv2.Handler())
+			defer ts2.Close()
+			c2 := newClient(t, ts2)
+			c2.feed(e.Name, strings.Join(lines[replayFrom:], "\n"))
+			assertModelEquals(t, c2.model(e.Name), tables, lub)
+		})
+	}
+}

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,6 +13,7 @@ import (
 	"github.com/blackbox-rt/modelgen/internal/drift"
 	"github.com/blackbox-rt/modelgen/internal/learner"
 	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/store"
 	"github.com/blackbox-rt/modelgen/internal/trace"
 )
 
@@ -62,6 +61,10 @@ var ErrStreamClosed = errors.New("serve: stream closed")
 //   - The ingest parser is guarded by feedMu and advanced
 //     clone-and-commit, so a shed or failed batch leaves no trace.
 //   - dead / periodsCut / shed are atomics readable from any handler.
+//   - A restored stream starts cold: no learner, no open store
+//     handle. The owner hydrates (base snapshot + WAL replay) before
+//     the first consume or query; until then the stream costs only
+//     its registration.
 type stream struct {
 	id   string
 	info StreamInfo
@@ -83,9 +86,10 @@ type stream struct {
 	// Introspection atomics for /debug/streams, written by the owner.
 	liveWS     atomic.Int64 // working-set size after the last period
 	lastPeriod atomic.Int64 // periods learned
-	ckptUnixNS atomic.Int64 // wall time of the last successful checkpoint
+	ckptUnixNS atomic.Int64 // wall time of the last successful compaction
 
-	// Drift-monitor introspection atomics (valid only when mon != nil).
+	// Drift-monitor introspection atomics (valid only when
+	// driftEnabled).
 	genA      atomic.Int64  // model generation
 	streakA   atomic.Int64  // stability streak
 	lastCPA   atomic.Int64  // last detected change point
@@ -96,17 +100,30 @@ type stream struct {
 	tracer *obs.Tracer
 	bridge *phaseBridge
 
-	// Owner-goroutine state (no synchronization needed).
-	o              *learner.Online
-	learned        int // periods consumed since process start
-	sinceCheckp    int
-	checkpointDir  string
-	checkpointEach int
+	// Persistence. store is the shared state store (nil = in-memory
+	// only); st is the owner's per-stream handle, nil until hydration
+	// opens it. stA mirrors st for lock-free debug reads; cold holds
+	// the scan-time view a restored stream shows before hydration.
+	// persistErrA is the last persistence failure (retried via forced
+	// compaction each period, never fatal to learning).
+	store       *store.Store
+	st          *store.Stream
+	stA         atomic.Pointer[store.Stream]
+	cold        *store.StreamMeta
+	hydrated    bool // owner-only
+	hydratedA   atomic.Bool
+	needCompact bool // owner-only: a failed append awaits resync
+	persistErrA atomic.Pointer[error]
 
-	// Drift monitoring (nil when the stream was created without it).
-	// mon is owner-only; pendingDrift carries the alarm raised by the
-	// verify hook during AddPeriod back to consume, which forks the
-	// next model generation.
+	// Owner-goroutine state (no synchronization needed).
+	o       *learner.Online
+	learned int // periods consumed, across restarts and generations
+
+	// Drift monitoring. driftEnabled is immutable after construction;
+	// mon is owner-only (built at hydration) and pendingDrift carries
+	// the alarm raised by the verify hook during AddPeriod back to
+	// consume, which forks the next model generation.
+	driftEnabled bool
 	mon          *drift.Monitor
 	pendingDrift *drift.Event
 
@@ -222,6 +239,14 @@ func (s *stream) close() {
 // run is the owner goroutine: the only code that touches s.o.
 func (s *stream) run() {
 	defer close(s.done)
+	defer func() {
+		// Every learned period is already durable (WAL append + fsync
+		// in consume), so exit needs no final checkpoint — just the
+		// handle release.
+		if s.st != nil {
+			s.st.Close()
+		}
+	}()
 	for {
 		// Queue first: requests and shutdown never jump learning work
 		// that is already buffered.
@@ -235,13 +260,11 @@ func (s *stream) run() {
 		case p := <-s.queue:
 			s.consume(p)
 		case req := <-s.reqs:
+			s.ensureHydrated()
 			s.drain()
 			req(s.o)
 		case <-s.closing:
 			s.drain()
-			if s.checkpointDir != "" && s.learned > 0 {
-				_, _ = s.checkpoint() // best effort on the way out
-			}
 			return
 		}
 	}
@@ -265,6 +288,10 @@ func (s *stream) consume(qp queuedPeriod) {
 	if s.deadErr() != nil {
 		return // learner is sticky-dead; drop the backlog
 	}
+	s.ensureHydrated()
+	if s.deadErr() != nil {
+		return // hydration failed; same sticky-dead contract
+	}
 	sp := s.tracer.StartSpan("learn_period", qp.ctx)
 	if s.bridge != nil {
 		if sp != nil {
@@ -274,6 +301,10 @@ func (s *stream) consume(qp queuedPeriod) {
 		}
 	}
 	s.pendingDrift = nil
+	// forked/replayed steer persistence: a forked period appends a
+	// Fork WAL record; only a replayed fork has learner state (a
+	// delta) to carry.
+	var forked, replayed bool
 	err := s.o.AddPeriod(qp.p)
 	if err != nil && s.mon != nil && errors.Is(err, learner.ErrNoHypothesis) {
 		// A period no hypothesis can explain is the strongest drift
@@ -284,6 +315,7 @@ func (s *stream) consume(qp queuedPeriod) {
 			err = ferr
 		} else {
 			s.pendingDrift = nil
+			forked, replayed = true, true
 			err = s.o.AddPeriod(qp.p)
 		}
 	}
@@ -291,6 +323,7 @@ func (s *stream) consume(qp queuedPeriod) {
 		// The verify hook raised a detector alarm during AddPeriod.
 		ev := s.pendingDrift
 		s.pendingDrift = nil
+		forked, replayed = true, false
 		err = s.forkGeneration(ev, sp)
 	}
 	if sp != nil {
@@ -310,7 +343,6 @@ func (s *stream) consume(qp queuedPeriod) {
 		s.mPeriodsLearned.Inc()
 	}
 	s.publishDriftView()
-	s.sinceCheckp++
 	s.lastPeriod.Store(int64(s.learned))
 	s.liveWS.Store(int64(s.o.WorkingSetSize()))
 	if s.mLatency != nil {
@@ -325,9 +357,7 @@ func (s *stream) consume(qp queuedPeriod) {
 	if s.mQueueDepth != nil {
 		s.mQueueDepth.Set(int64(len(s.queue)))
 	}
-	if s.checkpointDir != "" && s.checkpointEach > 0 && s.sinceCheckp >= s.checkpointEach {
-		_, _ = s.checkpoint() // periodic; failures retried next interval
-	}
+	s.persistPeriod(forked, replayed)
 }
 
 // forkGeneration retires the current learner after a change-point
@@ -386,12 +416,14 @@ func (s *stream) publishDriftView() {
 	}
 }
 
-// checkpointFile is the on-disk envelope around a learner snapshot:
-// the serve-level identity and runtime knobs needed to reopen the
-// stream. Ingest parser residue (an open period, candump sequence
-// numbers) is deliberately not persisted — checkpoints are taken at
-// period boundaries, and a client that was mid-period replays that
-// period after a restart.
+// checkpointFile is the base-snapshot envelope around a learner
+// snapshot: the serve-level identity and runtime knobs needed to
+// reopen the stream. It is also the schema of the pre-store
+// one-file-per-stream checkpoints, which migrate into the store
+// verbatim. Ingest parser residue (an open period, candump sequence
+// numbers) is deliberately not persisted — bases and WAL records are
+// cut at period boundaries, and a client that was mid-period replays
+// that period after a restart.
 type checkpointFile struct {
 	ServeVersion int               `json:"serve_version"`
 	Info         StreamInfo        `json:"info"`
@@ -405,47 +437,247 @@ type checkpointFile struct {
 // serveVersion is the checkpoint envelope schema version.
 const serveVersion = 1
 
-// checkpoint writes the stream's current learner state to
-// <dir>/<id>.json atomically (tmp + rename). Owner goroutine only.
-func (s *stream) checkpoint() (string, error) {
-	s.sinceCheckp = 0
+// walEntry is the JSON payload of one serve-layer WAL record: the
+// period's learner delta, absent exactly when the period forked a
+// model generation without replaying on it (the new learner starts
+// empty), plus the post-period drift-monitor state so a detection in
+// flight survives a crash.
+type walEntry struct {
+	Delta *learner.Delta `json:"delta,omitempty"`
+	Drift *drift.State   `json:"drift,omitempty"`
+}
+
+// persistErr returns the stream's last persistence failure, nil while
+// durable state is in sync with the learner.
+func (s *stream) persistErr() error {
+	if p := s.persistErrA.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ensureHydrated pages a cold stream's state in before first use:
+// base snapshot, WAL replay, drift-monitor restore. It runs on the
+// owner goroutine only and at most once; a failure marks the stream
+// sticky-dead exactly like a learner error, so corrupt state surfaces
+// on the API instead of crashing the process.
+func (s *stream) ensureHydrated() {
+	if s.hydrated {
+		return
+	}
+	s.hydrated = true
+	start := time.Now()
+	if err := s.hydrate(); err != nil {
+		e := fmt.Errorf("serve: stream %s: hydrate: %w", s.id, err)
+		s.dead.Store(&e)
+		return
+	}
+	s.hydratedA.Store(true)
+	if s.store != nil {
+		s.store.ObserveHydration(time.Since(start))
+	}
+	s.publishDriftView()
+	s.liveWS.Store(int64(s.o.WorkingSetSize()))
+}
+
+// hydrate rebuilds the owner's in-memory state from the store: decode
+// the base snapshot, replay the WAL records beyond it (a Fork record
+// swaps in a fresh learner for the new generation), and restore the
+// drift monitor from the newest state on disk. The result is
+// bit-identical to the learner the previous process had made durable.
+func (s *stream) hydrate() error {
+	if s.store == nil {
+		// In-memory stream: nothing on disk, just build the learner.
+		return s.buildLearner(nil)
+	}
+	st, err := s.store.OpenStream(s.id)
+	if err != nil {
+		return err
+	}
+	base, recs, err := st.Load()
+	if err != nil {
+		st.Close()
+		return err
+	}
+	var snap *learner.Snapshot
+	var dst *drift.State
+	if base != nil {
+		var cf checkpointFile
+		if err := json.Unmarshal(base, &cf); err != nil {
+			st.Close()
+			return fmt.Errorf("base snapshot: %w", err)
+		}
+		if cf.ServeVersion != serveVersion {
+			st.Close()
+			return fmt.Errorf("base envelope version %d, this binary reads %d", cf.ServeVersion, serveVersion)
+		}
+		snap = cf.Snapshot
+		dst = cf.Drift
+	}
+	if err := s.buildLearner(snap); err != nil {
+		st.Close()
+		return err
+	}
+	for _, r := range recs {
+		var e walEntry
+		if err := json.Unmarshal(r.Payload, &e); err != nil {
+			st.Close()
+			return fmt.Errorf("wal record seq %d: %w", r.Seq, err)
+		}
+		if r.Fork {
+			if err := s.buildLearner(nil); err != nil {
+				st.Close()
+				return err
+			}
+		}
+		if e.Delta != nil {
+			if err := s.o.ApplyDelta(e.Delta); err != nil {
+				st.Close()
+				return fmt.Errorf("wal record seq %d: %w", r.Seq, err)
+			}
+		}
+		if e.Drift != nil {
+			dst = e.Drift
+		}
+	}
+	if err := s.buildMonitor(dst); err != nil {
+		st.Close()
+		return err
+	}
+	s.learned = int(st.LastSeq())
+	if ns := st.Stats().CompactedAtUnixNS; ns > 0 {
+		s.ckptUnixNS.Store(ns)
+	}
+	s.st = st
+	s.stA.Store(st)
+	return nil
+}
+
+// buildLearner (re)creates the stream's learner: fresh for a nil
+// snapshot, restored otherwise. Owner goroutine (or pre-run setup).
+func (s *stream) buildLearner(snap *learner.Snapshot) error {
+	var err error
+	if snap == nil {
+		s.o, err = learner.NewOnline(s.info.Tasks, s.opt)
+	} else {
+		s.o, err = learner.RestoreOnline(snap, s.opt)
+	}
+	return err
+}
+
+// buildMonitor creates the drift monitor of a drift-enabled stream,
+// restored from dst when non-nil. The OnPeriodVerify hook installed
+// at construction reads s.mon dynamically, so it starts observing as
+// soon as this sets it.
+func (s *stream) buildMonitor(dst *drift.State) error {
+	if !s.driftEnabled {
+		return nil
+	}
+	cfg := s.info.Drift.config(s.opt.Policy)
+	if dst == nil {
+		s.mon = drift.New(cfg)
+		return nil
+	}
+	mon, err := drift.Restore(*dst, cfg)
+	if err != nil {
+		return fmt.Errorf("drift state: %w", err)
+	}
+	s.mon = mon
+	return nil
+}
+
+// persistPeriod makes the period just consumed durable: one O(delta)
+// WAL record in the common case, a full compaction when the WAL
+// crossed its thresholds or a previous persistence step failed (the
+// fresh base is cut from the live learner, so a lost record never
+// leaves a gap). Persistence failures are surfaced via persistErrA
+// and retried next period; they never kill learning. Owner goroutine
+// only.
+func (s *stream) persistPeriod(forked, replayed bool) {
+	if s.st == nil {
+		return
+	}
+	if s.needCompact {
+		s.compactPersist()
+		return
+	}
+	var e walEntry
+	if !forked || replayed {
+		d, err := s.o.PeriodDelta()
+		if err != nil {
+			s.persistFallback(err)
+			return
+		}
+		e.Delta = d
+	}
+	gen := uint32(1)
+	if s.mon != nil {
+		dst := s.mon.State()
+		e.Drift = &dst
+		gen = uint32(dst.Generation)
+	}
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		s.persistFallback(err)
+		return
+	}
+	rec := store.Record{Seq: uint64(s.learned), Generation: gen, Fork: forked, Payload: payload}
+	if err := s.st.Append(rec); err != nil {
+		s.persistFallback(err)
+		return
+	}
+	s.persistErrA.Store(nil)
+	if s.st.ShouldCompact() {
+		s.compactPersist()
+	}
+}
+
+// persistFallback records a failed per-period append and falls back
+// to a full compaction; Snapshot() inside compact also re-anchors the
+// delta baseline, so the next period's delta capture lines up again.
+func (s *stream) persistFallback(err error) {
+	s.persistErrA.Store(&err)
+	s.needCompact = true
+	s.compactPersist()
+}
+
+// compactPersist runs a compaction and tracks its outcome in the
+// retry flag and persistErrA. Owner goroutine only.
+func (s *stream) compactPersist() {
+	if err := s.compact(); err != nil {
+		e := err
+		s.persistErrA.Store(&e)
+		s.needCompact = true
+		return
+	}
+	s.needCompact = false
+	s.persistErrA.Store(nil)
+}
+
+// compact folds the stream's WAL into a fresh base snapshot under the
+// next epoch (see store.Stream.Compact). Owner goroutine only.
+func (s *stream) compact() error {
 	snap, err := s.o.Snapshot()
 	if err != nil {
-		return "", err
+		return err
 	}
 	cf := &checkpointFile{ServeVersion: serveVersion, Info: s.info, Snapshot: snap}
 	if s.mon != nil {
-		st := s.mon.State()
-		cf.Drift = &st
+		dst := s.mon.State()
+		cf.Drift = &dst
 	}
-	path := filepath.Join(s.checkpointDir, s.id+".json")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	base, err := json.Marshal(cf)
 	if err != nil {
-		return "", err
+		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(cf); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return "", err
+	meta, err := json.Marshal(s.info)
+	if err != nil {
+		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return "", err
+	now := time.Now()
+	if err := s.st.Compact(base, uint64(s.learned), meta, now); err != nil {
+		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return "", err
-	}
-	s.ckptUnixNS.Store(time.Now().UnixNano())
-	return path, nil
-}
-
-// removeCheckpoint deletes the stream's checkpoint file, if any.
-func (s *stream) removeCheckpoint() {
-	if s.checkpointDir != "" {
-		_ = os.Remove(filepath.Join(s.checkpointDir, s.id+".json"))
-	}
+	s.ckptUnixNS.Store(now.UnixNano())
+	return nil
 }

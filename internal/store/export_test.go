@@ -1,0 +1,6 @@
+package store
+
+// SetCrashHook installs a test-only hook consulted at named points of
+// the append/compaction sequence; returning a non-nil error aborts
+// the operation there, simulating a crash.
+func SetCrashHook(st *Store, fn func(point string) error) { st.crash = fn }

@@ -1,0 +1,538 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+func openTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCreateAppendReopenLoad(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s, err := st.Create("s1", json.RawMessage(`{"tasks":["a","b"]}`), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Record{Seq: 4, Payload: []byte("dup")}); err == nil {
+		t.Fatal("non-monotone seq accepted")
+	}
+	stats := s.Stats()
+	if stats.WALRecords != len(recs) || stats.LastSeq != 4 || stats.LastGeneration != 2 {
+		t.Fatalf("stats after append: %+v", stats)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	base, got, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != nil {
+		t.Fatalf("empty base read back as %d bytes", len(base))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Seq != recs[i].Seq || !bytes.Equal(got[i].Payload, recs[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if string(s2.Stats().Meta) != `{"tasks":["a","b"]}` {
+		t.Fatalf("meta: %s", s2.Stats().Meta)
+	}
+	// Appending continues after the recovered tail.
+	if err := s2.Append(Record{Seq: 5, Generation: 2, Payload: []byte("more")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s, err := st.Create("s1", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanLen := s.Stats().WALBytes
+	s.Close()
+
+	walPath := filepath.Join(dir, "s1", walName(1))
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}) // torn frame start
+	f.Close()
+
+	s2, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(); got.WALRecords != 4 || got.WALBytes != cleanLen {
+		t.Fatalf("after torn-tail recovery: %+v, want 4 records / %d bytes", got, cleanLen)
+	}
+	if fi, _ := os.Stat(walPath); fi.Size() != cleanLen {
+		t.Fatalf("tail not truncated: %d bytes on disk, want %d", fi.Size(), cleanLen)
+	}
+	if err := s2.Append(Record{Seq: 5, Generation: 2, Payload: []byte("post-recovery")}); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[4].Seq != 5 {
+		t.Fatalf("post-recovery load: %d records", len(recs))
+	}
+}
+
+func TestCompactionEpochFlow(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s, err := st.Create("s1", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := []byte(`{"model":"folded"}`)
+	if err := s.Compact(base, 4, []byte(`{"v":2}`), time.Unix(0, 12345)); err != nil {
+		t.Fatal(err)
+	}
+	sdir := filepath.Join(dir, "s1")
+	for _, want := range []struct {
+		name   string
+		exists bool
+	}{
+		{baseName(1), false}, {walName(1), false},
+		{baseName(2), true}, {walName(2), true},
+	} {
+		_, err := os.Stat(filepath.Join(sdir, want.name))
+		if (err == nil) != want.exists {
+			t.Fatalf("%s: exists=%v, want %v", want.name, err == nil, want.exists)
+		}
+	}
+	got := s.Stats()
+	if got.WALRecords != 0 || got.BasePeriods != 4 || got.CompactedAtUnixNS != 12345 {
+		t.Fatalf("stats after compact: %+v", got)
+	}
+	b, recs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, base) || len(recs) != 0 {
+		t.Fatalf("load after compact: %d base bytes, %d records", len(b), len(recs))
+	}
+	// Seq continues from the folded count.
+	if err := s.Append(Record{Seq: 4, Payload: []byte("stale")}); err == nil {
+		t.Fatal("append at folded seq accepted")
+	}
+	if err := s.Append(Record{Seq: 5, Generation: 2, Payload: []byte("next")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen sees the committed epoch.
+	s2, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(); got.BasePeriods != 4 || got.WALRecords != 1 || got.LastSeq != 5 {
+		t.Fatalf("reopened stats: %+v", got)
+	}
+}
+
+func TestScanAndQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("s%d", i)
+		s, err := st.Create(id, json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(Record{Seq: 1, Generation: 1, Payload: []byte("p")}); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	// Corrupt one manifest beyond recognition.
+	if err := os.WriteFile(filepath.Join(dir, "s1", "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := openTestStore(t, dir).Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 2 || len(res.Quarantined) != 1 || res.Quarantined[0] != "s1" {
+		t.Fatalf("scan: %+v", res)
+	}
+	for _, sm := range res.Streams {
+		if sm.WALRecords != 1 || sm.LastSeq != 1 || sm.LastGeneration != 1 {
+			t.Fatalf("scan meta: %+v", sm)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "s1", "manifest.json")); err != nil {
+		t.Fatalf("quarantined stream not preserved: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s1")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt stream still in place: %v", err)
+	}
+	// A second scan is stable.
+	res2, err := openTestStore(t, dir).Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Streams) != 2 || len(res2.Quarantined) != 0 {
+		t.Fatalf("rescan: %+v", res2)
+	}
+}
+
+func TestJitteredThresholdSpread(t *testing.T) {
+	const base, frac = 1000, 0.2
+	lo, hi := int(base*(1-frac)), int(base*(1+frac))
+	seen := map[int]bool{}
+	sum := 0
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("stream-%03d", i)
+		v := JitteredThreshold(id, base, frac)
+		if v < lo || v > hi {
+			t.Fatalf("%s: threshold %d outside [%d,%d]", id, v, lo, hi)
+		}
+		if v != JitteredThreshold(id, base, frac) {
+			t.Fatalf("%s: jitter not deterministic", id)
+		}
+		seen[v] = true
+		sum += v
+	}
+	// The whole point: thresholds spread out instead of stampeding.
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct thresholds across 500 streams", len(seen))
+	}
+	if mean := sum / 500; mean < base-base/10 || mean > base+base/10 {
+		t.Fatalf("jitter is biased: mean %d, base %d", mean, base)
+	}
+	if JitteredThreshold("x", base, 0) != base || JitteredThreshold("x", base, -1) != base {
+		t.Fatal("disabled jitter must return the base unchanged")
+	}
+}
+
+func TestInvalidStreamID(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	for _, id := range []string{"", "a/b", "..", "über", "x y"} {
+		if _, err := st.Create(id, nil, nil, 0); err == nil {
+			t.Fatalf("Create(%q) accepted", id)
+		}
+		if _, err := st.OpenStream(id); err == nil {
+			t.Fatalf("OpenStream(%q) accepted", id)
+		}
+	}
+}
+
+// --- crash-injection equivalence -----------------------------------
+//
+// The payloads below are real learner deltas and the base is a real
+// learner snapshot, so "recovered state equals the durable prefix" is
+// checked at full model fidelity, not just byte fidelity.
+
+var crashOpt = learner.Options{Bound: 8}
+
+// feedThrough runs a learner over periods, appending one delta per
+// period to s starting at seq. It stops at the first append error.
+func feedThrough(t *testing.T, s *Stream, o *learner.Online, periods []*trace.Period, seq uint64) (uint64, error) {
+	t.Helper()
+	for _, p := range periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+		d, err := o.PeriodDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		if err := s.Append(Record{Seq: seq, Generation: 1, Payload: b}); err != nil {
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// hydrate rebuilds a learner from a stream's durable state.
+func hydrate(t *testing.T, s *Stream, tasks []string) *learner.Online {
+	t.Helper()
+	base, recs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o *learner.Online
+	if base == nil {
+		if o, err = learner.NewOnline(tasks, crashOpt); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		var snap learner.Snapshot
+		if err := json.Unmarshal(base, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if o, err = learner.RestoreOnline(&snap, crashOpt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range recs {
+		var d learner.Delta
+		if err := json.Unmarshal(r.Payload, &d); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.ApplyDelta(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+// reference returns the snapshot of a fresh learner fed n periods.
+func reference(t *testing.T, tasks []string, periods []*trace.Period, n int) *learner.Snapshot {
+	t.Helper()
+	o, err := learner.NewOnline(tasks, crashOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range periods[:n] {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+var errBoom = errors.New("injected crash")
+
+// TestCrashDuringAppend: a crash mid-append (torn frame on disk)
+// recovers to exactly the pre-append durable state.
+func TestCrashDuringAppend(t *testing.T) {
+	tr := trace.PaperFigure2()
+	periods := append(append([]*trace.Period(nil), tr.Periods...), tr.Periods...)
+	const crashAt = 5 // crash while appending the 5th record
+
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	appends := 0
+	SetCrashHook(st, func(point string) error {
+		if point == "append" {
+			if appends++; appends == crashAt {
+				return errBoom
+			}
+		}
+		return nil
+	})
+	s, err := st.Create("s1", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := learner.NewOnline(tr.Tasks, crashOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := feedThrough(t, s, o, periods, 0); !errors.Is(err, errBoom) {
+		t.Fatalf("crash not injected: %v", err)
+	}
+	s.Close()
+
+	s2, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(); got.WALRecords != crashAt-1 || got.LastSeq != crashAt-1 {
+		t.Fatalf("recovered stats: %+v, want %d intact records", got, crashAt-1)
+	}
+	got, err := hydrate(t, s2, tr.Tasks).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, tr.Tasks, periods, crashAt-1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverges from the durable prefix\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestCrashDuringCompaction: a crash at every stage of the compaction
+// sequence leaves the stream recoverable to the full pre-compaction
+// state (before the manifest commit) or the compacted state (after).
+func TestCrashDuringCompaction(t *testing.T) {
+	tr := trace.PaperFigure2()
+	periods := append(append([]*trace.Period(nil), tr.Periods...), tr.Periods...)
+	for _, point := range []string{"compact.start", "compact.base-written", "compact.manifest-tmp"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			st := openTestStore(t, dir)
+			s, err := st.Create("s1", nil, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := learner.NewOnline(tr.Tasks, crashOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := feedThrough(t, s, o, periods, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := o.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseJSON, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetCrashHook(st, func(p string) error {
+				if p == point {
+					return errBoom
+				}
+				return nil
+			})
+			if err := s.Compact(baseJSON, seq, nil, time.Unix(0, 1)); !errors.Is(err, errBoom) {
+				t.Fatalf("crash not injected: %v", err)
+			}
+			s.Close()
+
+			s2, err := openTestStore(t, dir).OpenStream("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			got, err := hydrate(t, s2, tr.Tasks).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reference(t, tr.Tasks, periods, len(periods))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered state diverges after crash at %s", point)
+			}
+			// The aborted compaction left no stale epoch files behind
+			// after recovery's sweep.
+			ents, err := os.ReadDir(filepath.Join(dir, "s1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range ents {
+				if ent.Name() != "manifest.json" && ent.Name() != baseName(s2.epoch) && ent.Name() != walName(s2.epoch) {
+					t.Fatalf("stale file survived recovery: %s", ent.Name())
+				}
+			}
+			// And a clean retry compacts successfully.
+			if err := s2.Compact(baseJSON, seq, nil, time.Unix(0, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if got := s2.Stats(); got.WALRecords != 0 || got.BasePeriods != seq {
+				t.Fatalf("retry compact stats: %+v", got)
+			}
+			got2, err := hydrate(t, s2, tr.Tasks).Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got2, want) {
+				t.Fatal("state diverges after post-crash compaction retry")
+			}
+		})
+	}
+}
+
+// TestWALReplayMatchesDirectRun: the full WAL path (empty base + one
+// delta per period, reopen, hydrate) reproduces a straight-through
+// run bit-identically — the store-level restart-equivalence pin.
+func TestWALReplayMatchesDirectRun(t *testing.T) {
+	tr := trace.PaperFigure2()
+	periods := append(append([]*trace.Period(nil), tr.Periods...), tr.Periods...)
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s, err := st.Create("s1", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := learner.NewOnline(tr.Tasks, crashOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := feedThrough(t, s, o, periods[:len(periods)/2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Restart: hydrate, keep feeding through a second handle.
+	s2, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := hydrate(t, s2, tr.Tasks)
+	if _, err := feedThrough(t, s2, o2, periods[len(periods)/2:], seq); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Final hydration equals the uninterrupted reference run.
+	s3, err := openTestStore(t, dir).OpenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, err := hydrate(t, s3, tr.Tasks).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, tr.Tasks, periods, len(periods))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("WAL-replayed state diverges from the direct run")
+	}
+}

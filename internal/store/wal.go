@@ -1,0 +1,146 @@
+// Package store is the per-stream durability layer of the serving
+// path: an append-only write-ahead log of period records plus a
+// compactor that periodically folds the log into a base snapshot.
+//
+// On-disk layout, one directory per stream under the store root:
+//
+//	<root>/<stream>/manifest.json   commit point: current epoch + meta
+//	<root>/<stream>/base-<E>.json   base snapshot of epoch E (may be empty)
+//	<root>/<stream>/wal-<E>.log     period records appended since the base
+//	<root>/quarantine/              corrupt state moved aside, never deleted
+//
+// Every learned period appends one framed record to the WAL; a
+// compaction writes a fresh base under the next epoch and commits it
+// by atomically renaming a new manifest over the old one. Recovery
+// reads the manifest, opens that epoch's base and WAL, truncates any
+// torn tail after the last intact frame, and sweeps files of other
+// epochs — so a crash at any point (mid-append, mid-compaction,
+// mid-rename) loses at most the record being written.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout of one WAL record:
+//
+//	offset  size  field
+//	0       4     payload length (little-endian u32)
+//	4       4     CRC-32C of bytes 8..end (little-endian u32)
+//	8       8     seq: periods learned up to and including this record
+//	16      4     model generation the record belongs to
+//	20      1     flags (bit 0: record opens a new generation)
+//	21      len   payload (opaque to the store; serve stores JSON)
+const (
+	frameHeaderSize = 21
+	frameCRCFrom    = 8 // crc covers seq..payload
+
+	// maxFramePayload bounds a single record; a length field beyond it
+	// is treated as a torn/corrupt tail, not an allocation request.
+	maxFramePayload = 64 << 20
+
+	flagFork = 1 << 0
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one WAL entry: an opaque payload tagged with the stream's
+// learned-period sequence number and model generation.
+type Record struct {
+	// Seq is the total number of periods learned up to and including
+	// this record, across generations. Appends must be strictly
+	// increasing.
+	Seq uint64
+	// Generation is the model generation the record belongs to.
+	Generation uint32
+	// Fork marks the record that opens a new generation.
+	Fork bool
+	// Payload is the serialized period record; the store does not
+	// interpret it.
+	Payload []byte
+}
+
+// errFrame is the internal "bad frame" marker; decodeFrames turns it
+// into a clean tail truncation, never an error.
+var errFrame = errors.New("store: bad frame")
+
+// appendFrame appends the framed encoding of rec to buf.
+func appendFrame(buf []byte, rec Record) ([]byte, error) {
+	if len(rec.Payload) > maxFramePayload {
+		return nil, fmt.Errorf("store: record payload %d bytes exceeds the %d-byte frame cap", len(rec.Payload), maxFramePayload)
+	}
+	var flags byte
+	if rec.Fork {
+		flags |= flagFork
+	}
+	off := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(rec.Payload)))
+	binary.LittleEndian.PutUint64(buf[off+8:], rec.Seq)
+	binary.LittleEndian.PutUint32(buf[off+16:], rec.Generation)
+	buf[off+20] = flags
+	buf = append(buf, rec.Payload...)
+	crc := crc32.Checksum(buf[off+frameCRCFrom:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[off+4:], crc)
+	return buf, nil
+}
+
+// decodeFrame decodes the frame starting at b. It returns the record
+// and the total frame size, or errFrame when b does not start with an
+// intact frame (short, oversized length, or checksum mismatch). The
+// returned payload aliases b.
+func decodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, errFrame
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxFramePayload || len(b) < frameHeaderSize+int(n) {
+		return Record{}, 0, errFrame
+	}
+	size := frameHeaderSize + int(n)
+	want := binary.LittleEndian.Uint32(b[4:])
+	if crc32.Checksum(b[frameCRCFrom:size], castagnoli) != want {
+		return Record{}, 0, errFrame
+	}
+	// Unknown flag bits mean a frame this binary cannot interpret
+	// faithfully; stopping here keeps recovery prefix-exact.
+	if b[20]&^flagFork != 0 {
+		return Record{}, 0, errFrame
+	}
+	return Record{
+		Seq:        binary.LittleEndian.Uint64(b[8:]),
+		Generation: binary.LittleEndian.Uint32(b[16:]),
+		Fork:       b[20]&flagFork != 0,
+		Payload:    b[frameHeaderSize:size],
+	}, size, nil
+}
+
+// decodeFrames decodes records from the start of b until the first
+// byte range that is not an intact frame, returning the records and
+// the clean prefix length. A partial or corrupt tail is expected
+// after a crash; the caller truncates to good.
+func decodeFrames(b []byte) (recs []Record, good int) {
+	for good < len(b) {
+		rec, n, err := decodeFrame(b[good:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		good += n
+	}
+	return recs, good
+}
+
+// copyRecords deep-copies decoded records so they outlive the read
+// buffer they alias.
+func copyRecords(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Payload = append([]byte(nil), r.Payload...)
+		out[i] = r
+	}
+	return out
+}

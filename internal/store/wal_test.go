@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustFrames(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for _, r := range recs {
+		if buf, err = appendFrame(buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Seq: 1, Generation: 1, Payload: []byte(`{"period":1}`)},
+		{Seq: 2, Generation: 1, Payload: nil},
+		{Seq: 3, Generation: 2, Fork: true, Payload: []byte(`{"fork":true}`)},
+		{Seq: 4, Generation: 2, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	buf := mustFrames(t, want...)
+	got, good := decodeFrames(buf)
+	if good != len(buf) {
+		t.Fatalf("clean prefix %d of %d bytes", good, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Generation != want[i].Generation || got[i].Fork != want[i].Fork ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTornTail pins the recovery contract: decoding stops at the
+// first byte range that is not an intact frame, keeping exactly the
+// clean prefix — whatever the damage looks like.
+func TestTornTail(t *testing.T) {
+	intact := sampleRecords()
+	clean := mustFrames(t, intact...)
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+		// keep is the number of records expected to survive.
+		keep int
+	}{
+		{"clean", func(b []byte) []byte { return b }, 4},
+		{"empty", func(b []byte) []byte { return nil }, 0},
+		{"partial header", func(b []byte) []byte { return append(b, 0x01, 0x02, 0x03) }, 4},
+		{"partial payload", func(b []byte) []byte {
+			extra := mustFrames(t, Record{Seq: 9, Generation: 2, Payload: bytes.Repeat([]byte{7}, 100)})
+			return append(b, extra[:len(extra)-10]...)
+		}, 4},
+		{"bit flip in last payload", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-1] ^= 0x40
+			return out
+		}, 3},
+		{"bit flip in last seq", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-1000-frameHeaderSize+8] ^= 0x01
+			return out
+		}, 3},
+		{"length field points past end", func(b []byte) []byte {
+			extra := mustFrames(t, Record{Seq: 9, Generation: 2, Payload: []byte("x")})
+			extra[0] = 0xFF // claim a 255-byte payload that isn't there
+			return append(b, extra...)
+		}, 4},
+		{"oversized length field", func(b []byte) []byte {
+			out := append(b, make([]byte, frameHeaderSize)...)
+			out[len(out)-frameHeaderSize+3] = 0xFF // > maxFramePayload
+			return out
+		}, 4},
+		{"zero garbage", func(b []byte) []byte { return append(b, make([]byte, 64)...) }, 4},
+		{"flip in first frame drops everything after", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[frameHeaderSize-1] ^= 0x01 // flags byte of record 0
+			return out
+		}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), clean...))
+			recs, good := decodeFrames(b)
+			if len(recs) != tc.keep {
+				t.Fatalf("kept %d records, want %d", len(recs), tc.keep)
+			}
+			// The clean prefix must re-decode to the same records.
+			again, g2 := decodeFrames(b[:good])
+			if g2 != good || len(again) != len(recs) {
+				t.Fatalf("prefix not self-consistent: %d/%d bytes, %d/%d records", g2, good, len(again), len(recs))
+			}
+			for i := range recs {
+				if recs[i].Seq != intact[i].Seq {
+					t.Fatalf("record %d: seq %d, want %d", i, recs[i].Seq, intact[i].Seq)
+				}
+			}
+		})
+	}
+}
+
+func TestFrameCapRejected(t *testing.T) {
+	if _, err := appendFrame(nil, Record{Seq: 1, Payload: make([]byte, maxFramePayload+1)}); err == nil {
+		t.Fatal("oversized payload framed without error")
+	}
+}
