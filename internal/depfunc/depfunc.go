@@ -2,11 +2,16 @@ package depfunc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/blackbox-rt/modelgen/internal/lattice"
 )
+
+// laneMask selects one packed lane.
+const laneMask = (1 << lattice.PackedBits) - 1
 
 // DepFunc is a dependency function d : T×T → V stored as a flat
 // row-major matrix over the task set's dense indices. The diagonal is
@@ -15,20 +20,32 @@ import (
 // installs mirrored values (→ at the sender row, ← at the receiver
 // row) but end-of-period relaxation may later generalize the two sides
 // asymmetrically, exactly as in the paper's tables d81–d85.
+//
+// Entries are packed three bits apiece, lattice.PackedLanes per uint64
+// word, in the characteristic encoding of internal/lattice/packed.go,
+// so Join/Meet/Leq/Equal/Weight run word-parallel instead of per-cell.
+// Matrices additionally share their backing buffer copy-on-write: see
+// CloneShared, Release and arena.go for the ownership rules.
 type DepFunc struct {
 	ts *TaskSet
-	v  []lattice.Value
-	// fp is the Zobrist fingerprint of v, maintained incrementally by
-	// every mutation (see fingerprint.go). Invariant:
-	// fp == freshFingerprint(v).
+	// w backs the matrix: w[0] is the buffer's atomic reference count
+	// (for copy-on-write sharing), w[1:] hold the packed entries in
+	// row-major lane order. Lanes past n² are always zero.
+	w []uint64
+	// fp is the Zobrist fingerprint of the entries, maintained
+	// incrementally by every mutation (see fingerprint.go). Invariant:
+	// fp == d.freshFingerprint().
 	fp uint64
 }
 
+// words returns the number of lane words for an n-task matrix.
+func words(n int) int { return lattice.PackedWords(n * n) }
+
 // Bottom returns the most specific hypothesis d⊥: all entries ‖.
 func Bottom(ts *TaskSet) *DepFunc {
-	n := ts.Len()
-	v := make([]lattice.Value, n*n)
-	return &DepFunc{ts: ts, v: v, fp: freshFingerprint(v)}
+	d := &DepFunc{ts: ts, w: acquire(1+words(ts.Len()), true)}
+	d.fp = d.freshFingerprint()
+	return d
 }
 
 // Top returns the least specific hypothesis d⊤: all off-diagonal
@@ -52,8 +69,15 @@ func (d *DepFunc) TaskSet() *TaskSet { return d.ts }
 // N returns the number of tasks.
 func (d *DepFunc) N() int { return d.ts.Len() }
 
+// codeAt returns the packed code of flat index idx.
+func (d *DepFunc) codeAt(idx int) uint64 {
+	return d.w[1+idx/lattice.PackedLanes] >> (uint(idx%lattice.PackedLanes) * lattice.PackedBits) & laneMask
+}
+
 // At returns the dependency value at (i, j) by task index.
-func (d *DepFunc) At(i, j int) lattice.Value { return d.v[i*d.ts.Len()+j] }
+func (d *DepFunc) At(i, j int) lattice.Value {
+	return lattice.UnpackValue(d.codeAt(i*d.ts.Len() + j))
+}
 
 // Set assigns the dependency value at (i, j). Setting a diagonal entry
 // to anything but ‖ panics: it would violate the representation
@@ -66,28 +90,39 @@ func (d *DepFunc) Set(i, j int, v lattice.Value) {
 }
 
 // setIdx assigns a flat index, keeping the fingerprint invariant. All
-// entry mutations funnel through it.
+// entry mutations funnel through it (or through the word loops of
+// JoinWith/Meet, which maintain the same invariant per changed lane).
 func (d *DepFunc) setIdx(idx int, v lattice.Value) {
-	old := d.v[idx]
-	if old == v {
+	wi := 1 + idx/lattice.PackedLanes
+	sh := uint(idx%lattice.PackedLanes) * lattice.PackedBits
+	old := d.w[wi] >> sh & laneMask
+	nc := lattice.PackValue(v)
+	if nc == old {
 		return
 	}
-	d.fp ^= entryHash(idx, old) ^ entryHash(idx, v)
-	d.v[idx] = v
+	d.ensureOwned()
+	d.fp ^= entryHash(idx, lattice.UnpackValue(old)) ^ entryHash(idx, v)
+	d.w[wi] = d.w[wi]&^(laneMask<<sh) | nc<<sh
 }
 
 // JoinAt joins v into the entry at (i, j), returning true if the entry
-// changed. This is the "generalize only as much as necessary" step.
+// changed. This is the "generalize only as much as necessary" step. In
+// the packed encoding the single-entry join is a bitwise OR of codes.
 func (d *DepFunc) JoinAt(i, j int, v lattice.Value) bool {
 	idx := i*d.ts.Len() + j
-	nv := lattice.Join(d.v[idx], v)
-	if nv == d.v[idx] {
+	wi := 1 + idx/lattice.PackedLanes
+	sh := uint(idx%lattice.PackedLanes) * lattice.PackedBits
+	old := d.w[wi] >> sh & laneMask
+	nc := old | lattice.PackValue(v)
+	if nc == old {
 		return false
 	}
-	if i == j && nv != lattice.Par {
+	if i == j {
 		panic(fmt.Sprintf("depfunc: diagonal entry (%d,%d) must be ||", i, j))
 	}
-	d.setIdx(idx, nv)
+	d.ensureOwned()
+	d.fp ^= entryHash(idx, lattice.UnpackValue(old)) ^ entryHash(idx, lattice.UnpackValue(nc))
+	d.w[wi] |= nc << sh
 	return true
 }
 
@@ -112,12 +147,86 @@ func (d *DepFunc) MustGet(t1, t2 string) lattice.Value {
 	return v
 }
 
-// Clone returns a deep copy sharing the (immutable) task set.
+// Clone returns a deep copy sharing the (immutable) task set. Use it
+// when the copy escapes the engine (snapshots, results); inside the
+// generalization loop prefer CloneShared.
 func (d *DepFunc) Clone() *DepFunc {
-	cp := &DepFunc{ts: d.ts, v: make([]lattice.Value, len(d.v)), fp: d.fp}
-	copy(cp.v, d.v)
-	return cp
+	nd := new(DepFunc)
+	d.CloneInto(nd)
+	return nd
 }
+
+// CloneInto deep-copies d into dst without allocating a header (the
+// buffer still comes from the arena). Like ShareInto, dst must not
+// hold a live buffer.
+func (d *DepFunc) CloneInto(dst *DepFunc) {
+	nw := acquire(len(d.w), false)
+	copy(nw[1:], d.w[1:])
+	*dst = DepFunc{ts: d.ts, w: nw, fp: d.fp}
+}
+
+// CloneShared returns a copy that shares d's backing buffer
+// copy-on-write: the copy costs one header allocation and an atomic
+// increment, and the buffer is only duplicated if either alias is
+// later mutated. Safe to call concurrently from multiple goroutines.
+func (d *DepFunc) CloneShared() *DepFunc {
+	nd := new(DepFunc)
+	d.ShareInto(nd)
+	return nd
+}
+
+// ShareInto initializes dst as a copy-on-write alias of d without
+// allocating a header (dst must not hold a live buffer — any previous
+// buffer interest is leaked, not released). The hypothesis layer uses
+// it to fill recycled, embedded headers.
+func (d *DepFunc) ShareInto(dst *DepFunc) {
+	atomic.AddUint64(&d.w[0], 1)
+	*dst = DepFunc{ts: d.ts, w: d.w, fp: d.fp}
+}
+
+// Release returns d's interest in the backing buffer to the arena; the
+// buffer is recycled when the last sharer releases it. Only call it on
+// matrices that provably have no other alias outside the copy-on-write
+// scheme (in particular, never on a matrix still referenced by a dedup
+// map or an escaped result). After Release the DepFunc must not be
+// used; uses panic rather than corrupt recycled memory. It reports
+// whether this call released a live buffer (false on a double or nil
+// release), which lets the hypothesis layer make its own header
+// recycling idempotent.
+func (d *DepFunc) Release() bool {
+	if d == nil || d.w == nil {
+		return false
+	}
+	b := d.w
+	d.w = nil
+	if atomic.AddUint64(&b[0], ^uint64(0)) == 0 {
+		releaseBuf(b)
+	}
+	return true
+}
+
+// ensureOwned makes d the sole owner of its buffer, duplicating it
+// first if it is shared. Every mutation path calls it before writing.
+// Only the owner of d may mutate it, so a refcount of 1 cannot be
+// raced upward by another goroutine.
+func (d *DepFunc) ensureOwned() {
+	if atomic.LoadUint64(&d.w[0]) == 1 {
+		return
+	}
+	nw := acquire(len(d.w), false)
+	copy(nw[1:], d.w[1:])
+	old := d.w
+	d.w = nw
+	if atomic.AddUint64(&old[0], ^uint64(0)) == 0 {
+		// Another sharer released between the load and the decrement;
+		// the buffer is ours to recycle after all.
+		releaseBuf(old)
+	}
+}
+
+// Shared reports whether d currently shares its buffer with another
+// matrix (diagnostic; the answer can change concurrently).
+func (d *DepFunc) Shared() bool { return atomic.LoadUint64(&d.w[0]) > 1 }
 
 // Equal reports whether two dependency functions over the same task
 // set have identical entries.
@@ -129,8 +238,11 @@ func (d *DepFunc) Equal(other *DepFunc) bool {
 		// Different fingerprints prove different entries.
 		return false
 	}
-	for i := range d.v {
-		if d.v[i] != other.v[i] {
+	if &d.w[0] == &other.w[0] {
+		return true // shared buffer
+	}
+	for i, w := range d.w[1:] {
+		if w != other.w[1+i] {
 			return false
 		}
 	}
@@ -139,10 +251,10 @@ func (d *DepFunc) Equal(other *DepFunc) bool {
 
 // Leq reports the pointwise partial order ⊑D of Definition 5:
 // d ⊑ other iff every entry of d is ⊑ the corresponding entry of
-// other.
+// other. In the packed encoding this is a word-wise subset test.
 func (d *DepFunc) Leq(other *DepFunc) bool {
-	for i := range d.v {
-		if !lattice.Leq(d.v[i], other.v[i]) {
+	for i, w := range d.w[1:] {
+		if !lattice.LeqWords(w, other.w[1+i]) {
 			return false
 		}
 	}
@@ -162,39 +274,81 @@ func (d *DepFunc) Join(other *DepFunc) *DepFunc {
 	return out
 }
 
-// JoinWith joins other into d in place.
+// JoinWith joins other into d in place, a word at a time (join is
+// bitwise OR in the packed encoding). The fingerprint is updated only
+// for the lanes that actually changed, and a shared buffer is only
+// duplicated once the first change lands — so the converged steady
+// state, joining a function that adds nothing, does no hash work and
+// no copying at all.
 func (d *DepFunc) JoinWith(other *DepFunc) {
-	for i := range d.v {
-		d.setIdx(i, lattice.Join(d.v[i], other.v[i]))
+	ow := other.w[1:]
+	owned := false
+	for i := range ow {
+		old := d.w[1+i]
+		nw := old | ow[i]
+		if nw == old {
+			continue
+		}
+		if !owned {
+			d.ensureOwned()
+			owned = true
+		}
+		d.fp ^= laneDiffHash(i*lattice.PackedLanes, old, nw)
+		d.w[1+i] = nw
 	}
 }
 
 // Meet returns the pointwise greatest lower bound as a new function.
 func (d *DepFunc) Meet(other *DepFunc) *DepFunc {
 	out := d.Clone()
-	for i := range out.v {
-		out.setIdx(i, lattice.Meet(out.v[i], other.v[i]))
+	dw := out.w[1:]
+	ow := other.w[1:]
+	for i, old := range dw {
+		nw := lattice.MeetWords(old, ow[i])
+		if nw == old {
+			continue
+		}
+		out.fp ^= laneDiffHash(i*lattice.PackedLanes, old, nw)
+		dw[i] = nw
 	}
 	return out
 }
 
+// laneDiffHash returns the fingerprint delta for replacing word old by
+// word nw whose first lane holds flat index base: the XOR of the entry
+// hashes of every changed lane, old and new. Cost is proportional to
+// the number of changed lanes, not the word width.
+func laneDiffHash(base int, old, nw uint64) uint64 {
+	var h uint64
+	for diff := old ^ nw; diff != 0; {
+		sh := uint(bits.TrailingZeros64(diff)) / lattice.PackedBits * lattice.PackedBits
+		idx := base + int(sh)/lattice.PackedBits
+		h ^= entryHash(idx, lattice.UnpackValue(old>>sh&laneMask)) ^
+			entryHash(idx, lattice.UnpackValue(nw>>sh&laneMask))
+		diff &^= laneMask << sh
+	}
+	return h
+}
+
 // Weight is the weight function of Definition 8: the sum over all
 // ordered task pairs of the lattice distance of the entry. More
-// general hypotheses weigh more.
+// general hypotheses weigh more. Word-parallel: four popcounts per 21
+// entries (unused lanes are zero and contribute nothing).
 func (d *DepFunc) Weight() int {
-	w := 0
-	for _, v := range d.v {
-		w += lattice.Distance(v)
+	wt := 0
+	for _, w := range d.w[1:] {
+		wt += lattice.WeightWord(w)
 	}
-	return w
+	return wt
 }
 
 // Key returns a compact canonical encoding of the matrix, usable as a
 // map key for deduplication.
 func (d *DepFunc) Key() string {
-	b := make([]byte, len(d.v))
-	for i, v := range d.v {
-		b[i] = '0' + byte(v)
+	n2 := d.ts.Len() * d.ts.Len()
+	b := make([]byte, n2)
+	for idx := 0; idx < n2; idx++ {
+		b[idx] = '0' + byte(lattice.UnpackValue(d.codeAt(idx)))
 	}
 	return string(b)
 }

@@ -55,11 +55,24 @@ func (d *DepFunc) Fingerprint() uint64 { return d.fp }
 
 // freshFingerprint recomputes the fingerprint from scratch; Bottom
 // uses it to establish the invariant and tests use it to check that
-// incremental maintenance never drifts.
+// incremental maintenance never drifts. The hash is defined over the
+// ordinal lattice values, independent of the packed storage encoding,
+// so matrices with equal entries fingerprint identically no matter
+// which kernel produced them.
 func freshFingerprint(v []lattice.Value) uint64 {
 	var fp uint64
 	for idx, val := range v {
 		fp ^= entryHash(idx, val)
+	}
+	return fp
+}
+
+// freshFingerprint is the method form over the packed representation.
+func (d *DepFunc) freshFingerprint() uint64 {
+	var fp uint64
+	n2 := d.ts.Len() * d.ts.Len()
+	for idx := 0; idx < n2; idx++ {
+		fp ^= entryHash(idx, lattice.UnpackValue(d.codeAt(idx)))
 	}
 	return fp
 }

@@ -16,7 +16,7 @@ var allValues = []lattice.Value{
 // maintained fp always equals a from-scratch recomputation.
 func checkFP(t *testing.T, d *DepFunc, at string) {
 	t.Helper()
-	if got, want := d.Fingerprint(), freshFingerprint(d.v); got != want {
+	if got, want := d.Fingerprint(), d.freshFingerprint(); got != want {
 		t.Fatalf("%s: incremental fingerprint %#x, fresh %#x", at, got, want)
 	}
 }

@@ -1,0 +1,69 @@
+package depfunc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/lattice"
+)
+
+func benchTaskSet(n int) *TaskSet {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%02d", i)
+	}
+	ts, err := NewTaskSet(names)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// benchOperand fills about half the off-diagonal entries with random
+// non-bottom values, deterministically.
+func benchOperand(ts *TaskSet, seed int64) *DepFunc {
+	rng := rand.New(rand.NewSource(seed))
+	n := ts.Len()
+	d := Bottom(ts)
+	for k := 0; k < n*n/2; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			d.Set(i, j, lattice.Value(1+rng.Intn(6)))
+		}
+	}
+	return d
+}
+
+// BenchmarkJoinPacked times the word-parallel in-place join — the
+// single hottest operation of the generalization fan-out (every child
+// spawn and every merge funnels through it). One iteration joins the
+// whole matrix: n²−n entries in ⌈(n²−n)/21⌉ words.
+func BenchmarkJoinPacked(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			ts := benchTaskSet(n)
+			d := benchOperand(ts, 1)
+			o := benchOperand(ts, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.JoinWith(o)
+			}
+		})
+	}
+}
+
+// TestJoinPackedZeroAlloc pins the allocation contract the benchmark
+// relies on: joining into an owned matrix allocates nothing — no
+// copy-on-write materialization, no fingerprint bookkeeping spill.
+// The whole ≥10× per-period allocation reduction rests on this, so a
+// regression must fail a test, not just drift a benchmark number.
+func TestJoinPackedZeroAlloc(t *testing.T) {
+	ts := benchTaskSet(32)
+	d := benchOperand(ts, 1)
+	o := benchOperand(ts, 2)
+	if allocs := testing.AllocsPerRun(100, func() { d.JoinWith(o) }); allocs != 0 {
+		t.Fatalf("JoinWith on an owned matrix allocates %v per run, want 0", allocs)
+	}
+}

@@ -51,10 +51,18 @@ type PeriodDelta struct {
 	Same bool `json:"same,omitempty"`
 	// Keep is the new working set as baseline references: Keep[i] is
 	// the baseline position of entry i, or -1 when the entry is the
-	// next literal from Tables.
+	// next literal from Packed (or, in legacy records, Tables).
 	Keep []int `json:"keep,omitempty"`
-	// Tables holds the new/changed entries as dependency tables, in
-	// the order their -1 slots appear in Keep.
+	// Packed holds the new/changed entries as base64 packed-word
+	// encodings (depfunc.EncodePacked), in the order their -1 slots
+	// appear in Keep. This is what capture writes: it restores the
+	// packed matrix bit-identically and is a fraction of a rendered
+	// table's size.
+	Packed []string `json:"packed,omitempty"`
+	// Tables holds the same literals as dependency tables in records
+	// written before the packed encoding existed. Apply accepts either
+	// encoding (Packed wins when both are present); capture no longer
+	// writes this field.
 	Tables []string `json:"tables,omitempty"`
 	// Stats is the full post-period counter snapshot (fixed size) with
 	// PeriodLive elided; Live is this period's PeriodLive entry.
@@ -127,7 +135,7 @@ func (e *Engine) PeriodDelta() (*PeriodDelta, error) {
 				at[h.D.Fingerprint()] = q[1:]
 			} else {
 				d.Keep[i] = -1
-				d.Tables = append(d.Tables, h.D.Table())
+				d.Packed = append(d.Packed, h.D.EncodePacked())
 			}
 		}
 	}
@@ -152,6 +160,26 @@ func (e *Engine) ApplyPeriodDelta(d *PeriodDelta) error {
 		}
 	}
 	if !d.Same {
+		// Literals arrive packed (current records) or as rendered
+		// tables (legacy records); packed wins when both are present.
+		nlit := len(d.Packed)
+		literal := func(lit int) (*depfunc.DepFunc, error) {
+			return depfunc.DecodePacked(e.ts, d.Packed[lit])
+		}
+		if nlit == 0 && len(d.Tables) > 0 {
+			nlit = len(d.Tables)
+			literal = func(lit int) (*depfunc.DepFunc, error) {
+				df, err := depfunc.ParseTable(d.Tables[lit])
+				if err != nil {
+					return nil, err
+				}
+				if !df.TaskSet().Equal(e.ts) {
+					return nil, fmt.Errorf("table is over task set %v, want %v",
+						df.TaskSet().Names(), e.ts.Names())
+				}
+				return df, nil
+			}
+		}
 		cur := make([]*hypothesis.Hypothesis, 0, len(d.Keep))
 		used := make([]bool, len(e.cur))
 		lit := 0
@@ -164,16 +192,12 @@ func (e *Engine) ApplyPeriodDelta(d *PeriodDelta) error {
 				used[ref] = true
 				cur = append(cur, e.cur[ref])
 			case ref == -1:
-				if lit >= len(d.Tables) {
-					return fmt.Errorf("engine: delta entry %d wants literal %d, only %d tables", i, lit, len(d.Tables))
+				if lit >= nlit {
+					return fmt.Errorf("engine: delta entry %d wants literal %d, only %d literals", i, lit, nlit)
 				}
-				df, err := depfunc.ParseTable(d.Tables[lit])
+				df, err := literal(lit)
 				if err != nil {
 					return fmt.Errorf("engine: delta literal %d: %w", lit, err)
-				}
-				if !df.TaskSet().Equal(e.ts) {
-					return fmt.Errorf("engine: delta literal %d is over task set %v, want %v",
-						lit, df.TaskSet().Names(), e.ts.Names())
 				}
 				h := hypothesis.FromDepFunc(df)
 				if e.cfg.Provenance {
@@ -185,8 +209,8 @@ func (e *Engine) ApplyPeriodDelta(d *PeriodDelta) error {
 				return fmt.Errorf("engine: delta entry %d references baseline position %d of %d", i, ref, len(e.cur))
 			}
 		}
-		if lit != len(d.Tables) {
-			return fmt.Errorf("engine: delta carries %d literal tables, working set uses %d", len(d.Tables), lit)
+		if lit != nlit {
+			return fmt.Errorf("engine: delta carries %d literals, working set uses %d", nlit, lit)
 		}
 		if len(cur) == 0 {
 			return fmt.Errorf("engine: delta empties the working set")

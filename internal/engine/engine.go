@@ -27,17 +27,18 @@
 //
 // # Parallelism and determinism
 //
-// With Config.Workers > 1 the per-message hypothesis fan-out is
-// sharded across a bounded worker pool: child generation for each
-// parent hypothesis is independent (Assume never mutates the parent
-// or any shared state), so parents are distributed over workers while
-// the result is gathered strictly in (parent, candidate-pair) order —
-// the exact order the sequential loop produces. Deduplication,
-// statistics, observer events and bounded merging all happen during
-// the sequential gather, so the output is bit-identical to the
-// sequential path for any worker count, in both the exact and the
-// bounded mode. Workers <= 1 selects the allocation-lean sequential
-// loop.
+// With Config.Workers > 1 each generalize stage spawns one worker
+// pool and, per message, partitions the live hypothesis set into
+// Workers contiguous chunks: child generation for each parent is
+// independent (Assume never mutates the parent or any shared state),
+// each chunk fills its own reusable flat child buffer, and because
+// the chunks tile the parent list in order, the result is gathered
+// strictly in (parent, candidate-pair) order — the exact order the
+// sequential loop produces. Deduplication, statistics, observer
+// events and bounded merging all happen during the sequential gather,
+// so the output is bit-identical to the sequential path for any
+// worker count, in both the exact and the bounded mode. Workers <= 1
+// selects the allocation-lean sequential loop.
 //
 // # Fingerprints
 //
@@ -179,7 +180,24 @@ type Engine struct {
 	stats Stats
 	// base is the incremental-checkpoint capture baseline (delta.go).
 	base deltaBase
+
+	// seen is the dedup set reused (via Reset) by every message's
+	// gather and by forgetDeadAssumptions; reuse keeps the hot loop
+	// free of per-message map allocations.
+	seen *hypothesis.Dedup
+	// arenas bump-allocate assumption cons cells: one arena per
+	// fan-out worker chunk plus arenas[Workers] for the sequential
+	// path, the gather's merges and assumption forgetting. All are
+	// reset at the period boundary, right after ClearAssumptions has
+	// severed every surviving reference.
+	arenas []*hypothesis.Arena
+	// scratch is the sequential fan-out's reusable child buffer.
+	scratch []*hypothesis.Hypothesis
 }
+
+// mainArena returns the arena of the engine's own goroutine (the
+// sequential fan-out, gather and postprocess paths).
+func (e *Engine) mainArena() *hypothesis.Arena { return e.arenas[e.cfg.Workers] }
 
 // New starts an engine session over the task set: the working set is
 // {d⊥}. It announces the session to the observer with an EngineStart
@@ -193,10 +211,15 @@ func New(ts *depfunc.TaskSet, cfg Config) *Engine {
 		bottom.EnableProvenance()
 	}
 	e := &Engine{
-		ts:   ts,
-		cfg:  cfg,
-		hist: make([]bool, ts.Len()*ts.Len()),
-		cur:  []*hypothesis.Hypothesis{bottom},
+		ts:     ts,
+		cfg:    cfg,
+		hist:   make([]bool, ts.Len()*ts.Len()),
+		cur:    []*hypothesis.Hypothesis{bottom},
+		seen:   hypothesis.NewDedup(),
+		arenas: make([]*hypothesis.Arena, cfg.Workers+1),
+	}
+	for i := range e.arenas {
+		e.arenas[i] = new(hypothesis.Arena)
 	}
 	e.stats.Peak = 1
 	e.resetDeltaBase()
@@ -277,7 +300,7 @@ func (e *Engine) ProcessPeriod(p *trace.Period) error {
 func (e *Engine) lub() *depfunc.DepFunc {
 	ds := make([]*depfunc.DepFunc, len(e.cur))
 	for i, h := range e.cur {
-		ds[i] = h.D
+		ds[i] = &h.D
 	}
 	return depfunc.JoinAll(ds)
 }
@@ -299,14 +322,29 @@ func (e *Engine) EnumerateCandidates(p *trace.Period) ([][]depfunc.Pair, []map[d
 func (e *Engine) Generalize(p *trace.Period, cands [][]depfunc.Pair, live []map[depfunc.Pair]bool) error {
 	obsv := e.cfg.Observer
 	sp := obs.StartSpan(obsv, obs.PhaseGeneralize)
+	var pool *fanPool
+	if e.cfg.Workers > 1 {
+		pool = e.newFanPool()
+		defer pool.close()
+	}
 	cur := e.cur
 	for mi := range p.Msgs {
-		next, err := e.generalizeMessage(cur, cands[mi], p.Index, mi, p.Msgs[mi].ID)
+		next, err := e.generalizeMessage(pool, cur, cands[mi], p.Index, mi, p.Msgs[mi].ID)
 		if err != nil {
 			sp.End()
 			return fmt.Errorf("%w (period %d, message %q)", err, p.Index, p.Msgs[mi].ID)
 		}
-		cur = forgetDeadAssumptions(next, live[mi+1])
+		if mi > 0 {
+			// cur is an intermediate generation created within this
+			// period and superseded by next: nothing else references
+			// it (e.cur still holds the period-entry set; children
+			// share parent buffers only through the refcount), so its
+			// matrices go back to the arena.
+			for _, h := range cur {
+				h.Release()
+			}
+		}
+		cur = e.forgetDeadAssumptions(next, live[mi+1])
 		e.stats.Messages++
 		e.stats.Candidates += len(cands[mi])
 		if len(cur) > e.stats.Peak {
@@ -337,6 +375,12 @@ func (e *Engine) Postprocess(p *trace.Period, executed []bool) (relaxed, dropped
 		h.ClearAssumptions()
 	}
 	e.stats.Relaxations += relaxed
+	// Every surviving assumption list was just cleared and no other
+	// holder outlives the period, so the cons-cell arenas can recycle
+	// wholesale.
+	for _, ar := range e.arenas {
+		ar.Reset()
+	}
 	before := len(e.cur)
 	e.cur = PruneMostSpecific(e.cur, e.cfg.Observer, p.Index)
 	updateHistory(e.hist, executed, e.ts.Len())
@@ -346,22 +390,28 @@ func (e *Engine) Postprocess(p *trace.Period, executed []bool) (relaxed, dropped
 
 // generalizeMessage extends every hypothesis in cur by every
 // admissible candidate assumption for one message, applying heuristic
-// merging when a bound is set. Child generation fans out across the
-// worker pool when configured; gathering is always sequential in
-// (parent, pair) order, so the result does not depend on Workers.
-func (e *Engine) generalizeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
+// merging when a bound is set. Child generation shards across the
+// stage's worker pool when one is supplied; gathering is always
+// sequential in (parent, pair) order, so the result does not depend on
+// Workers.
+func (e *Engine) generalizeMessage(pool *fanPool, cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
 	period, msg int, msgID string) ([]*hypothesis.Hypothesis, error) {
 
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("%w: message has no timing-feasible sender/receiver pair", ErrNoHypothesis)
 	}
-	ctx := hypothesis.StepCtx{Period: period, Msg: msg, MsgID: msgID}
+	ctx := hypothesis.StepCtx{Period: period, Msg: msg, MsgID: msgID, Arena: e.mainArena()}
 	wl := newWorkList(e.cfg.Bound, &e.stats)
 	wl.obsv, wl.ctx = e.cfg.Observer, ctx
-	seen := newDedup(len(cur) * len(pairs))
+	seen := e.seen
+	seen.Reset()
 	gather := func(children []*hypothesis.Hypothesis) {
 		for _, c := range children {
-			if seen.insertHyp(c) {
+			if seen.Insert(c) {
+				// An equal hypothesis is already in the working list;
+				// the rejected duplicate was never seen by anyone else,
+				// so its matrix goes straight back to the arena.
+				c.Release()
 				continue
 			}
 			e.stats.Children++
@@ -374,21 +424,24 @@ func (e *Engine) generalizeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc
 		}
 	}
 
-	if e.cfg.Workers > 1 && len(cur) >= minParallelParents {
-		for _, children := range e.fanOut(cur, pairs, ctx) {
+	if pool != nil && len(cur) >= minParallelParents {
+		for _, children := range pool.run(cur, pairs, ctx) {
 			gather(children)
 		}
 	} else {
-		// Sequential fast path: one reusable scratch slice, no
-		// per-parent allocation.
-		scratch := make([]*hypothesis.Hypothesis, 0, len(pairs))
+		// Sequential fast path: one engine-owned scratch slice, no
+		// per-parent (or per-message) allocation.
 		for _, h := range cur {
-			scratch = e.childrenOf(h, pairs, ctx, scratch[:0])
-			gather(scratch)
+			e.scratch = e.childrenOf(h, pairs, ctx, e.scratch[:0])
+			gather(e.scratch)
 		}
 	}
 
 	out := wl.items
+	// The dedup map is dead from here on: hypotheses the bounded
+	// heuristic merged away can no longer be consulted by any equality
+	// check, so their matrices are safe to recycle.
+	wl.releaseRetired()
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w: no hypothesis can explain the message", ErrNoHypothesis)
 	}
@@ -398,15 +451,17 @@ func (e *Engine) generalizeMessage(cur []*hypothesis.Hypothesis, pairs []depfunc
 	return out, nil
 }
 
-// childrenOf computes the admissible children of one parent for one
-// message into dst (reused across parents on the sequential path).
-// It reads only immutable shared state (hist is frozen during the
-// generalize stage), so concurrent calls on distinct parents are
-// safe.
+// childrenOf appends the admissible children of one parent for one
+// message to dst (a scratch slice on the sequential path, a chunk
+// buffer holding earlier parents' children on the parallel one; eager
+// pruning is confined to the new segment either way). It reads only
+// immutable shared state (hist is frozen during the generalize stage),
+// so concurrent calls on distinct parents are safe.
 func (e *Engine) childrenOf(h *hypothesis.Hypothesis, pairs []depfunc.Pair,
 	ctx hypothesis.StepCtx, dst []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
 
 	n := e.ts.Len()
+	base := len(dst)
 	for _, pr := range pairs {
 		fwd := lattice.Fwd
 		if e.hist[pr.S*n+pr.R] {
@@ -421,29 +476,10 @@ func (e *Engine) childrenOf(h *hypothesis.Hypothesis, pairs []depfunc.Pair,
 		}
 	}
 	if e.cfg.EagerPrune {
-		dst = minimalChildren(dst)
+		kept := minimalChildren(dst[base:])
+		dst = dst[:base+len(kept)]
 	}
 	return dst
-}
-
-// dedup is a fingerprint-keyed hypothesis set: O(1) membership with
-// full-equality confirmation on a fingerprint hit, replacing the
-// canonical-string keys of the pre-engine learner.
-type dedup map[uint64][]*hypothesis.Hypothesis
-
-func newDedup(capacity int) dedup { return make(dedup, capacity) }
-
-// insertHyp reports whether an equal hypothesis (dependency function
-// plus assumption set) was already present, inserting h otherwise.
-func (s dedup) insertHyp(h *hypothesis.Hypothesis) bool {
-	fp := h.Fingerprint()
-	for _, o := range s[fp] {
-		if h.SameState(o) {
-			return true
-		}
-	}
-	s[fp] = append(s[fp], h)
-	return false
 }
 
 // liveSuffixes returns, for each message index i, the set of pairs
@@ -472,13 +508,20 @@ func liveSuffixes(cands [][]depfunc.Pair) []map[depfunc.Pair]bool {
 // algorithm's results (dead assumptions cannot influence any future
 // dup-pair check, and assumption sets are discarded at the period
 // boundary anyway).
-func forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bool) []*hypothesis.Hypothesis {
-	seen := newDedup(len(hs))
+func (e *Engine) forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bool) []*hypothesis.Hypothesis {
+	// The message's gather is finished with e.seen (releaseRetired has
+	// run), so the same set is reset and reused here.
+	seen := e.seen
+	seen.Reset()
 	out := hs[:0]
+	ar := e.mainArena()
 	for _, h := range hs {
-		h.RetainAssumptions(func(p depfunc.Pair) bool { return live[p] })
-		if !seen.insertHyp(h) {
+		h.RetainAssumptions(func(p depfunc.Pair) bool { return live[p] }, ar)
+		if !seen.Insert(h) {
 			out = append(out, h)
+		} else {
+			// Unified away, referenced by nothing else: recycle.
+			h.Release()
 		}
 	}
 	return out
@@ -487,12 +530,14 @@ func forgetDeadAssumptions(hs []*hypothesis.Hypothesis, live map[depfunc.Pair]bo
 // minimalChildren keeps only the minimal elements (by the pointwise
 // order on dependency functions) among the children one parent
 // spawned for one message. Children with equal dependency functions
-// but different assumptions are all kept.
+// but different assumptions are all kept. Dominated children are
+// fresh, unshared objects, so their matrices are recycled on the
+// spot (safe from worker goroutines: the arena is concurrent).
 func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis {
 	dominated := make([]bool, len(children))
 	for i, c := range children {
 		for j, o := range children {
-			if i != j && o.D.Lt(c.D) {
+			if i != j && o.D.Lt(&c.D) {
 				dominated[i] = true
 				break
 			}
@@ -502,6 +547,8 @@ func minimalChildren(children []*hypothesis.Hypothesis) []*hypothesis.Hypothesis
 	for i, c := range children {
 		if !dominated[i] {
 			out = append(out, c)
+		} else {
+			c.Release()
 		}
 	}
 	return out
@@ -526,7 +573,7 @@ func PruneMostSpecific(hs []*hypothesis.Hypothesis, obsv obs.Observer, period in
 			}
 		}
 		if !dup {
-			seen[fp] = append(seen[fp], h.D)
+			seen[fp] = append(seen[fp], &h.D)
 			uniq = append(uniq, h)
 		} else if obsv != nil {
 			obsv.OnHypothesisPruned(obs.HypothesisPruned{
@@ -544,7 +591,7 @@ func PruneMostSpecific(hs []*hypothesis.Hypothesis, obsv obs.Observer, period in
 			if uniq[j].Weight() >= h.Weight() {
 				break
 			}
-			if uniq[j].D.Lt(h.D) {
+			if uniq[j].D.Lt(&h.D) {
 				redundant = true
 				break
 			}

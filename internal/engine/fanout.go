@@ -2,50 +2,99 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"github.com/blackbox-rt/modelgen/internal/depfunc"
 	"github.com/blackbox-rt/modelgen/internal/hypothesis"
 )
 
 // minParallelParents is the working-set size below which the fan-out
-// stays sequential even with Workers > 1: goroutine startup costs
-// more than assuming a handful of pairs.
+// stays sequential even with Workers > 1: dispatching to the pool
+// costs more than assuming a handful of pairs.
 const minParallelParents = 2
 
-// fanOut computes the children of every parent in cur concurrently
-// and returns them indexed by parent, preserving the (parent, pair)
-// generation order within each slot. Workers claim parents from a
-// shared atomic cursor, so the pool is work-stealing without a
-// channel. The workers touch only immutable shared state (pairs, the
-// frozen history, parent hypotheses they own for the iteration);
-// statistics, events and merging are left to the caller's sequential
-// gather, which is what makes the parallel path bit-identical to the
-// sequential one.
-func (e *Engine) fanOut(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
-	ctx hypothesis.StepCtx) [][]*hypothesis.Hypothesis {
+// fanPool is the per-Generalize worker pool behind the parallel
+// fan-out. It is spawned once per generalize stage (not per message)
+// and re-sharded per message by partitioning the live hypothesis set
+// into Workers contiguous chunks: chunk c covers parents
+// [c·P/W, (c+1)·P/W), each chunk appends its children to its own
+// reusable flat buffer, and because chunks tile the parent list in
+// order, reading the chunk buffers in chunk order replays the exact
+// (parent, candidate-pair) sequence of the sequential loop — which is
+// what keeps the gather bit-identical for any worker count.
+//
+// Workers touch only immutable shared state (the frozen history, the
+// candidate pairs, the parents of their own chunk); statistics, dedup,
+// events and bounded merging all stay in the caller's sequential
+// gather. The chunk buffers grow to the high-water child count of the
+// period and are then reused message after message, so a steady-state
+// fan-out allocates nothing but the children themselves.
+type fanPool struct {
+	e    *Engine
+	n    int // chunk count == worker count
+	jobs chan fanJob
+	wg   sync.WaitGroup
+	kids [][]*hypothesis.Hypothesis
+}
 
-	results := make([][]*hypothesis.Hypothesis, len(cur))
-	workers := e.cfg.Workers
-	if workers > len(cur) {
-		workers = len(cur)
+// fanJob asks whichever worker receives it to fill chunk c for the
+// current message.
+type fanJob struct {
+	chunk int
+	cur   []*hypothesis.Hypothesis
+	pairs []depfunc.Pair
+	ctx   hypothesis.StepCtx
+	done  *sync.WaitGroup
+}
+
+// newFanPool spawns the stage's workers.
+func (e *Engine) newFanPool() *fanPool {
+	p := &fanPool{
+		e:    e,
+		n:    e.cfg.Workers,
+		jobs: make(chan fanJob, e.cfg.Workers),
+		kids: make([][]*hypothesis.Hypothesis, e.cfg.Workers),
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	p.wg.Add(p.n)
+	for w := 0; w < p.n; w++ {
 		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cur) {
-					return
+			defer p.wg.Done()
+			for job := range p.jobs {
+				lo := job.chunk * len(job.cur) / p.n
+				hi := (job.chunk + 1) * len(job.cur) / p.n
+				// Each chunk allocates assumption cells from its own
+				// arena so workers never contend (or race) on one.
+				ctx := job.ctx
+				ctx.Arena = p.e.arenas[job.chunk]
+				buf := p.kids[job.chunk][:0]
+				for _, h := range job.cur[lo:hi] {
+					buf = p.e.childrenOf(h, job.pairs, ctx, buf)
 				}
-				results[i] = e.childrenOf(cur[i], pairs, ctx,
-					make([]*hypothesis.Hypothesis, 0, len(pairs)))
+				p.kids[job.chunk] = buf
+				job.done.Done()
 			}
 		}()
 	}
-	wg.Wait()
-	return results
+	return p
+}
+
+// run shards one message's fan-out across the pool and waits for the
+// barrier. The returned buffers hold, in chunk order, the children of
+// every parent in (parent, pair) generation order; they are only valid
+// until the next run call.
+func (p *fanPool) run(cur []*hypothesis.Hypothesis, pairs []depfunc.Pair,
+	ctx hypothesis.StepCtx) [][]*hypothesis.Hypothesis {
+
+	var done sync.WaitGroup
+	done.Add(p.n)
+	for c := 0; c < p.n; c++ {
+		p.jobs <- fanJob{chunk: c, cur: cur, pairs: pairs, ctx: ctx, done: &done}
+	}
+	done.Wait()
+	return p.kids
+}
+
+// close drains the pool; the generalize stage defers it.
+func (p *fanPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
 }

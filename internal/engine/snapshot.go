@@ -65,10 +65,15 @@ func Restore(ts *depfunc.TaskSet, cfg Config, st *State) (*Engine, error) {
 		cfg.Workers = 1
 	}
 	e := &Engine{
-		ts:   ts,
-		cfg:  cfg,
-		hist: append([]bool(nil), st.History...),
-		cur:  make([]*hypothesis.Hypothesis, 0, len(st.Working)),
+		ts:     ts,
+		cfg:    cfg,
+		hist:   append([]bool(nil), st.History...),
+		cur:    make([]*hypothesis.Hypothesis, 0, len(st.Working)),
+		seen:   hypothesis.NewDedup(),
+		arenas: make([]*hypothesis.Arena, cfg.Workers+1),
+	}
+	for i := range e.arenas {
+		e.arenas[i] = new(hypothesis.Arena)
 	}
 	for i, d := range st.Working {
 		if !d.TaskSet().Equal(ts) {

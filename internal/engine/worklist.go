@@ -17,6 +17,11 @@ type workList struct {
 	stats *Stats
 	obsv  obs.Observer
 	ctx   hypothesis.StepCtx
+	// retired collects the operands folded away by merges. They stay
+	// alive until the message's dedup map makes its last equality
+	// check (the map may reference them), then releaseRetired recycles
+	// their matrices.
+	retired []*hypothesis.Hypothesis
 }
 
 func newWorkList(bound int, stats *Stats) *workList {
@@ -33,6 +38,7 @@ func (wl *workList) add(h *hypothesis.Hypothesis) {
 		a, b := wl.items[0], wl.items[1]
 		merged := a.Merge(b, wl.ctx)
 		wl.items = wl.items[2:]
+		wl.retired = append(wl.retired, a, b)
 		wl.stats.Merges++
 		if wl.obsv != nil {
 			wl.obsv.OnHypothesisMerged(obs.HypothesisMerged{
@@ -42,6 +48,16 @@ func (wl *workList) add(h *hypothesis.Hypothesis) {
 		}
 		wl.insert(merged)
 	}
+}
+
+// releaseRetired recycles the matrices of every merged-away operand.
+// Only call it once no dedup map that might reference them can make
+// another equality check.
+func (wl *workList) releaseRetired() {
+	for _, h := range wl.retired {
+		h.Release()
+	}
+	wl.retired = nil
 }
 
 func (wl *workList) insert(h *hypothesis.Hypothesis) {

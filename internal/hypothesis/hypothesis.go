@@ -20,9 +20,23 @@ import (
 // computation allows at most one message per ordered pair per period,
 // so an assumed pair must not be assumed again until the period ends.
 type Hypothesis struct {
-	D       *depfunc.DepFunc
-	assumed map[depfunc.Pair]bool
-	weight  int
+	// D is embedded by value: a hypothesis and its dependency-function
+	// header are one object, so the fan-out's per-child cost is a
+	// single (pooled) header instead of two heap allocations. Callers
+	// that need a *depfunc.DepFunc take &h.D; the copy-on-write buffer
+	// rules are unchanged.
+	D depfunc.DepFunc
+
+	// asm is the assumption set as a persistent cons list, newest pair
+	// first, duplicate-free (Assume refuses an already-assumed pair).
+	// Children extend their parent's list by one shared cell instead
+	// of copying a map — the list is immutable, so sharing is safe and
+	// fan-out costs O(1) per child. The set stays small (assumptions
+	// about dead pairs are forgotten every message), so the linear
+	// membership scan beats a map's per-child copy by a wide margin.
+	asm    *assumeNode
+	acount int
+	weight int
 
 	// afp is the Zobrist fingerprint of the assumption set: the XOR
 	// of Pair.Fingerprint over the assumed pairs, maintained
@@ -38,6 +52,19 @@ type Hypothesis struct {
 	// O(changed entries) per step and O(1) extra work when cloning.
 	prov   *provNode
 	provOn bool
+
+	// dnext chains hypotheses with colliding fingerprints inside a
+	// Dedup set. Only the Dedup that most recently inserted h ever
+	// traverses it (Insert always rewrites the link), so the field can
+	// ride along in the header instead of forcing the dedup map to
+	// allocate per-bucket slices.
+	dnext *Hypothesis
+}
+
+// assumeNode is one cell of the persistent assumption list.
+type assumeNode struct {
+	p    depfunc.Pair
+	prev *assumeNode
 }
 
 // Step is one recorded generalization step of a hypothesis: the
@@ -66,6 +93,14 @@ type StepCtx struct {
 	Period int
 	Msg    int
 	MsgID  string
+
+	// Arena, when non-nil, supplies the assumption cons cells that
+	// Assume and Merge would otherwise heap-allocate. The engine hands
+	// each fan-out worker its own arena and resets them at the period
+	// boundary (when every assumption list is cleared anyway); the nil
+	// zero value falls back to plain allocation, so casual callers and
+	// tests need not care.
+	Arena *Arena
 }
 
 // provNode is one cons cell of the persistent provenance chain.
@@ -97,13 +132,15 @@ func (s Step) Format(ts *depfunc.TaskSet) string {
 // Bottom returns the globally most specific hypothesis d⊥ with no
 // assumptions.
 func Bottom(ts *depfunc.TaskSet) *Hypothesis {
-	return &Hypothesis{D: depfunc.Bottom(ts), assumed: map[depfunc.Pair]bool{}}
+	return &Hypothesis{D: *depfunc.Bottom(ts)}
 }
 
 // FromDepFunc wraps an existing dependency function (cloned) in a
 // hypothesis with no assumptions.
 func FromDepFunc(d *depfunc.DepFunc) *Hypothesis {
-	return &Hypothesis{D: d.Clone(), assumed: map[depfunc.Pair]bool{}, weight: d.Weight()}
+	h := &Hypothesis{weight: d.Weight()}
+	d.CloneInto(&h.D)
+	return h
 }
 
 // Weight returns the cached Definition-8 weight of the hypothesis.
@@ -121,11 +158,12 @@ func (h *Hypothesis) Fingerprint() uint64 { return h.D.Fingerprint() ^ h.afp }
 // Fingerprint approximates and the engine's dedup sites confirm on a
 // fingerprint hit.
 func (h *Hypothesis) SameState(other *Hypothesis) bool {
-	if len(h.assumed) != len(other.assumed) || !h.D.Equal(other.D) {
+	if h.acount != other.acount || !h.D.Equal(&other.D) {
 		return false
 	}
-	for p := range h.assumed {
-		if !other.assumed[p] {
+	// Equal sizes and no duplicates: h ⊆ other suffices.
+	for n := h.asm; n != nil; n = n.prev {
+		if !other.Assumed(n.p) {
 			return false
 		}
 	}
@@ -160,10 +198,32 @@ func (h *Hypothesis) Provenance() []Step {
 
 // Assumed reports whether the ordered pair has already been assumed
 // for a message in the current period.
-func (h *Hypothesis) Assumed(p depfunc.Pair) bool { return h.assumed[p] }
+func (h *Hypothesis) Assumed(p depfunc.Pair) bool {
+	for n := h.asm; n != nil; n = n.prev {
+		if n.p == p {
+			return true
+		}
+	}
+	return false
+}
 
 // AssumptionCount returns the number of pairs assumed this period.
-func (h *Hypothesis) AssumptionCount() int { return len(h.assumed) }
+func (h *Hypothesis) AssumptionCount() int { return h.acount }
+
+// Release returns the hypothesis's matrix buffer to the arena and the
+// header itself to the package pool. The depfunc.Release aliasing
+// rules apply: only release hypotheses with no live alias (in
+// particular none held by a dedup map, a worklist or an escaped
+// result). A second Release on the same header is a no-op: the
+// embedded matrix reports whether it actually held a buffer, which
+// guards the pool against double puts.
+func (h *Hypothesis) Release() {
+	if !h.D.Release() {
+		return
+	}
+	*h = Hypothesis{}
+	hypPool.Put(h)
+}
 
 // Assume returns a new hypothesis extending h with the assumption that
 // the current message was sent on pair p, generalizing the dependency
@@ -173,22 +233,24 @@ func (h *Hypothesis) AssumptionCount() int { return len(h.assumed) }
 // returns nil if p was already assumed this period (condition 3 of the
 // generalization step). h is unchanged. ctx locates the message for
 // provenance recording and is ignored when recording is off.
+//
+// The child shares h's matrix copy-on-write and extends the
+// assumption list by one cell, so a child whose joins change nothing
+// costs two small allocations and no matrix copy.
 func (h *Hypothesis) Assume(p depfunc.Pair, fwd, bwd lattice.Value, ctx StepCtx) *Hypothesis {
-	if h.assumed[p] {
+	if h.Assumed(p) {
 		return nil
 	}
-	child := &Hypothesis{
-		D:       h.D.Clone(),
-		assumed: make(map[depfunc.Pair]bool, len(h.assumed)+1),
-		weight:  h.weight,
-		afp:     h.afp ^ p.Fingerprint(),
-		prov:    h.prov,
-		provOn:  h.provOn,
+	child := hypPool.Get().(*Hypothesis)
+	*child = Hypothesis{
+		asm:    ctx.Arena.node(p, h.asm),
+		acount: h.acount + 1,
+		weight: h.weight,
+		afp:    h.afp ^ p.Fingerprint(),
+		prov:   h.prov,
+		provOn: h.provOn,
 	}
-	for k := range h.assumed {
-		child.assumed[k] = true
-	}
-	child.assumed[p] = true
+	h.D.ShareInto(&child.D)
 	child.joinEntry(p, p.S, p.R, fwd, ctx)
 	child.joinEntry(p, p.R, p.S, bwd, ctx)
 	return child
@@ -211,10 +273,9 @@ func (h *Hypothesis) joinEntry(p depfunc.Pair, i, j int, v lattice.Value, ctx St
 // ClearAssumptions drops the per-period assumption set (the first step
 // of the paper's end-of-period post-processing).
 func (h *Hypothesis) ClearAssumptions() {
-	if len(h.assumed) > 0 {
-		h.assumed = map[depfunc.Pair]bool{}
-		h.afp = 0
-	}
+	h.asm = nil
+	h.acount = 0
+	h.afp = 0
 }
 
 // RetainAssumptions drops every assumed pair for which keep returns
@@ -223,13 +284,32 @@ func (h *Hypothesis) ClearAssumptions() {
 // the at-most-one-message-per-pair rule can never consult them again,
 // so forgetting them preserves exactness while letting hypotheses that
 // differ only in dead assumptions deduplicate.
-func (h *Hypothesis) RetainAssumptions(keep func(depfunc.Pair) bool) {
-	for p := range h.assumed {
-		if !keep(p) {
-			delete(h.assumed, p)
-			h.afp ^= p.Fingerprint()
+func (h *Hypothesis) RetainAssumptions(keep func(depfunc.Pair) bool, ar *Arena) {
+	// The common case keeps everything; detect it before rebuilding
+	// (the list may be shared with relatives, so dropping a pair
+	// rebuilds the kept cells rather than splicing in place).
+	drop := false
+	for n := h.asm; n != nil; n = n.prev {
+		if !keep(n.p) {
+			drop = true
+			break
 		}
 	}
+	if !drop {
+		return
+	}
+	var kept *assumeNode
+	count := 0
+	for n := h.asm; n != nil; n = n.prev {
+		if keep(n.p) {
+			kept = ar.node(n.p, kept)
+			count++
+		} else {
+			h.afp ^= n.p.Fingerprint()
+		}
+	}
+	h.asm = kept
+	h.acount = count
 }
 
 // Relax applies the end-of-period conditional-dependency test: every
@@ -271,24 +351,31 @@ func (h *Hypothesis) Relax(executed func(task int) bool, ctx StepCtx) int {
 // folded-away operand's own history is not retained — the chain
 // explains the surviving table, not every dead branch.
 func (h *Hypothesis) Merge(other *Hypothesis, ctx StepCtx) *Hypothesis {
-	d := h.D.Join(other.D)
-	assumed := map[depfunc.Pair]bool{}
+	// Share h's matrix copy-on-write; the join only materializes a
+	// copy if other actually raises an entry.
+	var asm *assumeNode
 	var afp uint64
-	for k := range h.assumed {
-		if other.assumed[k] {
-			assumed[k] = true
-			afp ^= k.Fingerprint()
+	count := 0
+	for n := h.asm; n != nil; n = n.prev {
+		if other.Assumed(n.p) {
+			asm = ctx.Arena.node(n.p, asm)
+			count++
+			afp ^= n.p.Fingerprint()
 		}
 	}
-	m := &Hypothesis{D: d, assumed: assumed, weight: d.Weight(), afp: afp, prov: h.prov, provOn: h.provOn || other.provOn}
+	m := hypPool.Get().(*Hypothesis)
+	*m = Hypothesis{asm: asm, acount: count, afp: afp, prov: h.prov, provOn: h.provOn || other.provOn}
+	h.D.ShareInto(&m.D)
+	m.D.JoinWith(&other.D)
+	m.weight = m.D.Weight()
 	if m.provOn {
-		n := d.N()
+		n := m.D.N()
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if i == j {
 					continue
 				}
-				old, nw := h.D.At(i, j), d.At(i, j)
+				old, nw := h.D.At(i, j), m.D.At(i, j)
 				if old != nw {
 					m.prov = &provNode{step: Step{
 						Period: ctx.Period, Msg: ctx.Msg, MsgID: ctx.MsgID,
@@ -301,26 +388,24 @@ func (h *Hypothesis) Merge(other *Hypothesis, ctx StepCtx) *Hypothesis {
 	return m
 }
 
-// Clone returns a deep copy (the immutable provenance chain is
-// shared).
+// Clone returns a deep copy of the dependency function (the immutable
+// assumption list and provenance chain are shared).
 func (h *Hypothesis) Clone() *Hypothesis {
-	cp := &Hypothesis{D: h.D.Clone(), assumed: make(map[depfunc.Pair]bool, len(h.assumed)), weight: h.weight, afp: h.afp, prov: h.prov, provOn: h.provOn}
-	for k := range h.assumed {
-		cp.assumed[k] = true
-	}
-	return cp
+	nh := &Hypothesis{asm: h.asm, acount: h.acount, weight: h.weight, afp: h.afp, prov: h.prov, provOn: h.provOn}
+	h.D.CloneInto(&nh.D)
+	return nh
 }
 
 // Key returns a canonical encoding of the dependency function together
 // with the assumption set, used to deduplicate hypotheses that would
 // behave identically for the remainder of the period.
 func (h *Hypothesis) Key() string {
-	if len(h.assumed) == 0 {
+	if h.acount == 0 {
 		return h.D.Key()
 	}
-	pairs := make([]depfunc.Pair, 0, len(h.assumed))
-	for p := range h.assumed {
-		pairs = append(pairs, p)
+	pairs := make([]depfunc.Pair, 0, h.acount)
+	for n := h.asm; n != nil; n = n.prev {
+		pairs = append(pairs, n.p)
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].S != pairs[b].S {

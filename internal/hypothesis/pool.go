@@ -1,0 +1,97 @@
+package hypothesis
+
+import (
+	"sync"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+)
+
+// hypPool recycles Hypothesis headers. The generalization fan-out
+// creates and retires hypotheses at a rate of parents × candidate
+// pairs per message; with the dependency-function header embedded in
+// the struct, recycling the header removes the last per-child heap
+// allocation on the no-change copy-on-write path. Assume and Merge
+// draw from the pool; Release feeds it, guarded against double puts by
+// the embedded matrix's own released state. Pointers (not values) go
+// through the pool, so Put does not box.
+var hypPool = sync.Pool{New: func() any { return new(Hypothesis) }}
+
+// Arena bump-allocates assumption cons cells in blocks. Assumption
+// lists never outlive the period that created them (ClearAssumptions
+// runs on every survivor at period end), so the engine resets its
+// arenas at the period boundary and the cells are reused wholesale —
+// no per-cell allocation, no per-cell GC tracking.
+//
+// An Arena is single-goroutine; the engine owns one per fan-out worker
+// plus one for the sequential gather path. The nil Arena is valid and
+// falls back to plain heap allocation.
+type Arena struct {
+	blocks   [][]assumeNode
+	bi, used int
+}
+
+// arenaBlock is the cells-per-block granularity; blocks are retained
+// across Reset, so steady state allocates nothing.
+const arenaBlock = 1024
+
+// node returns a cell initialized to {p, prev}.
+func (a *Arena) node(p depfunc.Pair, prev *assumeNode) *assumeNode {
+	if a == nil {
+		return &assumeNode{p: p, prev: prev}
+	}
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]assumeNode, arenaBlock))
+	}
+	n := &a.blocks[a.bi][a.used]
+	n.p, n.prev = p, prev
+	a.used++
+	if a.used == arenaBlock {
+		a.bi++
+		a.used = 0
+	}
+	return n
+}
+
+// Reset recycles every cell. Only call it when no live hypothesis can
+// still reference a cell from this arena — in the engine, immediately
+// after the period-end ClearAssumptions sweep.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.bi, a.used = 0, 0
+}
+
+// Dedup is a fingerprint-keyed hypothesis set with full-equality
+// confirmation on a fingerprint hit. Collision chains thread through
+// the hypotheses' own dnext field instead of per-bucket slices, and
+// Reset clears the map in place, so a Dedup reused across messages
+// reaches zero steady-state allocations. Only one live Dedup may
+// traverse a hypothesis's chain link at a time; Insert always rewrites
+// the link, so reusing one Dedup serially (Reset between uses) is
+// safe even though released and recycled headers leave stale links
+// behind.
+type Dedup struct {
+	m map[uint64]*Hypothesis
+}
+
+// NewDedup returns an empty set.
+func NewDedup() *Dedup { return &Dedup{m: make(map[uint64]*Hypothesis)} }
+
+// Reset empties the set, retaining the map's storage.
+func (d *Dedup) Reset() { clear(d.m) }
+
+// Insert reports whether a hypothesis with the same state (dependency
+// function plus assumption set) was already present, inserting h
+// otherwise.
+func (d *Dedup) Insert(h *Hypothesis) bool {
+	fp := h.Fingerprint()
+	for c := d.m[fp]; c != nil; c = c.dnext {
+		if c.SameState(h) {
+			return true
+		}
+	}
+	h.dnext = d.m[fp]
+	d.m[fp] = h
+	return false
+}

@@ -8,7 +8,11 @@ import (
 
 // DeltaVersion is the per-period incremental checkpoint schema
 // version (the WAL-record payload of internal/store consumers).
-const DeltaVersion = 1
+// Version 2 carries working-set literals as packed-word encodings
+// (Packed) instead of rendered tables; ApplyDelta still accepts
+// version-1 records, so WALs written by older binaries replay
+// unchanged.
+const DeltaVersion = 2
 
 // Delta is the serializable change record of exactly one consumed
 // period: the engine's period delta (history flips, working-set edit
@@ -27,10 +31,12 @@ type Delta struct {
 	// HistSet lists execution-violation history indices flipped to
 	// true by this period.
 	HistSet []int `json:"hist_set,omitempty"`
-	// Same/Keep/Tables encode the post-period working set relative to
-	// the pre-period one; see engine.PeriodDelta.
+	// Same/Keep/Packed encode the post-period working set relative to
+	// the pre-period one; see engine.PeriodDelta. Tables is the
+	// version-1 literal encoding, still accepted on apply.
 	Same   bool     `json:"same,omitempty"`
 	Keep   []int    `json:"keep,omitempty"`
+	Packed []string `json:"packed,omitempty"`
 	Tables []string `json:"tables,omitempty"`
 	// Stats is the post-period counter snapshot with PeriodLive
 	// elided; Live is this period's PeriodLive entry.
@@ -60,6 +66,7 @@ func (o *Online) PeriodDelta() (*Delta, error) {
 		HistSet: pd.HistSet,
 		Same:    pd.Same,
 		Keep:    pd.Keep,
+		Packed:  pd.Packed,
 		Tables:  pd.Tables,
 		Stats:   pd.Stats,
 		Live:    pd.Live,
@@ -86,8 +93,8 @@ func (o *Online) ApplyDelta(d *Delta) error {
 	if o.err != nil {
 		return fmt.Errorf("learner: apply delta to a dead session: %w", o.err)
 	}
-	if d.Version != DeltaVersion {
-		return fmt.Errorf("learner: delta version %d, this binary applies %d", d.Version, DeltaVersion)
+	if d.Version != DeltaVersion && d.Version != 1 {
+		return fmt.Errorf("learner: delta version %d, this binary applies 1..%d", d.Version, DeltaVersion)
 	}
 	if (d.Retained != nil) != (o.opt.RetainPeriods > 0) {
 		if d.Retained == nil {
@@ -101,6 +108,7 @@ func (o *Online) ApplyDelta(d *Delta) error {
 		HistSet: d.HistSet,
 		Same:    d.Same,
 		Keep:    d.Keep,
+		Packed:  d.Packed,
 		Tables:  d.Tables,
 		Stats:   d.Stats,
 		Live:    d.Live,

@@ -284,9 +284,9 @@ func Learn(tr *trace.Trace, opt Options) (*Result, error) {
 		prov = make(map[*depfunc.DepFunc][]ProvStep, len(working))
 	}
 	for _, h := range working {
-		ds = append(ds, h.D)
+		ds = append(ds, &h.D)
 		if prov != nil {
-			prov[h.D] = h.Provenance()
+			prov[&h.D] = h.Provenance()
 		}
 	}
 	res, err := finish(o.eng.TaskSet(), tr, ds, opt, o.eng.Stats())

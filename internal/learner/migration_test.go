@@ -1,0 +1,162 @@
+package learner
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+)
+
+// TestSnapshotPackedBitIdentical: a version-2 checkpoint restores the
+// working frontier bit-identically — not just behaviourally — through
+// a full JSON round trip: every matrix re-encodes to the same packed
+// words and carries the same incremental fingerprint as the original
+// in-memory object.
+func TestSnapshotPackedBitIdentical(t *testing.T) {
+	tr := simFigure1Trace(t, 8, 5)
+	o, err := NewOnline(tr.Tasks, Options{Bound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if len(snap.WorkingPacked) != len(snap.Working) {
+		t.Fatalf("%d packed encodings for %d working tables", len(snap.WorkingPacked), len(snap.Working))
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreOnline(decoded, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := o.eng.State()
+	rest := restored.eng.State()
+	if len(orig.Working) != len(rest.Working) {
+		t.Fatalf("restored %d working hypotheses, want %d", len(rest.Working), len(orig.Working))
+	}
+	for i := range orig.Working {
+		if orig.Working[i].Fingerprint() != rest.Working[i].Fingerprint() {
+			t.Errorf("working %d: fingerprint %x, want %x", i, rest.Working[i].Fingerprint(), orig.Working[i].Fingerprint())
+		}
+		if !orig.Working[i].Equal(rest.Working[i]) {
+			t.Errorf("working %d: matrices differ after restore", i)
+		}
+		if got, want := rest.Working[i].EncodePacked(), orig.Working[i].EncodePacked(); got != want {
+			t.Errorf("working %d: packed re-encoding differs:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestLegacyV1MigratesAndReverifies: snapshots and deltas written by a
+// version-1 binary — rendered tables, no packed encodings — restore
+// into this binary and replay to exactly the state a native version-2
+// restore reaches: same working matrices (by fingerprint and content)
+// and same stats. This is the upgrade path for checkpoints and WALs
+// persisted before the packed representation existed.
+func TestLegacyV1MigratesAndReverifies(t *testing.T) {
+	tr := simFigure1Trace(t, 10, 5)
+	ts, err := depfunc.NewTaskSet(tr.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const split = 3
+	o, err := NewOnline(tr.Tasks, Options{Bound: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Periods[:split] {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []*Delta
+	for _, p := range tr.Periods[split:] {
+		if err := o.AddPeriod(p); err != nil {
+			t.Fatal(err)
+		}
+		d, err := o.PeriodDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, d)
+	}
+
+	// Downgrade the captured artifacts to the version-1 wire form: the
+	// snapshot drops its packed encodings, each delta carries its
+	// literals as rendered tables instead.
+	legacySnap := *snap
+	legacySnap.Version = 1
+	legacySnap.WorkingPacked = nil
+
+	v1, err := RestoreOnline(&legacySnap, Options{})
+	if err != nil {
+		t.Fatalf("restore v1 snapshot: %v", err)
+	}
+	v2, err := RestoreOnline(snap, Options{})
+	if err != nil {
+		t.Fatalf("restore v2 snapshot: %v", err)
+	}
+	for di, d := range deltas {
+		ld := *d
+		ld.Version = 1
+		ld.Packed = nil
+		ld.Tables = nil
+		for _, enc := range d.Packed {
+			df, err := depfunc.DecodePacked(ts, enc)
+			if err != nil {
+				t.Fatalf("delta %d: decode literal: %v", di, err)
+			}
+			ld.Tables = append(ld.Tables, df.Table())
+		}
+		if err := v1.ApplyDelta(&ld); err != nil {
+			t.Fatalf("delta %d: apply legacy: %v", di, err)
+		}
+		if err := v2.ApplyDelta(d); err != nil {
+			t.Fatalf("delta %d: apply packed: %v", di, err)
+		}
+	}
+
+	want := o.eng.State()
+	for name, s := range map[string]*Online{"legacy-v1": v1, "packed-v2": v2} {
+		st := s.eng.State()
+		if len(st.Working) != len(want.Working) {
+			t.Fatalf("%s: %d working hypotheses, want %d", name, len(st.Working), len(want.Working))
+		}
+		for i := range want.Working {
+			if st.Working[i].Fingerprint() != want.Working[i].Fingerprint() {
+				t.Errorf("%s: working %d fingerprint %x, want %x",
+					name, i, st.Working[i].Fingerprint(), want.Working[i].Fingerprint())
+			}
+			if !st.Working[i].Equal(want.Working[i]) {
+				t.Errorf("%s: working %d differs after replay", name, i)
+			}
+		}
+		if !reflect.DeepEqual(st.Stats, want.Stats) {
+			t.Errorf("%s: stats diverge after replay:\n got %+v\nwant %+v", name, st.Stats, want.Stats)
+		}
+		if !reflect.DeepEqual(st.History, want.History) {
+			t.Errorf("%s: history diverges after replay", name)
+		}
+	}
+}

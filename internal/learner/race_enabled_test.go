@@ -1,0 +1,9 @@
+//go:build race
+
+package learner
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions are skipped under the detector: it makes
+// sync.Pool drop puts at random, so testing.AllocsPerRun is not
+// deterministic there.
+const raceEnabled = true

@@ -227,8 +227,14 @@ func TestSnapshotRejections(t *testing.T) {
 	}
 	bad = *snap
 	bad.Working = nil
+	bad.WorkingPacked = nil
 	if _, err := RestoreOnline(&bad, Options{}); err == nil {
 		t.Fatal("restore accepted an empty working set")
+	}
+	bad = *snap
+	bad.WorkingPacked = bad.WorkingPacked[:len(bad.WorkingPacked)-1]
+	if _, err := RestoreOnline(&bad, Options{}); err == nil {
+		t.Fatal("restore accepted mismatched table/packed counts")
 	}
 
 	// A dead session refuses to checkpoint.
