@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench microbench conform soak fuzz tidy load drift store
+.PHONY: check vet build test race bench microbench conform soak fuzz tidy load drift store cluster
 
 ## check: the full gate — vet, build everything, race-enabled tests,
 ## and the conformance harness over the committed golden corpus.
@@ -69,6 +69,20 @@ store:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime 10s ./internal/store/
 	$(GO) run ./cmd/bbload -restart -streams 1000 -active 10 -slo -json
 
+## cluster: the cluster-mode gate — the ring placement tables, the
+## handoff/import/fencing suites, the chaos tier (kill a node
+## mid-checkpoint, kill mid-migration before/after the fence,
+## partition the gateway from a node — each followed by the
+## bit-identical equivalence oracle against a single-node reference),
+## all under the race detector, plus the bbload cluster smoke: 3 nodes,
+## 200 streams, forced checkpoint-handoff migrations mid-run, SLO- and
+## equivalence-gated (exit 1 on violation).
+cluster:
+	$(GO) test -race -timeout 10m ./internal/cluster/
+	$(GO) test -race -run 'Handoff|SnapshotDuringIngest|ExportImport' ./internal/serve/
+	$(GO) test -race -run Cluster ./internal/load/
+	$(GO) run ./cmd/bbload -cluster -streams 200 -slo
+
 ## fuzz: run every native fuzz target for FUZZTIME each (default 30s;
 ## nightly CI uses 10m). Minimized crashers land under the package's
 ## testdata/fuzz/<Target>/ — commit them as regression seeds.
@@ -81,6 +95,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPackedDepFunc$$' -fuzztime $(FUZZTIME) ./internal/depfunc/
 	$(GO) test -run '^$$' -fuzz '^FuzzLearn$$' -fuzztime $(FUZZTIME) ./internal/conformance/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrames$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzRoute$$' -fuzztime $(FUZZTIME) ./internal/cluster/
 
 ## bench: regenerate the Section 3.4 runtime table and record it as
 ## benchmark telemetry (BENCH_local.json at the repo root), including

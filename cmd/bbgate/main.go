@@ -1,0 +1,107 @@
+// Command bbgate is the thin cluster router in front of a set of
+// bbserved -cluster nodes: it places every stream on a node by
+// consistent hashing, proxies the /v1/streams API to the owner
+// (forwarding the client's headers, traceparent included), runs
+// checkpoint-handoff migrations, and aggregates the nodes' metrics.
+//
+// Usage:
+//
+//	bbgate -addr :8080 -node node-0=http://10.0.0.1:8081 -node node-1=http://10.0.0.2:8081
+//	bbgate -addr :8080 -node n0=http://h0:8081 -node n1=http://h1:8081 -seed 42 -vnodes 128
+//
+// Node names must match each bbserved's -node-id, or placement and
+// fencing drift apart. API, beyond the proxied /v1/streams surface:
+//
+//	GET  /cluster/ring           membership, ring config, per-stream placement
+//	GET  /cluster/metrics        per-node metric snapshots plus a cluster rollup
+//	POST /cluster/migrate/{id}?target=<node>   move a stream by checkpoint handoff
+//	GET  /healthz                liveness
+//	GET  /metrics                the gateway's own Prometheus series
+//
+// Placement is a pure function of (seed, membership, stream ID), so a
+// restarted gateway reaches the same placement the nodes were fenced
+// under — epochs restart at 1, which every unfenced node accepts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/cluster"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bbgate: ")
+	var backends []cluster.Backend
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		seed    = flag.Uint64("seed", 0, "placement ring hash seed (must match across gateway restarts)")
+		vnodes  = flag.Int("vnodes", 0, "virtual nodes per member (0 = default)")
+		migWait = flag.Duration("migration-wait", 5*time.Second, "how long a request waits for an in-flight migration of its stream before 503")
+		maxBody = flag.Int64("max-body", 1<<20, "maximum create request body in bytes")
+	)
+	flag.Func("node", "cluster member as name=base-url (repeatable; name must match the node's -node-id)", func(v string) error {
+		name, url, ok := strings.Cut(v, "=")
+		if !ok || name == "" || url == "" {
+			return fmt.Errorf("want name=base-url, got %q", v)
+		}
+		backends = append(backends, cluster.Backend{Name: name, URL: strings.TrimRight(url, "/")})
+		return nil
+	})
+	flag.Parse()
+	if len(backends) == 0 {
+		log.Fatal("at least one -node name=base-url is required")
+	}
+
+	reg := obs.NewRegistry()
+	obs.RuntimeMetrics(reg)
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Backends:      backends,
+		Ring:          cluster.RingConfig{Seed: *seed, VirtualNodes: *vnodes},
+		Registry:      reg,
+		MigrationWait: *migWait,
+		MaxBody:       *maxBody,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: gw.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name
+	}
+	log.Printf("routing for %s on %s", strings.Join(names, ", "), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("done")
+}

@@ -12,11 +12,18 @@
 //	bbload -addr http://host:8080 -streams 1000 -duration 30s -rate 2000
 //	bbload -streams 8 -duration 5s -rate 96 -drift-flip 20 -slo   # drift injection
 //	bbload -restart -streams 1000 -active 10 -json  # cold-restart benchmark
+//	bbload -cluster -streams 200 -slo               # cluster smoke with forced migrations
 //
 // -restart switches to the cold-restart scenario: seed -streams
 // checkpointed streams into a store, restart the server from disk,
 // drive -active of them, and report restore time plus per-stream
 // first-ingest latency (the lazy-hydration cost). Always in process.
+//
+// -cluster switches to the cluster scenario: boot -cluster-nodes
+// in-process bbserved nodes behind a bbgate router, feed -streams
+// streams through the gateway, force -cluster-migrations checkpoint
+// handoffs while the feeds are in flight, then verify every stream's
+// model against a single-node reference. Always in process.
 //
 // Exit codes: 0 ok, 1 SLO violation (-slo only), 2 run error,
 // 3 goroutine leak after in-process shutdown.
@@ -63,11 +70,28 @@ func main() {
 		restartDir  = flag.String("restart-dir", "", "restart scenario: store root (empty = temp dir, removed after)")
 		active      = flag.Int("active", 10, "restart scenario: streams driven after the restart")
 		periods     = flag.Int("periods", 3, "restart scenario: seeded periods per stream")
+		clusterRun  = flag.Bool("cluster", false, "run the cluster scenario instead of the load profile")
+		clusterN    = flag.Int("cluster-nodes", 3, "cluster scenario: in-process node count")
+		clusterMig  = flag.Int("cluster-migrations", 10, "cluster scenario: streams force-migrated mid-run")
+		clusterPer  = flag.Int("cluster-periods", 6, "cluster scenario: periods fed per stream")
 	)
 	flag.Parse()
 
 	if *restart {
 		os.Exit(runRestart(*restartDir, *streams, *active, *periods, *queue, *jsonOut, *sloGate))
+	}
+	if *clusterRun {
+		os.Exit(runCluster(clusterArgs{
+			nodes:      *clusterN,
+			streams:    *streams,
+			periods:    *clusterPer,
+			migrations: *clusterMig,
+			queue:      *queue,
+			p99:        sloP99.Seconds(),
+			avail:      *sloAvail,
+			jsonOut:    *jsonOut,
+			sloGate:    *sloGate,
+		}))
 	}
 
 	thr := load.Thresholds{
@@ -157,6 +181,58 @@ func main() {
 	case *sloGate && rep.Violated():
 		os.Exit(1)
 	}
+}
+
+// clusterArgs carries the cluster scenario's CLI surface.
+type clusterArgs struct {
+	nodes, streams, periods, migrations, queue int
+	p99, avail                                 float64
+	jsonOut, sloGate                           bool
+}
+
+// runCluster executes the cluster scenario: an in-process N-node
+// cluster behind a bbgate router, the stream fleet fed through the
+// gateway, and forced checkpoint-handoff migrations mid-run. Exit
+// codes follow the shared conventions (1 = SLO violation under -slo,
+// 2 = run error).
+func runCluster(a clusterArgs) int {
+	dir, err := os.MkdirTemp("", "bbload-cluster-*")
+	if err != nil {
+		log.Printf("cluster: %v", err)
+		return 2
+	}
+	defer os.RemoveAll(dir)
+	log.Printf("cluster scenario: %d nodes, %d streams × %d periods, %d forced migrations",
+		a.nodes, a.streams, a.periods, a.migrations)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.RunCluster(ctx, load.ClusterConfig{
+		Dir:        dir,
+		Nodes:      a.nodes,
+		Streams:    a.streams,
+		Periods:    a.periods,
+		Migrations: a.migrations,
+		QueueDepth: a.queue,
+		SLO: load.Thresholds{
+			P99LatencySeconds: a.p99,
+			MinAvailability:   a.avail,
+		},
+	})
+	if err != nil {
+		log.Printf("cluster: %v", err)
+		return 2
+	}
+	if a.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if a.sloGate && rep.Violated() {
+		return 1
+	}
+	return 0
 }
 
 // runRestart executes the cold-restart scenario and returns the exit

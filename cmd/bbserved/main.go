@@ -6,6 +6,7 @@
 //
 //	bbserved -addr :8080 -checkpoint-dir /var/lib/bbserved
 //	bbserved -addr :8080 -queue 128 -checkpoint-every 32 -compact-bytes 1048576
+//	bbserved -addr :8081 -cluster -node-id node-0 -checkpoint-dir /var/lib/bbserved-0
 //
 // API (JSON unless noted):
 //
@@ -31,6 +32,11 @@
 // state pages in lazily on first touch, so restart cost tracks the
 // active set, not the corpus. On SIGINT/SIGTERM the server stops
 // accepting requests, drains every stream, and exits.
+//
+// With -cluster the server joins a bbgate-fronted cluster as the named
+// node: the serve API is wrapped in epoch fencing, and /cluster/*
+// endpoints expose checkpoint handoff, import, and the node's metrics
+// snapshot for gateway aggregation (internal/cluster).
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/blackbox-rt/modelgen/internal/cluster"
 	"github.com/blackbox-rt/modelgen/internal/obs"
 	"github.com/blackbox-rt/modelgen/internal/serve"
 	"github.com/blackbox-rt/modelgen/internal/slo"
@@ -68,8 +75,14 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "also append every recorded span as JSONL to this file")
 		sloP99      = flag.Duration("slo-p99", 500*time.Millisecond, "ingest-latency SLO threshold (p99)")
 		sloEvery    = flag.Duration("slo-every", 10*time.Second, "SLO burn-rate sampling interval")
+
+		clusterMode = flag.Bool("cluster", false, "run as a cluster member: expose /cluster/* handoff, import, fencing and metrics endpoints (front with bbgate)")
+		nodeID      = flag.String("node-id", "", "this node's name on the placement ring (required with -cluster)")
 	)
 	flag.Parse()
+	if *clusterMode && *nodeID == "" {
+		log.Fatal("-cluster requires -node-id")
+	}
 
 	reg := obs.NewRegistry()
 	obs.RuntimeMetrics(reg)
@@ -124,11 +137,23 @@ func main() {
 		log.Printf("debug server on %s", dbg.Addr)
 	}
 
+	handler := sv.Handler()
+	if *clusterMode {
+		node := cluster.NewNode(cluster.NodeConfig{
+			ID:       *nodeID,
+			Server:   sv,
+			Registry: reg,
+			Logf:     log.Printf,
+		})
+		handler = node.Handler()
+		log.Printf("cluster mode: node %s", *nodeID)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: sv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

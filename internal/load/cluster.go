@@ -1,0 +1,400 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/blackbox-rt/modelgen/internal/cluster"
+	"github.com/blackbox-rt/modelgen/internal/learner"
+	"github.com/blackbox-rt/modelgen/internal/obs"
+	"github.com/blackbox-rt/modelgen/internal/serve"
+	"github.com/blackbox-rt/modelgen/internal/trace"
+)
+
+// ClusterConfig configures the cluster scenario: an in-process N-node
+// bbserved cluster behind a bbgate router, a fleet of streams fed
+// through the gateway, and a batch of forced migrations mid-run. The
+// SLO gate must hold across the migrations (the gateway pauses a
+// migrating stream's requests rather than failing them), and every
+// stream's final model must match a single-node reference run.
+type ClusterConfig struct {
+	// Dir is the root for the per-node state stores; empty runs the
+	// nodes in memory.
+	Dir string
+	// Nodes is the cluster size (default 3).
+	Nodes int
+	// Streams is the fleet size (default 200).
+	Streams int
+	// Periods is the period count fed per stream, one batch each
+	// (default 6).
+	Periods int
+	// Migrations is how many streams are forcibly migrated to another
+	// node once half their periods are in flight (default 10).
+	Migrations int
+	// Workers bounds the concurrent feeder goroutines (default 16).
+	Workers int
+	// QueueDepth sets each node's per-stream ingest queue.
+	QueueDepth int
+	// Seed pins the placement ring.
+	Seed uint64
+	// SLO holds the thresholds evaluated into the report
+	// (P99LatencySeconds and MinAvailability apply here).
+	SLO Thresholds
+}
+
+// ClusterReport is the outcome of a cluster scenario.
+type ClusterReport struct {
+	Nodes      int `json:"nodes"`
+	Streams    int `json:"streams"`
+	Periods    int `json:"periods_per_stream"`
+	Migrations int `json:"migrations"`
+	// MigrationFailures counts forced migrations that returned an
+	// error; the gate pins it at zero.
+	MigrationFailures int `json:"migration_failures"`
+	// Requests counts ingest POSTs, Retries the transient 429/503
+	// re-sends within them, Errors the batches that never got in.
+	Requests int64 `json:"requests"`
+	Retries  int64 `json:"retries"`
+	Errors   int64 `json:"errors"`
+	// Availability is accepted / (accepted + errors).
+	Availability float64 `json:"availability"`
+	// Ingest summarizes per-request gateway POST latency; P99 is the
+	// value the SLO gate reads.
+	Ingest Latency `json:"ingest"`
+	P99    float64 `json:"p99_seconds"`
+	// Spread is the final stream count per node.
+	Spread map[string]int `json:"spread"`
+	// Equivalence is the number of streams whose final model was
+	// verified bit-identical to the single-node reference.
+	Equivalence int      `json:"equivalence_checked"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+// Violated reports whether the scenario broke its gate.
+func (r ClusterReport) Violated() bool { return len(r.Violations) > 0 }
+
+// Format renders the human-readable cluster report.
+func (r ClusterReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bbload cluster report: %d nodes, %d streams × %d periods, %d forced migrations\n",
+		r.Nodes, r.Streams, r.Periods, r.Migrations)
+	fmt.Fprintf(&sb, "requests %d (retries %d, errors %d)  availability %.4f\n",
+		r.Requests, r.Retries, r.Errors, r.Availability)
+	fmt.Fprintf(&sb, "ingest: p50 %s p95 %s p99 %s max %s\n",
+		fmtSec(r.Ingest.P50), fmtSec(r.Ingest.P95), fmtSec(r.P99), fmtSec(r.Ingest.Max))
+	fmt.Fprintf(&sb, "spread: %v  models verified: %d\n", r.Spread, r.Equivalence)
+	if len(r.Violations) == 0 {
+		sb.WriteString("cluster: ok\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "CLUSTER VIOLATION: %s\n", v)
+		}
+	}
+	return sb.String()
+}
+
+func clusterStreamID(i int) string { return fmt.Sprintf("c-%05d", i) }
+func clusterNodeName(i int) string { return fmt.Sprintf("node-%d", i) }
+
+// clusterBatch renders period k of the synthetic cluster stream shape.
+func clusterBatch(k int) string {
+	base := int64(k) * workerPeriodUS
+	return fmt.Sprintf("exec t1 %d %d\nmsg m1 %d %d\nexec t2 %d %d\nperiod\n",
+		base, base+100, base+150, base+200, base+400, base+500)
+}
+
+// clusterPeriod is the trace.Period the batch parses to, for the
+// reference learner.
+func clusterPeriod(k int) *trace.Period {
+	base := int64(k) * workerPeriodUS
+	return &trace.Period{
+		Index: k + 1,
+		Execs: map[string]trace.Interval{
+			"t1": {Start: base, End: base + 100},
+			"t2": {Start: base + 400, End: base + 500},
+		},
+		Msgs: []trace.Message{{ID: "m1", Rise: base + 150, Fall: base + 200}},
+	}
+}
+
+// RunCluster executes the cluster scenario.
+func RunCluster(ctx context.Context, cfg ClusterConfig) (ClusterReport, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 200
+	}
+	if cfg.Periods <= 0 {
+		cfg.Periods = 6
+	}
+	if cfg.Migrations < 0 {
+		cfg.Migrations = 0
+	} else if cfg.Migrations == 0 {
+		cfg.Migrations = 10
+	}
+	if cfg.Migrations > cfg.Streams {
+		cfg.Migrations = cfg.Streams
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	rep := ClusterReport{Nodes: cfg.Nodes, Streams: cfg.Streams, Periods: cfg.Periods,
+		Migrations: cfg.Migrations, Spread: map[string]int{}}
+
+	// Boot the cluster: N serve instances wrapped in cluster nodes,
+	// all reached in process through the gateway.
+	type member struct {
+		name string
+		sv   *serve.Server
+	}
+	members := make([]member, cfg.Nodes)
+	backends := make([]cluster.Backend, cfg.Nodes)
+	for i := range members {
+		dir := ""
+		if cfg.Dir != "" {
+			dir = filepath.Join(cfg.Dir, clusterNodeName(i))
+		}
+		reg := obs.NewRegistry()
+		sv := serve.New(serve.Config{CheckpointDir: dir, QueueDepth: cfg.QueueDepth, Registry: reg})
+		node := cluster.NewNode(cluster.NodeConfig{ID: clusterNodeName(i), Server: sv, Registry: reg})
+		members[i] = member{name: clusterNodeName(i), sv: sv}
+		backends[i] = cluster.Backend{
+			Name:   clusterNodeName(i),
+			URL:    "http://" + clusterNodeName(i),
+			Client: &http.Client{Transport: inprocTransport{h: node.Handler()}},
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			_ = m.sv.Shutdown(context.Background())
+		}
+	}()
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Backends:      backends,
+		Ring:          cluster.RingConfig{Seed: cfg.Seed},
+		Registry:      obs.NewRegistry(),
+		MigrationWait: 10 * time.Second,
+	})
+	if err != nil {
+		return rep, err
+	}
+	tgt := &target{base: "http://bbgate.inproc",
+		c: &http.Client{Transport: inprocTransport{h: gw.Handler()}}}
+
+	// Create the fleet through the gateway.
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	errOnce := make(chan error, 1)
+	for i := 0; i < cfg.Streams; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body := fmt.Sprintf(`{"id":%q,"tasks":["t1","t2"]}`, clusterStreamID(i))
+			code, _, out, err := tgt.do(ctx, "POST", "/v1/streams", []byte(body), nil)
+			if err == nil && code != http.StatusCreated {
+				err = fmt.Errorf("status %d: %s", code, out)
+			}
+			if err != nil {
+				select {
+				case errOnce <- fmt.Errorf("load: create %s: %w", clusterStreamID(i), err):
+				default:
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errOnce:
+		return rep, err
+	default:
+	}
+
+	// Feed phase. Each stream sends its periods in order; once half
+	// the fleet-wide batches are in, the migration goroutine moves the
+	// first Migrations streams to the next node on the ring — while
+	// their feeds keep coming, which is the point.
+	var (
+		sentBatches atomic.Int64
+		retries     atomic.Int64
+		errs        atomic.Int64
+		halfway     = int64(cfg.Streams*cfg.Periods) / 2
+		halfwayCh   = make(chan struct{})
+		halfwayOnce sync.Once
+		latMu       sync.Mutex
+		latencies   []float64
+		migFailures atomic.Int64
+		migDone     = make(chan struct{})
+		nodeOf      = func(name string) int { // index of a node name
+			var i int
+			fmt.Sscanf(name, "node-%d", &i)
+			return i
+		}
+	)
+	go func() {
+		defer close(migDone)
+		select {
+		case <-halfwayCh:
+		case <-ctx.Done():
+			return
+		}
+		for i := 0; i < cfg.Migrations; i++ {
+			id := clusterStreamID(i)
+			owner, _ := gw.Owner(id)
+			target := clusterNodeName((nodeOf(owner) + 1) % cfg.Nodes)
+			if err := gw.Migrate(id, target); err != nil {
+				migFailures.Add(1)
+			}
+		}
+	}()
+	for i := 0; i < cfg.Streams; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			id := clusterStreamID(i)
+			for k := 0; k < cfg.Periods; k++ {
+				batch := []byte(clusterBatch(k))
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					t0 := time.Now()
+					code, _, _, err := tgt.do(ctx, "POST", "/v1/streams/"+id+"/events", batch, nil)
+					lat := time.Since(t0).Seconds()
+					if err == nil && code == http.StatusAccepted {
+						latMu.Lock()
+						latencies = append(latencies, lat)
+						latMu.Unlock()
+						if sentBatches.Add(1) >= halfway {
+							halfwayOnce.Do(func() { close(halfwayCh) })
+						}
+						break
+					}
+					transient := err == nil && (code == http.StatusTooManyRequests ||
+						code == http.StatusServiceUnavailable || code == http.StatusBadGateway)
+					if !transient || time.Now().After(deadline) {
+						errs.Add(1)
+						break
+					}
+					retries.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// A short fleet never reaches halfway from inside the loop when
+	// batches error out; release the migration goroutine regardless.
+	halfwayOnce.Do(func() { close(halfwayCh) })
+	<-migDone
+
+	rep.Retries = retries.Load()
+	rep.Errors = errs.Load()
+	rep.Requests = sentBatches.Load() + rep.Errors
+	if rep.Requests > 0 {
+		rep.Availability = float64(sentBatches.Load()) / float64(rep.Requests)
+	}
+	latMu.Lock()
+	samples := append([]float64(nil), latencies...)
+	latMu.Unlock()
+	rep.Ingest = summarizeLatency(samples)
+	if len(samples) > 0 {
+		_, _, p99 := quantiles(samples)
+		rep.P99 = p99
+	}
+	rep.MigrationFailures = int(migFailures.Load())
+
+	// Equivalence oracle: every stream's served model must equal the
+	// single-node reference over the same period sequence.
+	refTables, refLUB, err := clusterReference(cfg.Periods)
+	if err != nil {
+		return rep, err
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		id := clusterStreamID(i)
+		node, _ := gw.Owner(id)
+		rep.Spread[node]++
+		code, _, out, err := tgt.do(ctx, "GET", "/v1/streams/"+id+"/model", nil, nil)
+		if err != nil || code != http.StatusOK {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("cluster: model %s: code %d err %v", id, code, err))
+			continue
+		}
+		var m serve.ModelResponse
+		if err := json.Unmarshal(out, &m); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("cluster: model %s: %v", id, err))
+			continue
+		}
+		if !modelMatches(m, refTables, refLUB) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("cluster: stream %s model differs from single-node reference", id))
+			continue
+		}
+		rep.Equivalence++
+	}
+	rep.Violations = append(rep.Violations, evaluateCluster(rep, cfg)...)
+	return rep, nil
+}
+
+func clusterReference(periods int) ([]string, string, error) {
+	o, err := learner.NewOnline([]string{"t1", "t2"}, learner.Options{})
+	if err != nil {
+		return nil, "", err
+	}
+	for k := 0; k < periods; k++ {
+		if err := o.AddPeriod(clusterPeriod(k)); err != nil {
+			return nil, "", err
+		}
+	}
+	res, err := o.Result()
+	if err != nil {
+		return nil, "", err
+	}
+	var tables []string
+	for _, d := range res.Hypotheses {
+		tables = append(tables, d.Table())
+	}
+	return tables, res.LUB.Table(), nil
+}
+
+func modelMatches(m serve.ModelResponse, tables []string, lub string) bool {
+	if m.LUB != lub || len(m.Hypotheses) != len(tables) {
+		return false
+	}
+	for i := range tables {
+		if m.Hypotheses[i] != tables[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func evaluateCluster(rep ClusterReport, cfg ClusterConfig) []string {
+	var out []string
+	if rep.MigrationFailures > 0 {
+		out = append(out, fmt.Sprintf("cluster: %d forced migrations failed", rep.MigrationFailures))
+	}
+	if rep.Equivalence != rep.Streams {
+		out = append(out, fmt.Sprintf("cluster: only %d of %d models matched the reference",
+			rep.Equivalence, rep.Streams))
+	}
+	if len(rep.Spread) != cfg.Nodes {
+		out = append(out, fmt.Sprintf("cluster: streams landed on %d of %d nodes", len(rep.Spread), cfg.Nodes))
+	}
+	if t := cfg.SLO.MinAvailability; t > 0 && rep.Availability < t {
+		out = append(out, fmt.Sprintf("cluster: availability %.4f below %.4f", rep.Availability, t))
+	}
+	if t := cfg.SLO.P99LatencySeconds; t > 0 && rep.P99 > t {
+		out = append(out, fmt.Sprintf("cluster: ingest p99 %.3fs above %.3fs", rep.P99, t))
+	}
+	return out
+}

@@ -553,7 +553,19 @@ func (sv *Server) addStream(info StreamInfo, snap *learner.Snapshot, learned int
 			sv.dropStreamMetrics(s)
 			return nil, err
 		}
-		st, err := sv.store.Create(info.ID, meta, nil, uint64(learned))
+		// A stream born with learned state (checkpoint import) seeds its
+		// store entry with that state as the base snapshot, or a restart
+		// before its first local compaction would hydrate a fresh
+		// learner and replay WAL deltas against the wrong baseline.
+		var base []byte
+		if snap != nil {
+			cf := checkpointFile{ServeVersion: serveVersion, Info: info, Snapshot: snap, Drift: dst}
+			if base, err = json.Marshal(&cf); err != nil {
+				sv.dropStreamMetrics(s)
+				return nil, err
+			}
+		}
+		st, err := sv.store.Create(info.ID, meta, base, uint64(learned))
 		if err != nil {
 			sv.dropStreamMetrics(s)
 			if errors.Is(err, store.ErrExists) {
